@@ -1,0 +1,212 @@
+// Package amber is AMbER — an Attributed Multigraph Based Engine for RDF
+// querying, a from-scratch Go reproduction of the system described in
+// "Querying RDF Data Using A Multigraph-based Approach" (EDBT 2016).
+//
+// AMbER answers SPARQL SELECT/WHERE queries by representing the RDF data
+// as a directed, vertex-attributed multigraph, indexing it offline with
+// three structures (an attribute inverted index, an R-tree of vertex
+// signature synopses, and per-vertex neighbourhood tries), and reducing
+// query answering to sub-multigraph homomorphism search.
+//
+// Typical use:
+//
+//	db, err := amber.OpenFile("data.nt")
+//	...
+//	rows, err := db.Query(`SELECT ?who WHERE { ?who <http://y/livedIn> <http://x/US> . }`, nil)
+//
+// The WHERE clause supports basic graph patterns (with PREFIX, `a` and
+// `;`/`,` abbreviations), plus the extension fragment the paper lists as
+// future work: DISTINCT, UNION, a FILTER subset (=, !=, regex substring,
+// strstarts), LIMIT and OFFSET. OPTIONAL and GROUP BY remain out of scope.
+package amber
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// ErrTimeout is returned when a query exceeds QueryOptions.Timeout.
+var ErrTimeout = errors.New("amber: query timeout exceeded")
+
+// DB is an immutable AMbER database: the data multigraph plus its index
+// ensemble. Open one with Open, OpenFile or OpenString. A DB is safe for
+// concurrent readers.
+type DB struct {
+	store    *core.Store
+	prefixes *rdf.PrefixMap
+}
+
+// WithPrefixes returns a handle sharing this database but with the given
+// prefixes pre-bound for every query, so query texts may use prefixed
+// names without repeating PREFIX declarations. Declarations inside a
+// query override the defaults. The original handle is unaffected.
+func (db *DB) WithPrefixes(prefixes map[string]string) *DB {
+	pm := &rdf.PrefixMap{}
+	if db.prefixes != nil {
+		pm = db.prefixes.Clone()
+	}
+	for p, ns := range prefixes {
+		pm.Set(p, ns)
+	}
+	return &DB{store: db.store, prefixes: pm}
+}
+
+// parse parses query text with the handle's default prefixes.
+func (db *DB) parse(src string) (*sparql.Query, error) {
+	return sparql.ParseWith(src, db.prefixes)
+}
+
+// Open loads RDF data (N-Triples, with @prefix/PREFIX directives and
+// prefixed names allowed) from r and builds the offline structures.
+func Open(r io.Reader) (*DB, error) {
+	st, err := core.NewStoreFromReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{store: st}, nil
+}
+
+// OpenFile loads RDF data from a file.
+func OpenFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Open(f)
+}
+
+// OpenString loads RDF data held in a string.
+func OpenString(data string) (*DB, error) {
+	return Open(strings.NewReader(data))
+}
+
+// QueryOptions tune query execution. The zero value (or a nil pointer)
+// means no limit and no timeout.
+type QueryOptions struct {
+	// Limit caps the number of result rows (0 = all). A LIMIT clause in
+	// the query text also applies; the tighter bound wins.
+	Limit int
+	// Timeout bounds execution; exceeding it returns ErrTimeout. The
+	// paper's experiments use 60 s.
+	Timeout time.Duration
+}
+
+func (o *QueryOptions) engineOptions() engine.Options {
+	var e engine.Options
+	if o == nil {
+		return e
+	}
+	e.Limit = o.Limit
+	if o.Timeout != 0 {
+		// A negative timeout yields an already-expired deadline, which the
+		// engine reports as a timeout — useful for tests and dry runs.
+		e.Deadline = time.Now().Add(o.Timeout)
+	}
+	return e
+}
+
+// Row is one solution: projected variable name → bound IRI.
+type Row map[string]string
+
+// Query runs a SPARQL SELECT query and materializes the result rows.
+func (db *DB) Query(sparqlText string, opts *QueryOptions) ([]Row, error) {
+	var rows []Row
+	err := db.QueryIter(sparqlText, opts, func(r Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	return rows, err
+}
+
+// QueryIter streams result rows to fn, stopping early when fn returns
+// false. Each Row is freshly allocated and may be retained. A projected
+// variable that is unbound in a UNION branch maps to the empty string.
+func (db *DB) QueryIter(sparqlText string, opts *QueryOptions, fn func(Row) bool) error {
+	pq, err := db.parse(sparqlText)
+	if err != nil {
+		return err
+	}
+	proj := pq.Projection()
+	err = db.store.Execute(pq, opts.engineOptions(), func(sol core.Solution) bool {
+		row := make(Row, len(proj))
+		for _, name := range proj {
+			row[name] = sol[name]
+		}
+		return fn(row)
+	})
+	if err == engine.ErrDeadlineExceeded {
+		return ErrTimeout
+	}
+	return err
+}
+
+// Count returns the number of solutions without materializing them. For
+// queries in the paper's core fragment (single BGP, no DISTINCT, FILTER
+// or OFFSET) the count factorizes over satellite vertices and is far
+// cheaper than Query; extension queries fall back to enumeration.
+func (db *DB) Count(sparqlText string, opts *QueryOptions) (uint64, error) {
+	pq, err := db.parse(sparqlText)
+	if err != nil {
+		return 0, err
+	}
+	if core.IsPlain(pq) {
+		qg, err := db.store.Prepare(pq)
+		if err != nil {
+			return 0, err
+		}
+		eopts := opts.engineOptions()
+		if pq.Limit > 0 && (eopts.Limit == 0 || pq.Limit < eopts.Limit) {
+			eopts.Limit = pq.Limit
+		}
+		n, err := db.store.Count(qg, eopts)
+		if err == engine.ErrDeadlineExceeded {
+			return n, ErrTimeout
+		}
+		return n, err
+	}
+	var n uint64
+	err = db.store.Execute(pq, opts.engineOptions(), func(core.Solution) bool {
+		n++
+		return true
+	})
+	if err == engine.ErrDeadlineExceeded {
+		return n, ErrTimeout
+	}
+	return n, err
+}
+
+// CountParallel counts solutions using a pool of worker goroutines — the
+// parallel processing extension the paper's conclusion sketches. It
+// applies to queries in the core fragment; extension queries (DISTINCT,
+// FILTER, UNION, OFFSET) fall back to the sequential path.
+func (db *DB) CountParallel(sparqlText string, opts *QueryOptions, workers int) (uint64, error) {
+	pq, err := db.parse(sparqlText)
+	if err != nil {
+		return 0, err
+	}
+	if !core.IsPlain(pq) {
+		return db.Count(sparqlText, opts)
+	}
+	qg, err := db.store.Prepare(pq)
+	if err != nil {
+		return 0, err
+	}
+	eopts := opts.engineOptions()
+	if pq.Limit > 0 && (eopts.Limit == 0 || pq.Limit < eopts.Limit) {
+		eopts.Limit = pq.Limit
+	}
+	n, err := db.store.CountParallel(qg, eopts, workers)
+	if err == engine.ErrDeadlineExceeded {
+		return n, ErrTimeout
+	}
+	return n, err
+}

@@ -1,0 +1,237 @@
+package amber
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const figure1 = `
+@prefix x: <http://dbpedia.org/resource/> .
+@prefix y: <http://dbpedia.org/ontology/> .
+x:London y:isPartOf x:England .
+x:England y:hasCapital x:London .
+x:Christopher_Nolan y:wasBornIn x:London .
+x:Christopher_Nolan y:livedIn x:England .
+x:Christopher_Nolan y:isPartOf x:Dark_Knight_Trilogy .
+x:London y:hasStadium x:WembleyStadium .
+x:WembleyStadium y:hasCapacityOf "90000" .
+x:Amy_Winehouse y:wasBornIn x:London .
+x:Amy_Winehouse y:diedIn x:London .
+x:Amy_Winehouse y:wasPartOf x:Music_Band .
+x:Music_Band y:hasName "MCA_Band" .
+x:Music_Band y:foundedIn "1994" .
+x:Music_Band y:wasFormedIn x:London .
+x:Amy_Winehouse y:livedIn x:United_States .
+x:Amy_Winehouse y:wasMarriedTo x:Blake_Fielder-Civil .
+x:Blake_Fielder-Civil y:livedIn x:United_States .
+`
+
+func openDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := OpenString(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenAndStats(t *testing.T) {
+	db := openDB(t)
+	st := db.Stats()
+	if st.Triples != 16 || st.Vertices != 9 || st.Edges != 12 || st.EdgeTypes != 9 || st.Attributes != 3 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.DatabaseBytes <= 0 || st.IndexBytes <= 0 {
+		t.Error("size estimates missing")
+	}
+}
+
+func TestOpenFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.nt")
+	if err := os.WriteFile(path, []byte(figure1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Triples != 16 {
+		t.Error("file load incomplete")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing.nt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := OpenString("this is not RDF\n"); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	db := openDB(t)
+	rows, err := db.Query(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?who ?where WHERE {
+  ?who y:wasBornIn ?where .
+  ?who y:diedIn ?where .
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0]["who"] != "http://dbpedia.org/resource/Amy_Winehouse" {
+		t.Errorf("who = %q", rows[0]["who"])
+	}
+	if rows[0]["where"] != "http://dbpedia.org/resource/London" {
+		t.Errorf("where = %q", rows[0]["where"])
+	}
+}
+
+func TestQueryIterEarlyStop(t *testing.T) {
+	db := openDB(t)
+	n := 0
+	err := db.QueryIter(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`, nil, func(Row) bool {
+		n++
+		return false
+	})
+	if err != nil || n != 1 {
+		t.Errorf("n = %d, err = %v", n, err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	db := openDB(t)
+	n, err := db.Count(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT * WHERE { ?a y:livedIn ?b }`, nil)
+	if err != nil || n != 3 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestLimits(t *testing.T) {
+	db := openDB(t)
+	rows, err := db.Query(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`, &QueryOptions{Limit: 2})
+	if err != nil || len(rows) != 2 {
+		t.Errorf("rows = %d, %v", len(rows), err)
+	}
+	rows, err = db.Query(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b } LIMIT 1`, &QueryOptions{Limit: 5})
+	if err != nil || len(rows) != 1 {
+		t.Errorf("query LIMIT rows = %d, %v", len(rows), err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	db := openDB(t)
+	_, err := db.Query(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`, &QueryOptions{Timeout: -time.Second})
+	if err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestQueryParseError(t *testing.T) {
+	db := openDB(t)
+	if _, err := db.Query(`SELEKT nonsense`, nil); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, err := db.Count(`SELEKT nonsense`, nil); err == nil {
+		t.Error("parse error not surfaced by Count")
+	}
+}
+
+func TestNoResults(t *testing.T) {
+	db := openDB(t)
+	rows, err := db.Query(`
+PREFIX y: <http://dbpedia.org/ontology/>
+PREFIX x: <http://dbpedia.org/resource/>
+SELECT ?who WHERE { ?who y:wasBornIn x:United_States }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("rows = %v, want none", rows)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	db := openDB(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := db.Query(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`, nil)
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCountParallelFacade(t *testing.T) {
+	db := openDB(t)
+	q := `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT * WHERE { ?a y:livedIn ?b }`
+	n, err := db.CountParallel(q, nil, 4)
+	if err != nil || n != 3 {
+		t.Errorf("CountParallel = %d, %v; want 3", n, err)
+	}
+	// Extension query falls back to the sequential path.
+	n, err = db.CountParallel(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT DISTINCT ?b WHERE { ?a y:livedIn ?b }`, nil, 4)
+	if err != nil || n != 2 {
+		t.Errorf("CountParallel distinct = %d, %v; want 2", n, err)
+	}
+	if _, err := db.CountParallel(`SELEKT`, nil, 2); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestWithPrefixes(t *testing.T) {
+	db := openDB(t).WithPrefixes(map[string]string{
+		"y": "http://dbpedia.org/ontology/",
+		"x": "http://dbpedia.org/resource/",
+	})
+	// No PREFIX declarations needed.
+	rows, err := db.Query(`SELECT ?who WHERE { ?who y:livedIn x:United_States }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(rows))
+	}
+	// In-query declarations override defaults.
+	rows, err = db.Query(`
+PREFIX y: <http://nowhere.example/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("override rows = %d, want 0 (unknown namespace)", len(rows))
+	}
+	// The original handle is unaffected.
+	orig := openDB(t)
+	if _, err := orig.Query(`SELECT ?who WHERE { ?who y:livedIn x:United_States }`, nil); err == nil {
+		t.Error("unbound prefix accepted on original handle")
+	}
+}

@@ -1,0 +1,134 @@
+// Command amber loads an RDF dataset and answers SPARQL SELECT queries
+// with the AMbER engine.
+//
+// Usage:
+//
+//	amber -data data.nt -query 'SELECT ?x WHERE { ... }'
+//	amber -data data.nt -queryfile q.rq -limit 10 -timeout 60s
+//	amber -data data.nt -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "RDF data file (N-Triples, prefixed names allowed)")
+		snapshot  = flag.String("snapshot", "", "binary snapshot to load instead of -data")
+		saveSnap  = flag.String("save-snapshot", "", "write a binary snapshot after loading and exit")
+		queryText = flag.String("query", "", "SPARQL SELECT query text")
+		queryFile = flag.String("queryfile", "", "file holding the SPARQL query ('-' for stdin)")
+		limit     = flag.Int("limit", 0, "maximum result rows (0 = all)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-query time constraint")
+		countOnly = flag.Bool("count", false, "print only the number of solutions")
+		workers   = flag.Int("workers", 1, "worker goroutines for -count (parallel engine)")
+		stats     = flag.Bool("stats", false, "print database statistics and exit")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *snapshot, *saveSnap, *queryText, *queryFile, *limit, *timeout, *countOnly, *workers, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "amber:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, timeout time.Duration, countOnly bool, workers int, stats bool) error {
+	var (
+		db  *amber.DB
+		err error
+	)
+	start := time.Now()
+	switch {
+	case snapshot != "":
+		db, err = amber.OpenSnapshotFile(snapshot)
+	case dataPath != "":
+		db, err = amber.OpenFile(dataPath)
+	default:
+		return fmt.Errorf("missing -data or -snapshot")
+	}
+	if err != nil {
+		return err
+	}
+	if saveSnap != "" {
+		if err := db.SaveFile(saveSnap); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", saveSnap)
+		return nil
+	}
+	st := db.Stats()
+	fmt.Fprintf(os.Stderr, "loaded %d triples (%d vertices, %d edge types) in %s\n",
+		st.Triples, st.Vertices, st.EdgeTypes, time.Since(start).Round(time.Millisecond))
+
+	if stats {
+		fmt.Printf("triples:     %d\n", st.Triples)
+		fmt.Printf("vertices:    %d\n", st.Vertices)
+		fmt.Printf("edges:       %d\n", st.Edges)
+		fmt.Printf("edge types:  %d\n", st.EdgeTypes)
+		fmt.Printf("attributes:  %d\n", st.Attributes)
+		fmt.Printf("db build:    %s (%d bytes)\n", st.DatabaseBuildTime.Round(time.Microsecond), st.DatabaseBytes)
+		fmt.Printf("index build: %s (%d bytes)\n", st.IndexBuildTime.Round(time.Microsecond), st.IndexBytes)
+		return nil
+	}
+
+	if queryFile != "" {
+		var data []byte
+		if queryFile == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(queryFile)
+		}
+		if err != nil {
+			return err
+		}
+		queryText = string(data)
+	}
+	if queryText == "" {
+		return fmt.Errorf("missing -query or -queryfile")
+	}
+
+	opts := &amber.QueryOptions{Limit: limit, Timeout: timeout}
+	qStart := time.Now()
+	if countOnly {
+		var n uint64
+		if workers > 1 {
+			n, err = db.CountParallel(queryText, opts, workers)
+		} else {
+			n, err = db.Count(queryText, opts)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d solutions in %s\n", n, time.Since(qStart).Round(time.Microsecond))
+		return nil
+	}
+	nRows := 0
+	err = db.QueryIter(queryText, opts, func(row amber.Row) bool {
+		nRows++
+		vars := make([]string, 0, len(row))
+		for v := range row {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for i, v := range vars {
+			if i > 0 {
+				fmt.Print("\t")
+			}
+			fmt.Printf("?%s=<%s>", v, row[v])
+		}
+		fmt.Println()
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d rows in %s\n", nRows, time.Since(qStart).Round(time.Microsecond))
+	return nil
+}

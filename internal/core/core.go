@@ -1,0 +1,227 @@
+// Package core assembles the complete AMbER system of the paper: the
+// offline stage (RDF → data multigraph G, then index ensemble I = {A,S,N})
+// and the online stage (SPARQL → query multigraph Q → sub-multigraph
+// homomorphism search). It is the implementation behind the public amber
+// package and the benchmark harness.
+package core
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/multigraph"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// BuildStats records offline-stage costs, mirroring the paper's Table 5.
+type BuildStats struct {
+	// DatabaseTime is the time to transform the tripleset into G.
+	DatabaseTime time.Duration
+	// IndexTime is the time to build I = {A, S, N}.
+	IndexTime time.Duration
+	// DatabaseBytes and IndexBytes are analytic size estimates.
+	DatabaseBytes int64
+	IndexBytes    int64
+}
+
+// Store is an AMbER database instance: immutable after construction.
+type Store struct {
+	Graph *multigraph.Graph
+	Index *index.Index
+	Stats BuildStats
+}
+
+// NewStore builds the store from a triple slice (offline stage).
+func NewStore(triples []rdf.Triple) (*Store, error) {
+	var b multigraph.Builder
+	start := time.Now()
+	if err := b.AddAll(triples); err != nil {
+		return nil, err
+	}
+	return finish(&b, start)
+}
+
+// NewStoreFromReader streams triples from an N-Triples / prefixed-Turtle
+// reader.
+func NewStoreFromReader(r io.Reader) (*Store, error) {
+	var b multigraph.Builder
+	start := time.Now()
+	dec := rdf.NewDecoder(r)
+	for {
+		t, err := dec.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return finish(&b, start)
+}
+
+func finish(b *multigraph.Builder, start time.Time) (*Store, error) {
+	g := b.Build()
+	dbTime := time.Since(start)
+	idxStart := time.Now()
+	ix := index.Build(g)
+	s := &Store{
+		Graph: g,
+		Index: ix,
+		Stats: BuildStats{
+			DatabaseTime:  dbTime,
+			IndexTime:     time.Since(idxStart),
+			DatabaseBytes: estimateGraphBytes(g),
+			IndexBytes:    estimateIndexBytes(g, ix),
+		},
+	}
+	return s, nil
+}
+
+// estimateGraphBytes is an analytic size estimate of G: adjacency entries,
+// edge-type labels, attributes, and dictionary strings.
+func estimateGraphBytes(g *multigraph.Graph) int64 {
+	var bytes int64
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := dict.VertexID(v)
+		for _, nb := range g.Out(vid) {
+			bytes += 8 + 4*int64(len(nb.Types)) // entry + types
+		}
+		for _, nb := range g.In(vid) {
+			bytes += 8 + 4*int64(len(nb.Types))
+		}
+		bytes += 4 * int64(len(g.Attrs(vid)))
+	}
+	for i := 0; i < g.Dicts.Vertices.Len(); i++ {
+		bytes += int64(len(g.Dicts.Vertices.Value(uint32(i)))) + 16
+	}
+	for i := 0; i < g.Dicts.EdgeTypes.Len(); i++ {
+		bytes += int64(len(g.Dicts.EdgeTypes.Value(uint32(i)))) + 16
+	}
+	for i := 0; i < g.Dicts.Attrs.Len(); i++ {
+		a := g.Dicts.Attr(dict.AttrID(i))
+		bytes += int64(len(a.Predicate)+len(a.Literal)) + 24
+	}
+	return bytes
+}
+
+// estimateIndexBytes is an analytic size estimate of I = {A, S, N}.
+func estimateIndexBytes(g *multigraph.Graph, ix *index.Index) int64 {
+	var bytes int64
+	bytes += 4 * int64(ix.A.Entries())                             // A postings
+	bytes += int64(ix.S.Len()) * (multigraph.SynopsisFields*4 + 8) // S leaves
+	// N: one trie node + one posting per (vertex, neighbour, type), twice
+	// (N+ and N−).
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := dict.VertexID(v)
+		for _, nb := range g.Out(vid) {
+			bytes += 2 * (16 + 8*int64(len(nb.Types)))
+		}
+	}
+	return bytes
+}
+
+// Save writes a binary snapshot of the data multigraph. Loading it with
+// LoadStore skips RDF parsing; indexes are rebuilt deterministically.
+func (s *Store) Save(w io.Writer) error {
+	return s.Graph.Encode(w)
+}
+
+// LoadStore reads a snapshot written by Save and rebuilds the index
+// ensemble.
+func LoadStore(r io.Reader) (*Store, error) {
+	start := time.Now()
+	g, err := multigraph.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	dbTime := time.Since(start)
+	idxStart := time.Now()
+	ix := index.Build(g)
+	return &Store{
+		Graph: g,
+		Index: ix,
+		Stats: BuildStats{
+			DatabaseTime:  dbTime,
+			IndexTime:     time.Since(idxStart),
+			DatabaseBytes: estimateGraphBytes(g),
+			IndexBytes:    estimateIndexBytes(g, ix),
+		},
+	}, nil
+}
+
+// Prepare translates a parsed SPARQL query into the query multigraph.
+func (s *Store) Prepare(q *sparql.Query) (*query.Graph, error) {
+	return query.Build(q, &s.Graph.Dicts)
+}
+
+// PrepareString parses and translates SPARQL text.
+func (s *Store) PrepareString(src string) (*query.Graph, *sparql.Query, error) {
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	qg, err := s.Prepare(pq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return qg, pq, nil
+}
+
+// Count returns the number of homomorphic embeddings.
+func (s *Store) Count(qg *query.Graph, opts engine.Options) (uint64, error) {
+	return engine.Count(s.Graph, s.Index, qg, opts)
+}
+
+// CountParallel counts embeddings with a pool of worker goroutines (the
+// paper's future-work "parallel processing version"); see
+// engine.CountParallel.
+func (s *Store) CountParallel(qg *query.Graph, opts engine.Options, workers int) (uint64, error) {
+	return engine.CountParallel(s.Graph, s.Index, qg, opts, workers)
+}
+
+// Stream enumerates embeddings; see engine.Stream.
+func (s *Store) Stream(qg *query.Graph, opts engine.Options, yield func([]dict.VertexID) bool) error {
+	return engine.Stream(s.Graph, s.Index, qg, opts, yield)
+}
+
+// Binding is one variable binding of a solution row.
+type Binding struct {
+	Var   string
+	Value string
+}
+
+// Row is one solution: bindings in projection order.
+type Row []Binding
+
+// Select runs a SPARQL SELECT end to end and materializes the projected
+// rows (translated back to IRIs via Mv⁻¹). The full extension fragment
+// (DISTINCT, UNION, FILTER, OFFSET) is honoured via Execute, as is the
+// query's LIMIT clause in addition to opts.Limit.
+func (s *Store) Select(src string, opts engine.Options) ([]Row, error) {
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	proj := pq.Projection()
+	var rows []Row
+	err = s.Execute(pq, opts, func(sol Solution) bool {
+		row := make(Row, len(proj))
+		for i, name := range proj {
+			row[i] = Binding{Var: name, Value: sol[name]}
+		}
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		return rows, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/rdf"
+)
+
+const figure1 = `
+@prefix x: <http://dbpedia.org/resource/> .
+@prefix y: <http://dbpedia.org/ontology/> .
+x:London y:isPartOf x:England .
+x:England y:hasCapital x:London .
+x:Christopher_Nolan y:wasBornIn x:London .
+x:Christopher_Nolan y:livedIn x:England .
+x:Christopher_Nolan y:isPartOf x:Dark_Knight_Trilogy .
+x:London y:hasStadium x:WembleyStadium .
+x:WembleyStadium y:hasCapacityOf "90000" .
+x:Amy_Winehouse y:wasBornIn x:London .
+x:Amy_Winehouse y:diedIn x:London .
+x:Amy_Winehouse y:wasPartOf x:Music_Band .
+x:Music_Band y:hasName "MCA_Band" .
+x:Music_Band y:foundedIn "1994" .
+x:Music_Band y:wasFormedIn x:London .
+x:Amy_Winehouse y:livedIn x:United_States .
+x:Amy_Winehouse y:wasMarriedTo x:Blake_Fielder-Civil .
+x:Blake_Fielder-Civil y:livedIn x:United_States .
+`
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStoreFromReader(strings.NewReader(figure1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStoreFromReader(t *testing.T) {
+	s := newStore(t)
+	if s.Graph.NumVertices() != 9 {
+		t.Errorf("vertices = %d, want 9", s.Graph.NumVertices())
+	}
+	if s.Index == nil || s.Index.A == nil || s.Index.S == nil || s.Index.N == nil {
+		t.Fatal("indexes not built")
+	}
+	if s.Stats.DatabaseBytes <= 0 || s.Stats.IndexBytes <= 0 {
+		t.Errorf("size estimates = %d / %d", s.Stats.DatabaseBytes, s.Stats.IndexBytes)
+	}
+	if s.Stats.DatabaseTime < 0 || s.Stats.IndexTime < 0 {
+		t.Error("negative build times")
+	}
+}
+
+func TestNewStoreErrors(t *testing.T) {
+	if _, err := NewStoreFromReader(strings.NewReader("not rdf at all\n")); err == nil {
+		t.Error("bad input accepted")
+	}
+	if _, err := NewStore([]rdf.Triple{{S: rdf.NewLiteral("x"), P: rdf.NewIRI("p"), O: rdf.NewIRI("o")}}); err == nil {
+		t.Error("bad triple accepted")
+	}
+}
+
+func TestSelectEndToEnd(t *testing.T) {
+	s := newStore(t)
+	rows, err := s.Select(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?who ?where WHERE {
+  ?who y:wasBornIn ?where .
+  ?who y:diedIn ?where .
+}`, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if rows[0][0].Var != "who" || rows[0][0].Value != "http://dbpedia.org/resource/Amy_Winehouse" {
+		t.Errorf("row = %v", rows[0])
+	}
+	if rows[0][1].Var != "where" || rows[0][1].Value != "http://dbpedia.org/resource/London" {
+		t.Errorf("row = %v", rows[0])
+	}
+}
+
+func TestSelectHonoursQueryLimit(t *testing.T) {
+	s := newStore(t)
+	rows, err := s.Select(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b } LIMIT 2`, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %d, want 2 (query LIMIT)", len(rows))
+	}
+	// Options limit tighter than query limit wins.
+	rows, err = s.Select(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b } LIMIT 3`, engine.Options{Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("rows = %d, want 1 (options limit)", len(rows))
+	}
+}
+
+func TestSelectParseError(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Select(`SELEKT ?x WHERE { ?x <http://y/p> ?y }`, engine.Options{}); err == nil {
+		t.Error("parse error not propagated")
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	s := newStore(t)
+	rows, err := s.Select(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT * WHERE { ?a y:wasMarriedTo ?b }`, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCountMatchesSelect(t *testing.T) {
+	s := newStore(t)
+	qg, _, err := s.PrepareString(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Count(qg, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("Count = %d, want 3", n)
+	}
+}
+
+func TestSelectDeadline(t *testing.T) {
+	s := newStore(t)
+	_, err := s.Select(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`,
+		engine.Options{Deadline: time.Now().Add(-time.Second)})
+	if err != engine.ErrDeadlineExceeded {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestSizeEstimatesScale(t *testing.T) {
+	small := newStore(t)
+	// Double the data (new IRIs) roughly doubles the estimates.
+	doubled := figure1 + strings.ReplaceAll(figure1, "x:", "x:Copy_")
+	big, err := NewStoreFromReader(strings.NewReader(doubled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Stats.DatabaseBytes <= small.Stats.DatabaseBytes {
+		t.Errorf("database bytes did not grow: %d vs %d", big.Stats.DatabaseBytes, small.Stats.DatabaseBytes)
+	}
+	if big.Stats.IndexBytes <= small.Stats.IndexBytes {
+		t.Errorf("index bytes did not grow: %d vs %d", big.Stats.IndexBytes, small.Stats.IndexBytes)
+	}
+}

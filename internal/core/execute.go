@@ -1,0 +1,170 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/sparql"
+)
+
+// Solution is one complete embedding translated back to IRIs: variable
+// name → IRI. Variables that do not occur in the matched UNION branch are
+// absent from the map (SPARQL's unbound).
+type Solution map[string]string
+
+// IsPlain reports whether the query uses only the paper's core fragment
+// (single BGP, no DISTINCT/FILTER/OFFSET), for which the factorized Count
+// path is available.
+func IsPlain(pq *sparql.Query) bool {
+	return !pq.Distinct && len(pq.Filters) == 0 && len(pq.UnionBranches) == 0 && pq.Offset == 0
+}
+
+// Execute evaluates a parsed query with the full extension fragment:
+// UNION branches, FILTER constraints, DISTINCT, OFFSET and LIMIT. yield
+// receives complete solutions (all variables of the matched branch);
+// returning false stops evaluation.
+//
+// Row-level modifiers are applied in SPARQL order: filters per solution,
+// then projection-level DISTINCT, then OFFSET, then LIMIT.
+func (s *Store) Execute(pq *sparql.Query, opts engine.Options, yield func(Solution) bool) error {
+	limit := pq.Limit
+	if opts.Limit > 0 && (limit == 0 || opts.Limit < limit) {
+		limit = opts.Limit
+	}
+	plain := IsPlain(pq)
+
+	// Only a plain query may push the limit into the engine.
+	engOpts := opts
+	engOpts.Limit = 0
+	if plain {
+		engOpts.Limit = limit
+	}
+
+	proj := pq.Projection()
+	var (
+		seen    map[string]bool
+		skipped int
+		emitted int
+		stop    bool
+	)
+	if pq.Distinct {
+		seen = make(map[string]bool)
+	}
+
+	emit := func(sol Solution) bool {
+		if pq.Distinct {
+			key := distinctKey(proj, sol)
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+		}
+		if skipped < pq.Offset {
+			skipped++
+			return true
+		}
+		if !yield(sol) {
+			stop = true
+			return false
+		}
+		emitted++
+		if limit > 0 && emitted >= limit {
+			stop = true
+			return false
+		}
+		return true
+	}
+
+	for _, branch := range pq.Branches() {
+		if stop {
+			break
+		}
+		bq := &sparql.Query{Prefixes: pq.Prefixes, Star: true, Patterns: branch}
+		qg, err := query.Build(bq, &s.Graph.Dicts)
+		if err != nil {
+			return err
+		}
+		filters := s.compileFilters(pq.Filters, qg)
+		err = s.Stream(qg, engOpts, func(asg []dict.VertexID) bool {
+			for _, f := range filters {
+				if !f(asg) {
+					return true
+				}
+			}
+			sol := make(Solution, len(qg.Vars))
+			for u := range qg.Vars {
+				sol[qg.Vars[u].Name] = s.Graph.Dicts.VertexIRI(asg[u])
+			}
+			return emit(sol)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distinctKey builds a deduplication key over the projected variables.
+func distinctKey(proj []string, sol Solution) string {
+	parts := make([]string, len(proj))
+	for i, v := range proj {
+		parts[i] = sol[v]
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// compiledFilter checks one FILTER against an embedding.
+type compiledFilter func(asg []dict.VertexID) bool
+
+// compileFilters resolves filter variables against the branch's query
+// graph. A filter whose variable is absent from this branch is vacuously
+// true for the branch (the variable is unbound there).
+func (s *Store) compileFilters(fs []sparql.Filter, qg *query.Graph) []compiledFilter {
+	text := func(u query.VertexID, pred func(string) bool) compiledFilter {
+		return func(asg []dict.VertexID) bool {
+			return pred(s.Graph.Dicts.VertexIRI(asg[u]))
+		}
+	}
+	var out []compiledFilter
+	for _, f := range fs {
+		lhs, ok := qg.VarIndex[f.LHS]
+		if !ok {
+			continue
+		}
+		if f.RHS.Kind == sparql.Var {
+			rhs, ok := qg.VarIndex[f.RHS.Value]
+			if !ok {
+				continue
+			}
+			switch f.Op {
+			case sparql.FilterEq:
+				out = append(out, func(asg []dict.VertexID) bool { return asg[lhs] == asg[rhs] })
+			case sparql.FilterNe:
+				out = append(out, func(asg []dict.VertexID) bool { return asg[lhs] != asg[rhs] })
+			case sparql.FilterRegex:
+				out = append(out, func(asg []dict.VertexID) bool {
+					return strings.Contains(s.Graph.Dicts.VertexIRI(asg[lhs]), s.Graph.Dicts.VertexIRI(asg[rhs]))
+				})
+			case sparql.FilterStrStarts:
+				out = append(out, func(asg []dict.VertexID) bool {
+					return strings.HasPrefix(s.Graph.Dicts.VertexIRI(asg[lhs]), s.Graph.Dicts.VertexIRI(asg[rhs]))
+				})
+			}
+			continue
+		}
+		val := f.RHS.Value
+		switch f.Op {
+		case sparql.FilterEq:
+			out = append(out, text(lhs, func(x string) bool { return x == val }))
+		case sparql.FilterNe:
+			out = append(out, text(lhs, func(x string) bool { return x != val }))
+		case sparql.FilterRegex:
+			out = append(out, text(lhs, func(x string) bool { return strings.Contains(x, val) }))
+		case sparql.FilterStrStarts:
+			out = append(out, text(lhs, func(x string) bool { return strings.HasPrefix(x, val) }))
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sparql"
+)
+
+func parse(t *testing.T, src string) *sparql.Query {
+	t.Helper()
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pq
+}
+
+func TestIsPlain(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`SELECT ?s WHERE { ?s <http://y/p> ?o }`, true},
+		{`SELECT ?s WHERE { ?s <http://y/p> ?o } LIMIT 3`, true},
+		{`SELECT DISTINCT ?s WHERE { ?s <http://y/p> ?o }`, false},
+		{`SELECT ?s WHERE { ?s <http://y/p> ?o } OFFSET 1`, false},
+		{`SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER (?s != ?o) }`, false},
+		{`SELECT ?s WHERE { { ?s <http://y/p> ?o } UNION { ?s <http://y/q> ?o } }`, false},
+	}
+	for _, tc := range cases {
+		if got := IsPlain(parse(t, tc.src)); got != tc.want {
+			t.Errorf("IsPlain(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestExecuteDistinctUnionFilters(t *testing.T) {
+	s := newStore(t)
+	pq := parse(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT DISTINCT ?p WHERE {
+  { ?p y:wasBornIn ?c } UNION { ?p y:diedIn ?c }
+  FILTER strstarts(str(?p), "http://dbpedia.org/resource/A")
+}`)
+	var got []string
+	if err := s.Execute(pq, engine.Options{}, func(sol Solution) bool {
+		got = append(got, sol["p"])
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.HasSuffix(got[0], "Amy_Winehouse") {
+		t.Errorf("Execute result = %v", got)
+	}
+}
+
+func TestExecuteEarlyStop(t *testing.T) {
+	s := newStore(t)
+	pq := parse(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a WHERE { ?a y:livedIn ?b }`)
+	calls := 0
+	if err := s.Execute(pq, engine.Options{}, func(Solution) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}
+
+func TestExecuteOffsetBeyondEnd(t *testing.T) {
+	s := newStore(t)
+	pq := parse(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a WHERE { ?a y:livedIn ?b } OFFSET 50`)
+	n := 0
+	if err := s.Execute(pq, engine.Options{}, func(Solution) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("rows = %d, want 0", n)
+	}
+}
+
+func TestExecuteFilterVariableVariants(t *testing.T) {
+	s := newStore(t)
+	// ?a regex ?b: contains test between IRIs — London contains London.
+	pq := parse(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE {
+  ?a y:isPartOf ?b .
+  FILTER (?a = ?a)
+  FILTER regex(?a, ?a)
+  FILTER strstarts(?a, ?a)
+}`)
+	n := 0
+	if err := s.Execute(pq, engine.Options{}, func(Solution) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("rows = %d, want 2 (both isPartOf edges)", n)
+	}
+	// var != var filter removing everything.
+	pq = parse(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:isPartOf ?b . FILTER (?a != ?a) }`)
+	n = 0
+	if err := s.Execute(pq, engine.Options{}, func(Solution) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("rows = %d, want 0", n)
+	}
+}
+
+func TestSaveAndLoadStore(t *testing.T) {
+	s := newStore(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Graph.NumVertices() != s.Graph.NumVertices() {
+		t.Errorf("vertices = %d, want %d", loaded.Graph.NumVertices(), s.Graph.NumVertices())
+	}
+	if loaded.Stats.DatabaseBytes != s.Stats.DatabaseBytes {
+		t.Errorf("size estimate differs after load")
+	}
+	rows, err := loaded.Select(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`, engine.Options{})
+	if err != nil || len(rows) != 3 {
+		t.Errorf("rows after load = %d, %v", len(rows), err)
+	}
+	if _, err := LoadStore(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestCountParallelStore(t *testing.T) {
+	s := newStore(t)
+	qg, _, err := s.PrepareString(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.CountParallel(qg, engine.Options{}, 4)
+	if err != nil || n != 3 {
+		t.Errorf("CountParallel = %d, %v", n, err)
+	}
+}
+
+func TestSelectWithUnboundProjection(t *testing.T) {
+	s := newStore(t)
+	rows, err := s.Select(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?p ?band WHERE {
+  { ?p y:wasMarriedTo ?x } UNION { ?p y:wasPartOf ?band }
+}`, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	unbound := 0
+	for _, r := range rows {
+		if r[1].Var != "band" {
+			t.Errorf("projection order wrong: %v", r)
+		}
+		if r[1].Value == "" {
+			unbound++
+		}
+	}
+	if unbound != 1 {
+		t.Errorf("unbound band rows = %d, want 1", unbound)
+	}
+}
+
+func TestExecuteUnsatBranchSkipped(t *testing.T) {
+	s := newStore(t)
+	// First branch unsatisfiable (unknown predicate), second fine: UNION
+	// must still deliver the second branch's rows.
+	pq := parse(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?p WHERE {
+  { ?p y:noSuchPredicate ?c } UNION { ?p y:wasMarriedTo ?c }
+}`)
+	n := 0
+	if err := s.Execute(pq, engine.Options{}, func(Solution) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("rows = %d, want 1", n)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := newStore(t)
+	out, err := s.Explain(`
+PREFIX y: <http://dbpedia.org/ontology/>
+PREFIX x: <http://dbpedia.org/resource/>
+SELECT ?X0 ?X1 ?X3 ?X5 WHERE {
+  ?X0 y:wasBornIn ?X1 .
+  ?X1 y:isPartOf ?X2 .
+  ?X2 y:hasCapital ?X1 .
+  ?X1 y:hasStadium ?X4 .
+  ?X3 y:wasBornIn ?X1 .
+  ?X3 y:diedIn ?X1 .
+  ?X3 y:wasMarriedTo ?X6 .
+  ?X3 y:wasPartOf ?X5 .
+  ?X5 y:wasFormedIn ?X1 .
+  ?X4 y:hasCapacityOf "90000" .
+  ?X5 y:hasName "MCA_Band" .
+  ?X5 y:foundedIn "1994" .
+  ?X3 y:livedIn x:United_States .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"core[0] ?X1", "core[1] ?X3", "core[2] ?X5",
+		"satellites=[?X0 ?X2 ?X4]", "initialCandidates="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainUnsatAndErrors(t *testing.T) {
+	s := newStore(t)
+	out, err := s.Explain(`PREFIX y: <http://dbpedia.org/ontology/> SELECT ?a ?b WHERE { ?a y:isMarriedTo ?b }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "UNSATISFIABLE") {
+		t.Errorf("unsat not reported:\n%s", out)
+	}
+	if _, err := s.Explain(`SELEKT`); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	out, err = s.Explain(`
+PREFIX y: <http://dbpedia.org/ontology/>
+PREFIX x: <http://dbpedia.org/resource/>
+SELECT DISTINCT ?a WHERE { x:London y:isPartOf x:England . ?a y:livedIn ?b }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ground checks") || !strings.Contains(out, "extensions") {
+		t.Errorf("ground/extension info missing:\n%s", out)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sparql"
+)
+
+// Explain renders the engine's view of a query: the query multigraph's
+// decomposition into core and satellite vertices, the heuristic matching
+// order (Section 5.3), the per-vertex constraints, and the size of the
+// initial candidate set the S index would return. It is a diagnostic aid;
+// the output format is human-oriented and not stable.
+func (s *Store) Explain(src string) (string, error) {
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	qg, err := s.Prepare(pq)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %d pattern(s), %d variable(s)\n", len(pq.Patterns), len(qg.Vars))
+	if !IsPlain(pq) {
+		fmt.Fprintf(&b, "extensions: distinct=%v unionBranches=%d filters=%d offset=%d\n",
+			pq.Distinct, len(pq.UnionBranches), len(pq.Filters), pq.Offset)
+	}
+	if qg.Unsat {
+		fmt.Fprintf(&b, "UNSATISFIABLE: %s\n", qg.UnsatReason)
+		return b.String(), nil
+	}
+	if len(qg.GroundEdges)+len(qg.GroundAttrs) > 0 {
+		fmt.Fprintf(&b, "ground checks: %d edge(s), %d attribute(s)\n",
+			len(qg.GroundEdges), len(qg.GroundAttrs))
+	}
+	for ci := range qg.Components {
+		comp := &qg.Components[ci]
+		fmt.Fprintf(&b, "component %d:\n", ci)
+		for pos, u := range comp.Core {
+			v := &qg.Vars[u]
+			fmt.Fprintf(&b, "  core[%d] ?%s deg=%d attrs=%d iris=%d", pos, v.Name, qg.VarDegree(u), len(v.Attrs), len(v.IRIs))
+			if sats := comp.Satellites[u]; len(sats) > 0 {
+				names := make([]string, len(sats))
+				for i, su := range sats {
+					names[i] = "?" + qg.Vars[su].Name
+				}
+				sort.Strings(names)
+				fmt.Fprintf(&b, " satellites=[%s]", strings.Join(names, " "))
+			}
+			if pos == 0 {
+				cand := s.Index.S.Candidates(qg.Synopsis(u))
+				fmt.Fprintf(&b, " initialCandidates=%d/%d", len(cand), s.Graph.NumVertices())
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}

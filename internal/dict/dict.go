@@ -1,0 +1,165 @@
+// Package dict implements the three dictionary look-up tables the AMbER
+// paper (Section 2.1.1, Table 2) uses to transform an RDF tripleset into a
+// data multigraph:
+//
+//   - the vertex dictionary Mv, mapping subject/object IRIs to vertex ids;
+//   - the edge-type dictionary Me, mapping predicate IRIs to edge-type ids;
+//   - the attribute dictionary Ma, mapping <predicate, object-literal>
+//     tuples to attribute ids.
+//
+// All dictionaries are bidirectional: identifiers are dense and start at 0,
+// so the inverse mapping is a plain slice lookup.
+package dict
+
+import "fmt"
+
+// VertexID identifies a data (or query) vertex. Identifiers are dense.
+type VertexID uint32
+
+// EdgeType identifies a predicate (edge type). Identifiers are dense and,
+// per the paper's synopsis features f3/f4, their numeric value is the
+// "position of the sequenced alphabet" — i.e. insertion order.
+type EdgeType uint32
+
+// AttrID identifies a <predicate, literal> attribute tuple.
+type AttrID uint32
+
+// StringDict is a bidirectional string↔dense-id dictionary.
+// The zero value is ready to use.
+type StringDict struct {
+	ids    map[string]uint32
+	values []string
+}
+
+// Intern returns the id for s, assigning the next dense id on first sight.
+func (d *StringDict) Intern(s string) uint32 {
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	if d.ids == nil {
+		d.ids = make(map[string]uint32)
+	}
+	id := uint32(len(d.values))
+	d.ids[s] = id
+	d.values = append(d.values, s)
+	return id
+}
+
+// Lookup returns the id for s without interning.
+func (d *StringDict) Lookup(s string) (uint32, bool) {
+	id, ok := d.ids[s]
+	return id, ok
+}
+
+// Value returns the string for id; it panics on out-of-range ids, which
+// indicate a programming error rather than bad input.
+func (d *StringDict) Value(id uint32) string {
+	if int(id) >= len(d.values) {
+		panic(fmt.Sprintf("dict: id %d out of range (len %d)", id, len(d.values)))
+	}
+	return d.values[id]
+}
+
+// Len reports the number of interned strings.
+func (d *StringDict) Len() int { return len(d.values) }
+
+// Attribute is the <predicate, object-literal> tuple that Ma maps to an
+// attribute identifier (e.g. <y:hasCapacityOf, "90000"> ↦ a0).
+type Attribute struct {
+	Predicate string
+	Literal   string
+}
+
+// String renders the tuple for diagnostics.
+func (a Attribute) String() string {
+	return "<" + a.Predicate + ", \"" + a.Literal + "\">"
+}
+
+// AttrDict is a bidirectional Attribute↔AttrID dictionary.
+// The zero value is ready to use.
+type AttrDict struct {
+	ids    map[Attribute]AttrID
+	values []Attribute
+}
+
+// Intern returns the id for a, assigning the next dense id on first sight.
+func (d *AttrDict) Intern(a Attribute) AttrID {
+	if id, ok := d.ids[a]; ok {
+		return id
+	}
+	if d.ids == nil {
+		d.ids = make(map[Attribute]AttrID)
+	}
+	id := AttrID(len(d.values))
+	d.ids[a] = id
+	d.values = append(d.values, a)
+	return id
+}
+
+// Lookup returns the id for a without interning.
+func (d *AttrDict) Lookup(a Attribute) (AttrID, bool) {
+	id, ok := d.ids[a]
+	return id, ok
+}
+
+// Value returns the tuple for id; it panics on out-of-range ids.
+func (d *AttrDict) Value(id AttrID) Attribute {
+	if int(id) >= len(d.values) {
+		panic(fmt.Sprintf("dict: attribute id %d out of range (len %d)", id, len(d.values)))
+	}
+	return d.values[id]
+}
+
+// Len reports the number of interned attributes.
+func (d *AttrDict) Len() int { return len(d.values) }
+
+// Dictionaries bundles the three mapping functions of Table 2.
+// The zero value is ready to use.
+type Dictionaries struct {
+	Vertices  StringDict // Mv: subject/object IRI → VertexID
+	EdgeTypes StringDict // Me: predicate IRI → EdgeType
+	Attrs     AttrDict   // Ma: <predicate, literal> → AttrID
+}
+
+// InternVertex applies Mv.
+func (d *Dictionaries) InternVertex(iri string) VertexID {
+	return VertexID(d.Vertices.Intern(iri))
+}
+
+// InternEdgeType applies Me.
+func (d *Dictionaries) InternEdgeType(predicate string) EdgeType {
+	return EdgeType(d.EdgeTypes.Intern(predicate))
+}
+
+// InternAttr applies Ma.
+func (d *Dictionaries) InternAttr(predicate, literal string) AttrID {
+	return d.Attrs.Intern(Attribute{Predicate: predicate, Literal: literal})
+}
+
+// LookupVertex resolves an IRI without interning (used for query constants:
+// an IRI that never occurs in the data has no binding).
+func (d *Dictionaries) LookupVertex(iri string) (VertexID, bool) {
+	id, ok := d.Vertices.Lookup(iri)
+	return VertexID(id), ok
+}
+
+// LookupEdgeType resolves a predicate without interning.
+func (d *Dictionaries) LookupEdgeType(predicate string) (EdgeType, bool) {
+	id, ok := d.EdgeTypes.Lookup(predicate)
+	return EdgeType(id), ok
+}
+
+// LookupAttr resolves an attribute tuple without interning.
+func (d *Dictionaries) LookupAttr(predicate, literal string) (AttrID, bool) {
+	return d.Attrs.Lookup(Attribute{Predicate: predicate, Literal: literal})
+}
+
+// VertexIRI applies the inverse mapping Mv⁻¹, used to translate embeddings
+// back to RDF entities (paper Section 3).
+func (d *Dictionaries) VertexIRI(v VertexID) string { return d.Vertices.Value(uint32(v)) }
+
+// EdgeTypeIRI applies Me⁻¹.
+func (d *Dictionaries) EdgeTypeIRI(t EdgeType) string { return d.EdgeTypes.Value(uint32(t)) }
+
+// Attr applies Ma⁻¹.
+func (d *Dictionaries) Attr(a AttrID) Attribute { return d.Attrs.Value(a) }

@@ -1,0 +1,151 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringDictInternIsIdempotent(t *testing.T) {
+	var d StringDict
+	a := d.Intern("http://x/a")
+	b := d.Intern("http://x/b")
+	if a == b {
+		t.Fatalf("distinct strings share id %d", a)
+	}
+	if again := d.Intern("http://x/a"); again != a {
+		t.Errorf("re-Intern = %d, want %d", again, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestStringDictDenseIDs(t *testing.T) {
+	var d StringDict
+	for i := 0; i < 100; i++ {
+		id := d.Intern(fmt.Sprintf("s%d", i))
+		if id != uint32(i) {
+			t.Fatalf("Intern #%d = %d, want dense", i, id)
+		}
+	}
+}
+
+func TestStringDictLookup(t *testing.T) {
+	var d StringDict
+	d.Intern("present")
+	if id, ok := d.Lookup("present"); !ok || id != 0 {
+		t.Errorf("Lookup(present) = %d, %v", id, ok)
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Error("Lookup(absent) succeeded")
+	}
+}
+
+func TestStringDictValuePanicsOutOfRange(t *testing.T) {
+	var d StringDict
+	d.Intern("only")
+	defer func() {
+		if recover() == nil {
+			t.Error("Value(99) did not panic")
+		}
+	}()
+	d.Value(99)
+}
+
+func TestAttrDict(t *testing.T) {
+	var d AttrDict
+	a0 := d.Intern(Attribute{"y:hasCapacityOf", "90000"})
+	a1 := d.Intern(Attribute{"y:wasFoundedIn", "1994"})
+	if a0 == a1 {
+		t.Fatal("distinct attributes share id")
+	}
+	if again := d.Intern(Attribute{"y:hasCapacityOf", "90000"}); again != a0 {
+		t.Errorf("re-Intern = %d, want %d", again, a0)
+	}
+	if got := d.Value(a1); got.Predicate != "y:wasFoundedIn" || got.Literal != "1994" {
+		t.Errorf("Value = %v", got)
+	}
+	if _, ok := d.Lookup(Attribute{"y:hasName", "MCA_Band"}); ok {
+		t.Error("Lookup of absent attribute succeeded")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestAttrDictValuePanics(t *testing.T) {
+	var d AttrDict
+	defer func() {
+		if recover() == nil {
+			t.Error("Value on empty dict did not panic")
+		}
+	}()
+	d.Value(0)
+}
+
+func TestAttributeString(t *testing.T) {
+	a := Attribute{"y:hasName", "MCA_Band"}
+	if got := a.String(); got != `<y:hasName, "MCA_Band">` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDictionariesRoundTrip(t *testing.T) {
+	var d Dictionaries
+	v := d.InternVertex("http://x/London")
+	e := d.InternEdgeType("http://y/isPartOf")
+	a := d.InternAttr("http://y/hasCapacityOf", "90000")
+
+	if got := d.VertexIRI(v); got != "http://x/London" {
+		t.Errorf("VertexIRI = %q", got)
+	}
+	if got := d.EdgeTypeIRI(e); got != "http://y/isPartOf" {
+		t.Errorf("EdgeTypeIRI = %q", got)
+	}
+	if got := d.Attr(a); got.Literal != "90000" {
+		t.Errorf("Attr = %v", got)
+	}
+
+	if id, ok := d.LookupVertex("http://x/London"); !ok || id != v {
+		t.Errorf("LookupVertex = %d, %v", id, ok)
+	}
+	if _, ok := d.LookupVertex("http://x/Paris"); ok {
+		t.Error("LookupVertex(absent) succeeded")
+	}
+	if id, ok := d.LookupEdgeType("http://y/isPartOf"); !ok || id != e {
+		t.Errorf("LookupEdgeType = %d, %v", id, ok)
+	}
+	if _, ok := d.LookupEdgeType("http://y/nope"); ok {
+		t.Error("LookupEdgeType(absent) succeeded")
+	}
+	if id, ok := d.LookupAttr("http://y/hasCapacityOf", "90000"); !ok || id != a {
+		t.Errorf("LookupAttr = %d, %v", id, ok)
+	}
+	if _, ok := d.LookupAttr("http://y/hasCapacityOf", "1"); ok {
+		t.Error("LookupAttr(absent) succeeded")
+	}
+}
+
+// TestInternRoundTripProperty: Value(Intern(s)) == s for arbitrary strings,
+// and Intern is injective on distinct strings.
+func TestInternRoundTripProperty(t *testing.T) {
+	var d StringDict
+	f := func(s string) bool {
+		return d.Value(d.Intern(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternInjectiveProperty(t *testing.T) {
+	var d StringDict
+	f := func(a, b string) bool {
+		ia, ib := d.Intern(a), d.Intern(b)
+		return (a == b) == (ia == ib)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,521 @@
+// Package engine implements AMbER's online query-matching procedure
+// (Section 5 of the paper): the recursive sub-multigraph homomorphism
+// search over the core vertices of the query multigraph, with satellite
+// vertices resolved in bulk at each step (Algorithms 1–4).
+//
+// Two evaluation modes are offered. Stream enumerates embeddings one by
+// one, generating the Cartesian product of satellite candidate sets
+// lazily (GenEmb). Count returns the number of embeddings, exploiting the
+// factorized representation: a solution with satellite candidate sets of
+// sizes n1..nk contributes n1·…·nk embeddings without materializing them.
+package engine
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/index"
+	"repro/internal/multigraph"
+	"repro/internal/otil"
+	"repro/internal/query"
+)
+
+// ErrDeadlineExceeded is returned when Options.Deadline passes before the
+// search completes. Partial results already yielded remain valid.
+var ErrDeadlineExceeded = errors.New("engine: deadline exceeded")
+
+// Options control a matching run.
+type Options struct {
+	// Limit stops the enumeration after this many embeddings (0 = all).
+	Limit int
+	// Deadline aborts the search when passed (zero = none). The paper's
+	// experiments use a 60-second per-query constraint.
+	Deadline time.Time
+	// Stats, when non-nil, is filled with search counters.
+	Stats *Stats
+}
+
+// Stats reports search effort counters.
+type Stats struct {
+	// InitCandidates is |CandInit| for each component's initial vertex,
+	// summed over components.
+	InitCandidates int
+	// Recursions counts HomomorphicMatch invocations.
+	Recursions int
+	// SatProbes counts satellite candidate-set computations.
+	SatProbes int
+	// Embeddings counts embeddings yielded (Stream) or counted (Count).
+	Embeddings uint64
+}
+
+// deadlineCheckMask throttles clock reads to one per this many steps.
+const deadlineCheckMask = 255
+
+type matcher struct {
+	g  *multigraph.Graph
+	ix *index.Index
+	q  *query.Graph
+
+	// fixed[u] is the precomputed ProcessVertex candidate list (attribute ∩
+	// IRI candidates); isFixed[u] says whether u has such constraints.
+	fixed   [][]dict.VertexID
+	isFixed []bool
+
+	asg     []dict.VertexID   // current assignment, indexed by query vertex
+	satSets [][]dict.VertexID // per-branch satellite candidate sets
+
+	yield    func([]dict.VertexID) bool
+	limit    int
+	deadline time.Time
+	stats    *Stats
+
+	steps   int
+	yielded uint64
+	stopped bool // yield refused or limit reached
+	expired bool // deadline passed
+}
+
+// checkDeadline reports whether the search must abort.
+func (m *matcher) checkDeadline() bool {
+	if m.expired {
+		return true
+	}
+	m.steps++
+	if m.deadline.IsZero() || m.steps&deadlineCheckMask != 0 {
+		return false
+	}
+	if time.Now().After(m.deadline) {
+		m.expired = true
+	}
+	return m.expired
+}
+
+// Stream enumerates the homomorphic embeddings of q in g, invoking yield
+// with the assignment slice (indexed by query.VertexID; the slice is reused
+// between calls — copy it to retain). Enumeration stops when yield returns
+// false. It returns ErrDeadlineExceeded if the deadline passed.
+func Stream(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options, yield func([]dict.VertexID) bool) error {
+	m, ok := prepare(g, ix, q, opts)
+	m.yield = yield
+	if m.expired {
+		return ErrDeadlineExceeded
+	}
+	if !ok {
+		return nil
+	}
+	if len(q.Vars) == 0 {
+		// Fully ground query whose checks passed: one empty embedding.
+		m.emit()
+		return nil
+	}
+	m.matchComponent(0)
+	if m.expired {
+		return ErrDeadlineExceeded
+	}
+	return nil
+}
+
+// Count returns the number of embeddings of q in g, using the factorized
+// satellite representation. When opts.Limit > 0 the returned count is
+// capped at the limit.
+func Count(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options) (uint64, error) {
+	m, ok := prepare(g, ix, q, opts)
+	if m.expired {
+		return 0, ErrDeadlineExceeded
+	}
+	if !ok {
+		return 0, nil
+	}
+	if len(q.Vars) == 0 {
+		if m.stats != nil {
+			m.stats.Embeddings = 1
+		}
+		return 1, nil
+	}
+	total := uint64(1)
+	for ci := range q.Components {
+		c, err := m.countComponent(ci)
+		if err != nil {
+			return 0, err
+		}
+		total = mulSat(total, c)
+		if total == 0 {
+			break
+		}
+	}
+	if opts.Limit > 0 && total > uint64(opts.Limit) {
+		total = uint64(opts.Limit)
+	}
+	if m.stats != nil {
+		m.stats.Embeddings = total
+	}
+	return total, nil
+}
+
+// prepare validates ground constraints and precomputes per-vertex fixed
+// candidate sets. ok=false means the query provably has zero results.
+func prepare(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options) (*matcher, bool) {
+	m := &matcher{
+		g: g, ix: ix, q: q,
+		limit:    opts.Limit,
+		deadline: opts.Deadline,
+		stats:    opts.Stats,
+	}
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		m.expired = true
+		return m, false
+	}
+	if q.Unsat {
+		return m, false
+	}
+	for _, ge := range q.GroundEdges {
+		if !g.HasEdgeTypes(ge.From, ge.To, ge.Types) {
+			return m, false
+		}
+	}
+	for _, ga := range q.GroundAttrs {
+		if !g.HasAttrs(ga.V, ga.Attrs) {
+			return m, false
+		}
+	}
+	n := len(q.Vars)
+	m.fixed = make([][]dict.VertexID, n)
+	m.isFixed = make([]bool, n)
+	m.asg = make([]dict.VertexID, n)
+	m.satSets = make([][]dict.VertexID, n)
+	for u := range q.Vars {
+		cand, constrained := m.processVertex(query.VertexID(u))
+		m.isFixed[u] = constrained
+		if constrained {
+			if len(cand) == 0 {
+				return m, false
+			}
+			m.fixed[u] = cand
+		}
+	}
+	return m, true
+}
+
+// processVertex is Algorithm 1: the candidates implied by vertex attributes
+// (index A) and constant-IRI neighbours (index N). The second result is
+// false when the vertex carries neither constraint.
+func (m *matcher) processVertex(u query.VertexID) ([]dict.VertexID, bool) {
+	v := &m.q.Vars[u]
+	if len(v.Attrs) == 0 && len(v.IRIs) == 0 {
+		return nil, false
+	}
+	var cand []dict.VertexID
+	have := false
+	if len(v.Attrs) > 0 {
+		cand = m.ix.A.Candidates(v.Attrs)
+		have = true
+	}
+	for _, c := range v.IRIs {
+		nb := m.ix.N.Neighbors(c.DataVertex, c.Dir, c.Types)
+		if have {
+			cand = otil.IntersectSorted(cand, nb)
+		} else {
+			cand, have = nb, true
+		}
+		if len(cand) == 0 {
+			return nil, true
+		}
+	}
+	return cand, true
+}
+
+// admissible applies the per-candidate constraints that are cheaper to
+// check than to pre-intersect: self-loop edge types.
+func (m *matcher) admissible(u query.VertexID, v dict.VertexID) bool {
+	st := m.q.Vars[u].SelfTypes
+	if len(st) == 0 {
+		return true
+	}
+	return m.g.HasEdgeTypes(v, v, st)
+}
+
+// restrict intersects cand with u's fixed candidates (if any) and filters
+// self-loops. cand must be sorted; the result is sorted.
+func (m *matcher) restrict(u query.VertexID, cand []dict.VertexID) []dict.VertexID {
+	if m.isFixed[int(u)] {
+		cand = otil.IntersectSorted(cand, m.fixed[int(u)])
+	}
+	if len(m.q.Vars[u].SelfTypes) == 0 {
+		return cand
+	}
+	out := cand[:0:0]
+	for _, v := range cand {
+		if m.admissible(u, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// initialCandidates computes CandInit for a component's first core vertex:
+// the S index probe (QuerySynIndex) refined by ProcessVertex (Algorithm 3,
+// lines 4–5).
+func (m *matcher) initialCandidates(u query.VertexID) []dict.VertexID {
+	cand := m.ix.S.Candidates(m.q.Synopsis(u))
+	cand = m.restrict(u, cand)
+	if m.stats != nil {
+		m.stats.InitCandidates += len(cand)
+	}
+	return cand
+}
+
+// satCandidates is Algorithm 2 for a single satellite us attached to core
+// vertex uc matched at vc: neighbourhood probes for every direction of the
+// multi-edge, refined by the fixed candidates.
+func (m *matcher) satCandidates(uc, us query.VertexID, vc dict.VertexID) []dict.VertexID {
+	if m.stats != nil {
+		m.stats.SatProbes++
+	}
+	toSat, fromSat := m.q.EdgesBetween(uc, us)
+	var cand []dict.VertexID
+	have := false
+	if len(toSat) > 0 { // edge uc → us: probe vc's outgoing side
+		cand = m.ix.N.Neighbors(vc, index.Outgoing, toSat)
+		have = true
+	}
+	if len(fromSat) > 0 { // edge us → uc: probe vc's incoming side
+		nb := m.ix.N.Neighbors(vc, index.Incoming, fromSat)
+		if have {
+			cand = otil.IntersectSorted(cand, nb)
+		} else {
+			cand = nb
+		}
+	}
+	return m.restrict(us, cand)
+}
+
+// matchSatellites is Algorithm 2: computes candidate sets for all
+// satellites of core vertex uc under match vc, storing them in satSets.
+// It reports false when some satellite has no candidates (vc invalid).
+func (m *matcher) matchSatellites(uc query.VertexID, vc dict.VertexID, sats []query.VertexID) bool {
+	for _, us := range sats {
+		cand := m.satCandidates(uc, us, vc)
+		if len(cand) == 0 {
+			return false
+		}
+		m.satSets[us] = cand
+	}
+	return true
+}
+
+// coreCandidates computes Cand_unxt for a non-initial core vertex
+// (Algorithm 4, lines 5–8): the intersection of neighbourhood probes from
+// every already-matched neighbour, refined by ProcessVertex.
+func (m *matcher) coreCandidates(unxt query.VertexID, matched []bool) []dict.VertexID {
+	var cand []dict.VertexID
+	have := false
+	add := func(nb []dict.VertexID) bool {
+		if have {
+			cand = otil.IntersectSorted(cand, nb)
+		} else {
+			cand, have = nb, true
+		}
+		return len(cand) > 0
+	}
+	v := &m.q.Vars[unxt]
+	for _, e := range v.Out { // unxt → e.To
+		if !matched[e.To] {
+			continue
+		}
+		vn := m.asg[e.To]
+		if !add(m.ix.N.Neighbors(vn, index.Incoming, e.Types)) {
+			return nil
+		}
+	}
+	for _, e := range v.In { // e.To → unxt
+		if !matched[e.To] {
+			continue
+		}
+		vn := m.asg[e.To]
+		if !add(m.ix.N.Neighbors(vn, index.Outgoing, e.Types)) {
+			return nil
+		}
+	}
+	if !have {
+		// Ordering guarantees connectivity to the matched prefix; reaching
+		// here means a single-vertex component handled elsewhere.
+		return nil
+	}
+	return m.restrict(unxt, cand)
+}
+
+// ---- Stream mode -----------------------------------------------------
+
+// matchComponent runs AMbER-Algo (Algorithm 3) for component ci and, on
+// completion of all components, emits embeddings.
+func (m *matcher) matchComponent(ci int) {
+	if m.stopped || m.expired {
+		return
+	}
+	if ci == len(m.q.Components) {
+		m.emit()
+		return
+	}
+	comp := &m.q.Components[ci]
+	uinit := comp.Core[0]
+	matched := make([]bool, len(m.q.Vars))
+	for _, vinit := range m.initialCandidates(uinit) {
+		if m.stopped || m.checkDeadline() {
+			return
+		}
+		if !m.matchSatellites(uinit, vinit, comp.Satellites[uinit]) {
+			continue
+		}
+		m.asg[uinit] = vinit
+		matched[uinit] = true
+		m.homomorphicMatch(ci, comp, 1, matched)
+		matched[uinit] = false
+	}
+}
+
+// homomorphicMatch is Algorithm 4 in stream mode: extend the match to core
+// vertex comp.Core[pos].
+func (m *matcher) homomorphicMatch(ci int, comp *query.Component, pos int, matched []bool) {
+	if m.stopped || m.checkDeadline() {
+		return
+	}
+	if m.stats != nil {
+		m.stats.Recursions++
+	}
+	if pos == len(comp.Core) {
+		// All cores matched: expand this component's satellites, then move
+		// to the next component.
+		m.enumerateSatellites(ci, comp.AllSatellites(), 0)
+		return
+	}
+	unxt := comp.Core[pos]
+	for _, vnxt := range m.coreCandidates(unxt, matched) {
+		if m.stopped || m.expired {
+			return
+		}
+		if !m.matchSatellites(unxt, vnxt, comp.Satellites[unxt]) {
+			continue
+		}
+		m.asg[unxt] = vnxt
+		matched[unxt] = true
+		m.homomorphicMatch(ci, comp, pos+1, matched)
+		matched[unxt] = false
+	}
+}
+
+// enumerateSatellites is GenEmb: lazy Cartesian product over the satellite
+// candidate sets of component ci, then descent into the next component.
+func (m *matcher) enumerateSatellites(ci int, sats []query.VertexID, k int) {
+	if m.stopped || m.expired {
+		return
+	}
+	if k == len(sats) {
+		m.matchComponent(ci + 1)
+		return
+	}
+	us := sats[k]
+	for _, v := range m.satSets[us] {
+		if m.stopped || m.checkDeadline() {
+			return
+		}
+		m.asg[us] = v
+		m.enumerateSatellites(ci, sats, k+1)
+	}
+}
+
+// emit yields the current assignment.
+func (m *matcher) emit() {
+	m.yielded++
+	if m.stats != nil {
+		m.stats.Embeddings = m.yielded
+	}
+	if m.yield != nil && !m.yield(m.asg) {
+		m.stopped = true
+		return
+	}
+	if m.limit > 0 && m.yielded >= uint64(m.limit) {
+		m.stopped = true
+	}
+}
+
+// ---- Count mode ------------------------------------------------------
+
+// countComponent counts the embeddings contributed by one component as the
+// sum over core solutions of the product of satellite set sizes.
+func (m *matcher) countComponent(ci int) (uint64, error) {
+	comp := &m.q.Components[ci]
+	uinit := comp.Core[0]
+	matched := make([]bool, len(m.q.Vars))
+	total := uint64(0)
+	for _, vinit := range m.initialCandidates(uinit) {
+		if m.checkDeadline() {
+			return 0, ErrDeadlineExceeded
+		}
+		if !m.matchSatellites(uinit, vinit, comp.Satellites[uinit]) {
+			continue
+		}
+		m.asg[uinit] = vinit
+		matched[uinit] = true
+		sub, err := m.countMatch(comp, 1, matched)
+		matched[uinit] = false
+		if err != nil {
+			return 0, err
+		}
+		total = addSat(total, sub)
+	}
+	return total, nil
+}
+
+// countMatch mirrors homomorphicMatch in count mode.
+func (m *matcher) countMatch(comp *query.Component, pos int, matched []bool) (uint64, error) {
+	if m.checkDeadline() {
+		return 0, ErrDeadlineExceeded
+	}
+	if m.stats != nil {
+		m.stats.Recursions++
+	}
+	if pos == len(comp.Core) {
+		prod := uint64(1)
+		for _, us := range comp.AllSatellites() {
+			prod = mulSat(prod, uint64(len(m.satSets[us])))
+		}
+		return prod, nil
+	}
+	unxt := comp.Core[pos]
+	total := uint64(0)
+	for _, vnxt := range m.coreCandidates(unxt, matched) {
+		if !m.matchSatellites(unxt, vnxt, comp.Satellites[unxt]) {
+			continue
+		}
+		m.asg[unxt] = vnxt
+		matched[unxt] = true
+		sub, err := m.countMatch(comp, pos+1, matched)
+		matched[unxt] = false
+		if err != nil {
+			return 0, err
+		}
+		total = addSat(total, sub)
+	}
+	return total, nil
+}
+
+// addSat and mulSat are saturating uint64 arithmetic: embedding counts can
+// genuinely overflow on Cartesian blow-ups.
+func addSat(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+func mulSat(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxUint64/b {
+		return math.MaxUint64
+	}
+	return a * b
+}

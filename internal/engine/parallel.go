@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dict"
+	"repro/internal/index"
+	"repro/internal/multigraph"
+	"repro/internal/query"
+)
+
+// CountParallel counts embeddings like Count but fans the recursion out
+// over worker goroutines — the "parallel processing version" the paper's
+// conclusion sketches as future work. Parallelism is over the initial
+// candidate set of each component: every CandInit vertex roots an
+// independent recursion branch (branches never share matcher state), so
+// the partition is embarrassingly parallel and the per-component counts
+// sum exactly as in the serial algorithm.
+//
+// workers ≤ 1 falls back to the serial Count. The result is identical to
+// Count for any worker count.
+func CountParallel(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options, workers int) (uint64, error) {
+	if workers <= 1 {
+		return Count(g, ix, q, opts)
+	}
+	if workers > runtime.GOMAXPROCS(0)*4 {
+		workers = runtime.GOMAXPROCS(0) * 4
+	}
+	master, ok := prepare(g, ix, q, opts)
+	if master.expired {
+		return 0, ErrDeadlineExceeded
+	}
+	if !ok {
+		return 0, nil
+	}
+	if len(q.Vars) == 0 {
+		if master.stats != nil {
+			master.stats.Embeddings = 1
+		}
+		return 1, nil
+	}
+
+	total := uint64(1)
+	for ci := range q.Components {
+		comp := &q.Components[ci]
+		cands := master.initialCandidates(comp.Core[0])
+		if len(cands) == 0 {
+			return 0, nil
+		}
+		c, err := countComponentParallel(g, ix, q, opts, ci, cands, workers)
+		if err != nil {
+			return 0, err
+		}
+		total = mulSat(total, c)
+		if total == 0 {
+			break
+		}
+	}
+	if opts.Limit > 0 && total > uint64(opts.Limit) {
+		total = uint64(opts.Limit)
+	}
+	if master.stats != nil {
+		master.stats.Embeddings = total
+	}
+	return total, nil
+}
+
+// countComponentParallel distributes the initial candidates of component
+// ci across workers, each running an independent matcher.
+func countComponentParallel(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options, ci int, cands []dict.VertexID, workers int) (uint64, error) {
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    uint64
+		firstErr error
+	)
+	// Interleaved partition balances skewed candidate costs better than
+	// contiguous chunks.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stats are not threaded into workers: per-worker counters
+			// would race; the aggregate embedding count is set by the
+			// caller.
+			workerOpts := opts
+			workerOpts.Stats = nil
+			m, ok := prepare(g, ix, q, workerOpts)
+			if !ok || m.expired {
+				if m.expired {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = ErrDeadlineExceeded
+					}
+					mu.Unlock()
+				}
+				return
+			}
+			var sub uint64
+			for i := w; i < len(cands); i += workers {
+				n, err := m.countFromInitial(ci, cands[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				sub = addSat(sub, n)
+			}
+			mu.Lock()
+			total = addSat(total, sub)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return total, nil
+}
+
+// countFromInitial counts the embeddings of component ci rooted at one
+// initial candidate vinit.
+func (m *matcher) countFromInitial(ci int, vinit dict.VertexID) (uint64, error) {
+	comp := &m.q.Components[ci]
+	uinit := comp.Core[0]
+	if m.checkDeadline() {
+		return 0, ErrDeadlineExceeded
+	}
+	if !m.admissible(uinit, vinit) || !m.inFixed(uinit, vinit) {
+		return 0, nil
+	}
+	if !m.matchSatellites(uinit, vinit, comp.Satellites[uinit]) {
+		return 0, nil
+	}
+	matched := make([]bool, len(m.q.Vars))
+	m.asg[uinit] = vinit
+	matched[uinit] = true
+	return m.countMatch(comp, 1, matched)
+}
+
+// inFixed reports whether v is within u's fixed candidate set (when one
+// exists). Used when candidates were computed by a different matcher.
+func (m *matcher) inFixed(u query.VertexID, v dict.VertexID) bool {
+	if !m.isFixed[int(u)] {
+		return true
+	}
+	lst := m.fixed[int(u)]
+	lo, hi := 0, len(lst)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lst[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(lst) && lst[lo] == v
+}

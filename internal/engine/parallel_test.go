@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/multigraph"
+	"repro/internal/query"
+)
+
+func TestCountParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 40; trial++ {
+		ts := randomDataset(rng, 10, 4, 30, 8)
+		g, err := multigraph.FromTriples(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := index.Build(g)
+		pq := randomQuery(rng, ts, 1+rng.Intn(5))
+		qg, err := query.Build(pq, &g.Dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := Count(g, ix, qg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			par, err := CountParallel(g, ix, qg, Options{}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par != serial {
+				t.Fatalf("trial %d workers %d: parallel = %d, serial = %d\n%s",
+					trial, workers, par, serial, pq)
+			}
+		}
+	}
+}
+
+func TestCountParallelFigure2(t *testing.T) {
+	f := load(t, figure1)
+	qg := f.query(t, figure2)
+	n, err := CountParallel(f.g, f.ix, qg, Options{}, 4)
+	if err != nil || n != 2 {
+		t.Errorf("parallel count = %d, %v; want 2", n, err)
+	}
+}
+
+func TestCountParallelEdgeCases(t *testing.T) {
+	f := load(t, figure1)
+
+	// Unsat query.
+	qg := f.query(t, `PREFIX y: <http://dbpedia.org/ontology/> SELECT ?a ?b WHERE { ?a y:isMarriedTo ?b }`)
+	if n, err := CountParallel(f.g, f.ix, qg, Options{}, 4); err != nil || n != 0 {
+		t.Errorf("unsat parallel = %d, %v", n, err)
+	}
+
+	// Ground query (no variables).
+	qg = f.query(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+PREFIX x: <http://dbpedia.org/resource/>
+SELECT * WHERE { x:London y:isPartOf x:England . }`)
+	if n, err := CountParallel(f.g, f.ix, qg, Options{}, 4); err != nil || n != 1 {
+		t.Errorf("ground parallel = %d, %v", n, err)
+	}
+
+	// Limit cap.
+	qg = f.query(t, `PREFIX y: <http://dbpedia.org/ontology/> SELECT ?a ?b WHERE { ?a y:livedIn ?b }`)
+	if n, err := CountParallel(f.g, f.ix, qg, Options{Limit: 2}, 3); err != nil || n != 2 {
+		t.Errorf("limited parallel = %d, %v", n, err)
+	}
+
+	// Expired deadline.
+	if _, err := CountParallel(f.g, f.ix, qg, Options{Deadline: time.Now().Add(-time.Second)}, 3); err != ErrDeadlineExceeded {
+		t.Errorf("deadline err = %v", err)
+	}
+
+	// More workers than candidates.
+	if n, err := CountParallel(f.g, f.ix, qg, Options{}, 64); err != nil || n != 3 {
+		t.Errorf("over-provisioned parallel = %d, %v", n, err)
+	}
+}
+
+func TestCountParallelDisconnected(t *testing.T) {
+	f := load(t, figure1)
+	qg := f.query(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT * WHERE {
+  ?a y:livedIn ?b .
+  ?c y:wasBornIn ?d .
+}`)
+	if n, err := CountParallel(f.g, f.ix, qg, Options{}, 3); err != nil || n != 6 {
+		t.Errorf("disconnected parallel = %d, %v; want 6", n, err)
+	}
+}

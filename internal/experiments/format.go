@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatFigure renders one figure's points as the two panels the paper
+// plots: (a) average time per answered query, (b) percentage unanswered.
+func FormatFigure(title string, points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "(a) average time per answered query\n")
+	fmt.Fprintf(&b, "%-6s", "size")
+	for _, e := range Engines {
+		fmt.Fprintf(&b, "%14s", e)
+	}
+	b.WriteString("\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6d", p.Size)
+		for _, e := range Engines {
+			if t, ok := p.AvgTime[e]; ok {
+				fmt.Fprintf(&b, "%14s", fmtDur(t))
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(b) %% unanswered queries (timeout)\n")
+	fmt.Fprintf(&b, "%-6s", "size")
+	for _, e := range Engines {
+		fmt.Fprintf(&b, "%14s", e)
+	}
+	b.WriteString("\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6d", p.Size)
+		for _, e := range Engines {
+			fmt.Fprintf(&b, "%13.1f%%", p.Unanswered[e])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatTable1 renders the headline comparison.
+func FormatTable1(r Table1Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: average time, %d complex queries of 50 triplets on DBPEDIA (timeout %s)\n",
+		r.Queries, r.Timeout)
+	fmt.Fprintf(&b, "%-12s%14s%14s\n", "engine", "avg time", "unanswered")
+	for _, e := range Engines {
+		t, ok := r.AvgTime[e]
+		ts := "-"
+		if ok {
+			ts = fmtDur(t)
+		}
+		fmt.Fprintf(&b, "%-12s%14s%13.1f%%\n", e, ts, r.Unanswered[e])
+	}
+	return b.String()
+}
+
+// FormatTable4 renders the benchmark statistics.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: benchmark statistics\n")
+	fmt.Fprintf(&b, "%-10s%12s%12s%12s%12s\n", "dataset", "#triples", "#vertices", "#edges", "#edgetypes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s%12d%12d%12d%12d\n", r.Dataset, r.Triples, r.Vertices, r.Edges, r.EdgeTypes)
+	}
+	return b.String()
+}
+
+// FormatTable5 renders the offline-stage costs.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: offline stage — database and index construction\n")
+	fmt.Fprintf(&b, "%-10s%14s%14s%14s%14s\n", "dataset", "db time", "db size", "index time", "index size")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s%14s%14s%14s%14s\n", r.Dataset,
+			fmtDur(r.DatabaseTime), fmtBytes(r.DatabaseBytes),
+			fmtDur(r.IndexTime), fmtBytes(r.IndexBytes))
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

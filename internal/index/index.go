@@ -1,0 +1,191 @@
+// Package index builds and serves the three offline index structures of the
+// AMbER paper (Section 4): the attribute inverted index A, the vertex
+// signature (synopsis) index S backed by an R-tree, and the vertex
+// neighbourhood index N backed by per-vertex OTIL tries for incoming (N+)
+// and outgoing (N−) edges. The ensemble I := {A, S, N} is what the online
+// matching procedure probes.
+package index
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/multigraph"
+	"repro/internal/otil"
+	"repro/internal/rtree"
+)
+
+// Direction selects which side of a vertex's edges an index probe concerns.
+type Direction uint8
+
+const (
+	// Incoming is the paper's '+': edges directed towards the vertex.
+	Incoming Direction = iota
+	// Outgoing is the paper's '−': edges directed away from the vertex.
+	Outgoing
+)
+
+// String reports the paper's sign notation.
+func (d Direction) String() string {
+	if d == Incoming {
+		return "+"
+	}
+	return "-"
+}
+
+// AttributeIndex is the inverted list A: for each attribute id, the sorted
+// list of data vertices carrying it (Section 4.1).
+type AttributeIndex struct {
+	lists [][]dict.VertexID // indexed by AttrID
+}
+
+// BuildAttributeIndex scans the graph's vertex attributes.
+func BuildAttributeIndex(g *multigraph.Graph) *AttributeIndex {
+	lists := make([][]dict.VertexID, g.NumAttrs())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, a := range g.Attrs(dict.VertexID(v)) {
+			lists[a] = append(lists[a], dict.VertexID(v))
+		}
+	}
+	// Vertices are scanned in ascending order, so lists are already sorted.
+	return &AttributeIndex{lists: lists}
+}
+
+// Vertices returns the sorted list of vertices carrying attribute a. The
+// returned slice must not be modified.
+func (ai *AttributeIndex) Vertices(a dict.AttrID) []dict.VertexID {
+	if int(a) >= len(ai.lists) {
+		return nil
+	}
+	return ai.lists[a]
+}
+
+// Candidates returns CᴬU: the vertices carrying every attribute in attrs.
+// A nil attrs yields nil — callers only probe when attributes exist.
+func (ai *AttributeIndex) Candidates(attrs []dict.AttrID) []dict.VertexID {
+	if len(attrs) == 0 {
+		return nil
+	}
+	// Intersect from the rarest list outward.
+	lists := make([][]dict.VertexID, len(attrs))
+	for i, a := range attrs {
+		lst := ai.Vertices(a)
+		if len(lst) == 0 {
+			return nil
+		}
+		lists[i] = lst
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := lists[0]
+	for _, lst := range lists[1:] {
+		out = otil.IntersectSorted(out, lst)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	res := make([]dict.VertexID, len(out))
+	copy(res, out)
+	return res
+}
+
+// Entries reports the total number of postings (for Table 5 size
+// accounting).
+func (ai *AttributeIndex) Entries() int {
+	n := 0
+	for _, l := range ai.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// SignatureIndex is the synopsis R-tree S (Section 4.2).
+type SignatureIndex struct {
+	tree *rtree.Tree
+}
+
+// BuildSignatureIndex computes every vertex synopsis and bulk-loads the
+// R-tree.
+func BuildSignatureIndex(g *multigraph.Graph) *SignatureIndex {
+	n := g.NumVertices()
+	points := make([]rtree.Point, n)
+	ids := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		points[v] = rtree.Point(g.VertexSynopsis(dict.VertexID(v)))
+		ids[v] = uint32(v)
+	}
+	return &SignatureIndex{tree: rtree.BulkLoad(points, ids)}
+}
+
+// Candidates returns CˢU, sorted ascending: every data vertex whose synopsis
+// dominates the query synopsis q (which callers must have passed through
+// Synopsis.AsQuery). Per Lemma 1 this is a superset of all true matches.
+func (si *SignatureIndex) Candidates(q multigraph.Synopsis) []dict.VertexID {
+	ids := si.tree.CollectDominating(rtree.Point(q))
+	out := make([]dict.VertexID, len(ids))
+	for i, id := range ids {
+		out[i] = dict.VertexID(id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len reports the number of indexed synopses.
+func (si *SignatureIndex) Len() int { return si.tree.Len() }
+
+// NeighborhoodIndex is N: per-vertex OTIL tries, split into N+ and N−
+// (Section 4.3).
+type NeighborhoodIndex struct {
+	in  []otil.Trie // N+[v]: incoming multi-edges of v
+	out []otil.Trie // N−[v]: outgoing multi-edges of v
+}
+
+// BuildNeighborhoodIndex constructs the tries from the graph adjacency.
+func BuildNeighborhoodIndex(g *multigraph.Graph) *NeighborhoodIndex {
+	n := g.NumVertices()
+	ni := &NeighborhoodIndex{in: make([]otil.Trie, n), out: make([]otil.Trie, n)}
+	for v := 0; v < n; v++ {
+		vid := dict.VertexID(v)
+		for _, nb := range g.In(vid) {
+			ni.in[v].Insert(nb.Types, nb.V)
+		}
+		for _, nb := range g.Out(vid) {
+			ni.out[v].Insert(nb.Types, nb.V)
+		}
+		ni.in[v].Finalize()
+		ni.out[v].Finalize()
+	}
+	return ni
+}
+
+// Neighbors implements the paper's N probe: given matched data vertex v,
+// a direction, and a multi-edge T′ (sorted, duplicate-free), return
+//
+//	dir=Incoming: {v′ | (v′,v) ∈ E ∧ T′ ⊆ LE(v′,v)}
+//	dir=Outgoing: {v′ | (v,v′) ∈ E ∧ T′ ⊆ LE(v,v′)}
+//
+// sorted ascending.
+func (ni *NeighborhoodIndex) Neighbors(v dict.VertexID, dir Direction, types []dict.EdgeType) []dict.VertexID {
+	if int(v) >= len(ni.in) {
+		return nil
+	}
+	if dir == Incoming {
+		return ni.in[v].Lookup(types)
+	}
+	return ni.out[v].Lookup(types)
+}
+
+// Index is the ensemble I := {A, S, N}.
+type Index struct {
+	A *AttributeIndex
+	S *SignatureIndex
+	N *NeighborhoodIndex
+}
+
+// Build constructs all three indexes for g.
+func Build(g *multigraph.Graph) *Index {
+	return &Index{
+		A: BuildAttributeIndex(g),
+		S: BuildSignatureIndex(g),
+		N: BuildNeighborhoodIndex(g),
+	}
+}

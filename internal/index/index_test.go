@@ -1,0 +1,264 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/multigraph"
+	"repro/internal/rdf"
+)
+
+const figure1 = `
+@prefix x: <http://dbpedia.org/resource/> .
+@prefix y: <http://dbpedia.org/ontology/> .
+x:London y:isPartOf x:England .
+x:England y:hasCapital x:London .
+x:Christopher_Nolan y:wasBornIn x:London .
+x:Christopher_Nolan y:livedIn x:England .
+x:Christopher_Nolan y:isPartOf x:Dark_Knight_Trilogy .
+x:London y:hasStadium x:WembleyStadium .
+x:WembleyStadium y:hasCapacityOf "90000" .
+x:Amy_Winehouse y:wasBornIn x:London .
+x:Amy_Winehouse y:diedIn x:London .
+x:Amy_Winehouse y:wasPartOf x:Music_Band .
+x:Music_Band y:hasName "MCA_Band" .
+x:Music_Band y:foundedIn "1994" .
+x:Music_Band y:wasFormedIn x:London .
+x:Amy_Winehouse y:livedIn x:United_States .
+x:Amy_Winehouse y:wasMarriedTo x:Blake_Fielder-Civil .
+x:Blake_Fielder-Civil y:livedIn x:United_States .
+`
+
+func buildAll(t *testing.T) (*multigraph.Graph, *Index) {
+	t.Helper()
+	triples, err := rdf.ParseString(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := multigraph.FromTriples(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Build(g)
+}
+
+func lookupV(t *testing.T, g *multigraph.Graph, local string) dict.VertexID {
+	t.Helper()
+	v, ok := g.Dicts.LookupVertex("http://dbpedia.org/resource/" + local)
+	if !ok {
+		t.Fatalf("vertex %q missing", local)
+	}
+	return v
+}
+
+func lookupT(t *testing.T, g *multigraph.Graph, pred string) dict.EdgeType {
+	t.Helper()
+	e, ok := g.Dicts.LookupEdgeType("http://dbpedia.org/ontology/" + pred)
+	if !ok {
+		t.Fatalf("edge type %q missing", pred)
+	}
+	return e
+}
+
+func TestAttributeIndexSingle(t *testing.T) {
+	g, ix := buildAll(t)
+	a, ok := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasCapacityOf", "90000")
+	if !ok {
+		t.Fatal("attribute missing")
+	}
+	got := ix.A.Candidates([]dict.AttrID{a})
+	want := lookupV(t, g, "WembleyStadium")
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("Candidates(hasCapacityOf 90000) = %v, want [%d]", got, want)
+	}
+}
+
+// TestAttributeIndexConjunction reproduces the paper's u5 example: the
+// attribute set {a1, a2} (foundedIn 1994, hasName MCA_Band) selects exactly
+// Music_Band.
+func TestAttributeIndexConjunction(t *testing.T) {
+	g, ix := buildAll(t)
+	a1, ok1 := g.Dicts.LookupAttr("http://dbpedia.org/ontology/foundedIn", "1994")
+	a2, ok2 := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasName", "MCA_Band")
+	if !ok1 || !ok2 {
+		t.Fatal("attributes missing")
+	}
+	got := ix.A.Candidates([]dict.AttrID{a1, a2})
+	want := lookupV(t, g, "Music_Band")
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("Candidates({a1,a2}) = %v, want [%d]", got, want)
+	}
+	// Conjunction with a foreign attribute must be empty.
+	a0, _ := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasCapacityOf", "90000")
+	if got := ix.A.Candidates([]dict.AttrID{a1, a0}); got != nil {
+		t.Errorf("impossible conjunction = %v", got)
+	}
+}
+
+func TestAttributeIndexEdgeCases(t *testing.T) {
+	_, ix := buildAll(t)
+	if got := ix.A.Candidates(nil); got != nil {
+		t.Errorf("empty attr query = %v", got)
+	}
+	if got := ix.A.Vertices(dict.AttrID(999)); got != nil {
+		t.Errorf("out-of-range attr = %v", got)
+	}
+	if ix.A.Entries() != 3 {
+		t.Errorf("Entries = %d, want 3", ix.A.Entries())
+	}
+}
+
+// TestSignatureIndexU0 replays the Section 4.2 example on the real graph:
+// a query vertex with a single outgoing wasBornIn edge must retrieve
+// exactly the vertices having an outgoing wasBornIn edge (Nolan, Amy) —
+// and possibly no others on this tiny graph.
+func TestSignatureIndexU0(t *testing.T) {
+	g, ix := buildAll(t)
+	born := lookupT(t, g, "wasBornIn")
+	q := multigraph.SynopsisFromMultiEdges(nil, [][]dict.EdgeType{{born}}).AsQuery()
+	got := ix.S.Candidates(q)
+
+	mustHave := map[dict.VertexID]bool{
+		lookupV(t, g, "Christopher_Nolan"): false,
+		lookupV(t, g, "Amy_Winehouse"):     false,
+	}
+	for _, v := range got {
+		if _, ok := mustHave[v]; ok {
+			mustHave[v] = true
+		}
+		// Lemma 1 gives a superset; but every returned vertex must at least
+		// dominate the query synopsis.
+		if !g.VertexSynopsis(v).Dominates(q) {
+			t.Errorf("returned vertex %d does not dominate query", v)
+		}
+	}
+	for v, seen := range mustHave {
+		if !seen {
+			t.Errorf("true candidate %d pruned by S index", v)
+		}
+	}
+}
+
+func TestSignatureIndexCompleteness(t *testing.T) {
+	g, ix := buildAll(t)
+	if ix.S.Len() != g.NumVertices() {
+		t.Errorf("S indexes %d vertices, want %d", ix.S.Len(), g.NumVertices())
+	}
+	// An empty query synopsis must return every vertex.
+	var empty multigraph.Synopsis
+	got := ix.S.Candidates(empty.AsQuery())
+	if len(got) != g.NumVertices() {
+		t.Errorf("empty-query candidates = %d, want all %d", len(got), g.NumVertices())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("S candidates not sorted")
+		}
+	}
+}
+
+// TestNeighborhoodIndexFigure3 replays the worked example of Section 4.3:
+// probing N+ of London with edge type wasBornIn yields {Nolan, Amy}.
+func TestNeighborhoodIndexFigure3(t *testing.T) {
+	g, ix := buildAll(t)
+	london := lookupV(t, g, "London")
+	born := lookupT(t, g, "wasBornIn")
+	died := lookupT(t, g, "diedIn")
+
+	got := ix.N.Neighbors(london, Incoming, []dict.EdgeType{born})
+	wantSet := map[dict.VertexID]bool{
+		lookupV(t, g, "Christopher_Nolan"): true,
+		lookupV(t, g, "Amy_Winehouse"):     true,
+	}
+	if len(got) != 2 || !wantSet[got[0]] || !wantSet[got[1]] {
+		t.Errorf("N+(London, wasBornIn) = %v, want Nolan and Amy", got)
+	}
+
+	// Multi-edge {wasBornIn, diedIn}: only Amy.
+	me := []dict.EdgeType{born, died}
+	if born > died {
+		me = []dict.EdgeType{died, born}
+	}
+	got = ix.N.Neighbors(london, Incoming, me)
+	if len(got) != 1 || got[0] != lookupV(t, g, "Amy_Winehouse") {
+		t.Errorf("N+(London, {born,died}) = %v, want [Amy]", got)
+	}
+}
+
+func TestNeighborhoodIndexOutgoing(t *testing.T) {
+	g, ix := buildAll(t)
+	amy := lookupV(t, g, "Amy_Winehouse")
+	lived := lookupT(t, g, "livedIn")
+	got := ix.N.Neighbors(amy, Outgoing, []dict.EdgeType{lived})
+	if len(got) != 1 || got[0] != lookupV(t, g, "United_States") {
+		t.Errorf("N-(Amy, livedIn) = %v, want [United_States]", got)
+	}
+	// Direction matters: incoming probe must be empty.
+	if got := ix.N.Neighbors(amy, Incoming, []dict.EdgeType{lived}); got != nil {
+		t.Errorf("N+(Amy, livedIn) = %v, want nil", got)
+	}
+}
+
+func TestNeighborhoodIndexBounds(t *testing.T) {
+	_, ix := buildAll(t)
+	if got := ix.N.Neighbors(dict.VertexID(9999), Incoming, []dict.EdgeType{0}); got != nil {
+		t.Errorf("out-of-range vertex = %v", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Incoming.String() != "+" || Outgoing.String() != "-" {
+		t.Errorf("Direction strings: %s %s", Incoming, Outgoing)
+	}
+}
+
+// TestNeighborsAgainstAdjacency cross-checks every N probe against the
+// graph's adjacency on a random graph.
+func TestNeighborsAgainstAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var b multigraph.Builder
+	for i := 0; i < 300; i++ {
+		s := rdf.NewIRI("v" + string(rune('A'+rng.Intn(20))))
+		o := rdf.NewIRI("v" + string(rune('A'+rng.Intn(20))))
+		if s == o {
+			continue
+		}
+		p := rdf.NewIRI("p" + string(rune('a'+rng.Intn(6))))
+		if err := b.Add(rdf.Triple{S: s, P: p, O: o}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	ix := Build(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		vid := dict.VertexID(v)
+		for _, nb := range g.In(vid) {
+			for _, et := range nb.Types {
+				got := ix.N.Neighbors(vid, Incoming, []dict.EdgeType{et})
+				if !containsVertex(got, nb.V) {
+					t.Fatalf("N+(%d, t%d) = %v missing %d", v, et, got, nb.V)
+				}
+			}
+			got := ix.N.Neighbors(vid, Incoming, nb.Types)
+			if !containsVertex(got, nb.V) {
+				t.Fatalf("N+(%d, full multi-edge) missing %d", v, nb.V)
+			}
+		}
+		for _, nb := range g.Out(vid) {
+			got := ix.N.Neighbors(vid, Outgoing, nb.Types)
+			if !containsVertex(got, nb.V) {
+				t.Fatalf("N-(%d, full multi-edge) missing %d", v, nb.V)
+			}
+		}
+	}
+}
+
+func containsVertex(lst []dict.VertexID, v dict.VertexID) bool {
+	for _, x := range lst {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+// Package multigraph implements the directed, vertex-attributed data
+// multigraph G of the AMbER paper (Definition 1), built from an RDF
+// tripleset by the four transformation protocols of Section 2.1.1:
+//
+//   - a subject is always a vertex;
+//   - a predicate is always an edge (type);
+//   - an object is a vertex only when it is an IRI;
+//   - a literal object is folded, together with its predicate, into a
+//     vertex attribute <p, o> on the subject.
+//
+// The package also computes vertex signatures and their 8-field synopses
+// (Section 4.2, Table 3), which feed the S index.
+package multigraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+// Neighbor is one entry of an adjacency list: the neighbouring vertex and
+// the multi-edge (set of edge types, sorted ascending, unique) connecting
+// to it.
+type Neighbor struct {
+	V     dict.VertexID
+	Types []dict.EdgeType
+}
+
+// Graph is the immutable data multigraph. Build one with a Builder.
+type Graph struct {
+	Dicts dict.Dictionaries
+
+	out   [][]Neighbor    // out[v] sorted by Neighbor.V: edges v → w ("-")
+	in    [][]Neighbor    // in[v] sorted by Neighbor.V: edges w → v ("+")
+	attrs [][]dict.AttrID // attrs[v] sorted ascending
+
+	numTriples int
+	numEdges   int // distinct directed (v, w) pairs
+}
+
+// NumVertices reports |V|.
+func (g *Graph) NumVertices() int { return len(g.out) }
+
+// NumEdges reports the number of distinct directed vertex pairs carrying at
+// least one edge type (the paper's "# Edges" in Table 4).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumEdgeTypes reports |T|, the number of distinct predicates between IRIs.
+func (g *Graph) NumEdgeTypes() int { return g.Dicts.EdgeTypes.Len() }
+
+// NumAttrs reports |A|, the number of distinct <predicate, literal> tuples.
+func (g *Graph) NumAttrs() int { return g.Dicts.Attrs.Len() }
+
+// NumTriples reports the number of source RDF triples.
+func (g *Graph) NumTriples() int { return g.numTriples }
+
+// Out returns the outgoing ("-") adjacency of v, sorted by neighbour id.
+// The returned slice must not be modified.
+func (g *Graph) Out(v dict.VertexID) []Neighbor { return g.out[v] }
+
+// In returns the incoming ("+") adjacency of v, sorted by neighbour id.
+// The returned slice must not be modified.
+func (g *Graph) In(v dict.VertexID) []Neighbor { return g.in[v] }
+
+// Attrs returns the sorted attribute set of v (the paper's LV(v), minus the
+// implicit null attribute every vertex carries).
+func (g *Graph) Attrs(v dict.VertexID) []dict.AttrID { return g.attrs[v] }
+
+// HasAttrs reports whether v carries every attribute in want (want must be
+// sorted ascending).
+func (g *Graph) HasAttrs(v dict.VertexID, want []dict.AttrID) bool {
+	have := g.attrs[v]
+	i := 0
+	for _, w := range want {
+		for i < len(have) && have[i] < w {
+			i++
+		}
+		if i >= len(have) || have[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeTypes returns the multi-edge label set LE(from, to), or nil when no
+// edge exists. The returned slice must not be modified.
+func (g *Graph) EdgeTypes(from, to dict.VertexID) []dict.EdgeType {
+	adj := g.out[from]
+	i := sort.Search(len(adj), func(i int) bool { return adj[i].V >= to })
+	if i < len(adj) && adj[i].V == to {
+		return adj[i].Types
+	}
+	return nil
+}
+
+// HasEdgeTypes reports whether edge from→to exists and its label set
+// contains every type in want (want must be sorted ascending).
+func (g *Graph) HasEdgeTypes(from, to dict.VertexID, want []dict.EdgeType) bool {
+	return ContainsTypes(g.EdgeTypes(from, to), want)
+}
+
+// ContainsTypes reports whether the sorted set have contains every element
+// of the sorted set want.
+func ContainsTypes(have, want []dict.EdgeType) bool {
+	if len(want) > len(have) {
+		return false
+	}
+	i := 0
+	for _, w := range want {
+		for i < len(have) && have[i] < w {
+			i++
+		}
+		if i >= len(have) || have[i] != w {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Degree reports the number of distinct neighbours of v (in + out pairs).
+func (g *Graph) Degree(v dict.VertexID) int { return len(g.in[v]) + len(g.out[v]) }
+
+// Builder accumulates RDF triples and produces a Graph. The zero value is
+// ready to use.
+type Builder struct {
+	dicts      dict.Dictionaries
+	out        []map[dict.VertexID]map[dict.EdgeType]struct{}
+	attrs      []map[dict.AttrID]struct{}
+	numTriples int
+}
+
+// grow ensures per-vertex storage exists up to id v.
+func (b *Builder) grow(v dict.VertexID) {
+	for len(b.out) <= int(v) {
+		b.out = append(b.out, nil)
+		b.attrs = append(b.attrs, nil)
+	}
+}
+
+// Add ingests one RDF triple, applying the four transformation protocols.
+// It returns an error when the triple violates the RDF model (literal
+// subject or predicate).
+func (b *Builder) Add(t rdf.Triple) error {
+	if !t.S.IsIRI() {
+		return fmt.Errorf("multigraph: subject must be an IRI: %v", t)
+	}
+	if !t.P.IsIRI() {
+		return fmt.Errorf("multigraph: predicate must be an IRI: %v", t)
+	}
+	b.numTriples++
+	s := b.dicts.InternVertex(t.S.Value)
+	b.grow(s)
+	if t.O.IsLiteral() {
+		a := b.dicts.InternAttr(t.P.Value, t.O.Value)
+		if b.attrs[s] == nil {
+			b.attrs[s] = make(map[dict.AttrID]struct{})
+		}
+		b.attrs[s][a] = struct{}{}
+		return nil
+	}
+	o := b.dicts.InternVertex(t.O.Value)
+	b.grow(o)
+	et := b.dicts.InternEdgeType(t.P.Value)
+	m := b.out[s]
+	if m == nil {
+		m = make(map[dict.VertexID]map[dict.EdgeType]struct{})
+		b.out[s] = m
+	}
+	types := m[o]
+	if types == nil {
+		types = make(map[dict.EdgeType]struct{})
+		m[o] = types
+	}
+	types[et] = struct{}{}
+	return nil
+}
+
+// AddAll ingests a batch of triples, stopping at the first error.
+func (b *Builder) AddAll(ts []rdf.Triple) error {
+	for _, t := range ts {
+		if err := b.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumTriples reports how many triples have been added so far.
+func (b *Builder) NumTriples() int { return b.numTriples }
+
+// Build finalizes the accumulated triples into an immutable Graph. The
+// Builder must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	n := len(b.out)
+	g := &Graph{
+		Dicts:      b.dicts,
+		out:        make([][]Neighbor, n),
+		in:         make([][]Neighbor, n),
+		attrs:      make([][]dict.AttrID, n),
+		numTriples: b.numTriples,
+	}
+	// Count incoming degrees first so the in-lists allocate exactly once.
+	inDeg := make([]int, n)
+	for _, adj := range b.out {
+		for w := range adj {
+			inDeg[w]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.in[v] = make([]Neighbor, 0, inDeg[v])
+	}
+	for v, adj := range b.out {
+		if len(adj) == 0 {
+			continue
+		}
+		g.numEdges += len(adj)
+		lst := make([]Neighbor, 0, len(adj))
+		for w, types := range adj {
+			ts := make([]dict.EdgeType, 0, len(types))
+			for t := range types {
+				ts = append(ts, t)
+			}
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			lst = append(lst, Neighbor{V: w, Types: ts})
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i].V < lst[j].V })
+		g.out[v] = lst
+		for _, nb := range lst {
+			g.in[nb.V] = append(g.in[nb.V], Neighbor{V: dict.VertexID(v), Types: nb.Types})
+		}
+	}
+	for v := range g.in {
+		lst := g.in[v]
+		sort.Slice(lst, func(i, j int) bool { return lst[i].V < lst[j].V })
+	}
+	for v, set := range b.attrs {
+		if len(set) == 0 {
+			continue
+		}
+		as := make([]dict.AttrID, 0, len(set))
+		for a := range set {
+			as = append(as, a)
+		}
+		sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+		g.attrs[v] = as
+	}
+	return g
+}
+
+// FromTriples is a convenience that builds a Graph from a triple slice.
+func FromTriples(ts []rdf.Triple) (*Graph, error) {
+	var b Builder
+	if err := b.AddAll(ts); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

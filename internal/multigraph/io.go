@@ -1,0 +1,353 @@
+package multigraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/dict"
+)
+
+// Snapshot format: a compact binary serialization of the data multigraph
+// (dictionaries, adjacency, attributes). Loading a snapshot skips the
+// N-Triples parsing of the offline stage; the index ensemble I is rebuilt
+// deterministically from the graph on load.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic "AMBG" + version byte
+//	vertex dictionary:    count, then len-prefixed strings
+//	edge-type dictionary: count, then len-prefixed strings
+//	attribute dictionary: count, then (predicate, literal) string pairs
+//	numTriples
+//	adjacency: per vertex: out-degree, then per neighbour:
+//	           target id, type count, delta-encoded sorted type ids
+//	attributes: per vertex: count, delta-encoded sorted attribute ids
+//	crc32 (IEEE, fixed 4-byte little endian) over everything prior
+const (
+	snapshotMagic   = "AMBG"
+	snapshotVersion = 1
+)
+
+// crcWriter tees written bytes into a CRC.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+func (cw *crcWriter) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := cw.Write(buf[:n])
+	return err
+}
+
+func (cw *crcWriter) str(s string) error {
+	if err := cw.uvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := cw.Write([]byte(s))
+	return err
+}
+
+// Encode writes the graph snapshot to w.
+func (g *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(snapshotMagic)); err != nil {
+		return err
+	}
+	if _, err := cw.Write([]byte{snapshotVersion}); err != nil {
+		return err
+	}
+	// Dictionaries.
+	if err := cw.uvarint(uint64(g.Dicts.Vertices.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < g.Dicts.Vertices.Len(); i++ {
+		if err := cw.str(g.Dicts.Vertices.Value(uint32(i))); err != nil {
+			return err
+		}
+	}
+	if err := cw.uvarint(uint64(g.Dicts.EdgeTypes.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < g.Dicts.EdgeTypes.Len(); i++ {
+		if err := cw.str(g.Dicts.EdgeTypes.Value(uint32(i))); err != nil {
+			return err
+		}
+	}
+	if err := cw.uvarint(uint64(g.Dicts.Attrs.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < g.Dicts.Attrs.Len(); i++ {
+		a := g.Dicts.Attr(dict.AttrID(i))
+		if err := cw.str(a.Predicate); err != nil {
+			return err
+		}
+		if err := cw.str(a.Literal); err != nil {
+			return err
+		}
+	}
+	if err := cw.uvarint(uint64(g.numTriples)); err != nil {
+		return err
+	}
+	// Adjacency (out side only; the in side is reconstructed).
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.out[v]
+		if err := cw.uvarint(uint64(len(adj))); err != nil {
+			return err
+		}
+		for _, nb := range adj {
+			if err := cw.uvarint(uint64(nb.V)); err != nil {
+				return err
+			}
+			if err := cw.uvarint(uint64(len(nb.Types))); err != nil {
+				return err
+			}
+			prev := uint64(0)
+			for _, t := range nb.Types {
+				if err := cw.uvarint(uint64(t) - prev); err != nil {
+					return err
+				}
+				prev = uint64(t)
+			}
+		}
+	}
+	// Attributes.
+	for v := 0; v < g.NumVertices(); v++ {
+		as := g.attrs[v]
+		if err := cw.uvarint(uint64(len(as))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for _, a := range as {
+			if err := cw.uvarint(uint64(a) - prev); err != nil {
+				return err
+			}
+			prev = uint64(a)
+		}
+	}
+	// Trailer CRC (not itself CRC'd).
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// crcReader tees read bytes into a CRC.
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+func (cr *crcReader) full(p []byte) error {
+	if _, err := io.ReadFull(cr.r, p); err != nil {
+		return err
+	}
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p)
+	return nil
+}
+
+func (cr *crcReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(cr)
+}
+
+func (cr *crcReader) str(max uint64) (string, error) {
+	n, err := cr.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > max {
+		return "", fmt.Errorf("multigraph: string length %d exceeds sanity bound", n)
+	}
+	buf := make([]byte, n)
+	if err := cr.full(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// maxStr bounds dictionary string lengths against corrupted input.
+const maxStr = 1 << 24
+
+// Decode reads a graph snapshot written by Encode.
+func Decode(r io.Reader) (*Graph, error) {
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<20)}
+	head := make([]byte, len(snapshotMagic)+1)
+	if err := cr.full(head); err != nil {
+		return nil, fmt.Errorf("multigraph: reading snapshot header: %w", err)
+	}
+	if string(head[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("multigraph: bad snapshot magic %q", head[:len(snapshotMagic)])
+	}
+	if head[len(snapshotMagic)] != snapshotVersion {
+		return nil, fmt.Errorf("multigraph: unsupported snapshot version %d", head[len(snapshotMagic)])
+	}
+	g := &Graph{}
+	// Dictionaries: intern in id order, so dense ids are reproduced.
+	nV, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nV; i++ {
+		s, err := cr.str(maxStr)
+		if err != nil {
+			return nil, err
+		}
+		if id := g.Dicts.InternVertex(s); uint64(id) != i {
+			return nil, fmt.Errorf("multigraph: duplicate vertex %q in snapshot", s)
+		}
+	}
+	nT, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nT; i++ {
+		s, err := cr.str(maxStr)
+		if err != nil {
+			return nil, err
+		}
+		if id := g.Dicts.InternEdgeType(s); uint64(id) != i {
+			return nil, fmt.Errorf("multigraph: duplicate edge type %q in snapshot", s)
+		}
+	}
+	nA, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nA; i++ {
+		p, err := cr.str(maxStr)
+		if err != nil {
+			return nil, err
+		}
+		l, err := cr.str(maxStr)
+		if err != nil {
+			return nil, err
+		}
+		if id := g.Dicts.InternAttr(p, l); uint64(id) != i {
+			return nil, fmt.Errorf("multigraph: duplicate attribute <%s,%s> in snapshot", p, l)
+		}
+	}
+	numTriples, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	g.numTriples = int(numTriples)
+	// Adjacency.
+	g.out = make([][]Neighbor, nV)
+	g.in = make([][]Neighbor, nV)
+	g.attrs = make([][]dict.AttrID, nV)
+	inDeg := make([]int, nV)
+	for v := uint64(0); v < nV; v++ {
+		deg, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if deg > nV {
+			return nil, fmt.Errorf("multigraph: out-degree %d exceeds vertex count", deg)
+		}
+		adj := make([]Neighbor, 0, deg)
+		prevTarget := int64(-1)
+		for e := uint64(0); e < deg; e++ {
+			target, err := cr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if target >= nV {
+				return nil, fmt.Errorf("multigraph: edge target %d out of range", target)
+			}
+			if int64(target) <= prevTarget {
+				return nil, fmt.Errorf("multigraph: adjacency of %d not sorted", v)
+			}
+			prevTarget = int64(target)
+			k, err := cr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if k == 0 || k > nT {
+				return nil, fmt.Errorf("multigraph: bad multi-edge cardinality %d", k)
+			}
+			types := make([]dict.EdgeType, k)
+			acc := uint64(0)
+			for ti := uint64(0); ti < k; ti++ {
+				d, err := cr.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				acc += d
+				if acc >= nT {
+					return nil, fmt.Errorf("multigraph: edge type %d out of range", acc)
+				}
+				types[ti] = dict.EdgeType(acc)
+			}
+			adj = append(adj, Neighbor{V: dict.VertexID(target), Types: types})
+			inDeg[target]++
+			g.numEdges++
+		}
+		g.out[v] = adj
+	}
+	for v := range g.in {
+		g.in[v] = make([]Neighbor, 0, inDeg[v])
+	}
+	for v := uint64(0); v < nV; v++ {
+		for _, nb := range g.out[v] {
+			g.in[nb.V] = append(g.in[nb.V], Neighbor{V: dict.VertexID(v), Types: nb.Types})
+		}
+	}
+	// In-lists are built in ascending source order, hence already sorted.
+	// Attributes.
+	for v := uint64(0); v < nV; v++ {
+		k, err := cr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if k > nA {
+			return nil, fmt.Errorf("multigraph: attribute count %d exceeds dictionary", k)
+		}
+		if k == 0 {
+			continue
+		}
+		as := make([]dict.AttrID, k)
+		acc := uint64(0)
+		for i := uint64(0); i < k; i++ {
+			d, err := cr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			acc += d
+			if acc >= nA {
+				return nil, fmt.Errorf("multigraph: attribute id %d out of range", acc)
+			}
+			as[i] = dict.AttrID(acc)
+		}
+		g.attrs[v] = as
+	}
+	// Verify trailer CRC.
+	want := cr.crc
+	var tail [4]byte
+	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("multigraph: reading snapshot checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return nil, fmt.Errorf("multigraph: snapshot checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return g, nil
+}

@@ -1,0 +1,159 @@
+package multigraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+func encodeDecode(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.NumTriples() != b.NumTriples() || a.NumEdgeTypes() != b.NumEdgeTypes() ||
+		a.NumAttrs() != b.NumAttrs() {
+		t.Fatalf("stats differ: (%d,%d,%d,%d,%d) vs (%d,%d,%d,%d,%d)",
+			a.NumVertices(), a.NumEdges(), a.NumTriples(), a.NumEdgeTypes(), a.NumAttrs(),
+			b.NumVertices(), b.NumEdges(), b.NumTriples(), b.NumEdgeTypes(), b.NumAttrs())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		vid := dict.VertexID(v)
+		if a.Dicts.VertexIRI(vid) != b.Dicts.VertexIRI(vid) {
+			t.Fatalf("vertex %d IRI differs", v)
+		}
+		ao, bo := a.Out(vid), b.Out(vid)
+		if len(ao) != len(bo) {
+			t.Fatalf("out-degree of %d differs", v)
+		}
+		for i := range ao {
+			if ao[i].V != bo[i].V || len(ao[i].Types) != len(bo[i].Types) {
+				t.Fatalf("neighbour %d of %d differs", i, v)
+			}
+			for j := range ao[i].Types {
+				if ao[i].Types[j] != bo[i].Types[j] {
+					t.Fatalf("types of %d→%d differ", v, ao[i].V)
+				}
+			}
+		}
+		ai, bi := a.In(vid), b.In(vid)
+		if len(ai) != len(bi) {
+			t.Fatalf("in-degree of %d differs", v)
+		}
+		aa, ba := a.Attrs(vid), b.Attrs(vid)
+		if len(aa) != len(ba) {
+			t.Fatalf("attrs of %d differ", v)
+		}
+		for i := range aa {
+			if aa[i] != ba[i] {
+				t.Fatalf("attr %d of %d differs", i, v)
+			}
+		}
+	}
+	for i := 0; i < a.NumEdgeTypes(); i++ {
+		if a.Dicts.EdgeTypeIRI(dict.EdgeType(i)) != b.Dicts.EdgeTypeIRI(dict.EdgeType(i)) {
+			t.Fatalf("edge type %d differs", i)
+		}
+	}
+	for i := 0; i < a.NumAttrs(); i++ {
+		if a.Dicts.Attr(dict.AttrID(i)) != b.Dicts.Attr(dict.AttrID(i)) {
+			t.Fatalf("attribute %d differs", i)
+		}
+	}
+}
+
+func TestSnapshotRoundTripFigure1(t *testing.T) {
+	g := buildFigure1(t)
+	graphsEqual(t, g, encodeDecode(t, g))
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	g, err := FromTriples(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := encodeDecode(t, g)
+	if got.NumVertices() != 0 || got.NumTriples() != 0 {
+		t.Errorf("empty round trip: %d vertices", got.NumVertices())
+	}
+}
+
+func TestSnapshotRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 30, 8, 200)
+		graphsEqual(t, g, encodeDecode(t, g))
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	g := buildFigure1(t)
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, raw...)
+		bad[0] = 'X'
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte{}, raw...)
+		bad[4] = 99
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Error("bad version accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{5, len(raw) / 2, len(raw) - 2} {
+			if _, err := Decode(bytes.NewReader(raw[:cut])); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("bit flip fails checksum", func(t *testing.T) {
+		// Flip a byte in the middle (adjacency area); either a structural
+		// validation or the CRC must reject it.
+		bad := append([]byte{}, raw...)
+		bad[len(bad)/2] ^= 0xff
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Error("bit flip accepted")
+		}
+	})
+	t.Run("empty input", func(t *testing.T) {
+		if _, err := Decode(bytes.NewReader(nil)); err == nil {
+			t.Error("empty input accepted")
+		}
+	})
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	g := buildFigure1(t)
+	var a, b bytes.Buffer
+	if err := g.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshot encoding not deterministic")
+	}
+}

@@ -1,0 +1,195 @@
+package multigraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// me builds a multi-edge from raw type indexes.
+func me(types ...dict.EdgeType) []dict.EdgeType { return types }
+
+// TestTable3Synopses reproduces the synopses of the paper's Table 3 from
+// the printed vertex signatures (which fix the edge-type indexes t0..t8).
+func TestTable3Synopses(t *testing.T) {
+	tests := []struct {
+		name    string
+		in, out [][]dict.EdgeType
+		want    Synopsis
+	}{
+		{"v0", [][]dict.EdgeType{me(7)}, [][]dict.EdgeType{me(6)},
+			Synopsis{1, 1, -7, 7, 1, 1, -6, 6}},
+		{"v1", nil, [][]dict.EdgeType{me(3), me(7), me(8), me(4, 5)},
+			Synopsis{0, 0, 0, 0, 2, 5, -3, 8}},
+		{"v2", [][]dict.EdgeType{me(1), me(5), me(6), me(4, 5)}, [][]dict.EdgeType{me(0), me(2)},
+			Synopsis{2, 4, -1, 6, 1, 2, 0, 2}},
+		{"v3", [][]dict.EdgeType{me(0), me(3)}, [][]dict.EdgeType{me(1)},
+			Synopsis{1, 2, 0, 3, 1, 1, -1, 1}},
+		{"v4", [][]dict.EdgeType{me(2)}, nil,
+			Synopsis{1, 1, -2, 2, 0, 0, 0, 0}},
+		{"v5", [][]dict.EdgeType{me(3), me(3)}, nil,
+			Synopsis{1, 1, -3, 3, 0, 0, 0, 0}},
+		{"v6", [][]dict.EdgeType{me(8)}, [][]dict.EdgeType{me(3)},
+			Synopsis{1, 1, -8, 8, 1, 1, -3, 3}},
+		{"v7", nil, [][]dict.EdgeType{me(0), me(3), me(5)},
+			Synopsis{0, 0, 0, 0, 1, 3, 0, 5}},
+		{"v8", [][]dict.EdgeType{me(0)}, nil,
+			Synopsis{1, 1, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SynopsisFromMultiEdges(tc.in, tc.out); got != tc.want {
+				t.Errorf("synopsis = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPaperU0Example reproduces the worked example from Section 4.2: query
+// vertex u0 with signature σu0 = {−t5} has synopsis [0 0 0 0 1 1 −5 5] and
+// is dominated by exactly v1 and v7 of Table 3.
+func TestPaperU0Example(t *testing.T) {
+	raw := SynopsisFromMultiEdges(nil, [][]dict.EdgeType{me(5)})
+	want := Synopsis{0, 0, 0, 0, 1, 1, -5, 5}
+	if raw != want {
+		t.Fatalf("u0 synopsis = %v, want %v", raw, want)
+	}
+	u0 := raw.AsQuery()
+	table3 := map[string]Synopsis{
+		"v0": {1, 1, -7, 7, 1, 1, -6, 6},
+		"v1": {0, 0, 0, 0, 2, 5, -3, 8},
+		"v2": {2, 4, -1, 6, 1, 2, 0, 2},
+		"v3": {1, 2, 0, 3, 1, 1, -1, 1},
+		"v4": {1, 1, -2, 2, 0, 0, 0, 0},
+		"v5": {1, 1, -3, 3, 0, 0, 0, 0},
+		"v6": {1, 1, -8, 8, 1, 1, -3, 3},
+		"v7": {0, 0, 0, 0, 1, 3, 0, 5},
+		"v8": {1, 1, 0, 0, 0, 0, 0, 0},
+	}
+	wantMatch := map[string]bool{"v1": true, "v7": true}
+	for name, syn := range table3 {
+		if got := syn.Dominates(u0); got != wantMatch[name] {
+			t.Errorf("%s.Dominates(u0) = %v, want %v", name, got, wantMatch[name])
+		}
+	}
+}
+
+func TestDominatesReflexive(t *testing.T) {
+	s := Synopsis{2, 4, -1, 6, 1, 2, 0, 2}
+	if !s.Dominates(s) {
+		t.Error("synopsis must dominate itself")
+	}
+	var zero Synopsis
+	// A query vertex with no edges at all (zero signature) must match any
+	// data vertex once converted with AsQuery.
+	if !s.Dominates(zero.AsQuery()) {
+		t.Error("any synopsis must dominate the empty query synopsis")
+	}
+	if zero.Dominates(s) {
+		t.Error("zero synopsis must not dominate a non-zero one")
+	}
+}
+
+func TestAsQueryPreservesNonEmptySides(t *testing.T) {
+	s := SynopsisFromMultiEdges([][]dict.EdgeType{me(0, 2)}, [][]dict.EdgeType{me(1)})
+	if got := s.AsQuery(); got != s {
+		t.Errorf("AsQuery changed a fully-populated synopsis: %v → %v", s, got)
+	}
+}
+
+func TestVertexSynopsisMatchesSignature(t *testing.T) {
+	g := buildFigure1(t)
+	for v := 0; v < g.NumVertices(); v++ {
+		in, out := g.Signature(dict.VertexID(v))
+		direct := SynopsisFromMultiEdges(in, out)
+		if got := g.VertexSynopsis(dict.VertexID(v)); got != direct {
+			t.Errorf("vertex %d: VertexSynopsis = %v, from signature = %v", v, got, direct)
+		}
+	}
+}
+
+// TestLemma1Soundness is the property test for Lemma 1: whenever a query
+// signature truly embeds into a data vertex's signature
+// (SignatureSubsumes), the synopsis dominance test must keep the vertex.
+// Pruning a true candidate would make the engine incomplete.
+func TestLemma1Soundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		g := randomGraph(rng, 12, 6, 40)
+		if g.NumVertices() == 0 {
+			continue
+		}
+		// Random query signature: subsets of some data vertex's signature,
+		// possibly perturbed.
+		for trial := 0; trial < 20; trial++ {
+			v := dict.VertexID(rng.Intn(g.NumVertices()))
+			in, out := g.Signature(v)
+			qin := subsetMultiEdges(rng, in)
+			qout := subsetMultiEdges(rng, out)
+			qsyn := SynopsisFromMultiEdges(qin, qout).AsQuery()
+			for w := 0; w < g.NumVertices(); w++ {
+				wv := dict.VertexID(w)
+				if g.SignatureSubsumes(wv, qin, qout) && !g.VertexSynopsis(wv).Dominates(qsyn) {
+					t.Fatalf("Lemma 1 violated: vertex %d subsumes query sig %v/%v but synopsis prunes it",
+						w, qin, qout)
+				}
+			}
+		}
+	}
+}
+
+// subsetMultiEdges picks a random sub-multiset of multi-edges, each reduced
+// to a random non-empty subset of its types.
+func subsetMultiEdges(rng *rand.Rand, sig [][]dict.EdgeType) [][]dict.EdgeType {
+	var out [][]dict.EdgeType
+	for _, me := range sig {
+		if rng.Intn(2) == 0 || len(me) == 0 {
+			continue
+		}
+		k := 1 + rng.Intn(len(me))
+		sub := make([]dict.EdgeType, 0, k)
+		for i, t := range me {
+			if len(sub) < k && rng.Intn(len(me)-i) < k-len(sub) {
+				sub = append(sub, t)
+			}
+		}
+		if len(sub) > 0 {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+func TestSignatureSubsumesMultiset(t *testing.T) {
+	g := buildFigure1(t)
+	london := vid(t, g, "London")
+	// London has four incoming multi-edges; requiring the same single-type
+	// multi-edge more often than it occurs must fail.
+	born := etype(t, g, "wasBornIn")
+	q := [][]dict.EdgeType{{born}, {born}}
+	// Amy→London carries {wasBornIn,diedIn} and Nolan→London {wasBornIn},
+	// so two distinct incoming multi-edges contain wasBornIn: subsumed.
+	if !g.SignatureSubsumes(london, q, nil) {
+		t.Error("two wasBornIn multi-edges should be subsumed (Amy and Nolan)")
+	}
+	q3 := [][]dict.EdgeType{{born}, {born}, {born}}
+	if g.SignatureSubsumes(london, q3, nil) {
+		t.Error("three wasBornIn multi-edges must not be subsumed")
+	}
+}
+
+// TestSynopsisEmptyMultiEdgeIgnored: a zero-length multi-edge entry must
+// not contribute to any synopsis field.
+func TestSynopsisEmptyMultiEdgeIgnored(t *testing.T) {
+	withEmpty := SynopsisFromMultiEdges([][]dict.EdgeType{{}, me(2)}, nil)
+	without := SynopsisFromMultiEdges([][]dict.EdgeType{me(2)}, nil)
+	if withEmpty != without {
+		t.Errorf("empty multi-edge changed synopsis: %v vs %v", withEmpty, without)
+	}
+	onlyEmpty := SynopsisFromMultiEdges([][]dict.EdgeType{{}}, nil)
+	var zero Synopsis
+	if onlyEmpty != zero {
+		t.Errorf("only-empty synopsis = %v, want zero", onlyEmpty)
+	}
+}

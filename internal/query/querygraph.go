@@ -1,0 +1,561 @@
+// Package query translates a parsed SPARQL query into the query multigraph
+// Q of the AMbER paper (Section 2.2.1) against a concrete data graph's
+// dictionaries, and performs the structural analysis the matching engine
+// needs: core/satellite decomposition (Section 3, Section 5) and heuristic
+// vertex ordering (Section 5.3).
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/index"
+	"repro/internal/multigraph"
+	"repro/internal/sparql"
+)
+
+// VertexID identifies a query vertex (an unknown variable) within a Graph.
+type VertexID int
+
+// Edge is a multi-edge from one query vertex to another: the sorted,
+// duplicate-free set of edge types.
+type Edge struct {
+	To    VertexID
+	Types []dict.EdgeType
+}
+
+// IRIConstraint records that a query vertex is connected to a constant IRI
+// vertex (the paper's shaded square u^iri). The IRI has a unique data-vertex
+// match; candidates for the query vertex are found by probing the
+// neighbourhood index of that data vertex in the stored direction.
+type IRIConstraint struct {
+	// DataVertex is the unique match of the constant IRI.
+	DataVertex dict.VertexID
+	// Dir is the direction to probe *at the data vertex*: Incoming when the
+	// query edge runs u → IRI, Outgoing when it runs IRI → u.
+	Dir index.Direction
+	// Types is the multi-edge between u and the IRI vertex.
+	Types []dict.EdgeType
+}
+
+// Vertex is one query vertex u ∈ U with everything attached to it.
+type Vertex struct {
+	// Name is the SPARQL variable name (without '?').
+	Name string
+	// Attrs is u.A: attribute ids from literal-object patterns, sorted.
+	Attrs []dict.AttrID
+	// IRIs is u.R: constraints from constant-IRI neighbours.
+	IRIs []IRIConstraint
+	// Out and In are multi-edges to other query vertices, sorted by To.
+	Out []Edge
+	In  []Edge
+	// SelfTypes holds types of self-loop patterns (?x p ?x), sorted.
+	SelfTypes []dict.EdgeType
+}
+
+// GroundEdge is a fully instantiated pattern (IRI p IRI): a boolean check.
+type GroundEdge struct {
+	From, To dict.VertexID
+	Types    []dict.EdgeType
+}
+
+// GroundAttr is a fully instantiated attribute pattern (IRI p "lit").
+type GroundAttr struct {
+	V     dict.VertexID
+	Attrs []dict.AttrID
+}
+
+// Graph is the query multigraph Q plus its decomposition.
+type Graph struct {
+	// Vars holds the query vertices; VertexID indexes into it.
+	Vars []Vertex
+	// VarIndex maps variable names to ids.
+	VarIndex map[string]VertexID
+	// GroundEdges and GroundAttrs are variable-free checks.
+	GroundEdges []GroundEdge
+	GroundAttrs []GroundAttr
+	// Unsat is set when some constant of the query (predicate, literal
+	// tuple, or IRI) does not occur in the data dictionaries: the query
+	// can have no solutions.
+	Unsat bool
+	// UnsatReason explains the first unsatisfiable constant found.
+	UnsatReason string
+	// Components groups variable vertices into connected components (over
+	// variable-variable edges), each already decomposed and ordered.
+	Components []Component
+}
+
+// Component is one connected component of the query multigraph.
+type Component struct {
+	// Core is U_c^ord: core vertices in matching order.
+	Core []VertexID
+	// Satellites maps each core vertex to its attached satellite vertices
+	// (degree-1 vertices, paper Section 5).
+	Satellites map[VertexID][]VertexID
+}
+
+// AllSatellites returns the component's satellite vertices in core order
+// (each core's satellites are themselves sorted), a stable enumeration
+// order for embedding generation.
+func (c *Component) AllSatellites() []VertexID {
+	var out []VertexID
+	for _, uc := range c.Core {
+		out = append(out, c.Satellites[uc]...)
+	}
+	return out
+}
+
+// Vertices returns all vertices of the component (cores then satellites).
+func (c *Component) Vertices() []VertexID {
+	out := append([]VertexID(nil), c.Core...)
+	for _, sats := range c.Satellites {
+		out = append(out, sats...)
+	}
+	return out
+}
+
+// Build translates q against the data dictionaries d. A nil return with a
+// non-nil error indicates a structurally invalid query; an Unsat graph is
+// a valid query that provably has no solutions.
+func Build(q *sparql.Query, d *dict.Dictionaries) (*Graph, error) {
+	g := &Graph{VarIndex: make(map[string]VertexID)}
+	type pairKey struct {
+		a, b VertexID
+	}
+	varEdges := make(map[pairKey]map[dict.EdgeType]struct{})
+	type iriKey struct {
+		u   VertexID
+		v   dict.VertexID
+		dir index.Direction
+	}
+	iriEdges := make(map[iriKey]map[dict.EdgeType]struct{})
+	type groundKey struct {
+		from, to dict.VertexID
+	}
+	groundEdges := make(map[groundKey]map[dict.EdgeType]struct{})
+
+	varID := func(name string) VertexID {
+		if id, ok := g.VarIndex[name]; ok {
+			return id
+		}
+		id := VertexID(len(g.Vars))
+		g.Vars = append(g.Vars, Vertex{Name: name})
+		g.VarIndex[name] = id
+		return id
+	}
+	unsat := func(format string, args ...any) {
+		if !g.Unsat {
+			g.Unsat = true
+			g.UnsatReason = fmt.Sprintf(format, args...)
+		}
+	}
+
+	for _, p := range q.Patterns {
+		if p.P.Kind != sparql.IRI {
+			return nil, fmt.Errorf("query: predicate must be an IRI in pattern %v", p)
+		}
+		// Register variables even when the pattern is unsatisfiable, so
+		// projection stays meaningful.
+		if p.S.Kind == sparql.Var {
+			varID(p.S.Value)
+		}
+		if p.O.Kind == sparql.Var {
+			varID(p.O.Value)
+		}
+
+		if p.O.Kind == sparql.Literal {
+			a, ok := d.LookupAttr(p.P.Value, p.O.Value)
+			if !ok {
+				unsat("attribute <%s, %q> not in data", p.P.Value, p.O.Value)
+				continue
+			}
+			switch p.S.Kind {
+			case sparql.Var:
+				u := varID(p.S.Value)
+				g.Vars[u].Attrs = append(g.Vars[u].Attrs, a)
+			case sparql.IRI:
+				v, ok := d.LookupVertex(p.S.Value)
+				if !ok {
+					unsat("IRI <%s> not in data", p.S.Value)
+					continue
+				}
+				g.GroundAttrs = append(g.GroundAttrs, GroundAttr{V: v, Attrs: []dict.AttrID{a}})
+			}
+			continue
+		}
+
+		et, ok := d.LookupEdgeType(p.P.Value)
+		if !ok {
+			unsat("predicate <%s> not in data", p.P.Value)
+			continue
+		}
+		sVar := p.S.Kind == sparql.Var
+		oVar := p.O.Kind == sparql.Var
+		switch {
+		case sVar && oVar:
+			us, uo := varID(p.S.Value), varID(p.O.Value)
+			if us == uo {
+				g.Vars[us].SelfTypes = append(g.Vars[us].SelfTypes, et)
+				continue
+			}
+			k := pairKey{us, uo}
+			if varEdges[k] == nil {
+				varEdges[k] = make(map[dict.EdgeType]struct{})
+			}
+			varEdges[k][et] = struct{}{}
+		case sVar && !oVar:
+			u := varID(p.S.Value)
+			v, ok := d.LookupVertex(p.O.Value)
+			if !ok {
+				unsat("IRI <%s> not in data", p.O.Value)
+				continue
+			}
+			k := iriKey{u, v, index.Incoming} // probe v's incoming side
+			if iriEdges[k] == nil {
+				iriEdges[k] = make(map[dict.EdgeType]struct{})
+			}
+			iriEdges[k][et] = struct{}{}
+		case !sVar && oVar:
+			v, ok := d.LookupVertex(p.S.Value)
+			if !ok {
+				unsat("IRI <%s> not in data", p.S.Value)
+				continue
+			}
+			u := varID(p.O.Value)
+			k := iriKey{u, v, index.Outgoing} // probe v's outgoing side
+			if iriEdges[k] == nil {
+				iriEdges[k] = make(map[dict.EdgeType]struct{})
+			}
+			iriEdges[k][et] = struct{}{}
+		default: // ground edge
+			from, ok1 := d.LookupVertex(p.S.Value)
+			to, ok2 := d.LookupVertex(p.O.Value)
+			if !ok1 {
+				unsat("IRI <%s> not in data", p.S.Value)
+				continue
+			}
+			if !ok2 {
+				unsat("IRI <%s> not in data", p.O.Value)
+				continue
+			}
+			k := groundKey{from, to}
+			if groundEdges[k] == nil {
+				groundEdges[k] = make(map[dict.EdgeType]struct{})
+			}
+			groundEdges[k][et] = struct{}{}
+		}
+	}
+
+	// Materialize accumulated edge maps into sorted structures.
+	for k, set := range varEdges {
+		types := sortedTypes(set)
+		g.Vars[k.a].Out = append(g.Vars[k.a].Out, Edge{To: k.b, Types: types})
+		g.Vars[k.b].In = append(g.Vars[k.b].In, Edge{To: k.a, Types: types})
+	}
+	for k, set := range iriEdges {
+		g.Vars[k.u].IRIs = append(g.Vars[k.u].IRIs, IRIConstraint{
+			DataVertex: k.v, Dir: k.dir, Types: sortedTypes(set),
+		})
+	}
+	for k, set := range groundEdges {
+		g.GroundEdges = append(g.GroundEdges, GroundEdge{From: k.from, To: k.to, Types: sortedTypes(set)})
+	}
+	for i := range g.Vars {
+		v := &g.Vars[i]
+		sort.Slice(v.Attrs, func(a, b int) bool { return v.Attrs[a] < v.Attrs[b] })
+		v.Attrs = dedupAttrs(v.Attrs)
+		sort.Slice(v.SelfTypes, func(a, b int) bool { return v.SelfTypes[a] < v.SelfTypes[b] })
+		v.SelfTypes = dedupTypes(v.SelfTypes)
+		sort.Slice(v.Out, func(a, b int) bool { return v.Out[a].To < v.Out[b].To })
+		sort.Slice(v.In, func(a, b int) bool { return v.In[a].To < v.In[b].To })
+		sort.Slice(v.IRIs, func(a, b int) bool {
+			if v.IRIs[a].DataVertex != v.IRIs[b].DataVertex {
+				return v.IRIs[a].DataVertex < v.IRIs[b].DataVertex
+			}
+			return v.IRIs[a].Dir < v.IRIs[b].Dir
+		})
+	}
+	sort.Slice(g.GroundEdges, func(a, b int) bool {
+		if g.GroundEdges[a].From != g.GroundEdges[b].From {
+			return g.GroundEdges[a].From < g.GroundEdges[b].From
+		}
+		return g.GroundEdges[a].To < g.GroundEdges[b].To
+	})
+
+	g.decompose()
+	return g, nil
+}
+
+func sortedTypes(set map[dict.EdgeType]struct{}) []dict.EdgeType {
+	out := make([]dict.EdgeType, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func dedupAttrs(a []dict.AttrID) []dict.AttrID {
+	if len(a) < 2 {
+		return a
+	}
+	out := a[:1]
+	for _, x := range a[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupTypes(a []dict.EdgeType) []dict.EdgeType {
+	if len(a) < 2 {
+		return a
+	}
+	out := a[:1]
+	for _, x := range a[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// varNeighbors returns the distinct variable neighbours of u.
+func (g *Graph) varNeighbors(u VertexID) []VertexID {
+	seen := make(map[VertexID]bool)
+	var out []VertexID
+	for _, e := range g.Vars[u].Out {
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	for _, e := range g.Vars[u].In {
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// VarDegree is the paper's deg(u): the number of distinct variable
+// neighbours in the query multigraph.
+func (g *Graph) VarDegree(u VertexID) int { return len(g.varNeighbors(u)) }
+
+// EdgesBetween returns the multi-edges between two query vertices as the
+// pair (typesFromAToB, typesFromBToA); either may be nil.
+func (g *Graph) EdgesBetween(a, b VertexID) (ab, ba []dict.EdgeType) {
+	for _, e := range g.Vars[a].Out {
+		if e.To == b {
+			ab = e.Types
+		}
+	}
+	for _, e := range g.Vars[a].In {
+		if e.To == b {
+			ba = e.Types
+		}
+	}
+	return ab, ba
+}
+
+// Synopsis computes the query vertex's synopsis in probe form (AsQuery).
+// The signature includes every incident multi-edge: variable edges, IRI
+// edges and self loops (which contribute to both directions).
+func (g *Graph) Synopsis(u VertexID) multigraph.Synopsis {
+	v := &g.Vars[u]
+	var in, out [][]dict.EdgeType
+	for _, e := range v.In {
+		in = append(in, e.Types)
+	}
+	for _, e := range v.Out {
+		out = append(out, e.Types)
+	}
+	for _, c := range v.IRIs {
+		// Dir is relative to the IRI's data vertex; flip for u.
+		if c.Dir == index.Incoming { // edge u → IRI: outgoing at u
+			out = append(out, c.Types)
+		} else {
+			in = append(in, c.Types)
+		}
+	}
+	if len(v.SelfTypes) > 0 {
+		in = append(in, v.SelfTypes)
+		out = append(out, v.SelfTypes)
+	}
+	return multigraph.SynopsisFromMultiEdges(in, out).AsQuery()
+}
+
+// rank1 is the paper's r1(u): the number of satellite vertices attached.
+func rank1(g *Graph, u VertexID, satellite map[VertexID]bool) int {
+	n := 0
+	for _, w := range g.varNeighbors(u) {
+		if satellite[w] {
+			n++
+		}
+	}
+	return n
+}
+
+// rank2 is the paper's r2(u): the total number of edge types over all
+// incident multi-edges.
+func rank2(g *Graph, u VertexID) int {
+	v := &g.Vars[u]
+	n := 0
+	for _, e := range v.Out {
+		n += len(e.Types)
+	}
+	for _, e := range v.In {
+		n += len(e.Types)
+	}
+	for _, c := range v.IRIs {
+		n += len(c.Types)
+	}
+	n += 2 * len(v.SelfTypes)
+	return n
+}
+
+// decompose splits variables into connected components, classifies core and
+// satellite vertices, and orders the core vertices (VertexOrdering).
+func (g *Graph) decompose() {
+	n := len(g.Vars)
+	if n == 0 {
+		return
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var compMembers [][]VertexID
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(compMembers)
+		stack := []VertexID{VertexID(s)}
+		comp[s] = id
+		var members []VertexID
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, w := range g.varNeighbors(u) {
+				if comp[w] < 0 {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		compMembers = append(compMembers, members)
+	}
+
+	for _, members := range compMembers {
+		g.Components = append(g.Components, g.decomposeComponent(members))
+	}
+}
+
+// decomposeComponent classifies and orders one component.
+func (g *Graph) decomposeComponent(members []VertexID) Component {
+	satellite := make(map[VertexID]bool)
+	var core []VertexID
+	maxDeg := 0
+	for _, u := range members {
+		if d := g.VarDegree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 1 {
+		for _, u := range members {
+			if g.VarDegree(u) > 1 {
+				core = append(core, u)
+			} else {
+				satellite[u] = true
+			}
+		}
+	} else {
+		// The component is a single vertex or a single multi-edge: pick one
+		// core vertex — deterministically, the most constrained one.
+		best := members[0]
+		for _, u := range members[1:] {
+			if rank2(g, u) > rank2(g, best) ||
+				(rank2(g, u) == rank2(g, best) && len(g.Vars[u].Attrs) > len(g.Vars[best].Attrs)) {
+				best = u
+			}
+		}
+		core = []VertexID{best}
+		for _, u := range members {
+			if u != best {
+				satellite[u] = true
+			}
+		}
+	}
+
+	// Attach satellites to their unique core neighbour.
+	sats := make(map[VertexID][]VertexID)
+	for _, u := range members {
+		if !satellite[u] {
+			continue
+		}
+		nb := g.varNeighbors(u)
+		if len(nb) == 1 {
+			sats[nb[0]] = append(sats[nb[0]], u)
+		}
+		// A satellite with no variable neighbour can only occur in a
+		// single-vertex component, which has no satellites by construction.
+	}
+	for _, lst := range sats {
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	}
+
+	// VertexOrdering: first vertex maximizes (r1, then r2); subsequent
+	// vertices must be connected to the already-ordered prefix and maximize
+	// (r1, then r2) among the connected candidates.
+	ordered := make([]VertexID, 0, len(core))
+	used := make(map[VertexID]bool)
+	connected := make(map[VertexID]bool)
+	better := func(a, b VertexID) bool { // a strictly preferable to b
+		ra1, rb1 := rank1(g, a, satellite), rank1(g, b, satellite)
+		if ra1 != rb1 {
+			return ra1 > rb1
+		}
+		ra2, rb2 := rank2(g, a), rank2(g, b)
+		if ra2 != rb2 {
+			return ra2 > rb2
+		}
+		return a < b // deterministic tie-break
+	}
+	for len(ordered) < len(core) {
+		var best VertexID = -1
+		for _, u := range core {
+			if used[u] {
+				continue
+			}
+			if len(ordered) > 0 && !connected[u] {
+				continue
+			}
+			if best < 0 || better(u, best) {
+				best = u
+			}
+		}
+		if best < 0 {
+			// The core itself is disconnected through satellites only —
+			// cannot happen for var-var components, but guard anyway by
+			// relaxing connectivity.
+			for _, u := range core {
+				if !used[u] {
+					best = u
+					break
+				}
+			}
+		}
+		ordered = append(ordered, best)
+		used[best] = true
+		for _, w := range g.varNeighbors(best) {
+			connected[w] = true
+		}
+	}
+	return Component{Core: ordered, Satellites: sats}
+}

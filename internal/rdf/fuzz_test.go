@@ -1,0 +1,48 @@
+package rdf
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the N-Triples decoder; it must never
+// panic, and anything it accepts must re-serialize to a form it accepts
+// again with identical triples.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"",
+		"<http://x/a> <http://y/p> <http://x/b> .",
+		`<http://x/a> <http://y/p> "lit" .`,
+		`<http://x/a> <http://y/p> "a\nbA" .`,
+		"@prefix x: <http://x/> .\nx:a x:p x:b .",
+		"PREFIX y: <http://y/>\ny:a y:p \"v\"@en .",
+		`_:b0 <http://y/p> "42"^^<http://w3/int> .`,
+		"# comment\n\n<http://x/a> <http://y/p> <http://x/b> . # trail",
+		"<http://x/a <http://y/p> <http://x/b> .",
+		`<http://x/a> <http://y/p> "unterminated .`,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		triples, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		// Round-trip property on accepted input.
+		var out string
+		for _, tr := range triples {
+			out += tr.String() + "\n"
+		}
+		again, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("re-parse of serialized output failed: %v\n%q", err, out)
+		}
+		if len(again) != len(triples) {
+			t.Fatalf("round trip count %d != %d", len(again), len(triples))
+		}
+		for i := range triples {
+			if again[i] != triples[i] {
+				t.Fatalf("round trip triple %d: %v != %v", i, again[i], triples[i])
+			}
+		}
+	})
+}

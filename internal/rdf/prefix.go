@@ -1,0 +1,82 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrefixMap maps namespace prefixes (without the trailing colon) to IRI
+// namespaces. It supports both expanding prefixed names to full IRIs and
+// compacting full IRIs back to prefixed names for display.
+//
+// The zero value is ready to use.
+type PrefixMap struct {
+	byPrefix map[string]string
+}
+
+// Set binds prefix to namespace, replacing any previous binding.
+func (p *PrefixMap) Set(prefix, namespace string) {
+	if p.byPrefix == nil {
+		p.byPrefix = make(map[string]string)
+	}
+	p.byPrefix[prefix] = namespace
+}
+
+// Lookup returns the namespace bound to prefix.
+func (p *PrefixMap) Lookup(prefix string) (string, bool) {
+	ns, ok := p.byPrefix[prefix]
+	return ns, ok
+}
+
+// Len reports the number of bindings.
+func (p *PrefixMap) Len() int { return len(p.byPrefix) }
+
+// Expand resolves a prefixed name such as "dbo:isPartOf" to a full IRI.
+// It returns an error if the name has no colon or the prefix is unbound.
+func (p *PrefixMap) Expand(name string) (string, error) {
+	i := strings.IndexByte(name, ':')
+	if i < 0 {
+		return "", fmt.Errorf("rdf: %q is not a prefixed name", name)
+	}
+	ns, ok := p.byPrefix[name[:i]]
+	if !ok {
+		return "", fmt.Errorf("rdf: unbound prefix %q", name[:i])
+	}
+	return ns + name[i+1:], nil
+}
+
+// Compact rewrites iri using the longest matching namespace, returning the
+// prefixed form; when no namespace matches it returns the IRI unchanged and
+// false.
+func (p *PrefixMap) Compact(iri string) (string, bool) {
+	best, bestNS := "", ""
+	for prefix, ns := range p.byPrefix {
+		if strings.HasPrefix(iri, ns) && len(ns) > len(bestNS) {
+			best, bestNS = prefix, ns
+		}
+	}
+	if bestNS == "" {
+		return iri, false
+	}
+	return best + ":" + iri[len(bestNS):], true
+}
+
+// Prefixes returns the bound prefixes in sorted order.
+func (p *PrefixMap) Prefixes() []string {
+	out := make([]string, 0, len(p.byPrefix))
+	for prefix := range p.byPrefix {
+		out = append(out, prefix)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the map.
+func (p *PrefixMap) Clone() *PrefixMap {
+	c := &PrefixMap{byPrefix: make(map[string]string, len(p.byPrefix))}
+	for k, v := range p.byPrefix {
+		c.byPrefix[k] = v
+	}
+	return c
+}

@@ -1,0 +1,131 @@
+// Package rdf provides the RDF data model used throughout the repository:
+// terms, triples, prefix handling, and a streaming parser/writer for
+// N-Triples plus a small prefixed (Turtle-like) surface syntax.
+//
+// The model follows the W3C RDF 1.1 abstract syntax restricted to what the
+// AMbER paper (EDBT 2016, Section 2.1) requires: a subject and a predicate
+// are always IRIs, an object is either an IRI or a literal. Blank nodes are
+// accepted by the parser and treated as IRIs in a dedicated namespace so
+// that downstream components need only two term kinds.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the two kinds of RDF terms the engine manipulates.
+type TermKind uint8
+
+const (
+	// IRI is an Internationalized Resource Identifier (or a blank node
+	// mapped into the _: namespace).
+	IRI TermKind = iota
+	// Literal is an RDF literal; only its lexical form is retained. The
+	// paper treats literals opaquely as attribute values, so datatype and
+	// language tags are folded into the lexical form when present.
+	Literal
+)
+
+// String reports the kind name, for diagnostics.
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a single RDF term: an IRI or a literal.
+//
+// The zero value is an empty IRI, which is never produced by the parser and
+// can therefore be used as a sentinel.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns a literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsZero reports whether the term is the zero Term.
+func (t Term) IsZero() bool { return t.Kind == IRI && t.Value == "" }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	if t.Kind == Literal {
+		return `"` + escapeLiteral(t.Value) + `"`
+	}
+	if isBlankLabel(t.Value) {
+		return t.Value
+	}
+	return "<" + t.Value + ">"
+}
+
+// isBlankLabel reports whether v is a well-formed blank-node identifier
+// (the only form the unbracketed rendering may be used for).
+func isBlankLabel(v string) bool {
+	if len(v) < 3 || v[0] != '_' || v[1] != ':' {
+		return false
+	}
+	for i := 2; i < len(v); i++ {
+		c := v[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '_' || c == '-' || c == '.') {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLiteral escapes the characters N-Triples requires escaping inside a
+// quoted literal. It works byte-wise (every escaped character is a single
+// byte) so that arbitrary — even invalid-UTF-8 — content survives a
+// round trip unmangled.
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Triple is one RDF statement <s, p, o>. S and P are always IRIs; O is an
+// IRI or a literal (enforced by the parser, not by the type).
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple as one N-Triples line (without newline).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}

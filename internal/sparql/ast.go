@@ -1,0 +1,239 @@
+// Package sparql parses the SPARQL fragment the AMbER paper addresses
+// (Section 2.2): SELECT/WHERE queries whose WHERE clause is a basic graph
+// pattern of triple patterns. Subjects and objects may be variables, IRIs
+// or (for objects) literals; predicates are always instantiated IRIs.
+//
+// Supported surface syntax beyond the minimum: PREFIX declarations,
+// `SELECT *`, Turtle-style `;` (same subject) and `,` (same subject and
+// predicate) abbreviations, comments, and an optional LIMIT clause.
+// FILTER, UNION, OPTIONAL and GROUP BY are out of scope, as in the paper.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// TermKind discriminates the three kinds of pattern terms.
+type TermKind uint8
+
+const (
+	// Var is an unknown variable (?X or $X).
+	Var TermKind = iota
+	// IRI is a constant IRI.
+	IRI
+	// Literal is a constant literal.
+	Literal
+)
+
+// String reports the kind name.
+func (k TermKind) String() string {
+	switch k {
+	case Var:
+		return "Var"
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is one position of a triple pattern. For Var terms Value holds the
+// variable name without the leading sigil.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// String renders the term in SPARQL syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case Var:
+		return "?" + t.Value
+	case Literal:
+		return rdf.NewLiteral(t.Value).String()
+	default:
+		return "<" + t.Value + ">"
+	}
+}
+
+// TriplePattern is one pattern of the WHERE clause.
+type TriplePattern struct {
+	S, P, O Term
+}
+
+// String renders the pattern in SPARQL syntax.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String() + " ."
+}
+
+// FilterOp enumerates the filter operators of the extension fragment
+// (the paper leaves FILTER to future work; this implements a useful
+// subset over IRI bindings).
+type FilterOp uint8
+
+const (
+	// FilterEq is `FILTER (?x = term)`.
+	FilterEq FilterOp = iota
+	// FilterNe is `FILTER (?x != term)`.
+	FilterNe
+	// FilterRegex is `FILTER regex(?x, "substring")` — substring match on
+	// the bound IRI text.
+	FilterRegex
+	// FilterStrStarts is `FILTER strstarts(str(?x), "prefix")`.
+	FilterStrStarts
+)
+
+// String reports the operator in SPARQL-ish syntax.
+func (op FilterOp) String() string {
+	switch op {
+	case FilterEq:
+		return "="
+	case FilterNe:
+		return "!="
+	case FilterRegex:
+		return "regex"
+	case FilterStrStarts:
+		return "strstarts"
+	default:
+		return fmt.Sprintf("FilterOp(%d)", uint8(op))
+	}
+}
+
+// Filter is one FILTER constraint. LHS is always a variable; RHS is a
+// variable or a constant (IRI text or plain string, compared textually
+// against the bound IRI).
+type Filter struct {
+	Op  FilterOp
+	LHS string // variable name
+	RHS Term   // Var, IRI or Literal
+}
+
+// String renders the filter.
+func (f Filter) String() string {
+	switch f.Op {
+	case FilterRegex:
+		return fmt.Sprintf("FILTER regex(?%s, %s)", f.LHS, f.RHS)
+	case FilterStrStarts:
+		return fmt.Sprintf("FILTER strstarts(str(?%s), %s)", f.LHS, f.RHS)
+	default:
+		return fmt.Sprintf("FILTER (?%s %s %s)", f.LHS, f.Op, f.RHS)
+	}
+}
+
+// Query is a parsed SELECT query.
+type Query struct {
+	// Prefixes holds the PREFIX declarations.
+	Prefixes *rdf.PrefixMap
+	// Select lists the projected variable names (without '?'); empty with
+	// Star set means SELECT *.
+	Select []string
+	// Star records SELECT *.
+	Star bool
+	// Distinct requests duplicate-row elimination.
+	Distinct bool
+	// Patterns is the basic graph pattern (the first UNION branch when
+	// UnionBranches is non-empty).
+	Patterns []TriplePattern
+	// UnionBranches holds the alternative basic graph patterns of a
+	// `{ … } UNION { … }` body; empty for a plain BGP query.
+	UnionBranches [][]TriplePattern
+	// Filters are the FILTER constraints, applied to every branch.
+	Filters []Filter
+	// Limit bounds the number of results; 0 means unlimited.
+	Limit int
+	// Offset skips the first rows of the result.
+	Offset int
+}
+
+// Branches returns the query's basic graph patterns: the UNION branches,
+// or the single pattern list for a plain query.
+func (q *Query) Branches() [][]TriplePattern {
+	if len(q.UnionBranches) > 0 {
+		return q.UnionBranches
+	}
+	return [][]TriplePattern{q.Patterns}
+}
+
+// Variables returns all distinct variable names appearing in the patterns
+// (across all UNION branches), in first-appearance order.
+func (q *Query) Variables() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(t Term) {
+		if t.Kind == Var && !seen[t.Value] {
+			seen[t.Value] = true
+			out = append(out, t.Value)
+		}
+	}
+	for _, branch := range q.Branches() {
+		for _, p := range branch {
+			add(p.S)
+			add(p.P)
+			add(p.O)
+		}
+	}
+	return out
+}
+
+// Projection returns the variables the query projects: the SELECT list, or
+// all pattern variables for SELECT *.
+func (q *Query) Projection() []string {
+	if q.Star {
+		return q.Variables()
+	}
+	return q.Select
+}
+
+// String re-renders the query in canonical SPARQL syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	if q.Prefixes != nil {
+		for _, p := range q.Prefixes.Prefixes() {
+			ns, _ := q.Prefixes.Lookup(p)
+			fmt.Fprintf(&b, "PREFIX %s: <%s>\n", p, ns)
+		}
+	}
+	b.WriteString("SELECT")
+	if q.Distinct {
+		b.WriteString(" DISTINCT")
+	}
+	if q.Star {
+		b.WriteString(" *")
+	} else {
+		for _, v := range q.Select {
+			b.WriteString(" ?" + v)
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	branches := q.Branches()
+	for bi, branch := range branches {
+		if len(branches) > 1 {
+			if bi > 0 {
+				b.WriteString("  UNION\n")
+			}
+			b.WriteString("  {\n")
+		}
+		for _, p := range branch {
+			b.WriteString("  " + p.String() + "\n")
+		}
+		if len(branches) > 1 {
+			b.WriteString("  }\n")
+		}
+	}
+	for _, f := range q.Filters {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	b.WriteString("}")
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
+	}
+	return b.String()
+}

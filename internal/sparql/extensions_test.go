@@ -1,0 +1,210 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDistinct(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?s WHERE { ?s <http://y/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct {
+		t.Error("Distinct not set")
+	}
+	q, err = Parse(`SELECT ?s WHERE { ?s <http://y/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Distinct {
+		t.Error("Distinct wrongly set")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	q, err := Parse(`
+PREFIX y: <http://y/>
+SELECT ?s WHERE {
+  { ?s y:p ?o . ?o y:q ?z }
+  UNION
+  { ?s y:r ?o }
+  UNION
+  { ?s y:t ?o }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.UnionBranches) != 3 {
+		t.Fatalf("branches = %d, want 3", len(q.UnionBranches))
+	}
+	if len(q.UnionBranches[0]) != 2 || len(q.UnionBranches[1]) != 1 {
+		t.Errorf("branch sizes = %d, %d", len(q.UnionBranches[0]), len(q.UnionBranches[1]))
+	}
+	// Patterns mirrors the first branch.
+	if len(q.Patterns) != 2 {
+		t.Errorf("Patterns = %d, want first branch", len(q.Patterns))
+	}
+	if got := len(q.Branches()); got != 3 {
+		t.Errorf("Branches() = %d", got)
+	}
+	// Variables span all branches.
+	if vars := q.Variables(); len(vars) != 3 {
+		t.Errorf("Variables = %v", vars)
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty branch", `SELECT ?s WHERE { { } UNION { ?s <http://y/p> ?o } }`},
+		{"garbage between", `SELECT ?s WHERE { { ?s <http://y/p> ?o } BOGUS { ?s <http://y/q> ?o } }`},
+		{"unclosed", `SELECT ?s WHERE { { ?s <http://y/p> ?o } UNION { ?s <http://y/q> ?o }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Errorf("Parse(%q) succeeded", tc.src)
+			}
+		})
+	}
+}
+
+func TestFilterForms(t *testing.T) {
+	q, err := Parse(`
+PREFIX y: <http://y/>
+SELECT ?s WHERE {
+  ?s y:p ?o .
+  FILTER (?s = <http://x/a>)
+  FILTER (?o != ?s)
+  FILTER regex(?s, "needle")
+  FILTER strstarts(str(?o), "http://x/")
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 4 {
+		t.Fatalf("filters = %d, want 4", len(q.Filters))
+	}
+	f := q.Filters[0]
+	if f.Op != FilterEq || f.LHS != "s" || f.RHS.Kind != IRI || f.RHS.Value != "http://x/a" {
+		t.Errorf("filter 0 = %+v", f)
+	}
+	f = q.Filters[1]
+	if f.Op != FilterNe || f.RHS.Kind != Var || f.RHS.Value != "s" {
+		t.Errorf("filter 1 = %+v", f)
+	}
+	f = q.Filters[2]
+	if f.Op != FilterRegex || f.RHS.Value != "needle" {
+		t.Errorf("filter 2 = %+v", f)
+	}
+	f = q.Filters[3]
+	if f.Op != FilterStrStarts || f.LHS != "o" {
+		t.Errorf("filter 3 = %+v", f)
+	}
+}
+
+func TestFilterStrStartsWithoutStr(t *testing.T) {
+	q, err := Parse(`SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER strstarts(?s, "http://") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Op != FilterStrStarts {
+		t.Errorf("filters = %+v", q.Filters)
+	}
+}
+
+func TestFilterAfterUnion(t *testing.T) {
+	q, err := Parse(`
+PREFIX y: <http://y/>
+SELECT ?s WHERE {
+  { ?s y:p ?o } UNION { ?s y:q ?o }
+  FILTER (?s != ?o)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 || len(q.UnionBranches) != 2 {
+		t.Errorf("filters = %d, branches = %d", len(q.Filters), len(q.UnionBranches))
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown form", `SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER bound(?s) }`},
+		{"missing paren", `SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER ?s = ?o }`},
+		{"bad op", `SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER (?s < ?o) }`},
+		{"unknown var", `SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER (?zzz = ?o) }`},
+		{"unknown rhs var", `SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER (?s = ?zzz) }`},
+		{"regex non term", `SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER regex(?s, <http://x/a>) }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Errorf("Parse(%q) succeeded", tc.src)
+			}
+		})
+	}
+}
+
+func TestOffsetAndLimitAnyOrder(t *testing.T) {
+	q, err := Parse(`SELECT ?s WHERE { ?s <http://y/p> ?o } OFFSET 5 LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Offset != 5 || q.Limit != 3 {
+		t.Errorf("offset/limit = %d/%d", q.Offset, q.Limit)
+	}
+	q, err = Parse(`SELECT ?s WHERE { ?s <http://y/p> ?o } LIMIT 3 OFFSET 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Offset != 5 || q.Limit != 3 {
+		t.Errorf("offset/limit = %d/%d", q.Offset, q.Limit)
+	}
+	if _, err := Parse(`SELECT ?s WHERE { ?s <http://y/p> ?o } OFFSET x`); err == nil {
+		t.Error("bad OFFSET accepted")
+	}
+}
+
+func TestExtensionsStringRoundTrip(t *testing.T) {
+	src := `
+PREFIX y: <http://y/>
+SELECT DISTINCT ?s WHERE {
+  { ?s y:p ?o } UNION { ?s y:q ?o }
+  FILTER (?s != ?o)
+  FILTER regex(?s, "x")
+} LIMIT 7 OFFSET 2`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, q.String())
+	}
+	if !q2.Distinct || q2.Limit != 7 || q2.Offset != 2 ||
+		len(q2.UnionBranches) != 2 || len(q2.Filters) != 2 {
+		t.Errorf("round trip lost structure: %s", q2)
+	}
+}
+
+func TestFilterOpString(t *testing.T) {
+	for op, want := range map[FilterOp]string{
+		FilterEq: "=", FilterNe: "!=", FilterRegex: "regex",
+		FilterStrStarts: "strstarts", FilterOp(9): "FilterOp(9)",
+	} {
+		if op.String() != want {
+			t.Errorf("op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+	f := Filter{Op: FilterEq, LHS: "x", RHS: Term{Kind: Var, Value: "y"}}
+	if !strings.Contains(f.String(), "?x = ?y") {
+		t.Errorf("Filter.String = %q", f.String())
+	}
+}
+
+func TestBangWithoutEquals(t *testing.T) {
+	if _, err := Parse(`SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER (?s ! ?o) }`); err == nil {
+		t.Error("lone '!' accepted")
+	}
+}

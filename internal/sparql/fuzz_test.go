@@ -1,0 +1,42 @@
+package sparql
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the SPARQL parser; it must never panic,
+// and any accepted query must re-render (String) to a query it accepts
+// again with the same structure.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT * WHERE { ?s <http://y/p> ?o }",
+		"SELECT ?s ?o WHERE { ?s <http://y/p> ?o . ?o <http://y/q> \"lit\" . }",
+		"PREFIX y: <http://y/> SELECT DISTINCT ?s WHERE { ?s y:p ?o ; y:q ?z , ?w . }",
+		"SELECT ?s WHERE { { ?s <http://y/p> ?o } UNION { ?s <http://y/q> ?o } } LIMIT 5 OFFSET 2",
+		"SELECT ?s WHERE { ?s <http://y/p> ?o . FILTER (?s != ?o) FILTER regex(?s, \"x\") }",
+		"SELECT ?s WHERE { ?s a <http://x/T> . }",
+		"SELEKT nonsense",
+		"SELECT ?s WHERE { ?s ?p ?o }",
+		"SELECT ?s WHERE {",
+		"\x00\xff{}?",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of String() failed: %v\n%q", err, rendered)
+		}
+		if len(q2.Patterns) != len(q.Patterns) ||
+			len(q2.Branches()) != len(q.Branches()) ||
+			len(q2.Filters) != len(q.Filters) ||
+			q2.Distinct != q.Distinct || q2.Limit != q.Limit || q2.Offset != q.Offset {
+			t.Fatalf("round trip changed structure:\n%s\nvs\n%s", q, q2)
+		}
+	})
+}

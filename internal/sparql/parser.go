@@ -1,0 +1,568 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses a SPARQL SELECT query.
+func Parse(src string) (*Query, error) {
+	return ParseWith(src, nil)
+}
+
+// ParseWith parses a query with pre-bound prefixes (copied, not mutated);
+// PREFIX declarations in the text override them.
+func ParseWith(src string, base *rdf.PrefixMap) (*Query, error) {
+	prefixes := &rdf.PrefixMap{}
+	if base != nil {
+		prefixes = base.Clone()
+	}
+	p := &parser{lex: newLexer(src), q: &Query{Prefixes: prefixes}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+type parser struct {
+	lex    *lexer
+	q      *Query
+	tok    token
+	peeked bool
+}
+
+func (p *parser) next() (token, error) {
+	if p.peeked {
+		p.peeked = false
+		return p.tok, nil
+	}
+	var err error
+	p.tok, err = p.lex.next()
+	return p.tok, err
+}
+
+func (p *parser) peek() (token, error) {
+	if !p.peeked {
+		var err error
+		p.tok, err = p.lex.next()
+		if err != nil {
+			return p.tok, err
+		}
+		p.peeked = true
+	}
+	return p.tok, nil
+}
+
+func (p *parser) errAt(t token, format string, args ...any) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) run() error {
+	// Prologue: PREFIX declarations.
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if !keywordIs(t, "PREFIX") {
+			break
+		}
+		p.peeked = false
+		if err := p.parsePrefix(); err != nil {
+			return err
+		}
+	}
+	// SELECT clause.
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if !keywordIs(t, "SELECT") {
+		return p.errAt(t, "expected SELECT, found %s", describe(t))
+	}
+	if t, err = p.peek(); err != nil {
+		return err
+	}
+	if keywordIs(t, "DISTINCT") {
+		p.peeked = false
+		p.q.Distinct = true
+	}
+	if err := p.parseSelectList(); err != nil {
+		return err
+	}
+	// WHERE clause.
+	t, err = p.next()
+	if err != nil {
+		return err
+	}
+	if keywordIs(t, "WHERE") {
+		t, err = p.next()
+		if err != nil {
+			return err
+		}
+	}
+	if t.kind != tokLBrace {
+		return p.errAt(t, "expected '{', found %s", describe(t))
+	}
+	if err := p.parseWhereBody(); err != nil {
+		return err
+	}
+	// Solution modifiers: LIMIT and OFFSET, in either order.
+	for {
+		t, err = p.next()
+		if err != nil {
+			return err
+		}
+		var dst *int
+		switch {
+		case keywordIs(t, "LIMIT"):
+			dst = &p.q.Limit
+		case keywordIs(t, "OFFSET"):
+			dst = &p.q.Offset
+		default:
+			goto done
+		}
+		kw := t.text
+		t, err = p.next()
+		if err != nil {
+			return err
+		}
+		if t.kind != tokInt {
+			return p.errAt(t, "expected integer after %s, found %s", kw, describe(t))
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return p.errAt(t, "bad %s value %q", kw, t.text)
+		}
+		*dst = n
+	}
+done:
+	if t.kind != tokEOF {
+		return p.errAt(t, "unexpected trailing %s", describe(t))
+	}
+	if len(p.q.Patterns) == 0 && len(p.q.UnionBranches) == 0 {
+		return p.errAt(t, "empty WHERE clause")
+	}
+	if err := p.checkProjection(); err != nil {
+		return err
+	}
+	return p.checkFilters()
+}
+
+// parseWhereBody parses the group after WHERE's '{': either a plain BGP
+// with optional FILTERs, or a `{ BGP } UNION { BGP } …` alternation
+// (FILTERs may follow the alternation and apply to every branch).
+func (p *parser) parseWhereBody() error {
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokLBrace {
+		return p.parsePatterns()
+	}
+	// UNION alternation.
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		if t.kind != tokLBrace {
+			return p.errAt(t, "expected '{' to open UNION branch, found %s", describe(t))
+		}
+		save := p.q.Patterns
+		p.q.Patterns = nil
+		if err := p.parsePatterns(); err != nil {
+			return err
+		}
+		branch := p.q.Patterns
+		p.q.Patterns = save
+		if len(branch) == 0 {
+			return p.errAt(t, "empty UNION branch")
+		}
+		p.q.UnionBranches = append(p.q.UnionBranches, branch)
+		t, err = p.peek()
+		if err != nil {
+			return err
+		}
+		if keywordIs(t, "UNION") {
+			p.peeked = false
+			continue
+		}
+		break
+	}
+	// Trailing FILTERs, then the closing brace of the WHERE group.
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if keywordIs(t, "FILTER") {
+			p.peeked = false
+			if err := p.parseFilter(); err != nil {
+				return err
+			}
+			continue
+		}
+		if t.kind == tokRBrace {
+			p.peeked = false
+			p.q.Patterns = p.q.UnionBranches[0]
+			return nil
+		}
+		return p.errAt(t, "expected UNION, FILTER or '}', found %s", describe(t))
+	}
+}
+
+func (p *parser) parsePrefix() error {
+	name, err := p.next()
+	if err != nil {
+		return err
+	}
+	if name.kind != tokIdent || !strings.HasSuffix(name.text, ":") {
+		return p.errAt(name, "expected 'prefix:' after PREFIX, found %s", describe(name))
+	}
+	iri, err := p.next()
+	if err != nil {
+		return err
+	}
+	if iri.kind != tokIRIRef {
+		return p.errAt(iri, "expected IRI after prefix name, found %s", describe(iri))
+	}
+	p.q.Prefixes.Set(strings.TrimSuffix(name.text, ":"), iri.text)
+	return nil
+}
+
+func (p *parser) parseSelectList() error {
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind == tokStar {
+		p.peeked = false
+		p.q.Star = true
+		return nil
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind != tokVar {
+			break
+		}
+		p.peeked = false
+		p.q.Select = append(p.q.Select, t.text)
+	}
+	if !p.q.Star && len(p.q.Select) == 0 {
+		return p.errAt(t, "SELECT needs '*' or at least one variable")
+	}
+	return nil
+}
+
+// parsePatterns parses the basic graph pattern until '}'.
+func (p *parser) parsePatterns() error {
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind == tokRBrace {
+			p.peeked = false
+			return nil
+		}
+		if t.kind == tokEOF {
+			return p.errAt(t, "unterminated WHERE clause, expected '}'")
+		}
+		if keywordIs(t, "FILTER") {
+			p.peeked = false
+			if err := p.parseFilter(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.parseTriplesSameSubject(); err != nil {
+			return err
+		}
+	}
+}
+
+// parseFilter parses the supported FILTER forms:
+//
+//	FILTER ( ?x = term )   FILTER ( ?x != term )
+//	FILTER regex( ?x, "substring" )
+//	FILTER strstarts( str(?x), "prefix" )
+func (p *parser) parseFilter() error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	switch {
+	case t.kind == tokLParen:
+		v, err := p.expect(tokVar, "variable on the left of a FILTER comparison")
+		if err != nil {
+			return err
+		}
+		opTok, err := p.next()
+		if err != nil {
+			return err
+		}
+		var op FilterOp
+		switch opTok.kind {
+		case tokEq:
+			op = FilterEq
+		case tokNe:
+			op = FilterNe
+		default:
+			return p.errAt(opTok, "expected '=' or '!=', found %s", describe(opTok))
+		}
+		rhs, err := p.parseTerm(posObject)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return err
+		}
+		p.q.Filters = append(p.q.Filters, Filter{Op: op, LHS: v.text, RHS: rhs})
+		return nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "regex"):
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return err
+		}
+		v, err := p.expect(tokVar, "variable as regex subject")
+		if err != nil {
+			return err
+		}
+		if tk, err := p.peek(); err != nil {
+			return err
+		} else if tk.kind == tokComma {
+			p.peeked = false
+		}
+		pat, err := p.filterArg("pattern literal or variable")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return err
+		}
+		p.q.Filters = append(p.q.Filters, Filter{Op: FilterRegex, LHS: v.text, RHS: pat})
+		return nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "strstarts"):
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return err
+		}
+		// Accept both strstarts(?x, …) and strstarts(str(?x), …).
+		tk, err := p.peek()
+		if err != nil {
+			return err
+		}
+		var v token
+		if tk.kind == tokIdent && strings.EqualFold(tk.text, "str") {
+			p.peeked = false
+			if _, err := p.expect(tokLParen, "'('"); err != nil {
+				return err
+			}
+			if v, err = p.expect(tokVar, "variable inside str()"); err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return err
+			}
+		} else if v, err = p.expect(tokVar, "variable as strstarts subject"); err != nil {
+			return err
+		}
+		if tk, err := p.peek(); err != nil {
+			return err
+		} else if tk.kind == tokComma {
+			p.peeked = false
+		}
+		pre, err := p.filterArg("prefix literal or variable")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return err
+		}
+		p.q.Filters = append(p.q.Filters, Filter{Op: FilterStrStarts, LHS: v.text, RHS: pre})
+		return nil
+	default:
+		return p.errAt(t, "unsupported FILTER form starting with %s", describe(t))
+	}
+}
+
+// filterArg parses a literal or variable argument of a filter function.
+func (p *parser) filterArg(what string) (Term, error) {
+	t, err := p.next()
+	if err != nil {
+		return Term{}, err
+	}
+	switch t.kind {
+	case tokLiteral:
+		return Term{Kind: Literal, Value: t.text}, nil
+	case tokVar:
+		return Term{Kind: Var, Value: t.text}, nil
+	default:
+		return Term{}, p.errAt(t, "expected %s, found %s", what, describe(t))
+	}
+}
+
+// expect consumes the next token, requiring the given kind.
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return t, err
+	}
+	if t.kind != kind {
+		return t, p.errAt(t, "expected %s, found %s", what, describe(t))
+	}
+	return t, nil
+}
+
+// checkFilters validates that filter variables occur in the patterns.
+func (p *parser) checkFilters() error {
+	have := make(map[string]bool)
+	for _, v := range p.q.Variables() {
+		have[v] = true
+	}
+	for _, f := range p.q.Filters {
+		if !have[f.LHS] {
+			return &Error{Line: 1, Col: 1, Msg: fmt.Sprintf("FILTER variable ?%s does not occur in WHERE clause", f.LHS)}
+		}
+		if f.RHS.Kind == Var && !have[f.RHS.Value] {
+			return &Error{Line: 1, Col: 1, Msg: fmt.Sprintf("FILTER variable ?%s does not occur in WHERE clause", f.RHS.Value)}
+		}
+	}
+	return nil
+}
+
+// parseTriplesSameSubject parses `subject predicate object (',' object)*
+// (';' predicate object ...)* '.'?`.
+func (p *parser) parseTriplesSameSubject() error {
+	s, err := p.parseTerm(posSubject)
+	if err != nil {
+		return err
+	}
+	for {
+		pr, err := p.parseTerm(posPredicate)
+		if err != nil {
+			return err
+		}
+		for {
+			o, err := p.parseTerm(posObject)
+			if err != nil {
+				return err
+			}
+			p.q.Patterns = append(p.q.Patterns, TriplePattern{S: s, P: pr, O: o})
+			t, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if t.kind == tokComma {
+				p.peeked = false
+				continue
+			}
+			break
+		}
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokSemi:
+			p.peeked = false
+			// Allow a dangling ';' before '.' or '}' as real SPARQL does.
+			nt, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if nt.kind == tokDot || nt.kind == tokRBrace {
+				break
+			}
+			continue
+		case tokDot:
+		case tokRBrace:
+			return nil
+		default:
+			return p.errAt(t, "expected '.', ';', ',' or '}', found %s", describe(t))
+		}
+		break
+	}
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind == tokDot {
+		p.peeked = false
+	}
+	return nil
+}
+
+type termPos uint8
+
+const (
+	posSubject termPos = iota
+	posPredicate
+	posObject
+)
+
+func (p *parser) parseTerm(pos termPos) (Term, error) {
+	t, err := p.next()
+	if err != nil {
+		return Term{}, err
+	}
+	switch t.kind {
+	case tokVar:
+		if pos == posPredicate {
+			// The paper's fragment instantiates every predicate.
+			return Term{}, p.errAt(t, "variable predicates are outside the supported fragment")
+		}
+		return Term{Kind: Var, Value: t.text}, nil
+	case tokIRIRef:
+		return Term{Kind: IRI, Value: t.text}, nil
+	case tokLiteral:
+		if pos != posObject {
+			return Term{}, p.errAt(t, "literals may only appear in object position")
+		}
+		return Term{Kind: Literal, Value: t.text}, nil
+	case tokIdent:
+		if t.text == "a" && pos == posPredicate {
+			return Term{Kind: IRI, Value: "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"}, nil
+		}
+		iri, err := p.q.Prefixes.Expand(t.text)
+		if err != nil {
+			return Term{}, p.errAt(t, "%v", err)
+		}
+		return Term{Kind: IRI, Value: iri}, nil
+	default:
+		return Term{}, p.errAt(t, "expected term, found %s", describe(t))
+	}
+}
+
+// checkProjection validates that projected variables occur in the pattern.
+func (p *parser) checkProjection() error {
+	if p.q.Star {
+		return nil
+	}
+	have := make(map[string]bool)
+	for _, v := range p.q.Variables() {
+		have[v] = true
+	}
+	for _, v := range p.q.Select {
+		if !have[v] {
+			return &Error{Line: 1, Col: 1, Msg: fmt.Sprintf("projected variable ?%s does not occur in WHERE clause", v)}
+		}
+	}
+	return nil
+}
+
+func describe(t token) string {
+	if t.text != "" {
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}

@@ -1,0 +1,295 @@
+package triplestore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+const figure1 = `
+@prefix x: <http://dbpedia.org/resource/> .
+@prefix y: <http://dbpedia.org/ontology/> .
+x:London y:isPartOf x:England .
+x:England y:hasCapital x:London .
+x:Christopher_Nolan y:wasBornIn x:London .
+x:Christopher_Nolan y:livedIn x:England .
+x:Christopher_Nolan y:isPartOf x:Dark_Knight_Trilogy .
+x:London y:hasStadium x:WembleyStadium .
+x:WembleyStadium y:hasCapacityOf "90000" .
+x:Amy_Winehouse y:wasBornIn x:London .
+x:Amy_Winehouse y:diedIn x:London .
+x:Amy_Winehouse y:wasPartOf x:Music_Band .
+x:Music_Band y:hasName "MCA_Band" .
+x:Music_Band y:foundedIn "1994" .
+x:Music_Band y:wasFormedIn x:London .
+x:Amy_Winehouse y:livedIn x:United_States .
+x:Amy_Winehouse y:wasMarriedTo x:Blake_Fielder-Civil .
+x:Blake_Fielder-Civil y:livedIn x:United_States .
+`
+
+func loadStore(t *testing.T) *Store {
+	t.Helper()
+	ts, err := rdf.ParseString(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FromTriples(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func run(t *testing.T, st *Store, src string, opts Options) (uint64, error) {
+	t.Helper()
+	pq, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Count(st.Compile(pq), opts)
+}
+
+func TestBasicCounts(t *testing.T) {
+	st := loadStore(t)
+	if st.NumTriples() != 16 {
+		t.Errorf("NumTriples = %d, want 16", st.NumTriples())
+	}
+	tests := []struct {
+		name, q string
+		want    uint64
+	}{
+		{"all livedIn", `PREFIX y: <http://dbpedia.org/ontology/> SELECT * WHERE { ?a y:livedIn ?b }`, 3},
+		{"born+died", `PREFIX y: <http://dbpedia.org/ontology/> SELECT * WHERE { ?w y:wasBornIn ?c . ?w y:diedIn ?c }`, 1},
+		{"anchored", `PREFIX y: <http://dbpedia.org/ontology/> PREFIX x: <http://dbpedia.org/resource/> SELECT * WHERE { ?w y:livedIn x:United_States }`, 2},
+		{"literal object", `PREFIX y: <http://dbpedia.org/ontology/> SELECT * WHERE { ?s y:hasName "MCA_Band" }`, 1},
+		{"ground true", `PREFIX y: <http://dbpedia.org/ontology/> PREFIX x: <http://dbpedia.org/resource/> SELECT * WHERE { x:London y:isPartOf x:England }`, 1},
+		{"ground false", `PREFIX y: <http://dbpedia.org/ontology/> PREFIX x: <http://dbpedia.org/resource/> SELECT * WHERE { x:England y:isPartOf x:London }`, 0},
+		{"path join", `PREFIX y: <http://dbpedia.org/ontology/> SELECT * WHERE { ?a y:wasPartOf ?b . ?b y:wasFormedIn ?c }`, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := run(t, st, tc.q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("count = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVariablesNeverBindLiterals(t *testing.T) {
+	st := loadStore(t)
+	// ?s hasName ?o — the only hasName triple has a literal object, which a
+	// variable must not bind under the multigraph semantics.
+	got, err := run(t, st, `PREFIX y: <http://dbpedia.org/ontology/> SELECT * WHERE { ?s y:hasName ?o }`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("count = %d, want 0 (variables bind IRIs only)", got)
+	}
+}
+
+func TestDuplicatesCollapse(t *testing.T) {
+	ts, _ := rdf.ParseString(`<http://x/a> <http://y/p> <http://x/b> .
+<http://x/a> <http://y/p> <http://x/b> .
+`)
+	st, err := FromTriples(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumTriples() != 1 {
+		t.Errorf("NumTriples = %d, want 1", st.NumTriples())
+	}
+}
+
+func TestSelfJoinSameVariable(t *testing.T) {
+	ts, _ := rdf.ParseString(`<http://x/a> <http://y/p> <http://x/a> .
+<http://x/a> <http://y/p> <http://x/b> .
+`)
+	st, err := FromTriples(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := sparql.Parse(`SELECT ?v WHERE { ?v <http://y/p> ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Count(st.Compile(pq), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("self-loop count = %d, want 1", got)
+	}
+}
+
+func TestUnsatCompile(t *testing.T) {
+	st := loadStore(t)
+	pq, _ := sparql.Parse(`PREFIX y: <http://dbpedia.org/ontology/> SELECT ?a ?b WHERE { ?a y:noSuchPredicate ?b }`)
+	c := st.Compile(pq)
+	if !c.Unsat() {
+		t.Error("unknown predicate not marked unsat")
+	}
+	if n, err := st.Count(c, Options{}); err != nil || n != 0 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestLimitAndAbort(t *testing.T) {
+	st := loadStore(t)
+	pq, _ := sparql.Parse(`PREFIX y: <http://dbpedia.org/ontology/> SELECT * WHERE { ?a y:livedIn ?b }`)
+	c := st.Compile(pq)
+	var got int
+	if err := st.Stream(c, Options{Limit: 2}, func([]uint32) bool { got++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("limited stream = %d, want 2", got)
+	}
+	got = 0
+	if err := st.Stream(c, Options{}, func([]uint32) bool { got++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("aborted stream = %d, want 1", got)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	st := loadStore(t)
+	pq, _ := sparql.Parse(`PREFIX y: <http://dbpedia.org/ontology/> SELECT * WHERE { ?a y:livedIn ?b }`)
+	c := st.Compile(pq)
+	_, err := st.Count(c, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != ErrDeadlineExceeded {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestVarNamesAndResourceName(t *testing.T) {
+	st := loadStore(t)
+	pq, _ := sparql.Parse(`PREFIX y: <http://dbpedia.org/ontology/> SELECT * WHERE { ?a y:wasMarriedTo ?b }`)
+	c := st.Compile(pq)
+	if names := c.VarNames(); len(names) != 2 || names[0] != "a" {
+		t.Errorf("VarNames = %v", names)
+	}
+	var sawAmy bool
+	err := st.Stream(c, Options{}, func(asg []uint32) bool {
+		if st.ResourceName(asg[0]) == "http://dbpedia.org/resource/Amy_Winehouse" {
+			sawAmy = true
+		}
+		return true
+	})
+	if err != nil || !sawAmy {
+		t.Errorf("expected Amy binding, err=%v", err)
+	}
+}
+
+// TestScanAllPatternShapes exercises all eight bound/unbound combinations
+// against a brute-force filter.
+func TestScanAllPatternShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var b Builder
+	var all []enc
+	for i := 0; i < 400; i++ {
+		tr := rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(12))),
+			P: rdf.NewIRI(fmt.Sprintf("http://y/p%d", rng.Intn(5))),
+			O: rdf.NewIRI(fmt.Sprintf("http://x/o%d", rng.Intn(12))),
+		}
+		if err := b.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Build()
+	all = append(all, st.triples...)
+
+	for trial := 0; trial < 200; trial++ {
+		var sb, pb, ob int64 = -1, -1, -1
+		pick := all[rng.Intn(len(all))]
+		if rng.Intn(2) == 0 {
+			sb = int64(pick.S)
+		}
+		if rng.Intn(2) == 0 {
+			pb = int64(pick.P)
+		}
+		if rng.Intn(2) == 0 {
+			ob = int64(pick.O)
+		}
+		want := 0
+		for _, tr := range all {
+			if (sb < 0 || int64(tr.S) == sb) && (pb < 0 || int64(tr.P) == pb) && (ob < 0 || int64(tr.O) == ob) {
+				want++
+			}
+		}
+		got := 0
+		st.scan(sb, pb, ob, func(enc) bool { got++; return true })
+		if got != want {
+			t.Fatalf("scan(%d,%d,%d) = %d, want %d", sb, pb, ob, got, want)
+		}
+		if est := st.estimate(sb, pb, ob); est < want {
+			t.Fatalf("estimate(%d,%d,%d) = %d < true count %d", sb, pb, ob, est, want)
+		}
+	}
+}
+
+func TestBuilderRejectsBadTriples(t *testing.T) {
+	var b Builder
+	lit := rdf.NewLiteral("x")
+	iri := rdf.NewIRI("http://x/a")
+	if err := b.Add(rdf.Triple{S: lit, P: iri, O: iri}); err == nil {
+		t.Error("literal subject accepted")
+	}
+	if err := b.AddAll([]rdf.Triple{{S: iri, P: lit, O: iri}}); err == nil {
+		t.Error("literal predicate accepted")
+	}
+}
+
+func TestFromReader(t *testing.T) {
+	st, err := FromReader(strings.NewReader(figure1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumTriples() != 16 {
+		t.Errorf("NumTriples = %d, want 16", st.NumTriples())
+	}
+	if _, err := FromReader(strings.NewReader("garbage\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := FromReader(strings.NewReader(`"lit" <http://y/p> <http://x/o> .` + "\n")); err == nil {
+		t.Error("literal subject accepted")
+	}
+}
+
+func TestMidRunDeadlineTriplestore(t *testing.T) {
+	// A dense graph whose 3-pattern query has |E|³ solutions; a short
+	// deadline must interrupt the join mid-run.
+	var b Builder
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			_ = b.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://x/l%d", i)),
+				P: rdf.NewIRI("http://y/p"),
+				O: rdf.NewIRI(fmt.Sprintf("http://x/r%d", j)),
+			})
+		}
+	}
+	st := b.Build()
+	pq, _ := sparql.Parse(`SELECT * WHERE { ?a <http://y/p> ?b . ?c <http://y/p> ?d . ?e <http://y/p> ?f }`)
+	c := st.Compile(pq)
+	start := time.Now()
+	_, err := st.Count(c, Options{Deadline: time.Now().Add(5 * time.Millisecond)})
+	if err != ErrDeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("deadline far overshot")
+	}
+}

@@ -1,0 +1,243 @@
+// Package workload generates SPARQL query workloads from a dataset exactly
+// as the paper's evaluation does (Section 7.2): star-shaped and
+// complex-shaped queries of a given size (number of triple patterns) are
+// grown from a random initial entity of the RDF tripleset; object literals
+// and some constant IRIs are injected, and the remaining IRIs become
+// variables. Because every query is carved out of the data with a
+// consistent entity→variable mapping, the identity assignment is always a
+// homomorphic embedding: generated queries are satisfiable by
+// construction.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Kind selects the query shape of Section 7.2.
+type Kind int
+
+const (
+	// Star grows all k patterns around one central entity.
+	Star Kind = iota
+	// Complex navigates the neighbourhood of the initial entity through
+	// predicate links until k patterns are collected.
+	Complex
+)
+
+// String reports the shape name used in the paper's figures.
+func (k Kind) String() string {
+	if k == Star {
+		return "star"
+	}
+	return "complex"
+}
+
+// Config tunes query generation.
+type Config struct {
+	// ConstProb is the probability that an entity is kept as a constant
+	// IRI instead of becoming a variable.
+	ConstProb float64
+	// MaxAttempts bounds the sampling retries per query.
+	MaxAttempts int
+}
+
+// DefaultConfig matches the paper's setting: mostly variables with some
+// injected constants.
+func DefaultConfig() Config {
+	return Config{ConstProb: 0.08, MaxAttempts: 200}
+}
+
+// Generator samples queries from a dataset. Create one with NewGenerator.
+type Generator struct {
+	rng      *rand.Rand
+	cfg      Config
+	entities []string
+	incident map[string][]rdf.Triple // IRI → triples it participates in
+	// byDegree holds entities sorted by descending incident count, so star
+	// centres of any size are found without rejection sampling.
+	byDegree []string
+}
+
+// NewGenerator indexes the tripleset for sampling. Generation is
+// deterministic in seed.
+func NewGenerator(triples []rdf.Triple, seed int64, cfg Config) *Generator {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 200
+	}
+	g := &Generator{
+		rng:      rand.New(rand.NewSource(seed)),
+		cfg:      cfg,
+		incident: make(map[string][]rdf.Triple),
+	}
+	seen := map[string]bool{}
+	addEntity := func(iri string) {
+		if !seen[iri] {
+			seen[iri] = true
+			g.entities = append(g.entities, iri)
+		}
+	}
+	for _, t := range triples {
+		addEntity(t.S.Value)
+		g.incident[t.S.Value] = append(g.incident[t.S.Value], t)
+		if t.O.IsIRI() {
+			addEntity(t.O.Value)
+			g.incident[t.O.Value] = append(g.incident[t.O.Value], t)
+		}
+	}
+	g.byDegree = append([]string(nil), g.entities...)
+	sort.SliceStable(g.byDegree, func(i, j int) bool {
+		return len(g.incident[g.byDegree[i]]) > len(g.incident[g.byDegree[j]])
+	})
+	return g
+}
+
+// eligibleStarCenters returns how many entities can centre a star of the
+// given size (a prefix of byDegree).
+func (g *Generator) eligibleStarCenters(size int) int {
+	return sort.Search(len(g.byDegree), func(i int) bool {
+		return len(g.incident[g.byDegree[i]]) < size
+	})
+}
+
+// NumEntities reports how many distinct IRIs are available for sampling.
+func (g *Generator) NumEntities() int { return len(g.entities) }
+
+// Generate produces one query of the given kind and size. ok is false when
+// the dataset cannot support the request within the attempt budget.
+func (g *Generator) Generate(kind Kind, size int) (*sparql.Query, bool) {
+	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+		var ts []rdf.Triple
+		var ok bool
+		if kind == Star {
+			ts, ok = g.sampleStar(size)
+		} else {
+			ts, ok = g.sampleComplex(size)
+		}
+		if !ok {
+			continue
+		}
+		if q, ok := g.variabilize(ts); ok {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// Workload produces n queries of one kind and size.
+func (g *Generator) Workload(kind Kind, size, n int) []*sparql.Query {
+	out := make([]*sparql.Query, 0, n)
+	for i := 0; i < n; i++ {
+		q, ok := g.Generate(kind, size)
+		if !ok {
+			break
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// sampleStar picks an initial entity with at least `size` incident triples
+// and chooses `size` of them at random (paper: "the initial entity forms
+// the central vertex of the star structure").
+func (g *Generator) sampleStar(size int) ([]rdf.Triple, bool) {
+	n := g.eligibleStarCenters(size)
+	if n == 0 {
+		return nil, false
+	}
+	center := g.byDegree[g.rng.Intn(n)]
+	inc := g.incident[center]
+	idx := g.rng.Perm(len(inc))[:size]
+	out := make([]rdf.Triple, size)
+	for i, j := range idx {
+		out[i] = inc[j]
+	}
+	return out, true
+}
+
+// sampleComplex navigates the neighbourhood of the initial entity through
+// predicate links until it has gathered `size` distinct triples.
+func (g *Generator) sampleComplex(size int) ([]rdf.Triple, bool) {
+	if len(g.entities) == 0 {
+		return nil, false
+	}
+	start := g.entities[g.rng.Intn(len(g.entities))]
+	used := map[rdf.Triple]bool{}
+	var frontier []string
+	frontier = append(frontier, start)
+	var out []rdf.Triple
+	stuck := 0
+	for len(out) < size && stuck < 10*size {
+		e := frontier[g.rng.Intn(len(frontier))]
+		inc := g.incident[e]
+		if len(inc) == 0 {
+			stuck++
+			continue
+		}
+		t := inc[g.rng.Intn(len(inc))]
+		if used[t] {
+			stuck++
+			continue
+		}
+		used[t] = true
+		out = append(out, t)
+		frontier = append(frontier, t.S.Value)
+		if t.O.IsIRI() {
+			frontier = append(frontier, t.O.Value)
+		}
+		stuck = 0
+	}
+	if len(out) < size {
+		return nil, false
+	}
+	return out, true
+}
+
+// variabilize converts sampled triples into a query: every literal object
+// stays a constant, entities become variables with a consistent mapping,
+// and a few entities are injected as constant IRIs.
+func (g *Generator) variabilize(ts []rdf.Triple) (*sparql.Query, bool) {
+	q := &sparql.Query{Star: true, Prefixes: &rdf.PrefixMap{}}
+	varOf := map[string]string{}
+	constOf := map[string]bool{}
+	decided := map[string]bool{}
+	nVars := 0
+	term := func(iri string) sparql.Term {
+		if !decided[iri] {
+			decided[iri] = true
+			if g.rng.Float64() < g.cfg.ConstProb {
+				constOf[iri] = true
+			} else {
+				varOf[iri] = fmt.Sprintf("X%d", nVars)
+				nVars++
+			}
+		}
+		if constOf[iri] {
+			return sparql.Term{Kind: sparql.IRI, Value: iri}
+		}
+		return sparql.Term{Kind: sparql.Var, Value: varOf[iri]}
+	}
+	for _, t := range ts {
+		var o sparql.Term
+		if t.O.IsLiteral() {
+			o = sparql.Term{Kind: sparql.Literal, Value: t.O.Value}
+		} else {
+			o = term(t.O.Value)
+		}
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{
+			S: term(t.S.Value),
+			P: sparql.Term{Kind: sparql.IRI, Value: t.P.Value},
+			O: o,
+		})
+	}
+	// A query without any variable is a pure existence check; the paper's
+	// workloads always have unknowns, so force at least one.
+	if nVars == 0 {
+		return nil, false
+	}
+	return q, true
+}

@@ -1,0 +1,47 @@
+package amber
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Save writes a binary snapshot of the database's multigraph to w.
+// Snapshots load much faster than re-parsing N-Triples; the index
+// ensemble is rebuilt deterministically on load.
+func (db *DB) Save(w io.Writer) error {
+	return db.store.Save(w)
+}
+
+// SaveFile writes a snapshot to a file.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenSnapshot loads a database from a snapshot produced by Save.
+func OpenSnapshot(r io.Reader) (*DB, error) {
+	st, err := core.LoadStore(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{store: st}, nil
+}
+
+// OpenSnapshotFile loads a database from a snapshot file.
+func OpenSnapshotFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenSnapshot(f)
+}

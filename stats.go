@@ -1,0 +1,50 @@
+package amber
+
+import "time"
+
+// Stats describes a database's contents and offline-stage construction
+// cost (the quantities of the paper's Tables 4 and 5).
+type Stats struct {
+	// Triples is the number of source RDF statements ingested.
+	Triples int
+	// Vertices is |V|: distinct subject/object IRIs.
+	Vertices int
+	// Edges is the number of distinct directed vertex pairs with at least
+	// one predicate between them (multi-edges collapse).
+	Edges int
+	// EdgeTypes is |T|: distinct predicates connecting IRIs.
+	EdgeTypes int
+	// Attributes is |A|: distinct <predicate, literal> tuples.
+	Attributes int
+
+	// DatabaseBuildTime and IndexBuildTime are the offline-stage timings.
+	DatabaseBuildTime time.Duration
+	IndexBuildTime    time.Duration
+	// DatabaseBytes and IndexBytes are analytic size estimates of the
+	// multigraph and the index ensemble I = {A, S, N}.
+	DatabaseBytes int64
+	IndexBytes    int64
+}
+
+// Stats reports the database's statistics.
+func (db *DB) Stats() Stats {
+	g := db.store.Graph
+	return Stats{
+		Triples:           g.NumTriples(),
+		Vertices:          g.NumVertices(),
+		Edges:             g.NumEdges(),
+		EdgeTypes:         g.NumEdgeTypes(),
+		Attributes:        g.NumAttrs(),
+		DatabaseBuildTime: db.store.Stats.DatabaseTime,
+		IndexBuildTime:    db.store.Stats.IndexTime,
+		DatabaseBytes:     db.store.Stats.DatabaseBytes,
+		IndexBytes:        db.store.Stats.IndexBytes,
+	}
+}
+
+// Explain renders the engine's execution view of a query: core/satellite
+// decomposition, matching order, constraints, and initial candidate set
+// size. The format is human-oriented and not stable.
+func (db *DB) Explain(sparqlText string) (string, error) {
+	return db.store.Explain(sparqlText)
+}
