@@ -1,8 +1,10 @@
 package amber
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -233,5 +235,99 @@ SELECT ?a ?b WHERE { ?a y:livedIn ?b }`, nil)
 	orig := openDB(t)
 	if _, err := orig.Query(`SELECT ?who WHERE { ?who y:livedIn x:United_States }`, nil); err == nil {
 		t.Error("unbound prefix accepted on original handle")
+	}
+}
+
+func TestPrepared(t *testing.T) {
+	db := openDB(t)
+	p, err := db.Prepare(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?who ?where WHERE {
+  ?who y:wasBornIn ?where .
+  ?who y:diedIn ?where .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj := p.Projection(); len(proj) != 2 || proj[0] != "who" || proj[1] != "where" {
+		t.Errorf("Projection = %v", proj)
+	}
+	// Executing the same plan repeatedly with different options yields
+	// consistent results.
+	for i := 0; i < 3; i++ {
+		rows, err := p.Query(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0]["who"] != "http://dbpedia.org/resource/Amy_Winehouse" {
+			t.Errorf("run %d: rows = %v", i, rows)
+		}
+	}
+	n, err := p.Count(nil)
+	if err != nil || n != 1 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+	if _, err := p.Query(&QueryOptions{Timeout: -time.Second}); err != ErrTimeout {
+		t.Errorf("timeout err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPreparedLimitAndParallelCount(t *testing.T) {
+	db := openDB(t)
+	p, err := db.Prepare(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b } LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query's LIMIT and the options' limit compose: tighter wins.
+	rows, err := p.Query(&QueryOptions{Limit: 5})
+	if err != nil || len(rows) != 2 {
+		t.Errorf("rows = %d, %v; want 2", len(rows), err)
+	}
+	rows, err = p.Query(&QueryOptions{Limit: 1})
+	if err != nil || len(rows) != 1 {
+		t.Errorf("rows = %d, %v; want 1", len(rows), err)
+	}
+	n, err := p.Count(nil)
+	if err != nil || n != 2 {
+		t.Errorf("Count = %d, %v; want 2", n, err)
+	}
+	for _, workers := range []int{1, 4} {
+		n, err := p.CountParallel(nil, workers)
+		if err != nil || n != 2 {
+			t.Errorf("CountParallel(%d) = %d, %v; want 2", workers, n, err)
+		}
+	}
+}
+
+func TestPreparedConcurrent(t *testing.T) {
+	db := openDB(t)
+	p, err := db.Prepare(`
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, err := p.Query(nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(rows) != 3 {
+				errs <- fmt.Errorf("rows = %d, want 3", len(rows))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

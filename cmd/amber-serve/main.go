@@ -1,0 +1,136 @@
+// Command amber-serve exposes an AMbER database as a SPARQL 1.1 Protocol
+// HTTP endpoint.
+//
+// Usage:
+//
+//	amber-serve -data data.nt -addr :8080
+//	amber-serve -snapshot db.snap -cache 1024 -max-concurrent 32 -timeout 30s
+//
+// Query it with any SPARQL-over-HTTP client:
+//
+//	curl 'http://localhost:8080/sparql' --data-urlencode \
+//	    'query=SELECT ?s WHERE { ?s <http://p> <http://o> . }'
+//
+// Signals: SIGINT/SIGTERM drain in-flight requests and exit; SIGHUP
+// reloads the data file or snapshot and hot-swaps it in without dropping
+// in-flight queries.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	amber "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataPath = flag.String("data", "", "RDF data file (N-Triples, prefixed names allowed)")
+		snapshot = flag.String("snapshot", "", "binary snapshot to load instead of -data")
+
+		cacheSize = flag.Int("cache", 256, "result cache entries (-1 disables)")
+		cacheRows = flag.Int("cache-rows", 10000, "max rows per cached result")
+		planCache = flag.Int("plan-cache", 1024, "prepared-plan cache entries (-1 disables)")
+		maxConc   = flag.Int("max-concurrent", 0, "max concurrent query executions (0 = 2×GOMAXPROCS)")
+		queueWait = flag.Duration("queue-wait", 100*time.Millisecond, "how long a request may wait for an execution slot")
+		timeout   = flag.Duration("timeout", 60*time.Second, "default per-query time constraint")
+		maxTime   = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+
+		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "how long to drain connections on shutdown")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dataPath, *snapshot, server.Config{
+		CacheSize:      *cacheSize,
+		MaxCacheRows:   *cacheRows,
+		PlanCacheSize:  *planCache,
+		MaxConcurrent:  *maxConc,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+	}, *shutdownGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "amber-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// load opens the database from whichever source was configured.
+func load(dataPath, snapshot string) (*amber.DB, error) {
+	switch {
+	case snapshot != "":
+		return amber.OpenSnapshotFile(snapshot)
+	case dataPath != "":
+		return amber.OpenFile(dataPath)
+	default:
+		return nil, fmt.Errorf("missing -data or -snapshot")
+	}
+}
+
+func run(addr, dataPath, snapshot string, cfg server.Config, grace time.Duration) error {
+	start := time.Now()
+	db, err := load(dataPath, snapshot)
+	if err != nil {
+		return err
+	}
+	st := db.Stats()
+	log.Printf("loaded %d triples (%d vertices, %d edges) in %s",
+		st.Triples, st.Vertices, st.Edges, time.Since(start).Round(time.Millisecond))
+
+	srv := server.New(db, cfg)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving SPARQL on %s (endpoints: /sparql /stats /healthz)", addr)
+		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				reload(srv, dataPath, snapshot)
+				continue
+			}
+			log.Printf("%s received, draining for up to %s", sig, grace)
+			ctx, cancel := context.WithTimeout(context.Background(), grace)
+			err := httpSrv.Shutdown(ctx)
+			cancel()
+			return err
+		}
+	}
+}
+
+// reload rebuilds the database from its source and hot-swaps it in.
+// In-flight queries finish against the generation they started on.
+func reload(srv *server.Server, dataPath, snapshot string) {
+	start := time.Now()
+	db, err := load(dataPath, snapshot)
+	if err != nil {
+		log.Printf("reload failed, keeping current database: %v", err)
+		return
+	}
+	gen := srv.Swap(db)
+	st := db.Stats()
+	log.Printf("hot-swapped to generation %d: %d triples in %s",
+		gen, st.Triples, time.Since(start).Round(time.Millisecond))
+}

@@ -21,6 +21,68 @@ func IsPlain(pq *sparql.Query) bool {
 	return !pq.Distinct && len(pq.Filters) == 0 && len(pq.UnionBranches) == 0 && pq.Offset == 0
 }
 
+// PreparedQuery is a query translated once against a Store's dictionaries
+// and ready to execute many times: every UNION branch's query multigraph
+// is built and its FILTERs compiled up front, so repeated executions skip
+// translation entirely. A PreparedQuery is tied to the Store that prepared
+// it (the compiled branches reference its dictionaries) and is safe for
+// concurrent use.
+type PreparedQuery struct {
+	store    *Store
+	pq       *sparql.Query
+	proj     []string
+	plain    bool
+	branches []preparedBranch
+}
+
+// preparedBranch is one UNION branch: its query multigraph plus the
+// filters resolved against that branch's variables.
+type preparedBranch struct {
+	qg      *query.Graph
+	filters []compiledFilter
+}
+
+// PrepareQuery translates a parsed query into its executable form.
+func (s *Store) PrepareQuery(pq *sparql.Query) (*PreparedQuery, error) {
+	p := &PreparedQuery{
+		store: s,
+		pq:    pq,
+		proj:  pq.Projection(),
+		plain: IsPlain(pq),
+	}
+	for _, branch := range pq.Branches() {
+		bq := &sparql.Query{Prefixes: pq.Prefixes, Star: true, Patterns: branch}
+		qg, err := query.Build(bq, &s.Graph.Dicts)
+		if err != nil {
+			return nil, err
+		}
+		p.branches = append(p.branches, preparedBranch{
+			qg:      qg,
+			filters: s.compileFilters(pq.Filters, qg),
+		})
+	}
+	return p, nil
+}
+
+// Query returns the parsed query the PreparedQuery was built from.
+func (p *PreparedQuery) Query() *sparql.Query { return p.pq }
+
+// Projection returns the projected variable names.
+func (p *PreparedQuery) Projection() []string { return p.proj }
+
+// Plain reports whether the query is in the paper's core fragment (see
+// IsPlain), for which the factorized Count path applies.
+func (p *PreparedQuery) Plain() bool { return p.plain }
+
+// Graph returns the query multigraph of a plain (single-branch) query,
+// for the factorized Count/CountParallel paths; nil otherwise.
+func (p *PreparedQuery) Graph() *query.Graph {
+	if p.plain && len(p.branches) == 1 {
+		return p.branches[0].qg
+	}
+	return nil
+}
+
 // Execute evaluates a parsed query with the full extension fragment:
 // UNION branches, FILTER constraints, DISTINCT, OFFSET and LIMIT. yield
 // receives complete solutions (all variables of the matched branch);
@@ -29,20 +91,28 @@ func IsPlain(pq *sparql.Query) bool {
 // Row-level modifiers are applied in SPARQL order: filters per solution,
 // then projection-level DISTINCT, then OFFSET, then LIMIT.
 func (s *Store) Execute(pq *sparql.Query, opts engine.Options, yield func(Solution) bool) error {
+	p, err := s.PrepareQuery(pq)
+	if err != nil {
+		return err
+	}
+	return p.Execute(opts, yield)
+}
+
+// Execute runs the prepared query; see Store.Execute for semantics.
+func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) error {
+	s, pq := p.store, p.pq
 	limit := pq.Limit
 	if opts.Limit > 0 && (limit == 0 || opts.Limit < limit) {
 		limit = opts.Limit
 	}
-	plain := IsPlain(pq)
 
 	// Only a plain query may push the limit into the engine.
 	engOpts := opts
 	engOpts.Limit = 0
-	if plain {
+	if p.plain {
 		engOpts.Limit = limit
 	}
 
-	proj := pq.Projection()
 	var (
 		seen    map[string]bool
 		skipped int
@@ -55,7 +125,7 @@ func (s *Store) Execute(pq *sparql.Query, opts engine.Options, yield func(Soluti
 
 	emit := func(sol Solution) bool {
 		if pq.Distinct {
-			key := distinctKey(proj, sol)
+			key := distinctKey(p.proj, sol)
 			if seen[key] {
 				return true
 			}
@@ -77,17 +147,12 @@ func (s *Store) Execute(pq *sparql.Query, opts engine.Options, yield func(Soluti
 		return true
 	}
 
-	for _, branch := range pq.Branches() {
+	for _, branch := range p.branches {
 		if stop {
 			break
 		}
-		bq := &sparql.Query{Prefixes: pq.Prefixes, Star: true, Patterns: branch}
-		qg, err := query.Build(bq, &s.Graph.Dicts)
-		if err != nil {
-			return err
-		}
-		filters := s.compileFilters(pq.Filters, qg)
-		err = s.Stream(qg, engOpts, func(asg []dict.VertexID) bool {
+		qg, filters := branch.qg, branch.filters
+		err := s.Stream(qg, engOpts, func(asg []dict.VertexID) bool {
 			for _, f := range filters {
 				if !f(asg) {
 					return true

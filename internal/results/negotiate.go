@@ -1,0 +1,111 @@
+package results
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// mediaTypes maps concrete media types a client may request to format
+// names. Wildcards (*/*, application/*, text/*) are handled separately.
+var mediaTypes = map[string]string{
+	"application/sparql-results+json": "json",
+	"application/json":                "json",
+	"application/sparql-results+xml":  "xml",
+	"application/xml":                 "xml",
+	"text/xml":                        "xml",
+	"text/csv":                        "csv",
+	"text/tab-separated-values":       "tsv",
+}
+
+// acceptClause is one parsed element of an Accept header.
+type acceptClause struct {
+	mediaType string
+	q         float64
+	order     int
+}
+
+// Negotiate selects a result format for an Accept header per RFC 9110
+// semantics: clauses are ranked by q-value (then header order), and the
+// best clause naming a supported type wins. Wildcards match the server
+// preference order (JSON first). An empty header means no preference:
+// JSON. ok is false when the client acceptably rules out every supported
+// format — the caller should answer 406.
+func Negotiate(accept string) (f Format, ok bool) {
+	accept = strings.TrimSpace(accept)
+	if accept == "" {
+		return Formats[0], true
+	}
+	clauses := parseAccept(accept)
+	if len(clauses) == 0 {
+		return Formats[0], true
+	}
+	sort.SliceStable(clauses, func(i, j int) bool {
+		if clauses[i].q != clauses[j].q {
+			return clauses[i].q > clauses[j].q
+		}
+		return clauses[i].order < clauses[j].order
+	})
+	// q=0 marks a media range as explicitly not acceptable; a wildcard
+	// clause must never resurrect a format excluded that way.
+	excluded := make(map[string]bool)
+	for _, c := range clauses {
+		if c.q <= 0 {
+			for _, name := range expandMediaType(c.mediaType) {
+				excluded[name] = true
+			}
+		}
+	}
+	for _, c := range clauses {
+		if c.q <= 0 {
+			continue
+		}
+		for _, name := range expandMediaType(c.mediaType) {
+			if !excluded[name] {
+				f, _ := Lookup(name)
+				return f, true
+			}
+		}
+	}
+	return Format{}, false
+}
+
+// expandMediaType resolves one media range to the format names it
+// covers, in server preference order.
+func expandMediaType(mt string) []string {
+	if name, ok := mediaTypes[mt]; ok {
+		return []string{name}
+	}
+	switch mt {
+	case "*/*":
+		return []string{"json", "xml", "csv", "tsv"}
+	case "application/*":
+		return []string{"json", "xml"}
+	case "text/*":
+		return []string{"csv", "tsv"}
+	}
+	return nil
+}
+
+// parseAccept splits an Accept header into clauses with q-values.
+func parseAccept(header string) []acceptClause {
+	var out []acceptClause
+	for i, part := range strings.Split(header, ",") {
+		fields := strings.Split(part, ";")
+		mt := strings.ToLower(strings.TrimSpace(fields[0]))
+		if mt == "" {
+			continue
+		}
+		q := 1.0
+		for _, p := range fields[1:] {
+			p = strings.TrimSpace(p)
+			if v, found := strings.CutPrefix(p, "q="); found {
+				if parsed, err := strconv.ParseFloat(v, 64); err == nil {
+					q = parsed
+				}
+			}
+		}
+		out = append(out, acceptClause{mediaType: mt, q: q, order: i})
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+// Package results serializes SPARQL query solutions in the W3C SPARQL 1.1
+// Query Results formats: JSON, XML, CSV and TSV.
+//
+// The writers are streaming: rows are encoded and flushed incrementally
+// against the engine's row-callback API, so arbitrarily large result sets
+// are served in constant memory. A Writer's lifecycle is
+// Begin(vars) → Row(...)* → End().
+package results
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"encoding/xml"
+	"io"
+	"strings"
+)
+
+// Writer serializes one result set. Implementations are not safe for
+// concurrent use; drive one writer per response.
+type Writer interface {
+	// Begin emits the header for the projected variable names (without '?').
+	Begin(vars []string) error
+	// Row emits one solution. A variable that is absent from the map or
+	// mapped to the empty string is unbound in this row.
+	Row(row map[string]string) error
+	// End emits the trailer and flushes buffered output.
+	End() error
+}
+
+// Format identifies one supported serialization.
+type Format struct {
+	// Name is the short format name: "json", "xml", "csv" or "tsv".
+	Name string
+	// ContentType is the response media type, with charset where customary.
+	ContentType string
+	// New constructs a streaming Writer targeting w.
+	New func(w io.Writer) Writer
+}
+
+// Formats lists the supported serializations, most preferred first. The
+// first entry (JSON) is the default when a client states no preference.
+var Formats = []Format{
+	{Name: "json", ContentType: "application/sparql-results+json", New: func(w io.Writer) Writer { return newJSON(w) }},
+	{Name: "xml", ContentType: "application/sparql-results+xml", New: func(w io.Writer) Writer { return newXML(w) }},
+	{Name: "csv", ContentType: "text/csv; charset=utf-8", New: func(w io.Writer) Writer { return newCSV(w) }},
+	{Name: "tsv", ContentType: "text/tab-separated-values; charset=utf-8", New: func(w io.Writer) Writer { return newTSV(w) }},
+}
+
+// Lookup resolves a short format name (case-insensitive) to its Format.
+func Lookup(name string) (Format, bool) {
+	for _, f := range Formats {
+		if strings.EqualFold(name, f.Name) {
+			return f, true
+		}
+	}
+	return Format{}, false
+}
+
+// isIRI reports whether a bound value looks like an absolute IRI: an
+// RFC 3986 scheme, a ':', and a remainder free of whitespace and the
+// characters IRIs forbid. AMbER binds variables to multigraph vertices,
+// which are IRIs, but values decoded from data may be plain strings;
+// those serialize as literals.
+func isIRI(v string) bool {
+	colon := -1
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c == ':' {
+			colon = i
+			break
+		}
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.'):
+		default:
+			return false
+		}
+	}
+	if colon <= 0 {
+		return false
+	}
+	for i := colon + 1; i < len(v); i++ {
+		switch c := v[i]; {
+		case c <= ' ', c == '<', c == '>', c == '"', c == '{', c == '}', c == '|', c == '\\', c == '^', c == '`':
+			return false
+		}
+	}
+	return true
+}
+
+// --- JSON (application/sparql-results+json) ---
+
+type jsonWriter struct {
+	w     *bufio.Writer
+	vars  []string
+	first bool
+}
+
+func newJSON(w io.Writer) *jsonWriter { return &jsonWriter{w: bufio.NewWriter(w)} }
+
+func (j *jsonWriter) Begin(vars []string) error {
+	j.vars = vars
+	j.first = true
+	j.w.WriteString(`{"head":{"vars":[`)
+	for i, v := range vars {
+		if i > 0 {
+			j.w.WriteByte(',')
+		}
+		writeJSONString(j.w, v)
+	}
+	_, err := j.w.WriteString(`]},"results":{"bindings":[`)
+	return err
+}
+
+func (j *jsonWriter) Row(row map[string]string) error {
+	if j.first {
+		j.first = false
+	} else {
+		j.w.WriteByte(',')
+	}
+	j.w.WriteByte('{')
+	n := 0
+	for _, v := range j.vars {
+		val := row[v]
+		if val == "" {
+			continue
+		}
+		if n > 0 {
+			j.w.WriteByte(',')
+		}
+		n++
+		writeJSONString(j.w, v)
+		if isIRI(val) {
+			j.w.WriteString(`:{"type":"uri","value":`)
+		} else {
+			j.w.WriteString(`:{"type":"literal","value":`)
+		}
+		writeJSONString(j.w, val)
+		j.w.WriteByte('}')
+	}
+	_, err := j.w.WriteString("}")
+	return err
+}
+
+func (j *jsonWriter) End() error {
+	j.w.WriteString("]}}\n")
+	return j.w.Flush()
+}
+
+func writeJSONString(w *bufio.Writer, s string) {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		b = []byte(`""`)
+	}
+	w.Write(b)
+}
+
+// --- XML (application/sparql-results+xml) ---
+
+type xmlWriter struct {
+	w    *bufio.Writer
+	vars []string
+}
+
+func newXML(w io.Writer) *xmlWriter { return &xmlWriter{w: bufio.NewWriter(w)} }
+
+func (x *xmlWriter) Begin(vars []string) error {
+	x.vars = vars
+	x.w.WriteString(xml.Header)
+	x.w.WriteString(`<sparql xmlns="http://www.w3.org/2005/sparql-results#">` + "\n<head>\n")
+	for _, v := range vars {
+		x.w.WriteString(`  <variable name="`)
+		xmlEscape(x.w, v)
+		x.w.WriteString("\"/>\n")
+	}
+	_, err := x.w.WriteString("</head>\n<results>\n")
+	return err
+}
+
+func (x *xmlWriter) Row(row map[string]string) error {
+	x.w.WriteString("  <result>\n")
+	for _, v := range x.vars {
+		val := row[v]
+		if val == "" {
+			continue
+		}
+		x.w.WriteString(`    <binding name="`)
+		xmlEscape(x.w, v)
+		x.w.WriteString(`">`)
+		if isIRI(val) {
+			x.w.WriteString("<uri>")
+			xmlEscape(x.w, val)
+			x.w.WriteString("</uri>")
+		} else {
+			x.w.WriteString("<literal>")
+			xmlEscape(x.w, val)
+			x.w.WriteString("</literal>")
+		}
+		x.w.WriteString("</binding>\n")
+	}
+	_, err := x.w.WriteString("  </result>\n")
+	return err
+}
+
+func (x *xmlWriter) End() error {
+	x.w.WriteString("</results>\n</sparql>\n")
+	return x.w.Flush()
+}
+
+func xmlEscape(w *bufio.Writer, s string) {
+	xml.EscapeText(w, []byte(s)) //nolint:errcheck — surfaces at Flush
+}
+
+// --- CSV (text/csv, RFC 4180) ---
+
+type csvWriter struct {
+	w    *csv.Writer
+	vars []string
+	rec  []string
+}
+
+func newCSV(w io.Writer) *csvWriter {
+	cw := csv.NewWriter(w)
+	cw.UseCRLF = true // RFC 4180 line endings, per the SPARQL CSV spec
+	return &csvWriter{w: cw}
+}
+
+func (c *csvWriter) Begin(vars []string) error {
+	c.vars = vars
+	c.rec = make([]string, len(vars))
+	return c.w.Write(vars)
+}
+
+func (c *csvWriter) Row(row map[string]string) error {
+	for i, v := range c.vars {
+		c.rec[i] = row[v]
+	}
+	return c.w.Write(c.rec)
+}
+
+func (c *csvWriter) End() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// --- TSV (text/tab-separated-values) ---
+
+type tsvWriter struct {
+	w    *bufio.Writer
+	vars []string
+}
+
+func newTSV(w io.Writer) *tsvWriter { return &tsvWriter{w: bufio.NewWriter(w)} }
+
+func (t *tsvWriter) Begin(vars []string) error {
+	t.vars = vars
+	for i, v := range vars {
+		if i > 0 {
+			t.w.WriteByte('\t')
+		}
+		t.w.WriteByte('?')
+		t.w.WriteString(v)
+	}
+	_, err := t.w.WriteString("\n")
+	return err
+}
+
+func (t *tsvWriter) Row(row map[string]string) error {
+	for i, v := range t.vars {
+		if i > 0 {
+			t.w.WriteByte('\t')
+		}
+		val := row[v]
+		if val == "" {
+			continue // unbound: empty field
+		}
+		if isIRI(val) {
+			t.w.WriteByte('<')
+			t.w.WriteString(val)
+			t.w.WriteByte('>')
+		} else {
+			writeTSVLiteral(t.w, val)
+		}
+	}
+	_, err := t.w.WriteString("\n")
+	return err
+}
+
+func (t *tsvWriter) End() error { return t.w.Flush() }
+
+// writeTSVLiteral writes a quoted Turtle-style literal with the escapes
+// the SPARQL TSV spec requires (tab, newline, carriage return, quote,
+// backslash).
+func writeTSVLiteral(w *bufio.Writer, s string) {
+	w.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\t':
+			w.WriteString(`\t`)
+		case '\n':
+			w.WriteString(`\n`)
+		case '\r':
+			w.WriteString(`\r`)
+		case '"':
+			w.WriteString(`\"`)
+		case '\\':
+			w.WriteString(`\\`)
+		default:
+			w.WriteByte(c)
+		}
+	}
+	w.WriteByte('"')
+}
+
+// WriteAll serializes a fully materialized result set — the cached-result
+// fast path. vars is the projection; rows are the solutions in order.
+func WriteAll(f Format, w io.Writer, vars []string, rows []map[string]string) error {
+	sw := f.New(w)
+	if err := sw.Begin(vars); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := sw.Row(r); err != nil {
+			return err
+		}
+	}
+	return sw.End()
+}

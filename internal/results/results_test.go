@@ -1,0 +1,189 @@
+package results
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+var testVars = []string{"s", "o"}
+
+var testRows = []map[string]string{
+	{"s": "http://x/a", "o": "http://x/b"},
+	{"s": "http://x/c"}, // o unbound
+	{"s": "http://x/d", "o": `plain "text"` + "\twith\ttabs"},
+}
+
+func render(t *testing.T, name string) string {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("Lookup(%q) failed", name)
+	}
+	var sb strings.Builder
+	if err := WriteAll(f, &sb, testVars, testRows); err != nil {
+		t.Fatalf("WriteAll(%s): %v", name, err)
+	}
+	return sb.String()
+}
+
+func TestJSONFormat(t *testing.T) {
+	out := render(t, "json")
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]struct {
+				Type  string `json:"type"`
+				Value string `json:"value"`
+			} `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Head.Vars) != 2 || doc.Head.Vars[0] != "s" {
+		t.Errorf("head.vars = %v", doc.Head.Vars)
+	}
+	if len(doc.Results.Bindings) != 3 {
+		t.Fatalf("bindings = %d, want 3", len(doc.Results.Bindings))
+	}
+	b0 := doc.Results.Bindings[0]
+	if b0["s"].Type != "uri" || b0["s"].Value != "http://x/a" {
+		t.Errorf("binding 0 s = %+v", b0["s"])
+	}
+	if _, present := doc.Results.Bindings[1]["o"]; present {
+		t.Error("unbound variable serialized in JSON binding")
+	}
+	if doc.Results.Bindings[2]["o"].Type != "literal" {
+		t.Errorf("non-IRI value not typed literal: %+v", doc.Results.Bindings[2]["o"])
+	}
+}
+
+func TestXMLFormat(t *testing.T) {
+	out := render(t, "xml")
+	var doc struct {
+		XMLName xml.Name `xml:"sparql"`
+		Head    struct {
+			Variables []struct {
+				Name string `xml:"name,attr"`
+			} `xml:"variable"`
+		} `xml:"head"`
+		Results struct {
+			Results []struct {
+				Bindings []struct {
+					Name    string `xml:"name,attr"`
+					URI     string `xml:"uri"`
+					Literal string `xml:"literal"`
+				} `xml:"binding"`
+			} `xml:"result"`
+		} `xml:"results"`
+	}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid XML: %v\n%s", err, out)
+	}
+	if len(doc.Head.Variables) != 2 {
+		t.Errorf("variables = %+v", doc.Head.Variables)
+	}
+	if len(doc.Results.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(doc.Results.Results))
+	}
+	if got := doc.Results.Results[0].Bindings[0].URI; got != "http://x/a" {
+		t.Errorf("result 0 uri = %q", got)
+	}
+	if n := len(doc.Results.Results[1].Bindings); n != 1 {
+		t.Errorf("row with unbound var has %d bindings, want 1", n)
+	}
+	if got := doc.Results.Results[2].Bindings[1].Literal; !strings.Contains(got, "plain") {
+		t.Errorf("literal binding = %q", got)
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out := render(t, "csv")
+	lines := strings.Split(strings.TrimRight(out, "\r\n"), "\r\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (header + 3 rows):\n%q", len(lines), out)
+	}
+	if lines[0] != "s,o" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "http://x/a,http://x/b" {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "http://x/c," {
+		t.Errorf("unbound row = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], `"`) {
+		t.Errorf("row with quotes not CSV-escaped: %q", lines[3])
+	}
+}
+
+func TestTSVFormat(t *testing.T) {
+	out := render(t, "tsv")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%q", len(lines), out)
+	}
+	if lines[0] != "?s\t?o" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "<http://x/a>\t<http://x/b>" {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+	if lines[2] != "<http://x/c>\t" {
+		t.Errorf("unbound row = %q", lines[2])
+	}
+	if strings.Count(lines[3], "\t") != 1 {
+		t.Errorf("literal tabs not escaped: %q", lines[3])
+	}
+	if !strings.Contains(lines[3], `\"`) {
+		t.Errorf("literal quotes not escaped: %q", lines[3])
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   string
+		ok     bool
+	}{
+		{"", "json", true},
+		{"application/sparql-results+json", "json", true},
+		{"application/sparql-results+xml", "xml", true},
+		{"text/csv", "csv", true},
+		{"text/tab-separated-values", "tsv", true},
+		{"*/*", "json", true},
+		{"text/*", "csv", true},
+		{"text/html, application/xml;q=0.9, */*;q=0.1", "xml", true},
+		{"text/csv;q=0.5, application/sparql-results+json;q=0.9", "json", true},
+		{"application/json; q=0", "", false},
+		{"image/png", "", false},
+		{"image/png, */*;q=0.2", "json", true},
+		// A wildcard must not resurrect a format excluded with q=0.
+		{"application/sparql-results+json;q=0, */*", "xml", true},
+		{"text/*;q=0, */*", "json", true},
+		{"*/*;q=0", "", false},
+	}
+	for _, c := range cases {
+		f, ok := Negotiate(c.accept)
+		if ok != c.ok || (ok && f.Name != c.want) {
+			t.Errorf("Negotiate(%q) = (%q, %v), want (%q, %v)", c.accept, f.Name, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIsIRI(t *testing.T) {
+	for _, v := range []string{"http://x/a", "urn:isbn:123", "mailto:a@b"} {
+		if !isIRI(v) {
+			t.Errorf("isIRI(%q) = false", v)
+		}
+	}
+	for _, v := range []string{"", "plain text", "42", ":nope", "has space:x", "note: hello world", "a:b\tc"} {
+		if isIRI(v) {
+			t.Errorf("isIRI(%q) = true", v)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, mutex-guarded LRU map. The zero value is not
+// usable; construct with newLRU. A max of 0 disables the cache (every
+// Get misses, Put is a no-op).
+type lruCache[V any] struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](max int) *lruCache[V] {
+	return &lruCache[V]{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and promotes it to most recently used.
+func (c *lruCache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache[V]) Put(key string, val V) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the live serving counters exposed by /stats.
+type metrics struct {
+	queries     atomic.Uint64 // query requests accepted for processing
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	rejected    atomic.Uint64 // 503s from admission control
+	timeouts    atomic.Uint64
+	parseErrors atomic.Uint64
+	inFlight    atomic.Int64 // engine executions currently running
+
+	lat latencyRing
+}
+
+// latencyRing keeps the most recent query latencies for percentile
+// estimation. A fixed ring bounds memory and keeps the percentiles
+// reflecting current behaviour rather than all-time history.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [1024]time.Duration
+	next int
+	n    int // filled entries, ≤ len(buf)
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// percentiles returns the given quantiles (0..1) over the recorded
+// window, nearest-rank. With no samples it returns zeros.
+func (r *latencyRing) percentiles(qs ...float64) []time.Duration {
+	r.mu.Lock()
+	samples := make([]time.Duration, r.n)
+	copy(samples, r.buf[:r.n])
+	r.mu.Unlock()
+
+	out := make([]time.Duration, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for i, q := range qs {
+		idx := int(q*float64(len(samples))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		out[i] = samples[idx]
+	}
+	return out
+}

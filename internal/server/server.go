@@ -1,0 +1,579 @@
+// Package server exposes an AMbER database over HTTP, speaking the
+// SPARQL 1.1 Protocol: query via GET (?query=), POST form-encoded, or
+// POST with an application/sparql-query body; results are serialized in
+// the format negotiated from the Accept header (see internal/results).
+//
+// The server is built for sustained concurrent traffic:
+//
+//   - a bounded LRU cache of materialized results, keyed on normalized
+//     query text plus result-shaping options, serves repeat queries
+//     without touching the engine;
+//   - a bounded LRU of prepared plans (amber.Prepared) lets cache-missed
+//     repeats skip parsing and query-multigraph construction;
+//   - a semaphore caps concurrent engine executions, shedding load with
+//     503 + Retry-After once the cap and queue wait are exhausted;
+//   - per-query timeouts map to 503, malformed queries to 400;
+//   - Swap atomically replaces the underlying database for zero-downtime
+//     snapshot reload — in-flight queries finish against the database
+//     they started on, and both caches roll over with the swap.
+//
+// Endpoints: the SPARQL endpoint at "/" and "/sparql", liveness at
+// "/healthz", and live serving counters plus database statistics at
+// "/stats".
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	amber "repro"
+	"repro/internal/results"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// CacheSize bounds the result cache, in entries. Default 256;
+	// negative disables result caching.
+	CacheSize int
+	// MaxCacheRows caps how many rows a single cached result may hold;
+	// larger results are served streaming and never cached. Default 10000.
+	MaxCacheRows int
+	// PlanCacheSize bounds the prepared-plan cache, in entries. Default
+	// 1024; negative disables plan caching.
+	PlanCacheSize int
+	// MaxConcurrent caps concurrent engine executions. Default
+	// 2×GOMAXPROCS.
+	MaxConcurrent int
+	// QueueWait is how long a request may wait for an execution slot
+	// before being shed with 503. Default 100ms; negative means no wait
+	// (immediate shed when saturated).
+	QueueWait time.Duration
+	// DefaultTimeout bounds each query's execution when the request
+	// carries no timeout parameter. Default 60s (the paper's constraint).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts. Default 5m.
+	MaxTimeout time.Duration
+	// MaxQueryLength bounds accepted query text, in bytes. Default 1MiB.
+	MaxQueryLength int
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		} else if *v < 0 {
+			*v = 0
+		}
+	}
+	def(&c.CacheSize, 256)
+	def(&c.MaxCacheRows, 10000)
+	def(&c.PlanCacheSize, 1024)
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxQueryLength <= 0 {
+		c.MaxQueryLength = 1 << 20
+	}
+	return c
+}
+
+// cachedResult is one materialized result set.
+type cachedResult struct {
+	vars []string
+	rows []map[string]string
+}
+
+// dbState bundles a database generation with its caches. Swapping the
+// database swaps the whole state, so cached plans and results can never
+// outlive the dictionaries they were built against, and in-flight
+// requests keep a consistent view.
+type dbState struct {
+	db      *amber.DB
+	gen     uint64
+	plans   *lruCache[*amber.Prepared]
+	results *lruCache[*cachedResult]
+}
+
+func newDBState(db *amber.DB, cfg Config, gen uint64) *dbState {
+	return &dbState{
+		db:      db,
+		gen:     gen,
+		plans:   newLRU[*amber.Prepared](cfg.PlanCacheSize),
+		results: newLRU[*cachedResult](cfg.CacheSize),
+	}
+}
+
+// prepare resolves a plan through the plan cache. key is the normalized
+// query text.
+func (st *dbState) prepare(key, query string) (*amber.Prepared, error) {
+	if p, ok := st.plans.Get(key); ok {
+		return p, nil
+	}
+	p, err := st.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	st.plans.Put(key, p)
+	return p, nil
+}
+
+// testHookExecute, when non-nil, is invoked with the raw query text
+// after admission control and plan preparation, immediately before
+// engine execution. Tests use it to hold queries in flight.
+var testHookExecute func(query string)
+
+// Server is the SPARQL-protocol HTTP handler. Construct with New; safe
+// for concurrent use.
+type Server struct {
+	cfg   Config
+	state atomic.Pointer[dbState]
+	gen   atomic.Uint64
+	sem   chan struct{}
+	met   metrics
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// New builds a Server serving db with the given configuration.
+func New(db *amber.DB, cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.state.Store(newDBState(db, s.cfg, 0))
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/sparql", s.handleQuery)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		s.handleQuery(w, r)
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// DB returns the currently served database.
+func (s *Server) DB() *amber.DB { return s.state.Load().db }
+
+// Swap atomically replaces the served database and rolls both caches
+// over to the new generation. In-flight queries finish against the
+// database they started on. It returns the new generation number.
+func (s *Server) Swap(db *amber.DB) uint64 {
+	gen := s.gen.Add(1)
+	s.state.Store(newDBState(db, s.cfg, gen))
+	return gen
+}
+
+// httpError is a request-processing failure with a protocol status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError emits a JSON error body. Call only before any result bytes
+// have been written.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"error": msg, "status": status}) //nolint:errcheck
+}
+
+// readQuery extracts the SPARQL query text per the SPARQL 1.1 Protocol
+// and parses the request's result-shaping parameters.
+func (s *Server) readQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", errorf(http.StatusBadRequest, "missing query parameter")
+		}
+		return q, nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		mt, _, err := mime.ParseMediaType(ct)
+		if ct != "" && err != nil {
+			return "", errorf(http.StatusBadRequest, "malformed Content-Type: %v", err)
+		}
+		switch mt {
+		case "", "application/x-www-form-urlencoded":
+			r.Body = http.MaxBytesReader(nil, r.Body, int64(s.cfg.MaxQueryLength)+4096)
+			if err := r.ParseForm(); err != nil {
+				return "", errorf(http.StatusBadRequest, "malformed form body: %v", err)
+			}
+			q := r.PostForm.Get("query")
+			if q == "" {
+				return "", errorf(http.StatusBadRequest, "missing query form field")
+			}
+			return q, nil
+		case "application/sparql-query":
+			body, err := io.ReadAll(io.LimitReader(r.Body, int64(s.cfg.MaxQueryLength)+1))
+			if err != nil {
+				return "", errorf(http.StatusBadRequest, "reading body: %v", err)
+			}
+			if len(body) == 0 {
+				return "", errorf(http.StatusBadRequest, "empty query body")
+			}
+			return string(body), nil
+		default:
+			return "", errorf(http.StatusUnsupportedMediaType, "unsupported Content-Type %q", mt)
+		}
+	default:
+		return "", errorf(http.StatusMethodNotAllowed, "method %s not allowed; use GET or POST", r.Method)
+	}
+}
+
+// queryParams are the per-request execution knobs.
+type queryParams struct {
+	opts   amber.QueryOptions
+	format results.Format
+}
+
+func (s *Server) readParams(r *http.Request) (queryParams, error) {
+	var p queryParams
+	p.opts.Timeout = s.cfg.DefaultTimeout
+
+	get := func(name string) string {
+		if r.Form != nil { // populated for form POSTs by readQuery
+			if v := r.Form.Get(name); v != "" {
+				return v
+			}
+		}
+		return r.URL.Query().Get(name)
+	}
+
+	if v := get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, errorf(http.StatusBadRequest, "invalid limit %q", v)
+		}
+		p.opts.Limit = n
+	}
+	if v := get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			if ms, merr := strconv.Atoi(v); merr == nil {
+				d = time.Duration(ms) * time.Millisecond
+			} else {
+				return p, errorf(http.StatusBadRequest, "invalid timeout %q", v)
+			}
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		if d == 0 {
+			// timeout=0 ("no timeout") would let a query hold an execution
+			// slot forever; the server always bounds execution.
+			d = s.cfg.DefaultTimeout
+		}
+		p.opts.Timeout = d
+	}
+
+	if v := get("format"); v != "" {
+		f, ok := results.Lookup(v)
+		if !ok {
+			return p, errorf(http.StatusBadRequest, "unknown format %q", v)
+		}
+		p.format = f
+		return p, nil
+	}
+	f, ok := results.Negotiate(r.Header.Get("Accept"))
+	if !ok {
+		return p, errorf(http.StatusNotAcceptable,
+			"no acceptable result format; supported: sparql-results+json, sparql-results+xml, csv, tsv")
+	}
+	p.format = f
+	return p, nil
+}
+
+// acquire claims an execution slot, waiting up to QueueWait.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.cfg.QueueWait <= 0 {
+		return false
+	}
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-timer.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// countingWriter tracks whether any response bytes reached the client,
+// which decides whether an execution error can still become a clean
+// HTTP error response.
+type countingWriter struct {
+	dst io.Writer
+	n   int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.dst.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+
+	query, err := s.readQuery(r)
+	if err == nil {
+		if len(query) > s.cfg.MaxQueryLength {
+			err = errorf(http.StatusRequestEntityTooLarge,
+				"query exceeds %d bytes", s.cfg.MaxQueryLength)
+		}
+	}
+	var params queryParams
+	if err == nil {
+		params, err = s.readParams(r)
+	}
+	if err != nil {
+		he := err.(*httpError)
+		if he.status == http.StatusMethodNotAllowed {
+			w.Header().Set("Allow", "GET, POST")
+		}
+		writeError(w, he.status, he.msg)
+		return
+	}
+
+	norm := normalizeQuery(query)
+	key := cacheKey(norm, &params.opts)
+
+	// Cached results are served without touching the engine, so they
+	// bypass admission control entirely.
+	if cr, ok := st.results.Get(key); ok {
+		s.met.queries.Add(1)
+		s.met.cacheHits.Add(1)
+		start := time.Now()
+		w.Header().Set("Content-Type", params.format.ContentType)
+		w.Header().Set("X-Cache", "hit")
+		if results.WriteAll(params.format, w, cr.vars, cr.rows) == nil {
+			s.met.lat.record(time.Since(start))
+		}
+		return
+	}
+	if !s.acquire(r.Context()) {
+		s.met.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent))
+		return
+	}
+	defer func() { <-s.sem }()
+
+	s.met.queries.Add(1)
+	s.met.cacheMisses.Add(1)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	start := time.Now()
+
+	prep, perr := st.prepare(norm, query)
+	if perr != nil {
+		s.met.parseErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid query: "+perr.Error())
+		return
+	}
+
+	if testHookExecute != nil {
+		testHookExecute(query)
+	}
+
+	cw := &countingWriter{dst: w}
+	sw := params.format.New(cw)
+	w.Header().Set("Content-Type", params.format.ContentType)
+	w.Header().Set("X-Cache", "miss")
+
+	vars := prep.Projection()
+	if err := sw.Begin(vars); err != nil {
+		return
+	}
+	collected := make([]map[string]string, 0, 64)
+	collecting := s.cfg.MaxCacheRows > 0
+	var writeErr error
+	qerr := prep.QueryIter(&params.opts, func(row amber.Row) bool {
+		m := map[string]string(row)
+		if collecting {
+			if len(collected) < s.cfg.MaxCacheRows {
+				collected = append(collected, m)
+			} else {
+				collecting, collected = false, nil
+			}
+		}
+		if werr := sw.Row(m); werr != nil {
+			writeErr = werr
+			return false
+		}
+		return true
+	})
+
+	switch {
+	case qerr == amber.ErrTimeout:
+		s.met.timeouts.Add(1)
+		if cw.n == 0 {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("query timed out after %s", params.opts.Timeout))
+		}
+		return
+	case qerr != nil:
+		if cw.n == 0 {
+			writeError(w, http.StatusInternalServerError, qerr.Error())
+		}
+		return
+	case writeErr != nil:
+		return // client went away mid-stream; nothing useful to do
+	}
+	if sw.End() != nil {
+		return
+	}
+	if collecting {
+		st.results.Put(key, &cachedResult{vars: vars, rows: collected})
+	}
+	s.met.lat.record(time.Since(start))
+}
+
+// cacheKey builds the result-cache key from the normalized query text
+// plus every option that shapes the rows. The timeout is deliberately
+// excluded — it bounds execution, not the result. The plan cache is
+// keyed on the normalized text alone: a plan does not depend on limits.
+func cacheKey(normalizedQuery string, opts *amber.QueryOptions) string {
+	return normalizedQuery + "\x00limit=" + strconv.Itoa(opts.Limit)
+}
+
+// normalizeQuery collapses insignificant whitespace so trivially
+// reformatted queries share one cache entry. Whitespace inside string
+// literals and IRI references is preserved.
+func normalizeQuery(q string) string {
+	var sb strings.Builder
+	sb.Grow(len(q))
+	var quote byte // expected closing delimiter; 0 = outside
+	space := false
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		if quote != 0 {
+			sb.WriteByte(c)
+			if quote != '>' && c == '\\' && i+1 < len(q) {
+				i++
+				sb.WriteByte(q[i])
+				continue
+			}
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			space = true
+			continue
+		case '"', '\'':
+			quote = c
+		case '<':
+			quote = '>'
+		}
+		if space && sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		space = false
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+// StatsResponse is the /stats document: live serving counters plus the
+// underlying database's statistics.
+type StatsResponse struct {
+	Uptime     string `json:"uptime"`
+	Generation uint64 `json:"generation"`
+
+	Queries     uint64 `json:"queries"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Rejected    uint64 `json:"rejected"`
+	Timeouts    uint64 `json:"timeouts"`
+	ParseErrors uint64 `json:"parse_errors"`
+	InFlight    int64  `json:"in_flight"`
+
+	ResultCacheEntries int `json:"result_cache_entries"`
+	PlanCacheEntries   int `json:"plan_cache_entries"`
+
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+
+	DB amber.Stats `json:"db"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() StatsResponse {
+	st := s.state.Load()
+	pcts := s.met.lat.percentiles(0.50, 0.99)
+	return StatsResponse{
+		Uptime:             time.Since(s.start).Round(time.Millisecond).String(),
+		Generation:         st.gen,
+		Queries:            s.met.queries.Load(),
+		CacheHits:          s.met.cacheHits.Load(),
+		CacheMisses:        s.met.cacheMisses.Load(),
+		Rejected:           s.met.rejected.Load(),
+		Timeouts:           s.met.timeouts.Load(),
+		ParseErrors:        s.met.parseErrors.Load(),
+		InFlight:           s.met.inFlight.Load(),
+		ResultCacheEntries: st.results.Len(),
+		PlanCacheEntries:   st.plans.Len(),
+		P50Millis:          float64(pcts[0]) / float64(time.Millisecond),
+		P99Millis:          float64(pcts[1]) / float64(time.Millisecond),
+		DB:                 st.db.Stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats()) //nolint:errcheck
+}
