@@ -229,8 +229,8 @@ func (p *Prepared) QueryIter(opts *QueryOptions, fn func(Row) bool) error {
 
 // Count counts solutions of the prepared query; see DB.Count.
 func (p *Prepared) Count(opts *QueryOptions) (uint64, error) {
-	if qg := p.cp.Graph(); qg != nil {
-		n, err := p.db.store.Count(qg, opts.engineOptions(p.cp.Query().Limit))
+	if pl := p.cp.Plan(); pl != nil {
+		n, err := p.db.store.Count(pl, opts.engineOptions(p.cp.Query().Limit))
 		if err == engine.ErrDeadlineExceeded {
 			return n, ErrTimeout
 		}
@@ -249,11 +249,11 @@ func (p *Prepared) Count(opts *QueryOptions) (uint64, error) {
 
 // CountParallel counts solutions with a worker pool; see DB.CountParallel.
 func (p *Prepared) CountParallel(opts *QueryOptions, workers int) (uint64, error) {
-	qg := p.cp.Graph()
-	if qg == nil {
+	pl := p.cp.Plan()
+	if pl == nil {
 		return p.Count(opts)
 	}
-	n, err := p.db.store.CountParallel(qg, opts.engineOptions(p.cp.Query().Limit), workers)
+	n, err := p.db.store.CountParallel(pl, opts.engineOptions(p.cp.Query().Limit), workers)
 	if err == engine.ErrDeadlineExceeded {
 		return n, ErrTimeout
 	}

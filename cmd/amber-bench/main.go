@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -51,8 +52,15 @@ func main() {
 		timeout      = flag.Duration("timeout", 500*time.Millisecond, "per-query time constraint (paper: 60s)")
 		seed         = flag.Int64("seed", 2016, "generation seed")
 		sizes        = flag.String("sizes", "10,20,30,40,50", "query sizes (triple patterns)")
+		planner      = flag.String("planner", "cost", "AMbER matching-order planner: cost (statistics-driven) or heuristic (paper §5.3)")
 	)
 	flag.Parse()
+
+	// Fail on a bad planner name before any (expensive) dataset build.
+	if _, ok := plan.ByName(*planner); !ok {
+		fmt.Fprintf(os.Stderr, "amber-bench: unknown planner %q (use cost or heuristic)\n", *planner)
+		os.Exit(1)
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
@@ -60,6 +68,7 @@ func main() {
 	cfg.QueriesPerPoint = *queries
 	cfg.Timeout = *timeout
 	cfg.Seed = *seed
+	cfg.Planner = *planner
 	cfg.Sizes = nil
 	for _, s := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -77,8 +86,8 @@ func main() {
 }
 
 func run(exp string, cfg experiments.Config) error {
-	fmt.Printf("# amber-bench: scale=%d universities=%d queries/point=%d timeout=%s seed=%d\n",
-		cfg.Scale, cfg.Universities, cfg.QueriesPerPoint, cfg.Timeout, cfg.Seed)
+	fmt.Printf("# amber-bench: scale=%d universities=%d queries/point=%d timeout=%s seed=%d planner=%s\n",
+		cfg.Scale, cfg.Universities, cfg.QueriesPerPoint, cfg.Timeout, cfg.Seed, cfg.Planner)
 	fmt.Printf("# engines: AMbER (this paper), PermStore (x-RDF-3X/Virtuoso class), GraphMatch (gStore/TurboHom++ class)\n\n")
 
 	datasets := map[string]*experiments.Dataset{}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/multigraph"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -235,7 +236,7 @@ func TestThreeEngineEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		amber, err := engine.Count(mg, ix, qg, engine.Options{})
+		amber, err := engine.Count(mg, ix, plan.For(qg, ix), engine.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

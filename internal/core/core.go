@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/multigraph"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -157,39 +158,56 @@ func LoadStore(r io.Reader) (*Store, error) {
 	}, nil
 }
 
-// Prepare translates a parsed SPARQL query into the query multigraph.
-func (s *Store) Prepare(q *sparql.Query) (*query.Graph, error) {
+// Translate builds the query multigraph (decomposition only, no matching
+// order) for a parsed SPARQL query.
+func (s *Store) Translate(q *sparql.Query) (*query.Graph, error) {
 	return query.Build(q, &s.Graph.Dicts)
 }
 
-// PrepareString parses and translates SPARQL text.
-func (s *Store) PrepareString(src string) (*query.Graph, *sparql.Query, error) {
+// Prepare translates a parsed SPARQL query into an executable matching
+// plan using the default (cost-based) planner.
+func (s *Store) Prepare(q *sparql.Query) (*plan.Plan, error) {
+	return s.PrepareWith(plan.Default(), q)
+}
+
+// PrepareWith translates with an explicit planner, letting experiments
+// compare orderings.
+func (s *Store) PrepareWith(pl plan.Planner, q *sparql.Query) (*plan.Plan, error) {
+	qg, err := query.Build(q, &s.Graph.Dicts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Plan(qg, s.Index), nil
+}
+
+// PrepareString parses, translates and plans SPARQL text.
+func (s *Store) PrepareString(src string) (*plan.Plan, *sparql.Query, error) {
 	pq, err := sparql.Parse(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	qg, err := s.Prepare(pq)
+	p, err := s.Prepare(pq)
 	if err != nil {
 		return nil, nil, err
 	}
-	return qg, pq, nil
+	return p, pq, nil
 }
 
-// Count returns the number of homomorphic embeddings.
-func (s *Store) Count(qg *query.Graph, opts engine.Options) (uint64, error) {
-	return engine.Count(s.Graph, s.Index, qg, opts)
+// Count returns the number of homomorphic embeddings of the plan.
+func (s *Store) Count(p *plan.Plan, opts engine.Options) (uint64, error) {
+	return engine.Count(s.Graph, s.Index, p, opts)
 }
 
 // CountParallel counts embeddings with a pool of worker goroutines (the
 // paper's future-work "parallel processing version"); see
 // engine.CountParallel.
-func (s *Store) CountParallel(qg *query.Graph, opts engine.Options, workers int) (uint64, error) {
-	return engine.CountParallel(s.Graph, s.Index, qg, opts, workers)
+func (s *Store) CountParallel(p *plan.Plan, opts engine.Options, workers int) (uint64, error) {
+	return engine.CountParallel(s.Graph, s.Index, p, opts, workers)
 }
 
-// Stream enumerates embeddings; see engine.Stream.
-func (s *Store) Stream(qg *query.Graph, opts engine.Options, yield func([]dict.VertexID) bool) error {
-	return engine.Stream(s.Graph, s.Index, qg, opts, yield)
+// Stream enumerates embeddings of the plan; see engine.Stream.
+func (s *Store) Stream(p *plan.Plan, opts engine.Options, yield func([]dict.VertexID) bool) error {
+	return engine.Stream(s.Graph, s.Index, p, opts, yield)
 }
 
 // Binding is one variable binding of a solution row.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/sparql"
 )
@@ -21,12 +22,13 @@ func IsPlain(pq *sparql.Query) bool {
 	return !pq.Distinct && len(pq.Filters) == 0 && len(pq.UnionBranches) == 0 && pq.Offset == 0
 }
 
-// PreparedQuery is a query translated once against a Store's dictionaries
+// PreparedQuery is a query translated and planned once against a Store
 // and ready to execute many times: every UNION branch's query multigraph
-// is built and its FILTERs compiled up front, so repeated executions skip
-// translation entirely. A PreparedQuery is tied to the Store that prepared
-// it (the compiled branches reference its dictionaries) and is safe for
-// concurrent use.
+// is built, its matching plan computed (including the per-vertex candidate
+// constraints of Algorithm 1) and its FILTERs compiled up front, so
+// repeated executions skip translation and planning entirely. A
+// PreparedQuery is tied to the Store that prepared it (the cached plans
+// reference its index) and is safe for concurrent use.
 type PreparedQuery struct {
 	store    *Store
 	pq       *sparql.Query
@@ -35,15 +37,21 @@ type PreparedQuery struct {
 	branches []preparedBranch
 }
 
-// preparedBranch is one UNION branch: its query multigraph plus the
+// preparedBranch is one UNION branch: its cached matching plan plus the
 // filters resolved against that branch's variables.
 type preparedBranch struct {
-	qg      *query.Graph
+	pl      *plan.Plan
 	filters []compiledFilter
 }
 
-// PrepareQuery translates a parsed query into its executable form.
+// PrepareQuery translates a parsed query into its executable form using
+// the default planner.
 func (s *Store) PrepareQuery(pq *sparql.Query) (*PreparedQuery, error) {
+	return s.PrepareQueryWith(plan.Default(), pq)
+}
+
+// PrepareQueryWith translates and plans with an explicit planner.
+func (s *Store) PrepareQueryWith(pl plan.Planner, pq *sparql.Query) (*PreparedQuery, error) {
 	p := &PreparedQuery{
 		store: s,
 		pq:    pq,
@@ -56,8 +64,9 @@ func (s *Store) PrepareQuery(pq *sparql.Query) (*PreparedQuery, error) {
 		if err != nil {
 			return nil, err
 		}
+		bp := pl.Plan(qg, s.Index)
 		p.branches = append(p.branches, preparedBranch{
-			qg:      qg,
+			pl:      bp,
 			filters: s.compileFilters(pq.Filters, qg),
 		})
 	}
@@ -74,13 +83,22 @@ func (p *PreparedQuery) Projection() []string { return p.proj }
 // IsPlain), for which the factorized Count path applies.
 func (p *PreparedQuery) Plain() bool { return p.plain }
 
-// Graph returns the query multigraph of a plain (single-branch) query,
+// Plan returns the cached matching plan of a plain (single-branch) query,
 // for the factorized Count/CountParallel paths; nil otherwise.
-func (p *PreparedQuery) Graph() *query.Graph {
+func (p *PreparedQuery) Plan() *plan.Plan {
 	if p.plain && len(p.branches) == 1 {
-		return p.branches[0].qg
+		return p.branches[0].pl
 	}
 	return nil
+}
+
+// Plans returns every branch's cached plan (diagnostics; Explain).
+func (p *PreparedQuery) Plans() []*plan.Plan {
+	out := make([]*plan.Plan, len(p.branches))
+	for i := range p.branches {
+		out[i] = p.branches[i].pl
+	}
+	return out
 }
 
 // Execute evaluates a parsed query with the full extension fragment:
@@ -151,8 +169,9 @@ func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) 
 		if stop {
 			break
 		}
-		qg, filters := branch.qg, branch.filters
-		err := s.Stream(qg, engOpts, func(asg []dict.VertexID) bool {
+		filters := branch.filters
+		qg := branch.pl.Query
+		err := s.Stream(branch.pl, engOpts, func(asg []dict.VertexID) bool {
 			for _, f := range filters {
 				if !f(asg) {
 					return true

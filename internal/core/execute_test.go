@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/sparql"
 )
 
@@ -228,11 +229,22 @@ SELECT ?X0 ?X1 ?X3 ?X5 WHERE {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"core[0] ?X1", "core[1] ?X3", "core[2] ?X5",
-		"satellites=[?X0 ?X2 ?X4]", "initialCandidates="} {
+	for _, want := range []string{"planner: cost", "core[0] ?X1",
+		"satellites=[?X0 ?X2 ?X4]", "est=", "actual="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Explain output missing %q:\n%s", want, out)
 		}
+	}
+	// The heuristic planner must also render, with its own name.
+	pq := parse(t, `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?a ?b WHERE { ?a y:livedIn ?b }`)
+	hout, err := s.ExplainQuery(plan.Heuristic(), pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hout, "planner: heuristic") || !strings.Contains(hout, "actual=") {
+		t.Errorf("heuristic explain:\n%s", hout)
 	}
 }
 

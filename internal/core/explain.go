@@ -2,28 +2,43 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
+	"repro/internal/otil"
+	"repro/internal/plan"
+	"repro/internal/query"
 	"repro/internal/sparql"
 )
 
-// Explain renders the engine's view of a query: the query multigraph's
-// decomposition into core and satellite vertices, the heuristic matching
-// order (Section 5.3), the per-vertex constraints, and the size of the
-// initial candidate set the S index would return. It is a diagnostic aid;
-// the output format is human-oriented and not stable.
+// Explain renders the planner's view of query text with the default
+// (cost-based) planner; see ExplainQuery.
 func (s *Store) Explain(src string) (string, error) {
 	pq, err := sparql.Parse(src)
 	if err != nil {
 		return "", err
 	}
-	qg, err := s.Prepare(pq)
+	return s.ExplainQuery(plan.Default(), pq)
+}
+
+// ExplainQuery renders the engine's execution view of a parsed query under
+// the given planner: the core/satellite decomposition, the chosen matching
+// order, the per-vertex constraints, and — for every core vertex — the
+// planner's estimated candidate-set size next to the actual standalone
+// candidate count obtained by probing the index ensemble (signature-index
+// candidates refined by the Algorithm 1 constraints). It is a diagnostic
+// aid; the output format is human-oriented and not stable.
+func (s *Store) ExplainQuery(pl plan.Planner, pq *sparql.Query) (string, error) {
+	qg, err := s.Translate(pq)
 	if err != nil {
 		return "", err
 	}
+	p := pl.Plan(qg, s.Index)
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %d pattern(s), %d variable(s)\n", len(pq.Patterns), len(qg.Vars))
+	fmt.Fprintf(&b, "planner: %s\n", p.Planner)
 	if !IsPlain(pq) {
 		fmt.Fprintf(&b, "extensions: distinct=%v unionBranches=%d filters=%d offset=%d\n",
 			pq.Distinct, len(pq.UnionBranches), len(pq.Filters), pq.Offset)
@@ -36,12 +51,18 @@ func (s *Store) Explain(src string) (string, error) {
 		fmt.Fprintf(&b, "ground checks: %d edge(s), %d attribute(s)\n",
 			len(qg.GroundEdges), len(qg.GroundAttrs))
 	}
-	for ci := range qg.Components {
-		comp := &qg.Components[ci]
+	if p.Empty {
+		fmt.Fprintf(&b, "EMPTY: %s\n", p.EmptyReason)
+		return b.String(), nil
+	}
+	for ci := range p.Components {
+		comp := &p.Components[ci]
 		fmt.Fprintf(&b, "component %d:\n", ci)
 		for pos, u := range comp.Core {
 			v := &qg.Vars[u]
-			fmt.Fprintf(&b, "  core[%d] ?%s deg=%d attrs=%d iris=%d", pos, v.Name, qg.VarDegree(u), len(v.Attrs), len(v.IRIs))
+			fmt.Fprintf(&b, "  core[%d] ?%s deg=%d attrs=%d iris=%d",
+				pos, v.Name, qg.VarDegree(u), len(v.Attrs), len(v.IRIs))
+			fmt.Fprintf(&b, " est=%s actual=%d", fmtEst(comp.Estimates[pos]), s.actualCandidates(p, u))
 			if sats := comp.Satellites[u]; len(sats) > 0 {
 				names := make([]string, len(sats))
 				for i, su := range sats {
@@ -50,12 +71,41 @@ func (s *Store) Explain(src string) (string, error) {
 				sort.Strings(names)
 				fmt.Fprintf(&b, " satellites=[%s]", strings.Join(names, " "))
 			}
-			if pos == 0 {
-				cand := s.Index.S.Candidates(qg.Synopsis(u))
-				fmt.Fprintf(&b, " initialCandidates=%d/%d", len(cand), s.Graph.NumVertices())
-			}
 			b.WriteString("\n")
 		}
 	}
 	return b.String(), nil
+}
+
+// actualCandidates probes the index for the true standalone candidate-set
+// size of a core vertex: the signature-index candidates intersected with
+// the plan's fixed constraints and self-loop filter — exactly what the
+// engine would compute were the vertex chosen as the component's initial
+// vertex.
+func (s *Store) actualCandidates(p *plan.Plan, u query.VertexID) int {
+	qg := p.Query
+	cand := s.Index.S.Candidates(qg.Synopsis(u))
+	n := 0
+	for _, v := range cand {
+		if p.IsFixed[u] && !otil.ContainsSorted(p.Fixed[u], v) {
+			continue
+		}
+		if st := qg.Vars[u].SelfTypes; len(st) > 0 && !s.Graph.HasEdgeTypes(v, v, st) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// fmtEst renders a planner estimate compactly (estimates are derived from
+// integer statistics but may be fractional after fanout division).
+func fmtEst(e float64) string {
+	if math.IsInf(e, 1) {
+		return "inf"
+	}
+	if e == math.Trunc(e) {
+		return fmt.Sprintf("%.0f", e)
+	}
+	return fmt.Sprintf("%.1f", e)
 }

@@ -1,7 +1,10 @@
 // Package engine implements AMbER's online query-matching procedure
 // (Section 5 of the paper): the recursive sub-multigraph homomorphism
 // search over the core vertices of the query multigraph, with satellite
-// vertices resolved in bulk at each step (Algorithms 1–4).
+// vertices resolved in bulk at each step (Algorithms 1–4). The engine
+// executes a plan.Plan — the matching order and the precomputed
+// per-vertex candidate constraints are planning decisions made by
+// internal/plan, not here.
 //
 // Two evaluation modes are offered. Stream enumerates embeddings one by
 // one, generating the Cartesian product of satellite candidate sets
@@ -19,6 +22,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/multigraph"
 	"repro/internal/otil"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -56,12 +60,8 @@ const deadlineCheckMask = 255
 type matcher struct {
 	g  *multigraph.Graph
 	ix *index.Index
-	q  *query.Graph
-
-	// fixed[u] is the precomputed ProcessVertex candidate list (attribute ∩
-	// IRI candidates); isFixed[u] says whether u has such constraints.
-	fixed   [][]dict.VertexID
-	isFixed []bool
+	p  *plan.Plan
+	q  *query.Graph // p.Query, cached
 
 	asg     []dict.VertexID   // current assignment, indexed by query vertex
 	satSets [][]dict.VertexID // per-branch satellite candidate sets
@@ -92,12 +92,12 @@ func (m *matcher) checkDeadline() bool {
 	return m.expired
 }
 
-// Stream enumerates the homomorphic embeddings of q in g, invoking yield
-// with the assignment slice (indexed by query.VertexID; the slice is reused
-// between calls — copy it to retain). Enumeration stops when yield returns
-// false. It returns ErrDeadlineExceeded if the deadline passed.
-func Stream(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options, yield func([]dict.VertexID) bool) error {
-	m, ok := prepare(g, ix, q, opts)
+// Stream enumerates the homomorphic embeddings of plan p in g, invoking
+// yield with the assignment slice (indexed by query.VertexID; the slice is
+// reused between calls — copy it to retain). Enumeration stops when yield
+// returns false. It returns ErrDeadlineExceeded if the deadline passed.
+func Stream(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options, yield func([]dict.VertexID) bool) error {
+	m, ok := prepare(g, ix, p, opts)
 	m.yield = yield
 	if m.expired {
 		return ErrDeadlineExceeded
@@ -105,7 +105,7 @@ func Stream(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options, 
 	if !ok {
 		return nil
 	}
-	if len(q.Vars) == 0 {
+	if len(m.q.Vars) == 0 {
 		// Fully ground query whose checks passed: one empty embedding.
 		m.emit()
 		return nil
@@ -117,25 +117,25 @@ func Stream(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options, 
 	return nil
 }
 
-// Count returns the number of embeddings of q in g, using the factorized
-// satellite representation. When opts.Limit > 0 the returned count is
-// capped at the limit.
-func Count(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options) (uint64, error) {
-	m, ok := prepare(g, ix, q, opts)
+// Count returns the number of embeddings of plan p in g, using the
+// factorized satellite representation. When opts.Limit > 0 the returned
+// count is capped at the limit.
+func Count(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options) (uint64, error) {
+	m, ok := prepare(g, ix, p, opts)
 	if m.expired {
 		return 0, ErrDeadlineExceeded
 	}
 	if !ok {
 		return 0, nil
 	}
-	if len(q.Vars) == 0 {
+	if len(m.q.Vars) == 0 {
 		if m.stats != nil {
 			m.stats.Embeddings = 1
 		}
 		return 1, nil
 	}
 	total := uint64(1)
-	for ci := range q.Components {
+	for ci := range p.Components {
 		c, err := m.countComponent(ci)
 		if err != nil {
 			return 0, err
@@ -154,11 +154,13 @@ func Count(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options) (
 	return total, nil
 }
 
-// prepare validates ground constraints and precomputes per-vertex fixed
-// candidate sets. ok=false means the query provably has zero results.
-func prepare(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options) (*matcher, bool) {
+// prepare validates the plan's zero-result verdict and allocates the
+// per-run state. The Algorithm 1 candidate sets and ground checks were
+// already computed at plan time (internal/plan), so repeated executions of
+// a cached plan skip them entirely. ok=false means zero results.
+func prepare(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options) (*matcher, bool) {
 	m := &matcher{
-		g: g, ix: ix, q: q,
+		g: g, ix: ix, p: p, q: p.Query,
 		limit:    opts.Limit,
 		deadline: opts.Deadline,
 		stats:    opts.Stats,
@@ -167,63 +169,13 @@ func prepare(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options)
 		m.expired = true
 		return m, false
 	}
-	if q.Unsat {
+	if p.Empty {
 		return m, false
 	}
-	for _, ge := range q.GroundEdges {
-		if !g.HasEdgeTypes(ge.From, ge.To, ge.Types) {
-			return m, false
-		}
-	}
-	for _, ga := range q.GroundAttrs {
-		if !g.HasAttrs(ga.V, ga.Attrs) {
-			return m, false
-		}
-	}
-	n := len(q.Vars)
-	m.fixed = make([][]dict.VertexID, n)
-	m.isFixed = make([]bool, n)
+	n := len(m.q.Vars)
 	m.asg = make([]dict.VertexID, n)
 	m.satSets = make([][]dict.VertexID, n)
-	for u := range q.Vars {
-		cand, constrained := m.processVertex(query.VertexID(u))
-		m.isFixed[u] = constrained
-		if constrained {
-			if len(cand) == 0 {
-				return m, false
-			}
-			m.fixed[u] = cand
-		}
-	}
 	return m, true
-}
-
-// processVertex is Algorithm 1: the candidates implied by vertex attributes
-// (index A) and constant-IRI neighbours (index N). The second result is
-// false when the vertex carries neither constraint.
-func (m *matcher) processVertex(u query.VertexID) ([]dict.VertexID, bool) {
-	v := &m.q.Vars[u]
-	if len(v.Attrs) == 0 && len(v.IRIs) == 0 {
-		return nil, false
-	}
-	var cand []dict.VertexID
-	have := false
-	if len(v.Attrs) > 0 {
-		cand = m.ix.A.Candidates(v.Attrs)
-		have = true
-	}
-	for _, c := range v.IRIs {
-		nb := m.ix.N.Neighbors(c.DataVertex, c.Dir, c.Types)
-		if have {
-			cand = otil.IntersectSorted(cand, nb)
-		} else {
-			cand, have = nb, true
-		}
-		if len(cand) == 0 {
-			return nil, true
-		}
-	}
-	return cand, true
 }
 
 // admissible applies the per-candidate constraints that are cheaper to
@@ -239,8 +191,8 @@ func (m *matcher) admissible(u query.VertexID, v dict.VertexID) bool {
 // restrict intersects cand with u's fixed candidates (if any) and filters
 // self-loops. cand must be sorted; the result is sorted.
 func (m *matcher) restrict(u query.VertexID, cand []dict.VertexID) []dict.VertexID {
-	if m.isFixed[int(u)] {
-		cand = otil.IntersectSorted(cand, m.fixed[int(u)])
+	if m.p.IsFixed[int(u)] {
+		cand = otil.IntersectSorted(cand, m.p.Fixed[int(u)])
 	}
 	if len(m.q.Vars[u].SelfTypes) == 0 {
 		return cand
@@ -354,11 +306,11 @@ func (m *matcher) matchComponent(ci int) {
 	if m.stopped || m.expired {
 		return
 	}
-	if ci == len(m.q.Components) {
+	if ci == len(m.p.Components) {
 		m.emit()
 		return
 	}
-	comp := &m.q.Components[ci]
+	comp := &m.p.Components[ci]
 	uinit := comp.Core[0]
 	matched := make([]bool, len(m.q.Vars))
 	for _, vinit := range m.initialCandidates(uinit) {
@@ -377,7 +329,7 @@ func (m *matcher) matchComponent(ci int) {
 
 // homomorphicMatch is Algorithm 4 in stream mode: extend the match to core
 // vertex comp.Core[pos].
-func (m *matcher) homomorphicMatch(ci int, comp *query.Component, pos int, matched []bool) {
+func (m *matcher) homomorphicMatch(ci int, comp *plan.ComponentPlan, pos int, matched []bool) {
 	if m.stopped || m.checkDeadline() {
 		return
 	}
@@ -445,7 +397,7 @@ func (m *matcher) emit() {
 // countComponent counts the embeddings contributed by one component as the
 // sum over core solutions of the product of satellite set sizes.
 func (m *matcher) countComponent(ci int) (uint64, error) {
-	comp := &m.q.Components[ci]
+	comp := &m.p.Components[ci]
 	uinit := comp.Core[0]
 	matched := make([]bool, len(m.q.Vars))
 	total := uint64(0)
@@ -469,7 +421,7 @@ func (m *matcher) countComponent(ci int) (uint64, error) {
 }
 
 // countMatch mirrors homomorphicMatch in count mode.
-func (m *matcher) countMatch(comp *query.Component, pos int, matched []bool) (uint64, error) {
+func (m *matcher) countMatch(comp *plan.ComponentPlan, pos int, matched []bool) (uint64, error) {
 	if m.checkDeadline() {
 		return 0, ErrDeadlineExceeded
 	}

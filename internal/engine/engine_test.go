@@ -10,6 +10,7 @@ import (
 	"repro/internal/dict"
 	"repro/internal/index"
 	"repro/internal/multigraph"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -73,7 +74,7 @@ func load(t *testing.T, src string) *fixture {
 	return &fixture{g: g, ix: index.Build(g)}
 }
 
-func (f *fixture) query(t *testing.T, src string) *query.Graph {
+func (f *fixture) query(t *testing.T, src string) *plan.Plan {
 	t.Helper()
 	pq, err := sparql.Parse(src)
 	if err != nil {
@@ -83,17 +84,17 @@ func (f *fixture) query(t *testing.T, src string) *query.Graph {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return qg
+	return plan.For(qg, f.ix)
 }
 
 // collect streams all embeddings as var-name → IRI maps.
-func (f *fixture) collect(t *testing.T, qg *query.Graph, opts Options) []map[string]string {
+func (f *fixture) collect(t *testing.T, p *plan.Plan, opts Options) []map[string]string {
 	t.Helper()
 	var out []map[string]string
-	err := Stream(f.g, f.ix, qg, opts, func(asg []dict.VertexID) bool {
+	err := Stream(f.g, f.ix, p, opts, func(asg []dict.VertexID) bool {
 		m := make(map[string]string, len(asg))
 		for u, v := range asg {
-			m[qg.Vars[u].Name] = f.g.Dicts.VertexIRI(v)
+			m[p.Query.Vars[u].Name] = f.g.Dicts.VertexIRI(v)
 		}
 		out = append(out, m)
 		return true
@@ -228,7 +229,7 @@ SELECT * WHERE { x:London y:hasCapacityOf "90000" . }`)
 func TestUnsatQuery(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, `PREFIX y: <http://dbpedia.org/ontology/> SELECT ?a ?b WHERE { ?a y:isMarriedTo ?b }`)
-	if !qg.Unsat {
+	if !qg.Query.Unsat {
 		t.Fatal("expected unsat")
 	}
 	if got := f.collect(t, qg, Options{}); len(got) != 0 {
@@ -496,7 +497,8 @@ func TestEngineMatchesBruteForce(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := bruteForce(g, qg)
-		got, err := Count(g, ix, qg, Options{})
+		pl := plan.For(qg, ix)
+		got, err := Count(g, ix, pl, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -505,7 +507,7 @@ func TestEngineMatchesBruteForce(t *testing.T) {
 		}
 		// Stream must agree with Count.
 		var streamed uint64
-		if err := Stream(g, ix, qg, Options{}, func([]dict.VertexID) bool {
+		if err := Stream(g, ix, pl, Options{}, func([]dict.VertexID) bool {
 			streamed++
 			return true
 		}); err != nil {
@@ -533,7 +535,7 @@ func TestStreamedEmbeddingsAreValid(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		err = Stream(g, ix, qg, Options{Limit: 200}, func(asg []dict.VertexID) bool {
+		err = Stream(g, ix, plan.For(qg, ix), Options{Limit: 200}, func(asg []dict.VertexID) bool {
 			for u := range qg.Vars {
 				uv := &qg.Vars[u]
 				if !g.HasAttrs(asg[u], uv.Attrs) {

@@ -7,6 +7,8 @@ import (
 	"repro/internal/dict"
 	"repro/internal/index"
 	"repro/internal/multigraph"
+	"repro/internal/otil"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -16,25 +18,26 @@ import (
 // candidate set of each component: every CandInit vertex roots an
 // independent recursion branch (branches never share matcher state), so
 // the partition is embarrassingly parallel and the per-component counts
-// sum exactly as in the serial algorithm.
+// sum exactly as in the serial algorithm. All workers share the plan's
+// immutable candidate constraints.
 //
 // workers ≤ 1 falls back to the serial Count. The result is identical to
-// Count for any worker count.
-func CountParallel(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options, workers int) (uint64, error) {
+// Count for any worker count and any planner.
+func CountParallel(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options, workers int) (uint64, error) {
 	if workers <= 1 {
-		return Count(g, ix, q, opts)
+		return Count(g, ix, p, opts)
 	}
 	if workers > runtime.GOMAXPROCS(0)*4 {
 		workers = runtime.GOMAXPROCS(0) * 4
 	}
-	master, ok := prepare(g, ix, q, opts)
+	master, ok := prepare(g, ix, p, opts)
 	if master.expired {
 		return 0, ErrDeadlineExceeded
 	}
 	if !ok {
 		return 0, nil
 	}
-	if len(q.Vars) == 0 {
+	if len(p.Query.Vars) == 0 {
 		if master.stats != nil {
 			master.stats.Embeddings = 1
 		}
@@ -42,13 +45,13 @@ func CountParallel(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Op
 	}
 
 	total := uint64(1)
-	for ci := range q.Components {
-		comp := &q.Components[ci]
+	for ci := range p.Components {
+		comp := &p.Components[ci]
 		cands := master.initialCandidates(comp.Core[0])
 		if len(cands) == 0 {
 			return 0, nil
 		}
-		c, err := countComponentParallel(g, ix, q, opts, ci, cands, workers)
+		c, err := countComponentParallel(g, ix, p, opts, ci, cands, workers)
 		if err != nil {
 			return 0, err
 		}
@@ -68,7 +71,7 @@ func CountParallel(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Op
 
 // countComponentParallel distributes the initial candidates of component
 // ci across workers, each running an independent matcher.
-func countComponentParallel(g *multigraph.Graph, ix *index.Index, q *query.Graph, opts Options, ci int, cands []dict.VertexID, workers int) (uint64, error) {
+func countComponentParallel(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options, ci int, cands []dict.VertexID, workers int) (uint64, error) {
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -89,7 +92,7 @@ func countComponentParallel(g *multigraph.Graph, ix *index.Index, q *query.Graph
 			// caller.
 			workerOpts := opts
 			workerOpts.Stats = nil
-			m, ok := prepare(g, ix, q, workerOpts)
+			m, ok := prepare(g, ix, p, workerOpts)
 			if !ok || m.expired {
 				if m.expired {
 					mu.Lock()
@@ -128,7 +131,7 @@ func countComponentParallel(g *multigraph.Graph, ix *index.Index, q *query.Graph
 // countFromInitial counts the embeddings of component ci rooted at one
 // initial candidate vinit.
 func (m *matcher) countFromInitial(ci int, vinit dict.VertexID) (uint64, error) {
-	comp := &m.q.Components[ci]
+	comp := &m.p.Components[ci]
 	uinit := comp.Core[0]
 	if m.checkDeadline() {
 		return 0, ErrDeadlineExceeded
@@ -148,18 +151,5 @@ func (m *matcher) countFromInitial(ci int, vinit dict.VertexID) (uint64, error) 
 // inFixed reports whether v is within u's fixed candidate set (when one
 // exists). Used when candidates were computed by a different matcher.
 func (m *matcher) inFixed(u query.VertexID, v dict.VertexID) bool {
-	if !m.isFixed[int(u)] {
-		return true
-	}
-	lst := m.fixed[int(u)]
-	lo, hi := 0, len(lst)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if lst[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(lst) && lst[lo] == v
+	return !m.p.IsFixed[int(u)] || otil.ContainsSorted(m.p.Fixed[int(u)], v)
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/multigraph"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -24,12 +25,13 @@ func TestCountParallelMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial, err := Count(g, ix, qg, Options{})
+		pl := plan.For(qg, ix)
+		serial, err := Count(g, ix, pl, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 4, 7} {
-			par, err := CountParallel(g, ix, qg, Options{}, workers)
+			par, err := CountParallel(g, ix, pl, Options{}, workers)
 			if err != nil {
 				t.Fatal(err)
 			}

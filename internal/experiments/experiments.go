@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/triplestore"
@@ -42,6 +43,10 @@ type Config struct {
 	QueriesPerPoint int
 	// Sizes are the query sizes in triple patterns (paper: 10..50).
 	Sizes []int
+	// Planner selects AMbER's matching-order planner: "cost" (default,
+	// statistics-driven) or "heuristic" (the paper's static Section 5.3
+	// ordering), so runs under both are comparable.
+	Planner string
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -78,8 +83,19 @@ type Dataset struct {
 	Graph   *baseline.Graph
 	Gen     *workload.Generator
 
+	// Planner orders AMbER's matching (from Config.Planner; nil means the
+	// default cost-based planner).
+	Planner plan.Planner
+
 	// Build costs for Table 5 (AMbER's offline stage).
 	AmberStats core.BuildStats
+}
+
+func (d *Dataset) planner() plan.Planner {
+	if d.Planner != nil {
+		return d.Planner
+	}
+	return plan.Default()
 }
 
 // BuildDataset generates the corpus and loads every engine.
@@ -99,6 +115,10 @@ func BuildDataset(name string, cfg Config) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	planner, ok := plan.ByName(cfg.Planner)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown planner %q", cfg.Planner)
+	}
 	st, err := triplestore.FromTriples(triples)
 	if err != nil {
 		return nil, err
@@ -114,6 +134,7 @@ func BuildDataset(name string, cfg Config) (*Dataset, error) {
 		Store:      st,
 		Graph:      bg,
 		Gen:        workload.NewGenerator(triples, cfg.Seed+7, workload.DefaultConfig()),
+		Planner:    planner,
 		AmberStats: amber.Stats,
 	}, nil
 }
@@ -126,7 +147,7 @@ func (d *Dataset) RunQuery(name EngineName, q *sparql.Query, timeout time.Durati
 	var err error
 	switch name {
 	case AMbER:
-		g, buildErr := d.Amber.Prepare(q)
+		g, buildErr := d.Amber.PrepareWith(d.planner(), q)
 		if buildErr != nil {
 			return false, 0, 0
 		}
@@ -203,6 +224,7 @@ func RunTable1(d *Dataset, cfg Config) Table1Result {
 		Timeout:         cfg.Timeout,
 		QueriesPerPoint: cfg.QueriesPerPoint,
 		Sizes:           []int{50},
+		Planner:         cfg.Planner,
 	})
 	r := Table1Result{
 		AvgTime:    map[EngineName]time.Duration{},

@@ -174,18 +174,105 @@ func (ni *NeighborhoodIndex) Neighbors(v dict.VertexID, dir Direction, types []d
 	return ni.out[v].Lookup(types)
 }
 
-// Index is the ensemble I := {A, S, N}.
+// Cardinalities are per-edge-type occurrence counts gathered while the
+// ensemble is built. They are the data statistics the cost-based query
+// planner (internal/plan) consumes: together with AttributeIndex list
+// lengths and neighbourhood-trie probes they let the planner estimate
+// candidate-set sizes before any matching happens.
+type Cardinalities struct {
+	// OutVertices[t] and InVertices[t] count the vertices with at least
+	// one outgoing (resp. incoming) multi-edge whose label set contains
+	// edge type t.
+	OutVertices, InVertices []int
+	// Edges[t] counts the directed vertex pairs whose multi-edge label
+	// set contains edge type t.
+	Edges []int
+	// NumVertices mirrors the graph's vertex count (the estimate ceiling).
+	NumVertices int
+}
+
+// VerticesWith reports how many vertices have at least one edge of type t
+// on the given side. Unknown types report zero.
+func (c *Cardinalities) VerticesWith(dir Direction, t dict.EdgeType) int {
+	lst := c.OutVertices
+	if dir == Incoming {
+		lst = c.InVertices
+	}
+	if int(t) >= len(lst) {
+		return 0
+	}
+	return lst[t]
+}
+
+// Fanout estimates how many neighbours a single probe of direction dir at
+// a bound vertex returns for edge type t: the average multi-edge count per
+// vertex that has any such edge. Unknown types report zero.
+func (c *Cardinalities) Fanout(dir Direction, t dict.EdgeType) float64 {
+	if int(t) >= len(c.Edges) {
+		return 0
+	}
+	src := c.VerticesWith(dir, t)
+	if src == 0 {
+		return 0
+	}
+	return float64(c.Edges[t]) / float64(src)
+}
+
+// BuildCardinalities scans the adjacency once per direction.
+func BuildCardinalities(g *multigraph.Graph) *Cardinalities {
+	nT := g.NumEdgeTypes()
+	c := &Cardinalities{
+		OutVertices: make([]int, nT),
+		InVertices:  make([]int, nT),
+		Edges:       make([]int, nT),
+		NumVertices: g.NumVertices(),
+	}
+	// stamp[t] == v+1 marks that vertex v was already counted for type t,
+	// so multi-edges to distinct neighbours count the vertex only once.
+	stamp := make([]int, nT)
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, nb := range g.Out(dict.VertexID(v)) {
+			for _, t := range nb.Types {
+				c.Edges[t]++
+				if stamp[t] != v+1 {
+					stamp[t] = v + 1
+					c.OutVertices[t]++
+				}
+			}
+		}
+	}
+	for i := range stamp {
+		stamp[i] = 0
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, nb := range g.In(dict.VertexID(v)) {
+			for _, t := range nb.Types {
+				if stamp[t] != v+1 {
+					stamp[t] = v + 1
+					c.InVertices[t]++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Index is the ensemble I := {A, S, N} plus the cardinality statistics
+// gathered alongside it.
 type Index struct {
 	A *AttributeIndex
 	S *SignatureIndex
 	N *NeighborhoodIndex
+	// Card holds per-edge-type cardinalities for the cost-based planner.
+	Card *Cardinalities
 }
 
-// Build constructs all three indexes for g.
+// Build constructs all three indexes and the planner statistics for g.
 func Build(g *multigraph.Graph) *Index {
 	return &Index{
-		A: BuildAttributeIndex(g),
-		S: BuildSignatureIndex(g),
-		N: BuildNeighborhoodIndex(g),
+		A:    BuildAttributeIndex(g),
+		S:    BuildSignatureIndex(g),
+		N:    BuildNeighborhoodIndex(g),
+		Card: BuildCardinalities(g),
 	}
 }

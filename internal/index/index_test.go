@@ -262,3 +262,59 @@ func containsVertex(lst []dict.VertexID, v dict.VertexID) bool {
 	}
 	return false
 }
+
+// TestCardinalities cross-checks the planner statistics against a direct
+// adjacency scan on a small graph with multi-edges and skewed type usage.
+func TestCardinalities(t *testing.T) {
+	triples, err := rdf.ParseString(`
+<http://x/a> <http://y/p> <http://x/b> .
+<http://x/a> <http://y/q> <http://x/b> .
+<http://x/a> <http://y/p> <http://x/c> .
+<http://x/b> <http://y/p> <http://x/c> .
+<http://x/c> <http://y/r> <http://x/a> .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := multigraph.FromTriples(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(g)
+	if ix.Card == nil {
+		t.Fatal("Build left Card nil")
+	}
+	c := ix.Card
+	if c.NumVertices != g.NumVertices() {
+		t.Errorf("NumVertices = %d, want %d", c.NumVertices, g.NumVertices())
+	}
+	p, okP := g.Dicts.LookupEdgeType("http://y/p")
+	q, okQ := g.Dicts.LookupEdgeType("http://y/q")
+	r, okR := g.Dicts.LookupEdgeType("http://y/r")
+	if !okP || !okQ || !okR {
+		t.Fatal("edge types missing")
+	}
+	// p: edges a→b, a→c, b→c (3 pairs); sources {a,b}; targets {b,c}.
+	if got := c.Edges[p]; got != 3 {
+		t.Errorf("Edges[p] = %d, want 3", got)
+	}
+	if got := c.VerticesWith(Outgoing, p); got != 2 {
+		t.Errorf("OutVertices[p] = %d, want 2", got)
+	}
+	if got := c.VerticesWith(Incoming, p); got != 2 {
+		t.Errorf("InVertices[p] = %d, want 2", got)
+	}
+	// q: single edge a→b.
+	if c.Edges[q] != 1 || c.VerticesWith(Outgoing, q) != 1 || c.VerticesWith(Incoming, q) != 1 {
+		t.Errorf("q cardinalities = %d/%d/%d, want 1/1/1",
+			c.Edges[q], c.VerticesWith(Outgoing, q), c.VerticesWith(Incoming, q))
+	}
+	// Fanout of p at a bound source: 3 edges over 2 sources.
+	if got := c.Fanout(Outgoing, p); got != 1.5 {
+		t.Errorf("Fanout(out, p) = %v, want 1.5", got)
+	}
+	// Unknown type is safe.
+	if c.VerticesWith(Outgoing, r+100) != 0 || c.Fanout(Incoming, r+100) != 0 {
+		t.Error("out-of-range type not zero")
+	}
+}

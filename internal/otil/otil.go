@@ -214,3 +214,18 @@ func IntersectSorted(a, b []dict.VertexID) []dict.VertexID {
 	}
 	return out
 }
+
+// ContainsSorted reports whether v occurs in the ascending vertex list,
+// by binary search.
+func ContainsSorted(lst []dict.VertexID, v dict.VertexID) bool {
+	lo, hi := 0, len(lst)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if lst[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(lst) && lst[lo] == v
+}

@@ -1,8 +1,10 @@
 // Package query translates a parsed SPARQL query into the query multigraph
 // Q of the AMbER paper (Section 2.2.1) against a concrete data graph's
 // dictionaries, and performs the structural analysis the matching engine
-// needs: core/satellite decomposition (Section 3, Section 5) and heuristic
-// vertex ordering (Section 5.3).
+// needs: core/satellite decomposition (Section 3, Section 5). The matching
+// order of the core vertices is deliberately NOT chosen here — ordering is
+// a planning decision made by internal/plan, which may use either the
+// paper's static heuristic (Section 5.3) or data-aware cost estimates.
 package query
 
 import (
@@ -88,16 +90,19 @@ type Graph struct {
 
 // Component is one connected component of the query multigraph.
 type Component struct {
-	// Core is U_c^ord: core vertices in matching order.
+	// Core is U_c: the core vertices, in ascending vertex order. The
+	// matching order over them is chosen by a planner (internal/plan),
+	// not here.
 	Core []VertexID
 	// Satellites maps each core vertex to its attached satellite vertices
 	// (degree-1 vertices, paper Section 5).
 	Satellites map[VertexID][]VertexID
 }
 
-// AllSatellites returns the component's satellite vertices in core order
-// (each core's satellites are themselves sorted), a stable enumeration
-// order for embedding generation.
+// AllSatellites returns the component's satellite vertices grouped by
+// their core vertex in ascending-id core order. This is a membership
+// enumeration only — the engine's satellite enumeration order follows the
+// matching order and lives on plan.ComponentPlan.AllSatellites.
 func (c *Component) AllSatellites() []VertexID {
 	var out []VertexID
 	for _, uc := range c.Core {
@@ -322,6 +327,10 @@ func dedupTypes(a []dict.EdgeType) []dict.EdgeType {
 	return out
 }
 
+// VarNeighbors returns the distinct variable neighbours of u, in first-seen
+// order (Out edges before In edges, each sorted by To).
+func (g *Graph) VarNeighbors(u VertexID) []VertexID { return g.varNeighbors(u) }
+
 // varNeighbors returns the distinct variable neighbours of u.
 func (g *Graph) varNeighbors(u VertexID) []VertexID {
 	seen := make(map[VertexID]bool)
@@ -388,20 +397,11 @@ func (g *Graph) Synopsis(u VertexID) multigraph.Synopsis {
 	return multigraph.SynopsisFromMultiEdges(in, out).AsQuery()
 }
 
-// rank1 is the paper's r1(u): the number of satellite vertices attached.
-func rank1(g *Graph, u VertexID, satellite map[VertexID]bool) int {
-	n := 0
-	for _, w := range g.varNeighbors(u) {
-		if satellite[w] {
-			n++
-		}
-	}
-	return n
-}
-
-// rank2 is the paper's r2(u): the total number of edge types over all
-// incident multi-edges.
-func rank2(g *Graph, u VertexID) int {
+// Rank2 is the paper's r2(u): the total number of edge types over all
+// incident multi-edges. It is both a decomposition tie-breaker (choosing
+// the core vertex of a single-multi-edge component) and an input to the
+// heuristic planner.
+func (g *Graph) Rank2(u VertexID) int {
 	v := &g.Vars[u]
 	n := 0
 	for _, e := range v.Out {
@@ -417,8 +417,9 @@ func rank2(g *Graph, u VertexID) int {
 	return n
 }
 
-// decompose splits variables into connected components, classifies core and
-// satellite vertices, and orders the core vertices (VertexOrdering).
+// decompose splits variables into connected components and classifies core
+// and satellite vertices. It does not order the core vertices — that is
+// the planner's job.
 func (g *Graph) decompose() {
 	n := len(g.Vars)
 	if n == 0 {
@@ -457,7 +458,9 @@ func (g *Graph) decompose() {
 	}
 }
 
-// decomposeComponent classifies and orders one component.
+// decomposeComponent classifies one component into core and satellite
+// vertices. Core vertices are returned in ascending vertex order; a
+// planner chooses the matching order.
 func (g *Graph) decomposeComponent(members []VertexID) Component {
 	satellite := make(map[VertexID]bool)
 	var core []VertexID
@@ -477,11 +480,13 @@ func (g *Graph) decomposeComponent(members []VertexID) Component {
 		}
 	} else {
 		// The component is a single vertex or a single multi-edge: pick one
-		// core vertex — deterministically, the most constrained one.
+		// core vertex — deterministically, the most constrained one. This
+		// is a decomposition decision (it fixes which vertex is core and
+		// which is satellite), so it stays here rather than in the planner.
 		best := members[0]
 		for _, u := range members[1:] {
-			if rank2(g, u) > rank2(g, best) ||
-				(rank2(g, u) == rank2(g, best) && len(g.Vars[u].Attrs) > len(g.Vars[best].Attrs)) {
+			if g.Rank2(u) > g.Rank2(best) ||
+				(g.Rank2(u) == g.Rank2(best) && len(g.Vars[u].Attrs) > len(g.Vars[best].Attrs)) {
 				best = u
 			}
 		}
@@ -492,6 +497,7 @@ func (g *Graph) decomposeComponent(members []VertexID) Component {
 			}
 		}
 	}
+	sort.Slice(core, func(i, j int) bool { return core[i] < core[j] })
 
 	// Attach satellites to their unique core neighbour.
 	sats := make(map[VertexID][]VertexID)
@@ -509,53 +515,5 @@ func (g *Graph) decomposeComponent(members []VertexID) Component {
 	for _, lst := range sats {
 		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
 	}
-
-	// VertexOrdering: first vertex maximizes (r1, then r2); subsequent
-	// vertices must be connected to the already-ordered prefix and maximize
-	// (r1, then r2) among the connected candidates.
-	ordered := make([]VertexID, 0, len(core))
-	used := make(map[VertexID]bool)
-	connected := make(map[VertexID]bool)
-	better := func(a, b VertexID) bool { // a strictly preferable to b
-		ra1, rb1 := rank1(g, a, satellite), rank1(g, b, satellite)
-		if ra1 != rb1 {
-			return ra1 > rb1
-		}
-		ra2, rb2 := rank2(g, a), rank2(g, b)
-		if ra2 != rb2 {
-			return ra2 > rb2
-		}
-		return a < b // deterministic tie-break
-	}
-	for len(ordered) < len(core) {
-		var best VertexID = -1
-		for _, u := range core {
-			if used[u] {
-				continue
-			}
-			if len(ordered) > 0 && !connected[u] {
-				continue
-			}
-			if best < 0 || better(u, best) {
-				best = u
-			}
-		}
-		if best < 0 {
-			// The core itself is disconnected through satellites only —
-			// cannot happen for var-var components, but guard anyway by
-			// relaxing connectivity.
-			for _, u := range core {
-				if !used[u] {
-					best = u
-					break
-				}
-			}
-		}
-		ordered = append(ordered, best)
-		used[best] = true
-		for _, w := range g.varNeighbors(best) {
-			connected[w] = true
-		}
-	}
-	return Component{Core: ordered, Satellites: sats}
+	return Component{Core: core, Satellites: sats}
 }

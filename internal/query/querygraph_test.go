@@ -146,13 +146,14 @@ func TestFigure2Decomposition(t *testing.T) {
 	comp := qg.Components[0]
 	u1, u3, u5 := qg.mustVar(t, "X1"), qg.mustVar(t, "X3"), qg.mustVar(t, "X5")
 
-	// Paper: U_c^ord = {u1, u3, u5}.
+	// Paper: U_c = {u1, u3, u5}. Core lists membership in ascending vertex
+	// order; the matching order over it is chosen by internal/plan.
 	if len(comp.Core) != 3 || comp.Core[0] != u1 || comp.Core[1] != u3 || comp.Core[2] != u5 {
 		names := make([]string, len(comp.Core))
 		for i, u := range comp.Core {
 			names[i] = qg.Vars[u].Name
 		}
-		t.Fatalf("core order = %v, want [X1 X3 X5]", names)
+		t.Fatalf("core = %v, want [X1 X3 X5] (ascending ids)", names)
 	}
 	// Paper: u1 has satellites {u0, u2, u4}; u3 has {u6}; u5 has none.
 	if got := comp.Satellites[u1]; len(got) != 3 {
@@ -353,7 +354,8 @@ func TestAllSatellitesOrder(t *testing.T) {
 	if len(sats) != 4 {
 		t.Fatalf("AllSatellites = %d, want 4", len(sats))
 	}
-	// Core order is [X1 X3 X5]; X1's satellites come first, then X3's X6.
+	// Core ids ascend as [X1 X3 X5]; X1's satellites come first, then
+	// X3's X6.
 	names := make([]string, len(sats))
 	for i, u := range sats {
 		names[i] = qg.Vars[u].Name
@@ -406,11 +408,11 @@ func TestSelfLoopSynopsisBothSides(t *testing.T) {
 	}
 }
 
-func TestRank2PriorityWithoutSatellites(t *testing.T) {
+func TestTriangleAllCore(t *testing.T) {
 	dg := dataGraph(t)
-	// A triangle: every vertex has degree 2, no satellites; the paper says
-	// the r2 ranking (incident edge types) then decides. X1 gets an extra
-	// IRI edge, raising its r2 above the others.
+	// A triangle: every vertex has degree 2 — all three are core, none is
+	// a satellite. (Which of them is matched first is the planner's call;
+	// see internal/plan.)
 	qg := buildQuery(t, `
 PREFIX y: <http://dbpedia.org/ontology/>
 PREFIX x: <http://dbpedia.org/resource/>
@@ -424,7 +426,7 @@ SELECT * WHERE {
 	if len(comp.Core) != 3 {
 		t.Fatalf("core = %v, want 3 (triangle)", comp.Core)
 	}
-	if qg.Vars[comp.Core[0]].Name != "a" {
-		t.Errorf("first core = %s, want a (highest r2 via IRI edge)", qg.Vars[comp.Core[0]].Name)
+	if got := qg.Rank2(qg.mustVar(t, "a")); got != 3 {
+		t.Errorf("Rank2(a) = %d, want 3 (two triangle edges + IRI edge)", got)
 	}
 }

@@ -8,8 +8,14 @@
 //   - a bounded LRU cache of materialized results, keyed on normalized
 //     query text plus result-shaping options, serves repeat queries
 //     without touching the engine;
-//   - a bounded LRU of prepared plans (amber.Prepared) lets cache-missed
-//     repeats skip parsing and query-multigraph construction;
+//   - a bounded LRU of prepared plans (amber.Prepared, which embeds the
+//     per-branch plan.Plan matching orders and precomputed candidate
+//     constraints) lets cache-missed repeats skip parsing, translation
+//     and planning; the cache lives inside the per-generation dbState, so
+//     plans never outlive the database they were planned against;
+//   - ?explain=1 (optionally with planner=cost|heuristic) returns the
+//     query's matching plan — estimated vs. actual candidate
+//     cardinalities per core vertex — instead of executing it;
 //   - a semaphore caps concurrent engine executions, shedding load with
 //     503 + Retry-After once the cap and queue wait are exhausted;
 //   - per-query timeouts map to 503, malformed queries to 400;
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	amber "repro"
+	"repro/internal/plan"
 	"repro/internal/results"
 )
 
@@ -259,8 +266,10 @@ func (s *Server) readQuery(r *http.Request) (string, error) {
 
 // queryParams are the per-request execution knobs.
 type queryParams struct {
-	opts   amber.QueryOptions
-	format results.Format
+	opts    amber.QueryOptions
+	format  results.Format
+	explain bool
+	planner string
 }
 
 func (s *Server) readParams(r *http.Request) (queryParams, error) {
@@ -301,6 +310,18 @@ func (s *Server) readParams(r *http.Request) (queryParams, error) {
 			d = s.cfg.DefaultTimeout
 		}
 		p.opts.Timeout = d
+	}
+
+	switch v := get("explain"); v {
+	case "", "0", "false":
+	case "1", "true", "yes":
+		p.explain = true
+		p.planner = get("planner")
+		if _, ok := plan.ByName(p.planner); !ok {
+			return p, errorf(http.StatusBadRequest, "unknown planner %q; use cost or heuristic", p.planner)
+		}
+	default:
+		return p, errorf(http.StatusBadRequest, "invalid explain %q", v)
 	}
 
 	if v := get("format"); v != "" {
@@ -376,6 +397,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", "GET, POST")
 		}
 		writeError(w, he.status, he.msg)
+		return
+	}
+
+	// Explain renders the matching plan instead of executing. It runs no
+	// embedding search, but its index probes (one signature scan per core
+	// vertex) still scale with graph size, so it claims an execution slot
+	// like any query; it skips the result cache (plans are cheap relative
+	// to cache bookkeeping and the output embeds live cardinalities).
+	if params.explain {
+		if !s.acquire(r.Context()) {
+			s.met.rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent))
+			return
+		}
+		defer func() { <-s.sem }()
+		s.met.queries.Add(1)
+		s.met.inFlight.Add(1)
+		defer s.met.inFlight.Add(-1)
+		out, eerr := st.db.ExplainPlanner(query, params.planner)
+		if eerr != nil {
+			s.met.parseErrors.Add(1)
+			writeError(w, http.StatusBadRequest, "invalid query: "+eerr.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, out) //nolint:errcheck
 		return
 	}
 

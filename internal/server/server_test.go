@@ -457,3 +457,43 @@ func TestNormalizeQuery(t *testing.T) {
 		}
 	}
 }
+
+func TestExplainParameter(t *testing.T) {
+	_, ts := newTestServer(t, townData, Config{})
+
+	u := ts.URL + "/sparql?explain=1&query=" + url.QueryEscape(knowsQuery)
+	resp, body := get(t, u, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{"planner: cost", "est=", "actual="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("explain body missing %q:\n%s", want, body)
+		}
+	}
+
+	// Explicit planner selection.
+	u = ts.URL + "/sparql?explain=1&planner=heuristic&query=" + url.QueryEscape(knowsQuery)
+	if resp, body := get(t, u, nil); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, "planner: heuristic") {
+		t.Errorf("heuristic explain: status=%d body:\n%s", resp.StatusCode, body)
+	}
+
+	// Unknown planner and malformed query map to 400.
+	u = ts.URL + "/sparql?explain=1&planner=nonsense&query=" + url.QueryEscape(knowsQuery)
+	if resp, _ := get(t, u, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown planner status = %d, want 400", resp.StatusCode)
+	}
+	u = ts.URL + "/sparql?explain=1&query=" + url.QueryEscape("SELEKT nonsense")
+	if resp, _ := get(t, u, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed explain status = %d, want 400", resp.StatusCode)
+	}
+	// Invalid explain value.
+	u = ts.URL + "/sparql?explain=maybe&query=" + url.QueryEscape(knowsQuery)
+	if resp, _ := get(t, u, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid explain value status = %d, want 400", resp.StatusCode)
+	}
+}

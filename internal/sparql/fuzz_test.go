@@ -18,6 +18,12 @@ func FuzzParse(f *testing.F) {
 		"SELECT ?s WHERE { ?s ?p ?o }",
 		"SELECT ?s WHERE {",
 		"\x00\xff{}?",
+		"SELECT ?s WHERE { ?s <http://y/p> \"esc\\\"q\\nuote\" . }",
+		"SELECT?sWHERE{?s<http://y/p>?o}",
+		"PREFIX : <http://y/> SELECT ?s WHERE { ?s :p ?o }",
+		"SELECT ?s WHERE { ?s <http://y/p ?o }",
+		"SELECT ?s WHERE { ?s <http://y/p> ?o } LIMIT 99999999999999999999",
+		"SELECT ?s WHERE { ?s <http://y/p> ?o . } OFFSET -1",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -35,8 +41,12 @@ func FuzzParse(f *testing.F) {
 		if len(q2.Patterns) != len(q.Patterns) ||
 			len(q2.Branches()) != len(q.Branches()) ||
 			len(q2.Filters) != len(q.Filters) ||
-			q2.Distinct != q.Distinct || q2.Limit != q.Limit || q2.Offset != q.Offset {
+			q2.Distinct != q.Distinct || q2.Star != q.Star ||
+			q2.Limit != q.Limit || q2.Offset != q.Offset {
 			t.Fatalf("round trip changed structure:\n%s\nvs\n%s", q, q2)
+		}
+		if len(q2.Projection()) != len(q.Projection()) {
+			t.Fatalf("round trip changed projection: %v vs %v", q2.Projection(), q.Projection())
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/multigraph"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -110,7 +111,7 @@ func TestGeneratedQueriesSatisfiable(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				n, err := engine.Count(g, ix, qg, engine.Options{Limit: 1})
+				n, err := engine.Count(g, ix, plan.For(qg, ix), engine.Options{Limit: 1})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,6 +1,12 @@
 package amber
 
-import "time"
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"repro/internal/plan"
+)
 
 // Stats describes a database's contents and offline-stage construction
 // cost (the quantities of the paper's Tables 4 and 5).
@@ -42,9 +48,25 @@ func (db *DB) Stats() Stats {
 	}
 }
 
-// Explain renders the engine's execution view of a query: core/satellite
-// decomposition, matching order, constraints, and initial candidate set
-// size. The format is human-oriented and not stable.
+// Explain renders the planner's execution view of a query: core/satellite
+// decomposition, the chosen matching order, per-vertex constraints, and
+// estimated vs. actual candidate-set sizes for every core vertex, under
+// the default cost-based planner. The format is human-oriented and not
+// stable.
 func (db *DB) Explain(sparqlText string) (string, error) {
-	return db.store.Explain(sparqlText)
+	return db.ExplainPlanner(sparqlText, "")
+}
+
+// ExplainPlanner is Explain with an explicit planner: "cost" (the
+// default) or "heuristic" (the paper's static Section 5.3 ordering).
+func (db *DB) ExplainPlanner(sparqlText, planner string) (string, error) {
+	pl, ok := plan.ByName(planner)
+	if !ok {
+		return "", errors.New("amber: unknown planner " + strconv.Quote(planner))
+	}
+	pq, err := db.parse(sparqlText)
+	if err != nil {
+		return "", err
+	}
+	return db.store.ExplainQuery(pl, pq)
 }
