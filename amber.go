@@ -36,9 +36,12 @@ import (
 // ErrTimeout is returned when a query exceeds QueryOptions.Timeout.
 var ErrTimeout = errors.New("amber: query timeout exceeded")
 
-// DB is an immutable AMbER database: the data multigraph plus its index
-// ensemble. Open one with Open, OpenFile or OpenString. A DB is safe for
-// concurrent readers.
+// DB is an AMbER database: the data multigraph plus its index ensemble,
+// and — since the live-update subsystem — a mutation path. Open one with
+// Open, OpenFile or OpenString. Reads are lock-free MVCC: every query
+// pins an immutable snapshot, so a DB is safe for any mix of concurrent
+// readers and writers (Update/Mutate), and no query ever observes a
+// partially applied update.
 type DB struct {
 	store    *core.Store
 	prefixes *rdf.PrefixMap
@@ -229,8 +232,8 @@ func (p *Prepared) QueryIter(opts *QueryOptions, fn func(Row) bool) error {
 
 // Count counts solutions of the prepared query; see DB.Count.
 func (p *Prepared) Count(opts *QueryOptions) (uint64, error) {
-	if pl := p.cp.Plan(); pl != nil {
-		n, err := p.db.store.Count(pl, opts.engineOptions(p.cp.Query().Limit))
+	if p.cp.Plain() {
+		n, err := p.cp.CountPlan(opts.engineOptions(p.cp.Query().Limit))
 		if err == engine.ErrDeadlineExceeded {
 			return n, ErrTimeout
 		}
@@ -249,11 +252,10 @@ func (p *Prepared) Count(opts *QueryOptions) (uint64, error) {
 
 // CountParallel counts solutions with a worker pool; see DB.CountParallel.
 func (p *Prepared) CountParallel(opts *QueryOptions, workers int) (uint64, error) {
-	pl := p.cp.Plan()
-	if pl == nil {
+	if !p.cp.Plain() {
 		return p.Count(opts)
 	}
-	n, err := p.db.store.CountParallel(pl, opts.engineOptions(p.cp.Query().Limit), workers)
+	n, err := p.cp.CountPlanParallel(opts.engineOptions(p.cp.Query().Limit), workers)
 	if err == engine.ErrDeadlineExceeded {
 		return n, ErrTimeout
 	}

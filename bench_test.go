@@ -174,7 +174,7 @@ func BenchmarkTable5_BuildDatabase_LUBM(b *testing.B)    { benchTable5Build(b, "
 
 func benchTable5Index(b *testing.B, name string) {
 	d := dataset(b, name)
-	g := d.Amber.Graph
+	g := d.Amber.Graph()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix := index.Build(g)
@@ -319,7 +319,7 @@ func BenchmarkFig11_Complex_LUBM_Size40_GraphMatch(b *testing.B) {
 // BenchmarkAblation_SIndexBulkLoad vs Insert: the two R-tree construction
 // paths for the signature index.
 func BenchmarkAblation_SIndexBulkLoad(b *testing.B) {
-	g := dataset(b, "LUBM").Amber.Graph
+	g := dataset(b, "LUBM").Amber.Graph()
 	n := g.NumVertices()
 	points := make([]rtree.Point, n)
 	ids := make([]uint32, n)
@@ -337,7 +337,7 @@ func BenchmarkAblation_SIndexBulkLoad(b *testing.B) {
 }
 
 func BenchmarkAblation_SIndexInsert(b *testing.B) {
-	g := dataset(b, "LUBM").Amber.Graph
+	g := dataset(b, "LUBM").Amber.Graph()
 	n := g.NumVertices()
 	points := make([]rtree.Point, n)
 	for v := 0; v < n; v++ {

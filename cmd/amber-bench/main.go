@@ -11,7 +11,9 @@
 //
 // Experiments: table1, table4, table5, fig6 (star/DBPEDIA), fig7
 // (complex/DBPEDIA), fig8 (star/YAGO), fig9 (complex/YAGO), fig10
-// (star/LUBM), fig11 (complex/LUBM), all.
+// (star/LUBM), fig11 (complex/LUBM), all. Beyond the paper, `churn`
+// measures query latency under a mixed read/write workload
+// (-writeratio) with live updates and background compaction enabled.
 package main
 
 import (
@@ -53,6 +55,8 @@ func main() {
 		seed         = flag.Int64("seed", 2016, "generation seed")
 		sizes        = flag.String("sizes", "10,20,30,40,50", "query sizes (triple patterns)")
 		planner      = flag.String("planner", "cost", "AMbER matching-order planner: cost (statistics-driven) or heuristic (paper §5.3)")
+		writeRatio   = flag.Float64("writeratio", 0.2, "write fraction for -exp churn (0..1)")
+		writeBatch   = flag.Int("writebatch", 64, "triples per write batch for -exp churn")
 	)
 	flag.Parse()
 
@@ -69,6 +73,8 @@ func main() {
 	cfg.Timeout = *timeout
 	cfg.Seed = *seed
 	cfg.Planner = *planner
+	cfg.WriteRatio = *writeRatio
+	cfg.WriteBatch = *writeBatch
 	cfg.Sizes = nil
 	for _, s := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -146,6 +152,16 @@ func run(exp string, cfg experiments.Config) error {
 		fmt.Fprintf(os.Stderr, "running %s...\n", f.id)
 		points := experiments.RunFigure(d, f.kind, cfg)
 		fmt.Println(experiments.FormatFigure(f.caption, points))
+		ran = true
+	}
+
+	if want("churn") {
+		d, err := getDS("DBPEDIA")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "running churn...")
+		fmt.Println(experiments.FormatChurn(experiments.RunChurn(d, workload.Star, cfg)))
 		ran = true
 	}
 

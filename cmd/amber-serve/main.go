@@ -11,6 +11,12 @@
 //	curl 'http://localhost:8080/sparql' --data-urlencode \
 //	    'query=SELECT ?s WHERE { ?s <http://p> <http://o> . }'
 //
+// Mutate it with SPARQL 1.1 Update (INSERT DATA, DELETE DATA, CLEAR,
+// LOAD); queries keep running and never see partial updates:
+//
+//	curl 'http://localhost:8080/sparql' --data-urlencode \
+//	    'update=INSERT DATA { <http://s> <http://p> <http://o2> . }'
+//
 // Signals: SIGINT/SIGTERM drain in-flight requests and exit; SIGHUP
 // reloads the data file or snapshot and hot-swaps it in without dropping
 // in-flight queries.
@@ -46,10 +52,13 @@ func main() {
 		maxTime   = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
 
 		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "how long to drain connections on shutdown")
+
+		compactAt = flag.Int("compact-threshold", 0, "delta entries (adds+tombstones) that trigger background compaction (0 = default 8192, negative disables)")
+		allowLoad = flag.Bool("allow-load", false, "permit LOAD <file> in update requests (reads server-local files)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataPath, *snapshot, server.Config{
+	if err := run(*addr, *dataPath, *snapshot, *compactAt, server.Config{
 		CacheSize:      *cacheSize,
 		MaxCacheRows:   *cacheRows,
 		PlanCacheSize:  *planCache,
@@ -57,6 +66,7 @@ func main() {
 		QueueWait:      *queueWait,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTime,
+		AllowLoad:      *allowLoad,
 	}, *shutdownGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "amber-serve:", err)
 		os.Exit(1)
@@ -75,11 +85,14 @@ func load(dataPath, snapshot string) (*amber.DB, error) {
 	}
 }
 
-func run(addr, dataPath, snapshot string, cfg server.Config, grace time.Duration) error {
+func run(addr, dataPath, snapshot string, compactAt int, cfg server.Config, grace time.Duration) error {
 	start := time.Now()
 	db, err := load(dataPath, snapshot)
 	if err != nil {
 		return err
+	}
+	if compactAt != 0 {
+		db.SetCompactThreshold(compactAt)
 	}
 	st := db.Stats()
 	log.Printf("loaded %d triples (%d vertices, %d edges) in %s",
@@ -108,7 +121,7 @@ func run(addr, dataPath, snapshot string, cfg server.Config, grace time.Duration
 			return err
 		case sig := <-sigc:
 			if sig == syscall.SIGHUP {
-				reload(srv, dataPath, snapshot)
+				reload(srv, dataPath, snapshot, compactAt)
 				continue
 			}
 			log.Printf("%s received, draining for up to %s", sig, grace)
@@ -122,12 +135,22 @@ func run(addr, dataPath, snapshot string, cfg server.Config, grace time.Duration
 
 // reload rebuilds the database from its source and hot-swaps it in.
 // In-flight queries finish against the generation they started on.
-func reload(srv *server.Server, dataPath, snapshot string) {
+// Live updates applied over HTTP since the last load are NOT in the
+// source file and are discarded by the swap — reload warns when that
+// happens (Save the merged view first to keep them).
+func reload(srv *server.Server, dataPath, snapshot string, compactAt int) {
 	start := time.Now()
+	if g := srv.DB().Generation(); g.Updates > 0 {
+		log.Printf("reload: discarding %d live update batch(es) (delta %d adds / %d tombstones) not present in the source",
+			g.Updates, g.DeltaAdds, g.DeltaTombstones)
+	}
 	db, err := load(dataPath, snapshot)
 	if err != nil {
 		log.Printf("reload failed, keeping current database: %v", err)
 		return
+	}
+	if compactAt != 0 {
+		db.SetCompactThreshold(compactAt)
 	}
 	gen := srv.Swap(db)
 	st := db.Stats()

@@ -1,0 +1,56 @@
+package amber
+
+import (
+	"testing"
+)
+
+// FuzzUpdate is the parse→apply→count smoke for the live-update
+// subsystem: any byte string either fails to parse as SPARQL Update or
+// applies cleanly, after which the store must still answer queries and
+// survive a compaction. Invariant violations are panics/data races, not
+// output comparisons.
+func FuzzUpdate(f *testing.F) {
+	seeds := []string{
+		`INSERT DATA { <http://s> <http://p> <http://o> . }`,
+		`DELETE DATA { <http://s> <http://p> <http://o> . }`,
+		`PREFIX y: <http://dbpedia.org/ontology/>
+		 PREFIX x: <http://dbpedia.org/resource/>
+		 INSERT DATA { x:London y:hasStadium x:NewStadium . } ;
+		 DELETE DATA { x:London y:isPartOf x:England . }`,
+		`INSERT DATA { <http://s> <http://p> "literal" ; <http://q> <http://o> . }`,
+		`CLEAR ALL`,
+		`CLEAR DEFAULT ; INSERT DATA { <http://a> <http://b> <http://c> . }`,
+		`INSERT DATA { ?x <http://p> <http://o> . }`,
+		`INSERT DATA { <http://s> <http://p> <http://o> `,
+		`LOAD <file:///dev/null>`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	query := `SELECT ?s ?o WHERE { ?s <http://p> ?o . }`
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := OpenString(figure1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.SetCompactThreshold(-1)
+		if err := db.Update(src); err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		n1, err := db.Count(query, nil)
+		if err != nil {
+			t.Fatalf("count after update: %v", err)
+		}
+		if err := db.Compact(); err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+		n2, err := db.Count(query, nil)
+		if err != nil {
+			t.Fatalf("count after compaction: %v", err)
+		}
+		if n1 != n2 {
+			t.Fatalf("compaction changed count: %d → %d (update %q)", n1, n2, src)
+		}
+	})
+}

@@ -236,7 +236,7 @@ func TestThreeEngineEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		amber, err := engine.Count(mg, ix, plan.For(qg, ix), engine.Options{})
+		amber, err := engine.Count(index.NewReader(mg, ix), plan.For(qg, index.NewReader(mg, ix)), engine.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,14 +1,25 @@
 // Package core assembles the complete AMbER system of the paper: the
 // offline stage (RDF → data multigraph G, then index ensemble I = {A,S,N})
 // and the online stage (SPARQL → query multigraph Q → sub-multigraph
-// homomorphism search). It is the implementation behind the public amber
-// package and the benchmark harness.
+// homomorphism search), extended with a live-update subsystem. It is the
+// implementation behind the public amber package and the benchmark
+// harness.
+//
+// A Store is a generation handle, not a frozen database: the current
+// state is an immutable Snapshot (frozen base graph + ensemble + delta
+// overlay) swapped atomically on every mutation, so readers pin a
+// snapshot and never block writers or observe torn updates (MVCC).
+// Writers serialize behind a mutex; past a configurable overlay size,
+// background compaction rebuilds base+delta into a fresh generation —
+// reusing the offline-stage Builder/index machinery — and swaps it in,
+// refreshing the planner statistics as a side effect.
 package core
 
 import (
 	"io"
 	"time"
 
+	"repro/internal/delta"
 	"repro/internal/dict"
 	"repro/internal/engine"
 	"repro/internal/index"
@@ -30,11 +41,38 @@ type BuildStats struct {
 	IndexBytes    int64
 }
 
-// Store is an AMbER database instance: immutable after construction.
-type Store struct {
+// Snapshot is one immutable MVCC state of a Store: a frozen base
+// generation plus the delta overlay on top of it. Everything a query
+// needs — probe surface, dictionaries, statistics — hangs off the
+// Delta view, which wraps the base. Snapshots are safe for concurrent
+// readers and remain valid (and consistent) after the store moves on.
+type Snapshot struct {
+	// Graph and Index are the frozen base generation.
 	Graph *multigraph.Graph
 	Index *index.Index
-	Stats BuildStats
+	// Delta is the overlay view (empty for a pristine generation). It is
+	// the snapshot's index.Reader and dict.Resolver.
+	Delta *delta.View
+	// Epoch increases on every successful mutation, compaction or clear:
+	// equal epochs mean identical visible data, so caches key on it.
+	Epoch uint64
+	// Gen counts base generations (compactions and clears).
+	Gen uint64
+	// Build records the base generation's offline-stage costs.
+	Build BuildStats
+}
+
+// Reader returns the snapshot's probe surface.
+func (sn *Snapshot) Reader() index.Reader { return sn.Delta }
+
+// Resolver returns the snapshot's dictionary surface.
+func (sn *Snapshot) Resolver() dict.Resolver { return sn.Delta }
+
+// Store is an AMbER database instance: a handle over the current
+// Snapshot. Reads are lock-free; mutations serialize internally. All
+// methods are safe for concurrent use.
+type Store struct {
+	live liveState // snapshot pointer, writer lock, compaction machinery
 }
 
 // NewStore builds the store from a triple slice (offline stage).
@@ -73,18 +111,38 @@ func finish(b *multigraph.Builder, start time.Time) (*Store, error) {
 	dbTime := time.Since(start)
 	idxStart := time.Now()
 	ix := index.Build(g)
-	s := &Store{
+	s := &Store{}
+	s.live.init(&Snapshot{
 		Graph: g,
 		Index: ix,
-		Stats: BuildStats{
+		Delta: delta.NewView(g, ix),
+		Build: BuildStats{
 			DatabaseTime:  dbTime,
 			IndexTime:     time.Since(idxStart),
 			DatabaseBytes: estimateGraphBytes(g),
 			IndexBytes:    estimateIndexBytes(g, ix),
 		},
-	}
+	})
 	return s, nil
 }
+
+// Snapshot pins the current MVCC state. The returned snapshot stays
+// consistent forever; run a whole query against one snapshot.
+func (s *Store) Snapshot() *Snapshot { return s.live.snapshot() }
+
+// Graph returns the current base generation's data multigraph. Note it
+// excludes any uncompacted delta; use Snapshot().Delta for merged reads.
+func (s *Store) Graph() *multigraph.Graph { return s.Snapshot().Graph }
+
+// Index returns the current base generation's index ensemble.
+func (s *Store) Index() *index.Index { return s.Snapshot().Index }
+
+// BuildInfo returns the current base generation's offline-stage costs.
+func (s *Store) BuildInfo() BuildStats { return s.Snapshot().Build }
+
+// Epoch returns the current data version; it increases on every
+// mutation, compaction and clear.
+func (s *Store) Epoch() uint64 { return s.Snapshot().Epoch }
 
 // estimateGraphBytes is an analytic size estimate of G: adjacency entries,
 // edge-type labels, attributes, and dictionary strings.
@@ -129,10 +187,34 @@ func estimateIndexBytes(g *multigraph.Graph, ix *index.Index) int64 {
 	return bytes
 }
 
-// Save writes a binary snapshot of the data multigraph. Loading it with
-// LoadStore skips RDF parsing; indexes are rebuilt deterministically.
+// Save writes a binary snapshot of the merged data multigraph (base plus
+// any uncompacted delta). Loading it with LoadStore skips RDF parsing;
+// indexes are rebuilt deterministically.
 func (s *Store) Save(w io.Writer) error {
-	return s.Graph.Encode(w)
+	sn := s.Snapshot()
+	if sn.Delta.Empty() {
+		return sn.Graph.Encode(w)
+	}
+	g, err := materialize(sn.Delta)
+	if err != nil {
+		return err
+	}
+	return g.Encode(w)
+}
+
+// materialize rebuilds a frozen graph from a delta view's merged triple
+// stream (the compaction and snapshot-save workhorse).
+func materialize(v *delta.View) (*multigraph.Graph, error) {
+	var b multigraph.Builder
+	var addErr error
+	v.Triples(func(t rdf.Triple) bool {
+		addErr = b.Add(t)
+		return addErr == nil
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	return b.Build(), nil
 }
 
 // LoadStore reads a snapshot written by Save and rebuilds the index
@@ -146,22 +228,25 @@ func LoadStore(r io.Reader) (*Store, error) {
 	dbTime := time.Since(start)
 	idxStart := time.Now()
 	ix := index.Build(g)
-	return &Store{
+	s := &Store{}
+	s.live.init(&Snapshot{
 		Graph: g,
 		Index: ix,
-		Stats: BuildStats{
+		Delta: delta.NewView(g, ix),
+		Build: BuildStats{
 			DatabaseTime:  dbTime,
 			IndexTime:     time.Since(idxStart),
 			DatabaseBytes: estimateGraphBytes(g),
 			IndexBytes:    estimateIndexBytes(g, ix),
 		},
-	}, nil
+	})
+	return s, nil
 }
 
 // Translate builds the query multigraph (decomposition only, no matching
-// order) for a parsed SPARQL query.
+// order) for a parsed SPARQL query against the current snapshot.
 func (s *Store) Translate(q *sparql.Query) (*query.Graph, error) {
-	return query.Build(q, &s.Graph.Dicts)
+	return query.Build(q, s.Snapshot().Resolver())
 }
 
 // Prepare translates a parsed SPARQL query into an executable matching
@@ -171,13 +256,16 @@ func (s *Store) Prepare(q *sparql.Query) (*plan.Plan, error) {
 }
 
 // PrepareWith translates with an explicit planner, letting experiments
-// compare orderings.
+// compare orderings. The plan is built against the current snapshot; a
+// mutation invalidates it (PreparedQuery handles revalidation — use it
+// when queries outlive updates).
 func (s *Store) PrepareWith(pl plan.Planner, q *sparql.Query) (*plan.Plan, error) {
-	qg, err := query.Build(q, &s.Graph.Dicts)
+	sn := s.Snapshot()
+	qg, err := query.Build(q, sn.Resolver())
 	if err != nil {
 		return nil, err
 	}
-	return pl.Plan(qg, s.Index), nil
+	return pl.Plan(qg, sn.Reader()), nil
 }
 
 // PrepareString parses, translates and plans SPARQL text.
@@ -193,21 +281,22 @@ func (s *Store) PrepareString(src string) (*plan.Plan, *sparql.Query, error) {
 	return p, pq, nil
 }
 
-// Count returns the number of homomorphic embeddings of the plan.
+// Count returns the number of homomorphic embeddings of the plan against
+// the current snapshot (the plan must have been prepared on it).
 func (s *Store) Count(p *plan.Plan, opts engine.Options) (uint64, error) {
-	return engine.Count(s.Graph, s.Index, p, opts)
+	return engine.Count(s.Snapshot().Reader(), p, opts)
 }
 
 // CountParallel counts embeddings with a pool of worker goroutines (the
 // paper's future-work "parallel processing version"); see
 // engine.CountParallel.
 func (s *Store) CountParallel(p *plan.Plan, opts engine.Options, workers int) (uint64, error) {
-	return engine.CountParallel(s.Graph, s.Index, p, opts, workers)
+	return engine.CountParallel(s.Snapshot().Reader(), p, opts, workers)
 }
 
 // Stream enumerates embeddings of the plan; see engine.Stream.
 func (s *Store) Stream(p *plan.Plan, opts engine.Options, yield func([]dict.VertexID) bool) error {
-	return engine.Stream(s.Graph, s.Index, p, opts, yield)
+	return engine.Stream(s.Snapshot().Reader(), p, opts, yield)
 }
 
 // Binding is one variable binding of a solution row.

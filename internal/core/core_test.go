@@ -41,16 +41,16 @@ func newStore(t *testing.T) *Store {
 
 func TestNewStoreFromReader(t *testing.T) {
 	s := newStore(t)
-	if s.Graph.NumVertices() != 9 {
-		t.Errorf("vertices = %d, want 9", s.Graph.NumVertices())
+	if s.Graph().NumVertices() != 9 {
+		t.Errorf("vertices = %d, want 9", s.Graph().NumVertices())
 	}
-	if s.Index == nil || s.Index.A == nil || s.Index.S == nil || s.Index.N == nil {
+	if s.Index() == nil || s.Index().A == nil || s.Index().S == nil || s.Index().N == nil {
 		t.Fatal("indexes not built")
 	}
-	if s.Stats.DatabaseBytes <= 0 || s.Stats.IndexBytes <= 0 {
-		t.Errorf("size estimates = %d / %d", s.Stats.DatabaseBytes, s.Stats.IndexBytes)
+	if s.BuildInfo().DatabaseBytes <= 0 || s.BuildInfo().IndexBytes <= 0 {
+		t.Errorf("size estimates = %d / %d", s.BuildInfo().DatabaseBytes, s.BuildInfo().IndexBytes)
 	}
-	if s.Stats.DatabaseTime < 0 || s.Stats.IndexTime < 0 {
+	if s.BuildInfo().DatabaseTime < 0 || s.BuildInfo().IndexTime < 0 {
 		t.Error("negative build times")
 	}
 }
@@ -165,10 +165,10 @@ func TestSizeEstimatesScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if big.Stats.DatabaseBytes <= small.Stats.DatabaseBytes {
-		t.Errorf("database bytes did not grow: %d vs %d", big.Stats.DatabaseBytes, small.Stats.DatabaseBytes)
+	if big.BuildInfo().DatabaseBytes <= small.BuildInfo().DatabaseBytes {
+		t.Errorf("database bytes did not grow: %d vs %d", big.BuildInfo().DatabaseBytes, small.BuildInfo().DatabaseBytes)
 	}
-	if big.Stats.IndexBytes <= small.Stats.IndexBytes {
-		t.Errorf("index bytes did not grow: %d vs %d", big.Stats.IndexBytes, small.Stats.IndexBytes)
+	if big.BuildInfo().IndexBytes <= small.BuildInfo().IndexBytes {
+		t.Errorf("index bytes did not grow: %d vs %d", big.BuildInfo().IndexBytes, small.BuildInfo().IndexBytes)
 	}
 }

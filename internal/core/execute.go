@@ -2,6 +2,8 @@ package core
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/engine"
@@ -26,14 +28,35 @@ func IsPlain(pq *sparql.Query) bool {
 // and ready to execute many times: every UNION branch's query multigraph
 // is built, its matching plan computed (including the per-vertex candidate
 // constraints of Algorithm 1) and its FILTERs compiled up front, so
-// repeated executions skip translation and planning entirely. A
-// PreparedQuery is tied to the Store that prepared it (the cached plans
-// reference its index) and is safe for concurrent use.
+// repeated executions skip translation and planning entirely.
+//
+// Preparation records the store epoch it planned against (without
+// retaining the snapshot, so idle cached plans cannot pin a retired
+// generation after compaction). Every execution revalidates: if the
+// store's epoch moved (a live update or a compaction), the branches are
+// transparently re-planned against the current snapshot — the common
+// unchanged case costs two atomic loads. Each execution then runs
+// entirely against one snapshot, so results are never torn across an
+// update. A PreparedQuery is safe for concurrent use.
 type PreparedQuery struct {
-	store    *Store
-	pq       *sparql.Query
-	proj     []string
-	plain    bool
+	store   *Store
+	planner plan.Planner
+	pq      *sparql.Query
+	proj    []string
+	plain   bool
+
+	mu    sync.Mutex // serializes re-preparation
+	state atomic.Pointer[preparedState]
+}
+
+// preparedState is the per-epoch compiled form: one prepared branch per
+// UNION alternative. It records the epoch it was planned against but
+// deliberately does NOT hold the Snapshot — an idle cached plan must not
+// pin a retired generation's graph and index ensemble in memory after a
+// compaction. Epochs are in bijection with snapshots, so resolve() can
+// always re-fetch the matching snapshot while it is current.
+type preparedState struct {
+	epoch    uint64
 	branches []preparedBranch
 }
 
@@ -53,24 +76,48 @@ func (s *Store) PrepareQuery(pq *sparql.Query) (*PreparedQuery, error) {
 // PrepareQueryWith translates and plans with an explicit planner.
 func (s *Store) PrepareQueryWith(pl plan.Planner, pq *sparql.Query) (*PreparedQuery, error) {
 	p := &PreparedQuery{
-		store: s,
-		pq:    pq,
-		proj:  pq.Projection(),
-		plain: IsPlain(pq),
+		store:   s,
+		planner: pl,
+		pq:      pq,
+		proj:    pq.Projection(),
+		plain:   IsPlain(pq),
 	}
-	for _, branch := range pq.Branches() {
-		bq := &sparql.Query{Prefixes: pq.Prefixes, Star: true, Patterns: branch}
-		qg, err := query.Build(bq, &s.Graph.Dicts)
-		if err != nil {
-			return nil, err
-		}
-		bp := pl.Plan(qg, s.Index)
-		p.branches = append(p.branches, preparedBranch{
-			pl:      bp,
-			filters: s.compileFilters(pq.Filters, qg),
-		})
+	// Prepare eagerly so structural errors surface here, not at first use.
+	if _, _, err := p.resolve(); err != nil {
+		return nil, err
 	}
 	return p, nil
+}
+
+// resolve returns the snapshot to execute against plus the compiled
+// state matching its epoch, re-planning if a mutation or compaction
+// moved the store. The returned snapshot is pinned by the caller for
+// the duration of one execution only.
+func (p *PreparedQuery) resolve() (*Snapshot, *preparedState, error) {
+	cur := p.store.Snapshot()
+	if st := p.state.Load(); st != nil && st.epoch == cur.Epoch {
+		return cur, st, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur = p.store.Snapshot() // re-read: another goroutine may have won
+	if st := p.state.Load(); st != nil && st.epoch == cur.Epoch {
+		return cur, st, nil
+	}
+	st := &preparedState{epoch: cur.Epoch}
+	for _, branch := range p.pq.Branches() {
+		bq := &sparql.Query{Prefixes: p.pq.Prefixes, Star: true, Patterns: branch}
+		qg, err := query.Build(bq, cur.Resolver())
+		if err != nil {
+			return nil, nil, err
+		}
+		st.branches = append(st.branches, preparedBranch{
+			pl:      p.planner.Plan(qg, cur.Reader()),
+			filters: compileFilters(p.pq.Filters, qg),
+		})
+	}
+	p.state.Store(st)
+	return cur, st, nil
 }
 
 // Query returns the parsed query the PreparedQuery was built from.
@@ -83,22 +130,61 @@ func (p *PreparedQuery) Projection() []string { return p.proj }
 // IsPlain), for which the factorized Count path applies.
 func (p *PreparedQuery) Plain() bool { return p.plain }
 
-// Plan returns the cached matching plan of a plain (single-branch) query,
-// for the factorized Count/CountParallel paths; nil otherwise.
+// Plan returns the current matching plan of a plain (single-branch)
+// query, for diagnostics; nil otherwise. Live updates may re-plan, so
+// successive calls can return different plans.
 func (p *PreparedQuery) Plan() *plan.Plan {
-	if p.plain && len(p.branches) == 1 {
-		return p.branches[0].pl
+	if !p.plain {
+		return nil
 	}
-	return nil
+	_, st, err := p.resolve()
+	if err != nil || len(st.branches) != 1 {
+		return nil
+	}
+	return st.branches[0].pl
 }
 
-// Plans returns every branch's cached plan (diagnostics; Explain).
+// Plans returns every branch's current plan (diagnostics; Explain).
 func (p *PreparedQuery) Plans() []*plan.Plan {
-	out := make([]*plan.Plan, len(p.branches))
-	for i := range p.branches {
-		out[i] = p.branches[i].pl
+	_, st, err := p.resolve()
+	if err != nil {
+		return nil
+	}
+	out := make([]*plan.Plan, len(st.branches))
+	for i := range st.branches {
+		out[i] = st.branches[i].pl
 	}
 	return out
+}
+
+// CountPlan counts embeddings of a plain query through the factorized
+// engine path, pinned to one snapshot. Callers must have checked Plain.
+func (p *PreparedQuery) CountPlan(opts engine.Options) (uint64, error) {
+	sn, st, err := p.resolve()
+	if err != nil {
+		return 0, err
+	}
+	return engine.Count(sn.Reader(), st.branches[0].pl, opts)
+}
+
+// Count counts solutions against one pinned snapshot: the factorized
+// engine path for plain queries, row enumeration otherwise.
+func (p *PreparedQuery) Count(opts engine.Options) (uint64, error) {
+	if p.plain {
+		return p.CountPlan(opts)
+	}
+	var n uint64
+	err := p.Execute(opts, func(Solution) bool { n++; return true })
+	return n, err
+}
+
+// CountPlanParallel is CountPlan with a worker pool.
+func (p *PreparedQuery) CountPlanParallel(opts engine.Options, workers int) (uint64, error) {
+	sn, st, err := p.resolve()
+	if err != nil {
+		return 0, err
+	}
+	return engine.CountParallel(sn.Reader(), st.branches[0].pl, opts, workers)
 }
 
 // Execute evaluates a parsed query with the full extension fragment:
@@ -116,9 +202,14 @@ func (s *Store) Execute(pq *sparql.Query, opts engine.Options, yield func(Soluti
 	return p.Execute(opts, yield)
 }
 
-// Execute runs the prepared query; see Store.Execute for semantics.
+// Execute runs the prepared query against one pinned snapshot; see
+// Store.Execute for semantics.
 func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) error {
-	s, pq := p.store, p.pq
+	sn, st, err := p.resolve()
+	if err != nil {
+		return err
+	}
+	pq := p.pq
 	limit := pq.Limit
 	if opts.Limit > 0 && (limit == 0 || opts.Limit < limit) {
 		limit = opts.Limit
@@ -165,21 +256,22 @@ func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) 
 		return true
 	}
 
-	for _, branch := range p.branches {
+	res := sn.Resolver()
+	for _, branch := range st.branches {
 		if stop {
 			break
 		}
 		filters := branch.filters
 		qg := branch.pl.Query
-		err := s.Stream(branch.pl, engOpts, func(asg []dict.VertexID) bool {
+		err := engine.Stream(sn.Reader(), branch.pl, engOpts, func(asg []dict.VertexID) bool {
 			for _, f := range filters {
-				if !f(asg) {
+				if !f(asg, res) {
 					return true
 				}
 			}
 			sol := make(Solution, len(qg.Vars))
 			for u := range qg.Vars {
-				sol[qg.Vars[u].Name] = s.Graph.Dicts.VertexIRI(asg[u])
+				sol[qg.Vars[u].Name] = res.VertexIRI(asg[u])
 			}
 			return emit(sol)
 		})
@@ -199,16 +291,18 @@ func distinctKey(proj []string, sol Solution) string {
 	return strings.Join(parts, "\x00")
 }
 
-// compiledFilter checks one FILTER against an embedding.
-type compiledFilter func(asg []dict.VertexID) bool
+// compiledFilter checks one FILTER against an embedding, resolving
+// bound vertices through the executing snapshot's dictionaries (passed
+// per call so the compiled form retains no snapshot reference).
+type compiledFilter func(asg []dict.VertexID, res dict.Resolver) bool
 
 // compileFilters resolves filter variables against the branch's query
 // graph. A filter whose variable is absent from this branch is vacuously
 // true for the branch (the variable is unbound there).
-func (s *Store) compileFilters(fs []sparql.Filter, qg *query.Graph) []compiledFilter {
+func compileFilters(fs []sparql.Filter, qg *query.Graph) []compiledFilter {
 	text := func(u query.VertexID, pred func(string) bool) compiledFilter {
-		return func(asg []dict.VertexID) bool {
-			return pred(s.Graph.Dicts.VertexIRI(asg[u]))
+		return func(asg []dict.VertexID, res dict.Resolver) bool {
+			return pred(res.VertexIRI(asg[u]))
 		}
 	}
 	var out []compiledFilter
@@ -224,16 +318,16 @@ func (s *Store) compileFilters(fs []sparql.Filter, qg *query.Graph) []compiledFi
 			}
 			switch f.Op {
 			case sparql.FilterEq:
-				out = append(out, func(asg []dict.VertexID) bool { return asg[lhs] == asg[rhs] })
+				out = append(out, func(asg []dict.VertexID, _ dict.Resolver) bool { return asg[lhs] == asg[rhs] })
 			case sparql.FilterNe:
-				out = append(out, func(asg []dict.VertexID) bool { return asg[lhs] != asg[rhs] })
+				out = append(out, func(asg []dict.VertexID, _ dict.Resolver) bool { return asg[lhs] != asg[rhs] })
 			case sparql.FilterRegex:
-				out = append(out, func(asg []dict.VertexID) bool {
-					return strings.Contains(s.Graph.Dicts.VertexIRI(asg[lhs]), s.Graph.Dicts.VertexIRI(asg[rhs]))
+				out = append(out, func(asg []dict.VertexID, res dict.Resolver) bool {
+					return strings.Contains(res.VertexIRI(asg[lhs]), res.VertexIRI(asg[rhs]))
 				})
 			case sparql.FilterStrStarts:
-				out = append(out, func(asg []dict.VertexID) bool {
-					return strings.HasPrefix(s.Graph.Dicts.VertexIRI(asg[lhs]), s.Graph.Dicts.VertexIRI(asg[rhs]))
+				out = append(out, func(asg []dict.VertexID, res dict.Resolver) bool {
+					return strings.HasPrefix(res.VertexIRI(asg[lhs]), res.VertexIRI(asg[rhs]))
 				})
 			}
 			continue

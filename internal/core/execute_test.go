@@ -130,10 +130,10 @@ func TestSaveAndLoadStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Graph.NumVertices() != s.Graph.NumVertices() {
-		t.Errorf("vertices = %d, want %d", loaded.Graph.NumVertices(), s.Graph.NumVertices())
+	if loaded.Graph().NumVertices() != s.Graph().NumVertices() {
+		t.Errorf("vertices = %d, want %d", loaded.Graph().NumVertices(), s.Graph().NumVertices())
 	}
-	if loaded.Stats.DatabaseBytes != s.Stats.DatabaseBytes {
+	if loaded.BuildInfo().DatabaseBytes != s.BuildInfo().DatabaseBytes {
 		t.Errorf("size estimate differs after load")
 	}
 	rows, err := loaded.Select(`

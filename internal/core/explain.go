@@ -30,11 +30,12 @@ func (s *Store) Explain(src string) (string, error) {
 // candidates refined by the Algorithm 1 constraints). It is a diagnostic
 // aid; the output format is human-oriented and not stable.
 func (s *Store) ExplainQuery(pl plan.Planner, pq *sparql.Query) (string, error) {
-	qg, err := s.Translate(pq)
+	sn := s.Snapshot()
+	qg, err := query.Build(pq, sn.Resolver())
 	if err != nil {
 		return "", err
 	}
-	p := pl.Plan(qg, s.Index)
+	p := pl.Plan(qg, sn.Reader())
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %d pattern(s), %d variable(s)\n", len(pq.Patterns), len(qg.Vars))
@@ -62,7 +63,7 @@ func (s *Store) ExplainQuery(pl plan.Planner, pq *sparql.Query) (string, error) 
 			v := &qg.Vars[u]
 			fmt.Fprintf(&b, "  core[%d] ?%s deg=%d attrs=%d iris=%d",
 				pos, v.Name, qg.VarDegree(u), len(v.Attrs), len(v.IRIs))
-			fmt.Fprintf(&b, " est=%s actual=%d", fmtEst(comp.Estimates[pos]), s.actualCandidates(p, u))
+			fmt.Fprintf(&b, " est=%s actual=%d", fmtEst(comp.Estimates[pos]), actualCandidates(sn, p, u))
 			if sats := comp.Satellites[u]; len(sats) > 0 {
 				names := make([]string, len(sats))
 				for i, su := range sats {
@@ -77,20 +78,21 @@ func (s *Store) ExplainQuery(pl plan.Planner, pq *sparql.Query) (string, error) 
 	return b.String(), nil
 }
 
-// actualCandidates probes the index for the true standalone candidate-set
-// size of a core vertex: the signature-index candidates intersected with
-// the plan's fixed constraints and self-loop filter — exactly what the
-// engine would compute were the vertex chosen as the component's initial
-// vertex.
-func (s *Store) actualCandidates(p *plan.Plan, u query.VertexID) int {
+// actualCandidates probes the snapshot for the true standalone
+// candidate-set size of a core vertex: the signature candidates
+// intersected with the plan's fixed constraints and self-loop filter —
+// exactly what the engine would compute were the vertex chosen as the
+// component's initial vertex.
+func actualCandidates(sn *Snapshot, p *plan.Plan, u query.VertexID) int {
 	qg := p.Query
-	cand := s.Index.S.Candidates(qg.Synopsis(u))
+	r := sn.Reader()
+	cand := r.SignatureCandidates(qg.Synopsis(u))
 	n := 0
 	for _, v := range cand {
 		if p.IsFixed[u] && !otil.ContainsSorted(p.Fixed[u], v) {
 			continue
 		}
-		if st := qg.Vars[u].SelfTypes; len(st) > 0 && !s.Graph.HasEdgeTypes(v, v, st) {
+		if st := qg.Vars[u].SelfTypes; len(st) > 0 && !r.HasEdgeTypes(v, v, st) {
 			continue
 		}
 		n++

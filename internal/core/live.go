@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/delta"
+	"repro/internal/index"
+	"repro/internal/multigraph"
+	"repro/internal/rdf"
+)
+
+// DefaultCompactThreshold is the overlay size (added triples plus
+// tombstones) past which a mutation triggers background compaction.
+const DefaultCompactThreshold = 8192
+
+// mutation is one applied write batch, kept in the replay log so a
+// compaction built off-lock can catch up with writes that landed while
+// it was rebuilding.
+type mutation struct {
+	adds, dels []rdf.Triple
+}
+
+// liveState is the MVCC machinery of a Store: the atomically swapped
+// snapshot, the writer lock, the replay log of the current base
+// generation, and the compaction bookkeeping.
+type liveState struct {
+	snap atomic.Pointer[Snapshot]
+
+	mu         sync.Mutex // serializes mutations, clears and swap-ins
+	log        []mutation // batches applied while a compaction is rebuilding
+	compacting bool       // guarded by mu; one compaction at a time
+
+	// compactDone is closed when the in-flight compaction (background or
+	// forced) finishes; nil when idle. Guarded by mu. A fresh channel per
+	// cycle avoids sync.WaitGroup's Add-concurrent-with-Wait reuse hazard.
+	compactDone chan struct{}
+
+	compactThreshold atomic.Int64
+
+	updates        atomic.Uint64
+	compactions    atomic.Uint64
+	lastCompaction atomic.Int64 // nanoseconds
+}
+
+func (l *liveState) init(sn *Snapshot) {
+	l.snap.Store(sn)
+	l.compactThreshold.Store(DefaultCompactThreshold)
+}
+
+func (l *liveState) snapshot() *Snapshot { return l.snap.Load() }
+
+// GenerationInfo describes the store's live-update state: the quantities
+// the server's /stats "generation" section reports.
+type GenerationInfo struct {
+	// Epoch is the data version (see Snapshot.Epoch).
+	Epoch uint64
+	// Generation counts base rebuilds (compactions and clears).
+	Generation uint64
+	// DeltaAdds and DeltaTombstones size the uncompacted overlay.
+	DeltaAdds, DeltaTombstones int
+	// Updates counts applied mutation batches since the store opened.
+	Updates uint64
+	// Compactions counts completed compactions; LastCompaction is the
+	// wall-clock duration of the most recent one (zero if none ran).
+	Compactions    uint64
+	LastCompaction time.Duration
+}
+
+// GenerationInfo snapshots the live-update counters.
+func (s *Store) GenerationInfo() GenerationInfo {
+	sn := s.Snapshot()
+	return GenerationInfo{
+		Epoch:           sn.Epoch,
+		Generation:      sn.Gen,
+		DeltaAdds:       sn.Delta.Adds(),
+		DeltaTombstones: sn.Delta.Tombstones(),
+		Updates:         s.live.updates.Load(),
+		Compactions:     s.live.compactions.Load(),
+		LastCompaction:  time.Duration(s.live.lastCompaction.Load()),
+	}
+}
+
+// SetCompactThreshold sets the overlay size (adds + tombstones) past
+// which mutations trigger background compaction. n <= 0 disables
+// automatic compaction (Compact still works).
+func (s *Store) SetCompactThreshold(n int) {
+	s.live.compactThreshold.Store(int64(n))
+}
+
+// Mutate applies one write batch: dels are removed first, then adds are
+// inserted, atomically — no reader ever observes the batch partially
+// applied. Triples are validated up front; on error nothing changes.
+// When the call returns, every later query sees the new state
+// (read-your-writes). Deleting absent triples and inserting present
+// ones are no-ops, per SPARQL 1.1 Update semantics.
+func (s *Store) Mutate(adds, dels []rdf.Triple) error {
+	if len(adds) == 0 && len(dels) == 0 {
+		return nil
+	}
+	l := &s.live
+	l.mu.Lock()
+	cur := l.snap.Load()
+	nv, err := cur.Delta.Apply(adds, dels)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.compacting {
+		// The replay log only exists to let an in-flight rebuild catch
+		// up; when no compaction is running, the snapshot itself is the
+		// durable state and logging would grow without bound.
+		l.log = append(l.log, mutation{
+			adds: append([]rdf.Triple(nil), adds...),
+			dels: append([]rdf.Triple(nil), dels...),
+		})
+	}
+	l.snap.Store(&Snapshot{
+		Graph: cur.Graph, Index: cur.Index, Delta: nv,
+		Epoch: cur.Epoch + 1, Gen: cur.Gen, Build: cur.Build,
+	})
+	l.updates.Add(1)
+	var done chan struct{}
+	if th := l.compactThreshold.Load(); th > 0 && int64(nv.Size()) >= th && !l.compacting {
+		l.compacting = true
+		done = make(chan struct{})
+		l.compactDone = done
+	}
+	l.mu.Unlock()
+	if done != nil {
+		go func() {
+			defer close(done)
+			s.runCompaction() //nolint:errcheck // unreachable for validated batches
+		}()
+	}
+	return nil
+}
+
+// Clear atomically replaces the store's contents with an empty
+// generation (SPARQL `CLEAR DEFAULT` / `CLEAR ALL`). An in-flight
+// compaction detects the generation change and discards its result.
+func (s *Store) Clear() {
+	g := (&multigraph.Builder{}).Build()
+	ix := index.Build(g)
+	l := &s.live
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.snap.Load()
+	l.snap.Store(&Snapshot{
+		Graph: g, Index: ix, Delta: delta.NewView(g, ix),
+		Epoch: cur.Epoch + 1, Gen: cur.Gen + 1,
+		Build: BuildStats{
+			DatabaseBytes: estimateGraphBytes(g),
+			IndexBytes:    estimateIndexBytes(g, ix),
+		},
+	})
+	l.log = nil
+	l.updates.Add(1)
+}
+
+// Compact synchronously rebuilds base+delta into a fresh generation and
+// swaps it in, refreshing the index ensemble and planner statistics. If
+// a background compaction is already running it waits for that one
+// instead. Compacting an empty overlay is a no-op.
+func (s *Store) Compact() error {
+	l := &s.live
+	l.mu.Lock()
+	if l.compacting {
+		done := l.compactDone
+		l.mu.Unlock()
+		if done != nil {
+			<-done
+		}
+		return nil
+	}
+	if l.snap.Load().Delta.Empty() {
+		l.mu.Unlock()
+		return nil
+	}
+	l.compacting = true
+	done := make(chan struct{})
+	l.compactDone = done
+	l.mu.Unlock()
+	defer close(done)
+	return s.runCompaction()
+}
+
+// WaitCompaction blocks until the compaction that is in flight when it
+// is called (if any) has finished.
+func (s *Store) WaitCompaction() {
+	l := &s.live
+	l.mu.Lock()
+	done := l.compactDone
+	l.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
+// runCompaction rebuilds the captured snapshot's merged view into a
+// fresh frozen generation off-lock, then swaps it in under the writer
+// lock, replaying any mutations that landed during the rebuild onto the
+// new base. The caller must have set l.compacting (and owns clearing
+// it, which this function does on every path).
+func (s *Store) runCompaction() error {
+	l := &s.live
+	start := time.Now()
+
+	l.mu.Lock()
+	cur := l.snap.Load()
+	// Everything logged so far is already inside cur; the log from here
+	// on holds exactly the writes the rebuild will need to replay.
+	l.log = nil
+	l.mu.Unlock()
+
+	// Offline stage for the new generation — off-lock: readers keep
+	// querying the current snapshot, writers keep appending to the log.
+	buildStart := time.Now()
+	g, err := materialize(cur.Delta)
+	if err != nil {
+		// Cannot happen for validated mutations; keep the old generation.
+		l.mu.Lock()
+		l.compacting = false
+		l.compactDone = nil
+		l.log = nil
+		l.mu.Unlock()
+		return err
+	}
+	dbTime := time.Since(buildStart)
+	idxStart := time.Now()
+	ix := index.Build(g)
+	build := BuildStats{
+		DatabaseTime:  dbTime,
+		IndexTime:     time.Since(idxStart),
+		DatabaseBytes: estimateGraphBytes(g),
+		IndexBytes:    estimateIndexBytes(g, ix),
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compacting = false
+	l.compactDone = nil
+	tail := l.log
+	l.log = nil
+	cur2 := l.snap.Load()
+	if cur2.Gen != cur.Gen {
+		// The base changed under us (Clear): the rebuilt generation would
+		// resurrect wiped data — discard it.
+		return nil
+	}
+	// Catch up with writes that landed during the rebuild. A batch that
+	// raced the initial capture may already be inside cur — replaying the
+	// logged sequence in order is idempotent (each triple ends in the
+	// state its last operation dictates), so the result is exact.
+	nv := delta.NewView(g, ix)
+	for _, m := range tail {
+		if nv, err = nv.Apply(m.adds, m.dels); err != nil {
+			return err // validated at Mutate time; unreachable
+		}
+	}
+	l.snap.Store(&Snapshot{
+		Graph: g, Index: ix, Delta: nv,
+		Epoch: cur2.Epoch + 1, Gen: cur2.Gen + 1, Build: build,
+	})
+	l.compactions.Add(1)
+	l.lastCompaction.Store(int64(time.Since(start)))
+	return nil
+}

@@ -1,0 +1,874 @@
+// Package delta implements the live-update overlay of the AMbER
+// reproduction: an immutable view of "frozen base graph + in-memory
+// changes" that presents the same probe surface (index.Reader) and
+// dictionary surface (dict.Resolver) as a frozen generation, so the
+// matching engine, the planner and query translation run unchanged over
+// mutating data.
+//
+// The design keeps the paper's expensive index ensemble untouched per
+// generation: a View records only the difference — added triples and
+// tombstones over the base — plus its own small side indexes (per-pair
+// edge-type deltas, per-vertex touch lists, an attribute add/remove
+// inverted index, and dictionary extensions for IRIs the base has never
+// seen). Probes consult the base ensemble first and correct its answer
+// through the overlay, so overlay matching stays sublinear in the base
+// and linear only in the delta.
+//
+// Views are persistent (copy-on-write): Apply returns a new View sharing
+// the base and leaves the receiver untouched, which is what gives the
+// MVCC read path its snapshot isolation — a query pins one View and can
+// never observe a torn update. Writers are expected to be serialized by
+// the owner (internal/core.Store); readers need no synchronization.
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/index"
+	"repro/internal/multigraph"
+	"repro/internal/rdf"
+)
+
+// edgeKey identifies a directed vertex pair carrying an edge-type delta.
+type edgeKey struct {
+	from, to dict.VertexID
+}
+
+// pairDelta is the multi-edge change on one directed pair: types added
+// beyond the base label set and base types tombstoned. Both are sorted
+// and disjoint; a type deleted and re-added cancels out.
+type pairDelta struct {
+	add []dict.EdgeType
+	del []dict.EdgeType
+}
+
+// View is one immutable overlay snapshot over a frozen base generation.
+// The zero value is not usable; start from NewView and evolve with Apply.
+// A View is safe for concurrent readers.
+type View struct {
+	g  *multigraph.Graph
+	ix *index.Index
+
+	baseNV, baseNT, baseNA int
+
+	// Dictionary extensions for entities the base has never interned.
+	// Overlay ids continue the base's dense ranges (vertex id baseNV+i ↔
+	// vertIRI[i], and likewise for edge types and attributes).
+	vertID  map[string]dict.VertexID
+	vertIRI []string
+	etID    map[string]dict.EdgeType
+	etIRI   []string
+	attrID  map[dict.Attribute]dict.AttrID
+	attrVal []dict.Attribute
+
+	// Edge overlay: per-pair type deltas plus per-vertex touch lists
+	// (sorted neighbour ids with any delta on the connecting pair).
+	pairs    map[edgeKey]pairDelta
+	outTouch map[dict.VertexID][]dict.VertexID // v → {w : pairs[v,w] exists}
+	inTouch  map[dict.VertexID][]dict.VertexID // v → {w : pairs[w,v] exists}
+
+	// Attribute overlay: per-vertex sorted add/remove sets and the
+	// matching inverted lists (the overlay's mini A index).
+	addAttrs map[dict.VertexID][]dict.AttrID
+	delAttrs map[dict.VertexID][]dict.AttrID
+	attrAdd  map[dict.AttrID][]dict.VertexID
+	attrDel  map[dict.AttrID][]dict.VertexID
+
+	// touched lists the vertices whose signature may exceed their base
+	// signature: every overlay-new vertex plus every base endpoint of an
+	// added edge. SignatureCandidates unions it into the base R-tree
+	// probe (deletions only shrink signatures, so they need no entry).
+	touched []dict.VertexID
+
+	adds, dels int // overlay entries: added triples, tombstones
+	numTriples int // merged triple count (base ± overlay)
+	newPairs   int // pairs with adds where the base had no edge
+}
+
+// NewView returns the empty overlay over a frozen generation.
+func NewView(g *multigraph.Graph, ix *index.Index) *View {
+	return &View{
+		g: g, ix: ix,
+		baseNV:     g.NumVertices(),
+		baseNT:     g.NumEdgeTypes(),
+		baseNA:     g.NumAttrs(),
+		numTriples: g.NumTriples(),
+	}
+}
+
+// Base returns the frozen generation the view overlays.
+func (v *View) Base() (*multigraph.Graph, *index.Index) { return v.g, v.ix }
+
+// Empty reports whether the view holds no changes.
+func (v *View) Empty() bool { return v.adds == 0 && v.dels == 0 }
+
+// Size is the overlay's entry count (added triples + tombstones): the
+// quantity compaction thresholds are measured against.
+func (v *View) Size() int { return v.adds + v.dels }
+
+// Adds reports the number of overlay-added triples.
+func (v *View) Adds() int { return v.adds }
+
+// Tombstones reports the number of tombstoned base triples.
+func (v *View) Tombstones() int { return v.dels }
+
+// NumTriples reports the merged triple count.
+func (v *View) NumTriples() int { return v.numTriples }
+
+// NumVertices reports |V| of the merged view.
+func (v *View) NumVertices() int { return v.baseNV + len(v.vertIRI) }
+
+// NumEdgeTypes reports |T| of the merged view.
+func (v *View) NumEdgeTypes() int { return v.baseNT + len(v.etIRI) }
+
+// NumAttrs reports |A| of the merged view.
+func (v *View) NumAttrs() int { return v.baseNA + len(v.attrVal) }
+
+// NumEdges estimates the merged distinct-pair edge count: the base count
+// plus pairs the overlay created (tombstoned-empty pairs are not
+// subtracted — the estimate is an upper bound used for stats only).
+func (v *View) NumEdges() int { return v.g.NumEdges() + v.newPairs }
+
+// ---- dict.Resolver -----------------------------------------------------
+
+// LookupVertex resolves an IRI against base then overlay dictionaries.
+func (v *View) LookupVertex(iri string) (dict.VertexID, bool) {
+	if id, ok := v.g.Dicts.LookupVertex(iri); ok {
+		return id, true
+	}
+	id, ok := v.vertID[iri]
+	return id, ok
+}
+
+// LookupEdgeType resolves a predicate IRI.
+func (v *View) LookupEdgeType(predicate string) (dict.EdgeType, bool) {
+	if id, ok := v.g.Dicts.LookupEdgeType(predicate); ok {
+		return id, true
+	}
+	id, ok := v.etID[predicate]
+	return id, ok
+}
+
+// LookupAttr resolves a <predicate, literal> tuple.
+func (v *View) LookupAttr(predicate, literal string) (dict.AttrID, bool) {
+	if id, ok := v.g.Dicts.LookupAttr(predicate, literal); ok {
+		return id, true
+	}
+	id, ok := v.attrID[dict.Attribute{Predicate: predicate, Literal: literal}]
+	return id, ok
+}
+
+// VertexIRI applies Mv⁻¹ across base and overlay id ranges.
+func (v *View) VertexIRI(id dict.VertexID) string {
+	if int(id) < v.baseNV {
+		return v.g.Dicts.VertexIRI(id)
+	}
+	return v.vertIRI[int(id)-v.baseNV]
+}
+
+// EdgeTypeIRI applies Me⁻¹ across base and overlay id ranges.
+func (v *View) EdgeTypeIRI(t dict.EdgeType) string {
+	if int(t) < v.baseNT {
+		return v.g.Dicts.EdgeTypeIRI(t)
+	}
+	return v.etIRI[int(t)-v.baseNT]
+}
+
+// Attr applies Ma⁻¹ across base and overlay id ranges.
+func (v *View) Attr(a dict.AttrID) dict.Attribute {
+	if int(a) < v.baseNA {
+		return v.g.Dicts.Attr(a)
+	}
+	return v.attrVal[int(a)-v.baseNA]
+}
+
+// ---- index.Reader ------------------------------------------------------
+
+// EdgeTypes returns the effective multi-edge label set LE(from, to) of
+// the merged view: base types minus tombstones plus overlay additions.
+// The result is sorted; it may alias base storage when the pair carries
+// no delta and must not be modified.
+func (v *View) EdgeTypes(from, to dict.VertexID) []dict.EdgeType {
+	var base []dict.EdgeType
+	if int(from) < v.baseNV && int(to) < v.baseNV {
+		base = v.g.EdgeTypes(from, to)
+	}
+	pd, ok := v.pairs[edgeKey{from, to}]
+	if !ok {
+		return base
+	}
+	return unionSorted(subtractSorted(base, pd.del), pd.add)
+}
+
+// HasEdgeTypes reports whether from→to carries every type in want under
+// the merged view.
+func (v *View) HasEdgeTypes(from, to dict.VertexID, want []dict.EdgeType) bool {
+	if _, ok := v.pairs[edgeKey{from, to}]; !ok {
+		// No delta on the pair: the base answer stands (overlay-new
+		// endpoints have no base edge and fall through to false).
+		if int(from) < v.baseNV && int(to) < v.baseNV {
+			return v.g.HasEdgeTypes(from, to, want)
+		}
+		return false
+	}
+	return multigraph.ContainsTypes(v.EdgeTypes(from, to), want)
+}
+
+// dirTypes returns the effective label set of the pair (v, w) oriented by
+// dir: Outgoing reads edge v→w, Incoming reads edge w→v.
+func (v *View) dirTypes(vid, w dict.VertexID, dir index.Direction) []dict.EdgeType {
+	if dir == index.Outgoing {
+		return v.EdgeTypes(vid, w)
+	}
+	return v.EdgeTypes(w, vid)
+}
+
+// Neighbors implements the N probe over the merged view: the base trie
+// answer, re-verified for pairs the overlay touched, merged with
+// overlay-reachable neighbours that pass the same containment test.
+func (v *View) Neighbors(vid dict.VertexID, dir index.Direction, types []dict.EdgeType) []dict.VertexID {
+	var base []dict.VertexID
+	if int(vid) < v.baseNV {
+		base = v.ix.N.Neighbors(vid, dir, types)
+	}
+	touch := v.outTouch[vid]
+	if dir == index.Incoming {
+		touch = v.inTouch[vid]
+	}
+	if len(touch) == 0 {
+		return base
+	}
+	out := make([]dict.VertexID, 0, len(base)+len(touch))
+	i, j := 0, 0
+	for i < len(base) || j < len(touch) {
+		switch {
+		case j >= len(touch) || (i < len(base) && base[i] < touch[j]):
+			// Base-only neighbour: no delta on the pair, answer stands.
+			out = append(out, base[i])
+			i++
+		default:
+			w := touch[j]
+			if multigraph.ContainsTypes(v.dirTypes(vid, w, dir), types) {
+				out = append(out, w)
+			}
+			j++
+			if i < len(base) && base[i] == w {
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// SignatureCandidates probes the base R-tree and unions in the touched
+// vertices — whose merged signatures may dominate query synopses their
+// base signatures did not. Per Lemma 1 the result is a superset of all
+// true matches; the engine's exact probes prune the rest.
+func (v *View) SignatureCandidates(q multigraph.Synopsis) []dict.VertexID {
+	base := v.ix.S.Candidates(q)
+	if len(v.touched) == 0 {
+		return base
+	}
+	return unionSorted(base, v.touched)
+}
+
+// attrVertices returns the merged inverted list of attribute a.
+func (v *View) attrVertices(a dict.AttrID) []dict.VertexID {
+	var base []dict.VertexID
+	if int(a) < v.baseNA {
+		base = v.ix.A.Vertices(a)
+	}
+	del, add := v.attrDel[a], v.attrAdd[a]
+	if del == nil && add == nil {
+		return base
+	}
+	return unionSorted(subtractSorted(base, del), add)
+}
+
+// AttrCandidates returns the vertices carrying every attribute in attrs
+// under the merged view (CᴬU of Algorithm 1). Mirrors the base index's
+// rarest-first intersection; nil when attrs is empty.
+func (v *View) AttrCandidates(attrs []dict.AttrID) []dict.VertexID {
+	if len(attrs) == 0 {
+		return nil
+	}
+	if len(v.attrAdd) == 0 && len(v.attrDel) == 0 {
+		return v.ix.A.Candidates(attrs)
+	}
+	lists := make([][]dict.VertexID, len(attrs))
+	for i, a := range attrs {
+		lst := v.attrVertices(a)
+		if len(lst) == 0 {
+			return nil
+		}
+		lists[i] = lst
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := lists[0]
+	for _, lst := range lists[1:] {
+		out = intersectSorted(out, lst)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	res := make([]dict.VertexID, len(out))
+	copy(res, out)
+	return res
+}
+
+// HasAttrs reports whether vid carries every attribute in want (sorted)
+// under the merged view.
+func (v *View) HasAttrs(vid dict.VertexID, want []dict.AttrID) bool {
+	for _, a := range want {
+		if containsSorted(v.addAttrs[vid], a) {
+			continue
+		}
+		if int(vid) < v.baseNV && int(a) < v.baseNA &&
+			v.g.HasAttrs(vid, []dict.AttrID{a}) && !containsSorted(v.delAttrs[vid], a) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Cardinalities exposes the base generation's planner statistics. The
+// overlay deliberately does not restate them — estimates only steer the
+// matching order, and compaction refreshes them wholesale.
+func (v *View) Cardinalities() *index.Cardinalities { return v.ix.Card }
+
+// ---- enumeration -------------------------------------------------------
+
+// Triples enumerates the merged triple set deterministically (base scan
+// in vertex order with tombstones skipped, then overlay additions in
+// sorted order), stopping early when yield returns false. Compaction and
+// snapshot Save rebuild a fresh generation from exactly this stream.
+func (v *View) Triples(yield func(rdf.Triple) bool) bool {
+	for i := 0; i < v.baseNV; i++ {
+		vid := dict.VertexID(i)
+		s := rdf.NewIRI(v.g.Dicts.VertexIRI(vid))
+		for _, nb := range v.g.Out(vid) {
+			pd, hasPD := v.pairs[edgeKey{vid, nb.V}]
+			o := rdf.NewIRI(v.g.Dicts.VertexIRI(nb.V))
+			for _, t := range nb.Types {
+				if hasPD && containsType(pd.del, t) {
+					continue
+				}
+				if !yield(rdf.Triple{S: s, P: rdf.NewIRI(v.g.Dicts.EdgeTypeIRI(t)), O: o}) {
+					return false
+				}
+			}
+		}
+		da := v.delAttrs[vid]
+		for _, a := range v.g.Attrs(vid) {
+			if containsSorted(da, a) {
+				continue
+			}
+			at := v.g.Dicts.Attr(a)
+			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(at.Predicate), O: rdf.NewLiteral(at.Literal)}) {
+				return false
+			}
+		}
+	}
+	keys := make([]edgeKey, 0, len(v.pairs))
+	for k, pd := range v.pairs {
+		if len(pd.add) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		s, o := rdf.NewIRI(v.VertexIRI(k.from)), rdf.NewIRI(v.VertexIRI(k.to))
+		for _, t := range v.pairs[k].add {
+			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(v.EdgeTypeIRI(t)), O: o}) {
+				return false
+			}
+		}
+	}
+	verts := make([]dict.VertexID, 0, len(v.addAttrs))
+	for vid := range v.addAttrs {
+		verts = append(verts, vid)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	for _, vid := range verts {
+		s := rdf.NewIRI(v.VertexIRI(vid))
+		for _, a := range v.addAttrs[vid] {
+			at := v.Attr(a)
+			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(at.Predicate), O: rdf.NewLiteral(at.Literal)}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---- mutation ----------------------------------------------------------
+
+// Validate checks that a triple is applicable: subject and predicate
+// must be IRIs, the object an IRI or literal. Mutation entry points call
+// it up front so a replayed log can never fail mid-apply.
+func Validate(t rdf.Triple) error {
+	if !t.S.IsIRI() {
+		return fmt.Errorf("delta: subject must be an IRI: %v", t)
+	}
+	if !t.P.IsIRI() {
+		return fmt.Errorf("delta: predicate must be an IRI: %v", t)
+	}
+	return nil
+}
+
+// Apply returns a new View with dels removed and adds inserted (dels
+// first, so a triple in both sets ends up present). The receiver is
+// unchanged. Deleting an absent triple and inserting a present one are
+// no-ops, mirroring SPARQL 1.1 Update semantics.
+func (v *View) Apply(adds, dels []rdf.Triple) (*View, error) {
+	for _, t := range dels {
+		if err := Validate(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range adds {
+		if err := Validate(t); err != nil {
+			return nil, err
+		}
+	}
+	m := v.thaw()
+	for _, t := range dels {
+		m.delete(t)
+	}
+	for _, t := range adds {
+		m.insert(t)
+	}
+	return m.freeze(), nil
+}
+
+// mutable is the thawed, single-writer working form of a View.
+type mutable struct {
+	v *View // parent (base access only; overlay state is copied below)
+
+	vertID  map[string]dict.VertexID
+	vertIRI []string
+	etID    map[string]dict.EdgeType
+	etIRI   []string
+	attrID  map[dict.Attribute]dict.AttrID
+	attrVal []dict.Attribute
+
+	pairs    map[edgeKey]*pairSets
+	addAttrs map[dict.VertexID]map[dict.AttrID]bool
+	delAttrs map[dict.VertexID]map[dict.AttrID]bool
+
+	numTriples int
+}
+
+type pairSets struct {
+	add map[dict.EdgeType]bool
+	del map[dict.EdgeType]bool
+}
+
+// thaw deep-copies the overlay into mutable form. Cost is linear in the
+// overlay, which compaction keeps bounded.
+func (v *View) thaw() *mutable {
+	m := &mutable{
+		v:          v,
+		vertID:     make(map[string]dict.VertexID, len(v.vertID)),
+		vertIRI:    append([]string(nil), v.vertIRI...),
+		etID:       make(map[string]dict.EdgeType, len(v.etID)),
+		etIRI:      append([]string(nil), v.etIRI...),
+		attrID:     make(map[dict.Attribute]dict.AttrID, len(v.attrID)),
+		attrVal:    append([]dict.Attribute(nil), v.attrVal...),
+		pairs:      make(map[edgeKey]*pairSets, len(v.pairs)),
+		addAttrs:   make(map[dict.VertexID]map[dict.AttrID]bool, len(v.addAttrs)),
+		delAttrs:   make(map[dict.VertexID]map[dict.AttrID]bool, len(v.delAttrs)),
+		numTriples: v.numTriples,
+	}
+	for k, id := range v.vertID {
+		m.vertID[k] = id
+	}
+	for k, id := range v.etID {
+		m.etID[k] = id
+	}
+	for k, id := range v.attrID {
+		m.attrID[k] = id
+	}
+	for k, pd := range v.pairs {
+		ps := &pairSets{add: make(map[dict.EdgeType]bool, len(pd.add)), del: make(map[dict.EdgeType]bool, len(pd.del))}
+		for _, t := range pd.add {
+			ps.add[t] = true
+		}
+		for _, t := range pd.del {
+			ps.del[t] = true
+		}
+		m.pairs[k] = ps
+	}
+	copyAttrSets := func(src map[dict.VertexID][]dict.AttrID, dst map[dict.VertexID]map[dict.AttrID]bool) {
+		for vid, as := range src {
+			set := make(map[dict.AttrID]bool, len(as))
+			for _, a := range as {
+				set[a] = true
+			}
+			dst[vid] = set
+		}
+	}
+	copyAttrSets(v.addAttrs, m.addAttrs)
+	copyAttrSets(v.delAttrs, m.delAttrs)
+	return m
+}
+
+// internVertex resolves or assigns a vertex id across base + overlay.
+func (m *mutable) internVertex(iri string) dict.VertexID {
+	if id, ok := m.v.g.Dicts.LookupVertex(iri); ok {
+		return id
+	}
+	if id, ok := m.vertID[iri]; ok {
+		return id
+	}
+	id := dict.VertexID(m.v.baseNV + len(m.vertIRI))
+	m.vertID[iri] = id
+	m.vertIRI = append(m.vertIRI, iri)
+	return id
+}
+
+func (m *mutable) internEdgeType(p string) dict.EdgeType {
+	if id, ok := m.v.g.Dicts.LookupEdgeType(p); ok {
+		return id
+	}
+	if id, ok := m.etID[p]; ok {
+		return id
+	}
+	id := dict.EdgeType(m.v.baseNT + len(m.etIRI))
+	m.etID[p] = id
+	m.etIRI = append(m.etIRI, p)
+	return id
+}
+
+func (m *mutable) internAttr(p, lit string) dict.AttrID {
+	a := dict.Attribute{Predicate: p, Literal: lit}
+	if id, ok := m.v.g.Dicts.LookupAttr(p, lit); ok {
+		return id
+	}
+	if id, ok := m.attrID[a]; ok {
+		return id
+	}
+	id := dict.AttrID(m.v.baseNA + len(m.attrVal))
+	m.attrID[a] = id
+	m.attrVal = append(m.attrVal, a)
+	return id
+}
+
+// baseHasEdge reports whether the frozen base carries type et on s→o.
+func (m *mutable) baseHasEdge(s, o dict.VertexID, et dict.EdgeType) bool {
+	return int(s) < m.v.baseNV && int(o) < m.v.baseNV && int(et) < m.v.baseNT &&
+		containsType(m.v.g.EdgeTypes(s, o), et)
+}
+
+// baseHasAttr reports whether the frozen base carries attribute a on s.
+func (m *mutable) baseHasAttr(s dict.VertexID, a dict.AttrID) bool {
+	return int(s) < m.v.baseNV && int(a) < m.v.baseNA &&
+		m.v.g.HasAttrs(s, []dict.AttrID{a})
+}
+
+func (m *mutable) pair(k edgeKey) *pairSets {
+	ps := m.pairs[k]
+	if ps == nil {
+		ps = &pairSets{add: make(map[dict.EdgeType]bool), del: make(map[dict.EdgeType]bool)}
+		m.pairs[k] = ps
+	}
+	return ps
+}
+
+// insert applies one triple addition (validated by the caller).
+func (m *mutable) insert(t rdf.Triple) {
+	s := m.internVertex(t.S.Value)
+	if t.O.IsLiteral() {
+		a := m.internAttr(t.P.Value, t.O.Value)
+		if m.delAttrs[s][a] {
+			delete(m.delAttrs[s], a)
+			m.numTriples++
+			return
+		}
+		if m.baseHasAttr(s, a) || m.addAttrs[s][a] {
+			return
+		}
+		if m.addAttrs[s] == nil {
+			m.addAttrs[s] = make(map[dict.AttrID]bool)
+		}
+		m.addAttrs[s][a] = true
+		m.numTriples++
+		return
+	}
+	o := m.internVertex(t.O.Value)
+	et := m.internEdgeType(t.P.Value)
+	k := edgeKey{s, o}
+	if ps := m.pairs[k]; ps != nil && ps.del[et] {
+		delete(ps.del, et)
+		m.numTriples++
+		return
+	}
+	if m.baseHasEdge(s, o, et) {
+		return
+	}
+	ps := m.pair(k)
+	if ps.add[et] {
+		return
+	}
+	ps.add[et] = true
+	m.numTriples++
+}
+
+// delete applies one triple removal (validated by the caller). Removing
+// a triple the merged view does not contain is a no-op.
+func (m *mutable) delete(t rdf.Triple) {
+	s, ok := m.lookupVertex(t.S.Value)
+	if !ok {
+		return
+	}
+	if t.O.IsLiteral() {
+		a, ok := m.lookupAttr(t.P.Value, t.O.Value)
+		if !ok {
+			return
+		}
+		if m.addAttrs[s][a] {
+			delete(m.addAttrs[s], a)
+			m.numTriples--
+			return
+		}
+		if m.baseHasAttr(s, a) && !m.delAttrs[s][a] {
+			if m.delAttrs[s] == nil {
+				m.delAttrs[s] = make(map[dict.AttrID]bool)
+			}
+			m.delAttrs[s][a] = true
+			m.numTriples--
+		}
+		return
+	}
+	o, ok := m.lookupVertex(t.O.Value)
+	if !ok {
+		return
+	}
+	et, ok := m.lookupEdgeType(t.P.Value)
+	if !ok {
+		return
+	}
+	k := edgeKey{s, o}
+	if ps := m.pairs[k]; ps != nil && ps.add[et] {
+		delete(ps.add, et)
+		m.numTriples--
+		return
+	}
+	if m.baseHasEdge(s, o, et) {
+		ps := m.pair(k)
+		if !ps.del[et] {
+			ps.del[et] = true
+			m.numTriples--
+		}
+	}
+}
+
+func (m *mutable) lookupVertex(iri string) (dict.VertexID, bool) {
+	if id, ok := m.v.g.Dicts.LookupVertex(iri); ok {
+		return id, true
+	}
+	id, ok := m.vertID[iri]
+	return id, ok
+}
+
+func (m *mutable) lookupEdgeType(p string) (dict.EdgeType, bool) {
+	if id, ok := m.v.g.Dicts.LookupEdgeType(p); ok {
+		return id, true
+	}
+	id, ok := m.etID[p]
+	return id, ok
+}
+
+func (m *mutable) lookupAttr(p, lit string) (dict.AttrID, bool) {
+	if id, ok := m.v.g.Dicts.LookupAttr(p, lit); ok {
+		return id, true
+	}
+	id, ok := m.attrID[dict.Attribute{Predicate: p, Literal: lit}]
+	return id, ok
+}
+
+// freeze materializes the mutable state into an immutable View, building
+// the sorted side indexes (touch lists, attribute inverted lists, the
+// touched-vertex list) the read path depends on.
+func (m *mutable) freeze() *View {
+	v := m.v
+	nv := &View{
+		g: v.g, ix: v.ix,
+		baseNV: v.baseNV, baseNT: v.baseNT, baseNA: v.baseNA,
+		vertID: m.vertID, vertIRI: m.vertIRI,
+		etID: m.etID, etIRI: m.etIRI,
+		attrID: m.attrID, attrVal: m.attrVal,
+		pairs:      make(map[edgeKey]pairDelta, len(m.pairs)),
+		outTouch:   make(map[dict.VertexID][]dict.VertexID),
+		inTouch:    make(map[dict.VertexID][]dict.VertexID),
+		addAttrs:   make(map[dict.VertexID][]dict.AttrID, len(m.addAttrs)),
+		delAttrs:   make(map[dict.VertexID][]dict.AttrID, len(m.delAttrs)),
+		attrAdd:    make(map[dict.AttrID][]dict.VertexID),
+		attrDel:    make(map[dict.AttrID][]dict.VertexID),
+		numTriples: m.numTriples,
+	}
+	touchedSet := make(map[dict.VertexID]bool)
+	for i := range m.vertIRI {
+		touchedSet[dict.VertexID(v.baseNV+i)] = true
+	}
+	for k, ps := range m.pairs {
+		if len(ps.add) == 0 && len(ps.del) == 0 {
+			continue
+		}
+		pd := pairDelta{add: sortedTypes(ps.add), del: sortedTypes(ps.del)}
+		nv.pairs[k] = pd
+		nv.outTouch[k.from] = append(nv.outTouch[k.from], k.to)
+		nv.inTouch[k.to] = append(nv.inTouch[k.to], k.from)
+		if len(pd.add) > 0 {
+			nv.adds += len(pd.add)
+			touchedSet[k.from] = true
+			touchedSet[k.to] = true
+			if !(int(k.from) < v.baseNV && int(k.to) < v.baseNV && v.g.EdgeTypes(k.from, k.to) != nil) {
+				nv.newPairs++
+			}
+		}
+		nv.dels += len(pd.del)
+	}
+	for _, lst := range [2]map[dict.VertexID][]dict.VertexID{nv.outTouch, nv.inTouch} {
+		for _, ws := range lst {
+			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		}
+	}
+	for vid, set := range m.addAttrs {
+		if len(set) == 0 {
+			continue
+		}
+		as := sortedAttrs(set)
+		nv.addAttrs[vid] = as
+		nv.adds += len(as)
+		for _, a := range as {
+			nv.attrAdd[a] = append(nv.attrAdd[a], vid)
+		}
+	}
+	for vid, set := range m.delAttrs {
+		if len(set) == 0 {
+			continue
+		}
+		as := sortedAttrs(set)
+		nv.delAttrs[vid] = as
+		nv.dels += len(as)
+		for _, a := range as {
+			nv.attrDel[a] = append(nv.attrDel[a], vid)
+		}
+	}
+	for _, inv := range [2]map[dict.AttrID][]dict.VertexID{nv.attrAdd, nv.attrDel} {
+		for _, vs := range inv {
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		}
+	}
+	nv.touched = make([]dict.VertexID, 0, len(touchedSet))
+	for vid := range touchedSet {
+		nv.touched = append(nv.touched, vid)
+	}
+	sort.Slice(nv.touched, func(i, j int) bool { return nv.touched[i] < nv.touched[j] })
+	return nv
+}
+
+// ---- sorted-slice helpers ----------------------------------------------
+
+func sortedTypes(set map[dict.EdgeType]bool) []dict.EdgeType {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]dict.EdgeType, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedAttrs(set map[dict.AttrID]bool) []dict.AttrID {
+	out := make([]dict.AttrID, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// unionSorted merges two sorted, duplicate-free slices into a new sorted,
+// duplicate-free slice.
+func unionSorted[T ~uint32](a, b []T) []T {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+// subtractSorted returns a \ b for sorted slices.
+func subtractSorted[T ~uint32](a, b []T) []T {
+	if len(b) == 0 || len(a) == 0 {
+		return a
+	}
+	out := make([]T, 0, len(a))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// intersectSorted returns a ∩ b for sorted slices.
+func intersectSorted[T ~uint32](a, b []T) []T {
+	out := make([]T, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+func containsSorted[T ~uint32](lst []T, x T) bool {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= x })
+	return i < len(lst) && lst[i] == x
+}
+
+func containsType(lst []dict.EdgeType, t dict.EdgeType) bool {
+	return containsSorted(lst, t)
+}

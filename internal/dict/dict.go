@@ -113,6 +113,22 @@ func (d *AttrDict) Value(id AttrID) Attribute {
 // Len reports the number of interned attributes.
 func (d *AttrDict) Len() int { return len(d.values) }
 
+// Resolver is the read-only lookup surface of the three dictionaries.
+// *Dictionaries implements it over a frozen graph; a mutation overlay
+// (internal/delta) implements it by layering its own interned entries on
+// top of a base. Query translation and solution rendering depend only on
+// this interface, so they work against either.
+type Resolver interface {
+	// LookupVertex resolves an IRI to its vertex id without interning.
+	LookupVertex(iri string) (VertexID, bool)
+	// LookupEdgeType resolves a predicate IRI without interning.
+	LookupEdgeType(predicate string) (EdgeType, bool)
+	// LookupAttr resolves a <predicate, literal> tuple without interning.
+	LookupAttr(predicate, literal string) (AttrID, bool)
+	// VertexIRI applies the inverse mapping Mv⁻¹.
+	VertexIRI(v VertexID) string
+}
+
 // Dictionaries bundles the three mapping functions of Table 2.
 // The zero value is ready to use.
 type Dictionaries struct {

@@ -20,7 +20,6 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/index"
-	"repro/internal/multigraph"
 	"repro/internal/otil"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -58,10 +57,9 @@ type Stats struct {
 const deadlineCheckMask = 255
 
 type matcher struct {
-	g  *multigraph.Graph
-	ix *index.Index
-	p  *plan.Plan
-	q  *query.Graph // p.Query, cached
+	r index.Reader
+	p *plan.Plan
+	q *query.Graph // p.Query, cached
 
 	asg     []dict.VertexID   // current assignment, indexed by query vertex
 	satSets [][]dict.VertexID // per-branch satellite candidate sets
@@ -96,8 +94,8 @@ func (m *matcher) checkDeadline() bool {
 // yield with the assignment slice (indexed by query.VertexID; the slice is
 // reused between calls — copy it to retain). Enumeration stops when yield
 // returns false. It returns ErrDeadlineExceeded if the deadline passed.
-func Stream(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options, yield func([]dict.VertexID) bool) error {
-	m, ok := prepare(g, ix, p, opts)
+func Stream(r index.Reader, p *plan.Plan, opts Options, yield func([]dict.VertexID) bool) error {
+	m, ok := prepare(r, p, opts)
 	m.yield = yield
 	if m.expired {
 		return ErrDeadlineExceeded
@@ -120,8 +118,8 @@ func Stream(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options, yi
 // Count returns the number of embeddings of plan p in g, using the
 // factorized satellite representation. When opts.Limit > 0 the returned
 // count is capped at the limit.
-func Count(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options) (uint64, error) {
-	m, ok := prepare(g, ix, p, opts)
+func Count(r index.Reader, p *plan.Plan, opts Options) (uint64, error) {
+	m, ok := prepare(r, p, opts)
 	if m.expired {
 		return 0, ErrDeadlineExceeded
 	}
@@ -158,9 +156,9 @@ func Count(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options) (ui
 // per-run state. The Algorithm 1 candidate sets and ground checks were
 // already computed at plan time (internal/plan), so repeated executions of
 // a cached plan skip them entirely. ok=false means zero results.
-func prepare(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options) (*matcher, bool) {
+func prepare(r index.Reader, p *plan.Plan, opts Options) (*matcher, bool) {
 	m := &matcher{
-		g: g, ix: ix, p: p, q: p.Query,
+		r: r, p: p, q: p.Query,
 		limit:    opts.Limit,
 		deadline: opts.Deadline,
 		stats:    opts.Stats,
@@ -185,7 +183,7 @@ func (m *matcher) admissible(u query.VertexID, v dict.VertexID) bool {
 	if len(st) == 0 {
 		return true
 	}
-	return m.g.HasEdgeTypes(v, v, st)
+	return m.r.HasEdgeTypes(v, v, st)
 }
 
 // restrict intersects cand with u's fixed candidates (if any) and filters
@@ -210,7 +208,7 @@ func (m *matcher) restrict(u query.VertexID, cand []dict.VertexID) []dict.Vertex
 // the S index probe (QuerySynIndex) refined by ProcessVertex (Algorithm 3,
 // lines 4–5).
 func (m *matcher) initialCandidates(u query.VertexID) []dict.VertexID {
-	cand := m.ix.S.Candidates(m.q.Synopsis(u))
+	cand := m.r.SignatureCandidates(m.q.Synopsis(u))
 	cand = m.restrict(u, cand)
 	if m.stats != nil {
 		m.stats.InitCandidates += len(cand)
@@ -229,11 +227,11 @@ func (m *matcher) satCandidates(uc, us query.VertexID, vc dict.VertexID) []dict.
 	var cand []dict.VertexID
 	have := false
 	if len(toSat) > 0 { // edge uc → us: probe vc's outgoing side
-		cand = m.ix.N.Neighbors(vc, index.Outgoing, toSat)
+		cand = m.r.Neighbors(vc, index.Outgoing, toSat)
 		have = true
 	}
 	if len(fromSat) > 0 { // edge us → uc: probe vc's incoming side
-		nb := m.ix.N.Neighbors(vc, index.Incoming, fromSat)
+		nb := m.r.Neighbors(vc, index.Incoming, fromSat)
 		if have {
 			cand = otil.IntersectSorted(cand, nb)
 		} else {
@@ -277,7 +275,7 @@ func (m *matcher) coreCandidates(unxt query.VertexID, matched []bool) []dict.Ver
 			continue
 		}
 		vn := m.asg[e.To]
-		if !add(m.ix.N.Neighbors(vn, index.Incoming, e.Types)) {
+		if !add(m.r.Neighbors(vn, index.Incoming, e.Types)) {
 			return nil
 		}
 	}
@@ -286,7 +284,7 @@ func (m *matcher) coreCandidates(unxt query.VertexID, matched []bool) []dict.Ver
 			continue
 		}
 		vn := m.asg[e.To]
-		if !add(m.ix.N.Neighbors(vn, index.Outgoing, e.Types)) {
+		if !add(m.r.Neighbors(vn, index.Outgoing, e.Types)) {
 			return nil
 		}
 	}

@@ -61,6 +61,9 @@ type fixture struct {
 	ix *index.Index
 }
 
+// rd adapts the fixture to the engine's probe surface.
+func (f *fixture) rd() index.Reader { return index.NewReader(f.g, f.ix) }
+
 func load(t *testing.T, src string) *fixture {
 	t.Helper()
 	triples, err := rdf.ParseString(src)
@@ -84,14 +87,14 @@ func (f *fixture) query(t *testing.T, src string) *plan.Plan {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return plan.For(qg, f.ix)
+	return plan.For(qg, f.rd())
 }
 
 // collect streams all embeddings as var-name → IRI maps.
 func (f *fixture) collect(t *testing.T, p *plan.Plan, opts Options) []map[string]string {
 	t.Helper()
 	var out []map[string]string
-	err := Stream(f.g, f.ix, p, opts, func(asg []dict.VertexID) bool {
+	err := Stream(f.rd(), p, opts, func(asg []dict.VertexID) bool {
 		m := make(map[string]string, len(asg))
 		for u, v := range asg {
 			m[p.Query.Vars[u].Name] = f.g.Dicts.VertexIRI(v)
@@ -139,7 +142,7 @@ func TestFigure2Embeddings(t *testing.T) {
 		t.Errorf("X0 bindings = %v", x0s)
 	}
 	// Count must agree.
-	n, err := Count(f.g, f.ix, qg, Options{})
+	n, err := Count(f.rd(), qg, Options{})
 	if err != nil || n != 2 {
 		t.Errorf("Count = %d, %v; want 2", n, err)
 	}
@@ -193,7 +196,7 @@ SELECT * WHERE { x:London y:isPartOf x:England . }`)
 	if len(got) != 1 {
 		t.Errorf("true ground query embeddings = %d, want 1", len(got))
 	}
-	n, err := Count(f.g, f.ix, qg, Options{})
+	n, err := Count(f.rd(), qg, Options{})
 	if err != nil || n != 1 {
 		t.Errorf("Count = %d, %v", n, err)
 	}
@@ -235,7 +238,7 @@ func TestUnsatQuery(t *testing.T) {
 	if got := f.collect(t, qg, Options{}); len(got) != 0 {
 		t.Errorf("unsat query returned %d embeddings", len(got))
 	}
-	if n, _ := Count(f.g, f.ix, qg, Options{}); n != 0 {
+	if n, _ := Count(f.rd(), qg, Options{}); n != 0 {
 		t.Errorf("unsat Count = %d", n)
 	}
 }
@@ -250,7 +253,7 @@ func TestLimit(t *testing.T) {
 	if got := f.collect(t, qg, Options{Limit: 2}); len(got) != 2 {
 		t.Errorf("limited = %d, want 2", len(got))
 	}
-	if n, _ := Count(f.g, f.ix, qg, Options{Limit: 2}); n != 2 {
+	if n, _ := Count(f.rd(), qg, Options{Limit: 2}); n != 2 {
 		t.Errorf("Count with limit = %d, want 2", n)
 	}
 }
@@ -259,7 +262,7 @@ func TestYieldAbort(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, `PREFIX y: <http://dbpedia.org/ontology/> SELECT ?a ?b WHERE { ?a y:livedIn ?b }`)
 	calls := 0
-	err := Stream(f.g, f.ix, qg, Options{}, func([]dict.VertexID) bool {
+	err := Stream(f.rd(), qg, Options{}, func([]dict.VertexID) bool {
 		calls++
 		return false
 	})
@@ -272,11 +275,11 @@ func TestDeadline(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, figure2)
 	opts := Options{Deadline: time.Now().Add(-time.Second)}
-	err := Stream(f.g, f.ix, qg, opts, func([]dict.VertexID) bool { return true })
+	err := Stream(f.rd(), qg, opts, func([]dict.VertexID) bool { return true })
 	if err != ErrDeadlineExceeded {
 		t.Errorf("Stream err = %v, want ErrDeadlineExceeded", err)
 	}
-	if _, err := Count(f.g, f.ix, qg, opts); err != ErrDeadlineExceeded {
+	if _, err := Count(f.rd(), qg, opts); err != ErrDeadlineExceeded {
 		t.Errorf("Count err = %v, want ErrDeadlineExceeded", err)
 	}
 }
@@ -294,7 +297,7 @@ SELECT * WHERE {
 	if len(got) != 6 {
 		t.Fatalf("embeddings = %d, want 6", len(got))
 	}
-	if n, _ := Count(f.g, f.ix, qg, Options{}); n != 6 {
+	if n, _ := Count(f.rd(), qg, Options{}); n != 6 {
 		t.Errorf("Count = %d, want 6", n)
 	}
 }
@@ -339,7 +342,7 @@ func TestStatsPopulated(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, figure2)
 	var st Stats
-	if _, err := Count(f.g, f.ix, qg, Options{Stats: &st}); err != nil {
+	if _, err := Count(f.rd(), qg, Options{Stats: &st}); err != nil {
 		t.Fatal(err)
 	}
 	if st.Recursions == 0 || st.InitCandidates == 0 || st.SatProbes == 0 {
@@ -497,8 +500,8 @@ func TestEngineMatchesBruteForce(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := bruteForce(g, qg)
-		pl := plan.For(qg, ix)
-		got, err := Count(g, ix, pl, Options{})
+		pl := plan.For(qg, index.NewReader(g, ix))
+		got, err := Count(index.NewReader(g, ix), pl, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -507,7 +510,7 @@ func TestEngineMatchesBruteForce(t *testing.T) {
 		}
 		// Stream must agree with Count.
 		var streamed uint64
-		if err := Stream(g, ix, pl, Options{}, func([]dict.VertexID) bool {
+		if err := Stream(index.NewReader(g, ix), pl, Options{}, func([]dict.VertexID) bool {
 			streamed++
 			return true
 		}); err != nil {
@@ -535,7 +538,7 @@ func TestStreamedEmbeddingsAreValid(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		err = Stream(g, ix, plan.For(qg, ix), Options{Limit: 200}, func(asg []dict.VertexID) bool {
+		err = Stream(index.NewReader(g, ix), plan.For(qg, index.NewReader(g, ix)), Options{Limit: 200}, func(asg []dict.VertexID) bool {
 			for u := range qg.Vars {
 				uv := &qg.Vars[u]
 				if !g.HasAttrs(asg[u], uv.Attrs) {
@@ -590,7 +593,7 @@ func TestMidRunDeadline(t *testing.T) {
   ?a <http://y/p> ?b . ?c <http://y/p> ?d . ?e <http://y/p> ?g .
 }`)
 	start := time.Now()
-	err := Stream(f.g, f.ix, qg, Options{Deadline: time.Now().Add(5 * time.Millisecond)},
+	err := Stream(f.rd(), qg, Options{Deadline: time.Now().Add(5 * time.Millisecond)},
 		func([]dict.VertexID) bool { return true })
 	elapsed := time.Since(start)
 	if err != ErrDeadlineExceeded {
@@ -616,7 +619,7 @@ func TestLimitDuringSatelliteEnumeration(t *testing.T) {
 }`)
 	// 40×40 = 1600 embeddings; limit 7 must stop inside the product.
 	var got int
-	if err := Stream(f.g, f.ix, qg, Options{Limit: 7}, func([]dict.VertexID) bool {
+	if err := Stream(f.rd(), qg, Options{Limit: 7}, func([]dict.VertexID) bool {
 		got++
 		return true
 	}); err != nil {
@@ -626,7 +629,7 @@ func TestLimitDuringSatelliteEnumeration(t *testing.T) {
 		t.Errorf("limited stream = %d, want 7", got)
 	}
 	// Count must report the full product regardless.
-	if n, _ := Count(f.g, f.ix, qg, Options{}); n != 1600 {
+	if n, _ := Count(f.rd(), qg, Options{}); n != 1600 {
 		t.Errorf("Count = %d, want 1600", n)
 	}
 }
@@ -644,7 +647,7 @@ func TestParallelDeadlineMidRun(t *testing.T) {
 	qg := f.query(t, `SELECT * WHERE {
   ?a <http://y/p> ?b . ?b2 <http://y/p> ?c . ?c2 <http://y/p> ?d .
 }`)
-	_, err := CountParallel(f.g, f.ix, qg, Options{Deadline: time.Now().Add(3 * time.Millisecond)}, 4)
+	_, err := CountParallel(f.rd(), qg, Options{Deadline: time.Now().Add(3 * time.Millisecond)}, 4)
 	if err != ErrDeadlineExceeded {
 		// The search may legitimately finish if the machine is fast; only a
 		// wrong error value is a failure.

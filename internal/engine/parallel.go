@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/index"
-	"repro/internal/multigraph"
 	"repro/internal/otil"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -23,14 +22,14 @@ import (
 //
 // workers ≤ 1 falls back to the serial Count. The result is identical to
 // Count for any worker count and any planner.
-func CountParallel(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options, workers int) (uint64, error) {
+func CountParallel(r index.Reader, p *plan.Plan, opts Options, workers int) (uint64, error) {
 	if workers <= 1 {
-		return Count(g, ix, p, opts)
+		return Count(r, p, opts)
 	}
 	if workers > runtime.GOMAXPROCS(0)*4 {
 		workers = runtime.GOMAXPROCS(0) * 4
 	}
-	master, ok := prepare(g, ix, p, opts)
+	master, ok := prepare(r, p, opts)
 	if master.expired {
 		return 0, ErrDeadlineExceeded
 	}
@@ -51,7 +50,7 @@ func CountParallel(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Opti
 		if len(cands) == 0 {
 			return 0, nil
 		}
-		c, err := countComponentParallel(g, ix, p, opts, ci, cands, workers)
+		c, err := countComponentParallel(r, p, opts, ci, cands, workers)
 		if err != nil {
 			return 0, err
 		}
@@ -71,7 +70,7 @@ func CountParallel(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Opti
 
 // countComponentParallel distributes the initial candidates of component
 // ci across workers, each running an independent matcher.
-func countComponentParallel(g *multigraph.Graph, ix *index.Index, p *plan.Plan, opts Options, ci int, cands []dict.VertexID, workers int) (uint64, error) {
+func countComponentParallel(r index.Reader, p *plan.Plan, opts Options, ci int, cands []dict.VertexID, workers int) (uint64, error) {
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -92,7 +91,7 @@ func countComponentParallel(g *multigraph.Graph, ix *index.Index, p *plan.Plan, 
 			// caller.
 			workerOpts := opts
 			workerOpts.Stats = nil
-			m, ok := prepare(g, ix, p, workerOpts)
+			m, ok := prepare(r, p, workerOpts)
 			if !ok || m.expired {
 				if m.expired {
 					mu.Lock()

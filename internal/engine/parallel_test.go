@@ -25,13 +25,13 @@ func TestCountParallelMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pl := plan.For(qg, ix)
-		serial, err := Count(g, ix, pl, Options{})
+		pl := plan.For(qg, index.NewReader(g, ix))
+		serial, err := Count(index.NewReader(g, ix), pl, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 4, 7} {
-			par, err := CountParallel(g, ix, pl, Options{}, workers)
+			par, err := CountParallel(index.NewReader(g, ix), pl, Options{}, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,7 +46,7 @@ func TestCountParallelMatchesSerial(t *testing.T) {
 func TestCountParallelFigure2(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, figure2)
-	n, err := CountParallel(f.g, f.ix, qg, Options{}, 4)
+	n, err := CountParallel(f.rd(), qg, Options{}, 4)
 	if err != nil || n != 2 {
 		t.Errorf("parallel count = %d, %v; want 2", n, err)
 	}
@@ -57,7 +57,7 @@ func TestCountParallelEdgeCases(t *testing.T) {
 
 	// Unsat query.
 	qg := f.query(t, `PREFIX y: <http://dbpedia.org/ontology/> SELECT ?a ?b WHERE { ?a y:isMarriedTo ?b }`)
-	if n, err := CountParallel(f.g, f.ix, qg, Options{}, 4); err != nil || n != 0 {
+	if n, err := CountParallel(f.rd(), qg, Options{}, 4); err != nil || n != 0 {
 		t.Errorf("unsat parallel = %d, %v", n, err)
 	}
 
@@ -66,23 +66,23 @@ func TestCountParallelEdgeCases(t *testing.T) {
 PREFIX y: <http://dbpedia.org/ontology/>
 PREFIX x: <http://dbpedia.org/resource/>
 SELECT * WHERE { x:London y:isPartOf x:England . }`)
-	if n, err := CountParallel(f.g, f.ix, qg, Options{}, 4); err != nil || n != 1 {
+	if n, err := CountParallel(f.rd(), qg, Options{}, 4); err != nil || n != 1 {
 		t.Errorf("ground parallel = %d, %v", n, err)
 	}
 
 	// Limit cap.
 	qg = f.query(t, `PREFIX y: <http://dbpedia.org/ontology/> SELECT ?a ?b WHERE { ?a y:livedIn ?b }`)
-	if n, err := CountParallel(f.g, f.ix, qg, Options{Limit: 2}, 3); err != nil || n != 2 {
+	if n, err := CountParallel(f.rd(), qg, Options{Limit: 2}, 3); err != nil || n != 2 {
 		t.Errorf("limited parallel = %d, %v", n, err)
 	}
 
 	// Expired deadline.
-	if _, err := CountParallel(f.g, f.ix, qg, Options{Deadline: time.Now().Add(-time.Second)}, 3); err != ErrDeadlineExceeded {
+	if _, err := CountParallel(f.rd(), qg, Options{Deadline: time.Now().Add(-time.Second)}, 3); err != ErrDeadlineExceeded {
 		t.Errorf("deadline err = %v", err)
 	}
 
 	// More workers than candidates.
-	if n, err := CountParallel(f.g, f.ix, qg, Options{}, 64); err != nil || n != 3 {
+	if n, err := CountParallel(f.rd(), qg, Options{}, 64); err != nil || n != 3 {
 		t.Errorf("over-provisioned parallel = %d, %v", n, err)
 	}
 }
@@ -95,7 +95,7 @@ SELECT * WHERE {
   ?a y:livedIn ?b .
   ?c y:wasBornIn ?d .
 }`)
-	if n, err := CountParallel(f.g, f.ix, qg, Options{}, 3); err != nil || n != 6 {
+	if n, err := CountParallel(f.rd(), qg, Options{}, 3); err != nil || n != 6 {
 		t.Errorf("disconnected parallel = %d, %v; want 6", n, err)
 	}
 }

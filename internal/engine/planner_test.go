@@ -56,11 +56,11 @@ func TestPlannerEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				opts := Options{Deadline: time.Now().Add(5 * time.Second)}
-				cost, err := Count(g, ix, plan.CostBased().Plan(qg, ix), opts)
+				cost, err := Count(index.NewReader(g, ix), plan.CostBased().Plan(qg, index.NewReader(g, ix)), opts)
 				if err != nil {
 					continue // deadline on a pathological query: nothing to compare
 				}
-				heur, err := Count(g, ix, plan.Heuristic().Plan(qg, ix), opts)
+				heur, err := Count(index.NewReader(g, ix), plan.Heuristic().Plan(qg, index.NewReader(g, ix)), opts)
 				if err != nil {
 					continue
 				}
@@ -68,7 +68,7 @@ func TestPlannerEquivalence(t *testing.T) {
 					t.Fatalf("%v size %d: cost-based count %d != heuristic count %d\nquery:\n%s",
 						kind, size, cost, heur, q)
 				}
-				par, err := CountParallel(g, ix, plan.CostBased().Plan(qg, ix), opts, 4)
+				par, err := CountParallel(index.NewReader(g, ix), plan.CostBased().Plan(qg, index.NewReader(g, ix)), opts, 4)
 				if err == nil && par != cost {
 					t.Fatalf("%v size %d: parallel count %d != serial %d\nquery:\n%s",
 						kind, size, par, cost, q)
@@ -95,7 +95,7 @@ func TestPlannerEquivalenceStream(t *testing.T) {
 		sets := make([]map[string]int, 2)
 		for i, pl := range []plan.Planner{plan.CostBased(), plan.Heuristic()} {
 			seen := map[string]int{}
-			err := Stream(g, ix, pl.Plan(qg, ix), Options{}, func(asg []dict.VertexID) bool {
+			err := Stream(index.NewReader(g, ix), pl.Plan(qg, index.NewReader(g, ix)), Options{}, func(asg []dict.VertexID) bool {
 				key := make([]byte, 0, 4*len(asg))
 				for _, v := range asg {
 					key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
@@ -174,11 +174,11 @@ func TestCostBasedBeatsHeuristicOnSkew(t *testing.T) {
 		t.Fatal(err)
 	}
 	var costStats, heurStats Stats
-	cost, err := Count(g, ix, plan.CostBased().Plan(qg, ix), Options{Stats: &costStats})
+	cost, err := Count(index.NewReader(g, ix), plan.CostBased().Plan(qg, index.NewReader(g, ix)), Options{Stats: &costStats})
 	if err != nil {
 		t.Fatal(err)
 	}
-	heur, err := Count(g, ix, plan.Heuristic().Plan(qg, ix), Options{Stats: &heurStats})
+	heur, err := Count(index.NewReader(g, ix), plan.Heuristic().Plan(qg, index.NewReader(g, ix)), Options{Stats: &heurStats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,10 +204,10 @@ func BenchmarkPlannerSkewed(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, pl := range []plan.Planner{plan.Heuristic(), plan.CostBased()} {
-		p := pl.Plan(qg, ix)
+		p := pl.Plan(qg, index.NewReader(g, ix))
 		b.Run("planner="+pl.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				n, err := Count(g, ix, p, Options{})
+				n, err := Count(index.NewReader(g, ix), p, Options{})
 				if err != nil || n != 5 {
 					b.Fatalf("count = %d, %v", n, err)
 				}
@@ -228,7 +228,7 @@ func benchQueries(b *testing.B, g *multigraph.Graph, ix *index.Index, triples []
 		if err != nil {
 			continue
 		}
-		cnt, err := Count(g, ix, plan.Heuristic().Plan(qg, ix), Options{Deadline: time.Now().Add(2 * time.Second)})
+		cnt, err := Count(index.NewReader(g, ix), plan.Heuristic().Plan(qg, index.NewReader(g, ix)), Options{Deadline: time.Now().Add(2 * time.Second)})
 		if err != nil || cnt == 0 || cnt > 1_000_000 {
 			continue
 		}
@@ -269,11 +269,11 @@ func BenchmarkPlanner(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				plans[i] = pl.Plan(qg, ix)
+				plans[i] = pl.Plan(qg, index.NewReader(g, ix))
 			}
 			b.Run("shape="+sh.name+"/planner="+pl.Name(), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := Count(g, ix, plans[i%len(plans)], Options{}); err != nil {
+					if _, err := Count(index.NewReader(g, ix), plans[i%len(plans)], Options{}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -298,7 +298,7 @@ func BenchmarkPlanning(b *testing.B) {
 	for _, pl := range []plan.Planner{plan.Heuristic(), plan.CostBased()} {
 		b.Run("planner="+pl.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if p := pl.Plan(qgs[i%len(qgs)], ix); p == nil {
+				if p := pl.Plan(qgs[i%len(qgs)], index.NewReader(g, ix)); p == nil {
 					b.Fatal("nil plan")
 				}
 			}

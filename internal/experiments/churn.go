@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/workload"
+)
+
+// churnNS is the namespace of the synthetic triples the churn workload
+// inserts and deletes; keeping it disjoint from the datasets lets the
+// run restore the store exactly afterwards.
+const churnNS = "http://amber.bench/churn#"
+
+// ChurnResult reports query latency under a mixed read/write workload:
+// the live-update subsystem's benchmark (not part of the paper, which is
+// read-only).
+type ChurnResult struct {
+	// Reads and Writes count executed operations; WriteRatio is the
+	// configured write fraction.
+	Reads, Writes int
+	WriteRatio    float64
+	// ReadAvg/ReadP50/ReadP99 summarize answered-read latency.
+	ReadAvg, ReadP50, ReadP99 time.Duration
+	// WriteAvg summarizes write-batch latency.
+	WriteAvg time.Duration
+	// Unanswered is the percentage of reads that hit the timeout.
+	Unanswered float64
+	// Compactions counts compactions that fired during the run;
+	// LastCompaction is the duration of the final one.
+	Compactions    uint64
+	LastCompaction time.Duration
+}
+
+// RunChurn interleaves workload queries with INSERT/DELETE batches at
+// cfg.WriteRatio against the AMbER store, letting compaction fire as the
+// overlay grows. Reads execute through the same prepared-count path as
+// the figures; every read pins a consistent snapshot while writes land.
+// The store is restored (inserted triples deleted, then compacted) on
+// return, so later experiments see the original data.
+func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	// The loop only advances on reads; a ratio of 1.0 would never
+	// terminate, so clamp to a read-making range.
+	if cfg.WriteRatio > 0.95 {
+		cfg.WriteRatio = 0.95
+	}
+	if cfg.WriteRatio < 0 {
+		cfg.WriteRatio = 0
+	}
+	size := 10
+	if len(cfg.Sizes) > 0 {
+		size = cfg.Sizes[0]
+	}
+	batch := cfg.WriteBatch
+	if batch <= 0 {
+		batch = 64
+	}
+	queries := d.Gen.Workload(kind, size, cfg.QueriesPerPoint)
+	if len(queries) == 0 {
+		return ChurnResult{WriteRatio: cfg.WriteRatio}
+	}
+	genBefore := d.Amber.GenerationInfo()
+	// Scale the compaction threshold to the run's write volume so the
+	// benchmark actually exercises compaction, then restore the default.
+	d.Amber.SetCompactThreshold(4 * batch)
+	defer d.Amber.SetCompactThreshold(core.DefaultCompactThreshold)
+
+	res := ChurnResult{WriteRatio: cfg.WriteRatio}
+	var (
+		readLats  []time.Duration
+		writeTime time.Duration
+		pending   [][]rdf.Triple // inserted batches not yet deleted
+		nextID    int
+	)
+	newBatch := func() []rdf.Triple {
+		ts := make([]rdf.Triple, 0, batch)
+		for i := 0; i < batch; i++ {
+			s := rdf.NewIRI(fmt.Sprintf("%sv%d", churnNS, nextID))
+			o := rdf.NewIRI(fmt.Sprintf("%sv%d", churnNS, nextID+1))
+			ts = append(ts, rdf.Triple{S: s, P: rdf.NewIRI(churnNS + "linked"), O: o})
+			nextID += 2
+		}
+		return ts
+	}
+	answered := 0
+	for qi := 0; qi < len(queries); {
+		if rng.Float64() < cfg.WriteRatio {
+			start := time.Now()
+			if len(pending) > 4 && rng.Intn(2) == 0 {
+				// Delete the oldest inserted batch: exercises tombstones.
+				d.Amber.Mutate(nil, pending[0]) //nolint:errcheck
+				pending = pending[1:]
+			} else {
+				ts := newBatch()
+				d.Amber.Mutate(ts, nil) //nolint:errcheck
+				pending = append(pending, ts)
+			}
+			writeTime += time.Since(start)
+			res.Writes++
+			continue
+		}
+		ok, dur, _ := d.RunQuery(AMbER, queries[qi], cfg.Timeout)
+		qi++
+		res.Reads++
+		if ok {
+			answered++
+			readLats = append(readLats, dur)
+		}
+	}
+	// Quiesce and capture the run's compaction counters BEFORE the
+	// restore below, which forces its own compaction and must not be
+	// attributed to the measured workload.
+	d.Amber.WaitCompaction()
+	genAfter := d.Amber.GenerationInfo()
+	res.Compactions = genAfter.Compactions - genBefore.Compactions
+	res.LastCompaction = genAfter.LastCompaction
+
+	// Restore: remove everything still inserted, fold into a fresh base.
+	for _, ts := range pending {
+		d.Amber.Mutate(nil, ts) //nolint:errcheck
+	}
+	d.Amber.Compact() //nolint:errcheck
+
+	if len(readLats) > 0 {
+		sort.Slice(readLats, func(i, j int) bool { return readLats[i] < readLats[j] })
+		var total time.Duration
+		for _, l := range readLats {
+			total += l
+		}
+		res.ReadAvg = total / time.Duration(len(readLats))
+		res.ReadP50 = readLats[len(readLats)/2]
+		res.ReadP99 = readLats[min(len(readLats)-1, len(readLats)*99/100)]
+	}
+	if res.Writes > 0 {
+		res.WriteAvg = writeTime / time.Duration(res.Writes)
+	}
+	if res.Reads > 0 {
+		res.Unanswered = 100 * float64(res.Reads-answered) / float64(res.Reads)
+	}
+	return res
+}
+
+// FormatChurn renders a churn result as a small report block.
+func FormatChurn(r ChurnResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Mixed read/write (writeratio=%.2f)\n\n", r.WriteRatio)
+	fmt.Fprintf(&b, "reads:  %d (unanswered %.1f%%)  avg=%s p50=%s p99=%s\n",
+		r.Reads, r.Unanswered, r.ReadAvg.Round(time.Microsecond),
+		r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond))
+	fmt.Fprintf(&b, "writes: %d  avg=%s\n", r.Writes, r.WriteAvg.Round(time.Microsecond))
+	fmt.Fprintf(&b, "compactions during run: %d (last took %s)\n",
+		r.Compactions, r.LastCompaction.Round(time.Microsecond))
+	return b.String()
+}

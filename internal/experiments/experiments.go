@@ -47,6 +47,11 @@ type Config struct {
 	// statistics-driven) or "heuristic" (the paper's static Section 5.3
 	// ordering), so runs under both are comparable.
 	Planner string
+	// WriteRatio is the write fraction of the churn experiment's mixed
+	// read/write workload (0 = read-only); WriteBatch is the triples per
+	// write batch (0 = 64). Only RunChurn consumes them.
+	WriteRatio float64
+	WriteBatch int
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -135,7 +140,7 @@ func BuildDataset(name string, cfg Config) (*Dataset, error) {
 		Graph:      bg,
 		Gen:        workload.NewGenerator(triples, cfg.Seed+7, workload.DefaultConfig()),
 		Planner:    planner,
-		AmberStats: amber.Stats,
+		AmberStats: amber.BuildInfo(),
 	}, nil
 }
 
@@ -147,11 +152,14 @@ func (d *Dataset) RunQuery(name EngineName, q *sparql.Query, timeout time.Durati
 	var err error
 	switch name {
 	case AMbER:
-		g, buildErr := d.Amber.PrepareWith(d.planner(), q)
+		// PreparedQuery pins one MVCC snapshot for plan + execution, so
+		// the measurement stays correct under concurrent compaction
+		// (the churn experiment mutates the store mid-run).
+		g, buildErr := d.Amber.PrepareQueryWith(d.planner(), q)
 		if buildErr != nil {
 			return false, 0, 0
 		}
-		count, err = d.Amber.Count(g, engine.Options{Deadline: deadline})
+		count, err = g.Count(engine.Options{Deadline: deadline})
 	case PermStore:
 		c := d.Store.Compile(q)
 		count, err = d.Store.Count(c, triplestore.Options{Deadline: deadline})
@@ -252,7 +260,7 @@ type Table4Row struct {
 func Table4(datasets []*Dataset) []Table4Row {
 	rows := make([]Table4Row, 0, len(datasets))
 	for _, d := range datasets {
-		g := d.Amber.Graph
+		g := d.Amber.Graph()
 		rows = append(rows, Table4Row{
 			Dataset:   d.Name,
 			Triples:   g.NumTriples(),

@@ -43,7 +43,7 @@ func TestBuildDatasetAllEngines(t *testing.T) {
 	if d.Amber == nil || d.Store == nil || d.Graph == nil || d.Gen == nil {
 		t.Fatal("dataset engines missing")
 	}
-	if d.Amber.Graph.NumTriples() == 0 {
+	if d.Amber.Graph().NumTriples() == 0 {
 		t.Error("empty dataset")
 	}
 	if _, err := BuildDataset("NOPE", cfg); err == nil {

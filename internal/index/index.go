@@ -257,6 +257,77 @@ func BuildCardinalities(g *multigraph.Graph) *Cardinalities {
 	return c
 }
 
+// Reader is the probe surface the online stage (internal/plan,
+// internal/engine) matches against. The canonical implementation is
+// GraphReader — a frozen graph plus its ensemble — but a mutation
+// overlay (internal/delta) implements the same surface over base +
+// delta, which is how live updates reach the engine without rebuilding
+// the ensemble per write.
+//
+// Contract: every returned vertex list is sorted ascending and must not
+// be modified. SignatureCandidates may over-approximate (Lemma 1 — the
+// engine verifies every query multi-edge with exact probes later); all
+// other probes are exact.
+type Reader interface {
+	// SignatureCandidates returns a superset of the vertices whose
+	// signature can embed the query synopsis q (already in AsQuery form).
+	SignatureCandidates(q multigraph.Synopsis) []dict.VertexID
+	// Neighbors is the N probe: neighbours of v on side dir whose
+	// multi-edge label set contains every type in types.
+	Neighbors(v dict.VertexID, dir Direction, types []dict.EdgeType) []dict.VertexID
+	// AttrCandidates returns the vertices carrying every attribute in
+	// attrs (nil when attrs is empty).
+	AttrCandidates(attrs []dict.AttrID) []dict.VertexID
+	// HasAttrs reports whether v carries every attribute in attrs
+	// (sorted ascending).
+	HasAttrs(v dict.VertexID, attrs []dict.AttrID) bool
+	// HasEdgeTypes reports whether the edge from→to exists with a label
+	// set containing every type in types (sorted ascending).
+	HasEdgeTypes(from, to dict.VertexID, types []dict.EdgeType) bool
+	// Cardinalities exposes the planner statistics (may be nil).
+	Cardinalities() *Cardinalities
+}
+
+// GraphReader adapts a frozen graph and its index ensemble to the Reader
+// probe surface. The zero value is not usable; both fields must be set.
+type GraphReader struct {
+	G  *multigraph.Graph
+	Ix *Index
+}
+
+// NewReader bundles a graph with its ensemble.
+func NewReader(g *multigraph.Graph, ix *Index) GraphReader {
+	return GraphReader{G: g, Ix: ix}
+}
+
+// SignatureCandidates probes the R-tree S.
+func (r GraphReader) SignatureCandidates(q multigraph.Synopsis) []dict.VertexID {
+	return r.Ix.S.Candidates(q)
+}
+
+// Neighbors probes the OTIL tries N.
+func (r GraphReader) Neighbors(v dict.VertexID, dir Direction, types []dict.EdgeType) []dict.VertexID {
+	return r.Ix.N.Neighbors(v, dir, types)
+}
+
+// AttrCandidates probes the inverted index A.
+func (r GraphReader) AttrCandidates(attrs []dict.AttrID) []dict.VertexID {
+	return r.Ix.A.Candidates(attrs)
+}
+
+// HasAttrs checks the graph's attribute sets.
+func (r GraphReader) HasAttrs(v dict.VertexID, attrs []dict.AttrID) bool {
+	return r.G.HasAttrs(v, attrs)
+}
+
+// HasEdgeTypes checks the graph's adjacency.
+func (r GraphReader) HasEdgeTypes(from, to dict.VertexID, types []dict.EdgeType) bool {
+	return r.G.HasEdgeTypes(from, to, types)
+}
+
+// Cardinalities exposes the planner statistics.
+func (r GraphReader) Cardinalities() *Cardinalities { return r.Ix.Card }
+
 // Index is the ensemble I := {A, S, N} plus the cardinality statistics
 // gathered alongside it.
 type Index struct {

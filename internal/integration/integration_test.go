@@ -227,13 +227,13 @@ func TestRDFRoundTripThroughPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Graph.NumVertices() != corpus.amber.Graph.NumVertices() ||
-		st.Graph.NumEdges() != corpus.amber.Graph.NumEdges() ||
-		st.Graph.NumAttrs() != corpus.amber.Graph.NumAttrs() {
+	if st.Graph().NumVertices() != corpus.amber.Graph().NumVertices() ||
+		st.Graph().NumEdges() != corpus.amber.Graph().NumEdges() ||
+		st.Graph().NumAttrs() != corpus.amber.Graph().NumAttrs() {
 		t.Errorf("round-trip stats differ: V=%d/%d E=%d/%d A=%d/%d",
-			st.Graph.NumVertices(), corpus.amber.Graph.NumVertices(),
-			st.Graph.NumEdges(), corpus.amber.Graph.NumEdges(),
-			st.Graph.NumAttrs(), corpus.amber.Graph.NumAttrs())
+			st.Graph().NumVertices(), corpus.amber.Graph().NumVertices(),
+			st.Graph().NumEdges(), corpus.amber.Graph().NumEdges(),
+			st.Graph().NumAttrs(), corpus.amber.Graph().NumAttrs())
 	}
 }
 

@@ -58,7 +58,7 @@ func FuzzPlan(f *testing.F) {
 		}
 		var counts [2]uint64
 		for i, pl := range []plan.Planner{plan.CostBased(), plan.Heuristic()} {
-			p := pl.Plan(qg, ix)
+			p := pl.Plan(qg, index.NewReader(g, ix))
 			if len(p.Components) != len(qg.Components) {
 				t.Fatalf("%s: %d component plans for %d components", pl.Name(), len(p.Components), len(qg.Components))
 			}
@@ -80,7 +80,7 @@ func FuzzPlan(f *testing.F) {
 					}
 				}
 			}
-			n, err := engine.Count(g, ix, p, engine.Options{Limit: 10000})
+			n, err := engine.Count(index.NewReader(g, ix), p, engine.Options{Limit: 10000})
 			if err != nil {
 				t.Fatalf("%s: count: %v", pl.Name(), err)
 			}

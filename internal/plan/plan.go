@@ -89,8 +89,9 @@ type Plan struct {
 type Planner interface {
 	// Name identifies the planner in Explain output and benchmarks.
 	Name() string
-	// Plan orders every component and precomputes candidate constraints.
-	Plan(q *query.Graph, ix *index.Index) *Plan
+	// Plan orders every component and precomputes candidate constraints
+	// against the given probe surface (a frozen ensemble or an overlay).
+	Plan(q *query.Graph, r index.Reader) *Plan
 }
 
 // Default returns the planner used when no explicit choice is made: the
@@ -98,7 +99,7 @@ type Planner interface {
 func Default() Planner { return CostBased() }
 
 // For plans q with the default planner.
-func For(q *query.Graph, ix *index.Index) *Plan { return Default().Plan(q, ix) }
+func For(q *query.Graph, r index.Reader) *Plan { return Default().Plan(q, r) }
 
 // CostBased returns the statistics-driven planner.
 func CostBased() Planner { return costBased{} }
@@ -122,17 +123,17 @@ func ByName(name string) (Planner, bool) {
 // scaffold carries the state both planners share: fixed candidate sets and
 // the tie-breaking heuristic ranks.
 type scaffold struct {
-	q  *query.Graph
-	ix *index.Index
-	p  *Plan
+	q *query.Graph
+	r index.Reader
+	p *Plan
 }
 
 // build runs the planner-independent part (ground checks, Algorithm 1
 // candidate sets) and then orders each component with the given strategy.
-func build(name string, q *query.Graph, ix *index.Index,
+func build(name string, q *query.Graph, r index.Reader,
 	order func(*scaffold, *query.Component) ([]query.VertexID, []float64)) *Plan {
 	p := &Plan{Query: q, Planner: name}
-	s := &scaffold{q: q, ix: ix, p: p}
+	s := &scaffold{q: q, r: r, p: p}
 	if q.Unsat {
 		p.Empty, p.EmptyReason = true, q.UnsatReason
 	}
@@ -168,17 +169,15 @@ func (p *Plan) markEmpty(reason string) {
 // attribute's inverted list.
 func (s *scaffold) checkGround() {
 	for _, ge := range s.q.GroundEdges {
-		if !otil.ContainsSorted(s.ix.N.Neighbors(ge.From, index.Outgoing, ge.Types), ge.To) {
+		if !otil.ContainsSorted(s.r.Neighbors(ge.From, index.Outgoing, ge.Types), ge.To) {
 			s.p.markEmpty("ground edge not in data")
 			return
 		}
 	}
 	for _, ga := range s.q.GroundAttrs {
-		for _, a := range ga.Attrs {
-			if !otil.ContainsSorted(s.ix.A.Vertices(a), ga.V) {
-				s.p.markEmpty("ground attribute not in data")
-				return
-			}
+		if !s.r.HasAttrs(ga.V, ga.Attrs) {
+			s.p.markEmpty("ground attribute not in data")
+			return
 		}
 	}
 }
@@ -200,11 +199,11 @@ func (s *scaffold) computeFixed() {
 		var cand []dict.VertexID
 		have := false
 		if len(v.Attrs) > 0 {
-			cand = s.ix.A.Candidates(v.Attrs)
+			cand = s.r.AttrCandidates(v.Attrs)
 			have = true
 		}
 		for _, c := range v.IRIs {
-			nb := s.ix.N.Neighbors(c.DataVertex, c.Dir, c.Types)
+			nb := s.r.Neighbors(c.DataVertex, c.Dir, c.Types)
 			if have {
 				cand = otil.IntersectSorted(cand, nb)
 			} else {
@@ -293,8 +292,8 @@ func (heuristic) Name() string { return "heuristic" }
 // Plan reproduces the paper's VertexOrdering exactly: the first vertex
 // maximizes (r1, r2); each subsequent vertex is connected to the ordered
 // prefix and maximizes (r1, r2) among the connected candidates.
-func (h heuristic) Plan(q *query.Graph, ix *index.Index) *Plan {
-	return build(h.Name(), q, ix, func(s *scaffold, qc *query.Component) ([]query.VertexID, []float64) {
+func (h heuristic) Plan(q *query.Graph, r index.Reader) *Plan {
+	return build(h.Name(), q, r, func(s *scaffold, qc *query.Component) ([]query.VertexID, []float64) {
 		return s.orderGreedy(qc, func(cands []query.VertexID, _ map[query.VertexID]bool) (query.VertexID, float64) {
 			best := cands[0]
 			for _, u := range cands[1:] {
@@ -318,15 +317,15 @@ func (costBased) Name() string { return "cost" }
 // vertex minimizes the estimated candidate count after the neighbourhood
 // probes from its already-ordered neighbours. Exact ties (and absent
 // statistics) defer to the paper heuristic.
-func (c costBased) Plan(q *query.Graph, ix *index.Index) *Plan {
-	if ix.Card == nil {
+func (c costBased) Plan(q *query.Graph, r index.Reader) *Plan {
+	if r.Cardinalities() == nil {
 		// No statistics: the estimates would all be +Inf and the order
 		// pure tie-breaking — make the fallback explicit instead.
-		p := heuristic{}.Plan(q, ix)
+		p := heuristic{}.Plan(q, r)
 		p.Planner = c.Name()
 		return p
 	}
-	return build(c.Name(), q, ix, func(s *scaffold, qc *query.Component) ([]query.VertexID, []float64) {
+	return build(c.Name(), q, r, func(s *scaffold, qc *query.Component) ([]query.VertexID, []float64) {
 		return s.orderGreedy(qc, func(cands []query.VertexID, inPrefix map[query.VertexID]bool) (query.VertexID, float64) {
 			// Find the minimum frontier estimate, then resolve near-ties
 			// (within 10%) with the paper heuristic: when the statistics
@@ -362,7 +361,7 @@ func (s *scaffold) standalone(u query.VertexID) float64 {
 	if s.p.IsFixed[u] {
 		return float64(len(s.p.Fixed[u]))
 	}
-	card := s.ix.Card
+	card := s.r.Cardinalities()
 	if card == nil {
 		return math.Inf(1)
 	}
@@ -395,7 +394,7 @@ func (s *scaffold) standalone(u query.VertexID) float64 {
 // controlling bound). inPrefix is the ordered prefix's membership set.
 func (s *scaffold) frontier(u query.VertexID, inPrefix map[query.VertexID]bool) float64 {
 	est := s.standalone(u)
-	card := s.ix.Card
+	card := s.r.Cardinalities()
 	if card == nil || len(inPrefix) == 0 {
 		return est
 	}
@@ -419,4 +418,3 @@ func (s *scaffold) frontier(u query.VertexID, inPrefix map[query.VertexID]bool) 
 	}
 	return est
 }
-

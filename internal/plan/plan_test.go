@@ -57,6 +57,9 @@ type fixture struct {
 	ix *index.Index
 }
 
+// rd adapts the fixture to the planner's probe surface.
+func (f *fixture) rd() index.Reader { return index.NewReader(f.g, f.ix) }
+
 func load(t *testing.T, src string) *fixture {
 	t.Helper()
 	triples, err := rdf.ParseString(src)
@@ -96,7 +99,7 @@ func coreNames(qg *query.Graph, cp *ComponentPlan) []string {
 func TestHeuristicFigure2Order(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, figure2)
-	p := Heuristic().Plan(qg, f.ix)
+	p := Heuristic().Plan(qg, f.rd())
 	if p.Planner != "heuristic" {
 		t.Errorf("planner = %q", p.Planner)
 	}
@@ -122,7 +125,7 @@ SELECT * WHERE {
   ?c y:hasCapital ?a .
   ?a y:livedIn x:United_States .
 }`)
-	p := Heuristic().Plan(qg, f.ix)
+	p := Heuristic().Plan(qg, f.rd())
 	if got := coreNames(qg, &p.Components[0]); got[0] != "a" {
 		t.Errorf("first core = %s, want a (highest r2 via IRI edge)", got[0])
 	}
@@ -134,7 +137,7 @@ func TestConnectedPrefix(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, figure2)
 	for _, pl := range []Planner{Heuristic(), CostBased()} {
-		p := pl.Plan(qg, f.ix)
+		p := pl.Plan(qg, f.rd())
 		comp := &p.Components[0]
 		seen := map[query.VertexID]bool{comp.Core[0]: true}
 		for _, u := range comp.Core[1:] {
@@ -174,7 +177,7 @@ func TestCostBasedPrefersRareStart(t *testing.T) {
   ?b <http://y/rare> ?c .
   ?c <http://y/after> ?d .
 }`)
-	p := CostBased().Plan(qg, f.ix)
+	p := CostBased().Plan(qg, f.rd())
 	comp := &p.Components[0]
 	first := qg.Vars[comp.Core[0]].Name
 	if first != "b" && first != "c" {
@@ -194,7 +197,7 @@ func TestCostBasedPrefersRareStart(t *testing.T) {
 func TestFixedCandidatesPrecomputed(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, figure2)
-	p := For(qg, f.ix)
+	p := For(qg, f.rd())
 	u5 := qg.VarIndex["X5"]
 	if !p.IsFixed[u5] || len(p.Fixed[u5]) != 1 {
 		t.Errorf("X5 fixed candidates = %v (isFixed=%v), want exactly Music_Band",
@@ -226,7 +229,7 @@ func TestEmptyVerdicts(t *testing.T) {
 		 SELECT ?a WHERE { ?a y:hasName "MCA_Band" . ?a y:livedIn x:United_States . ?a y:wasBornIn ?b . ?a y:diedIn ?c . }`,
 	}
 	for i, src := range cases {
-		p := For(f.query(t, src), f.ix)
+		p := For(f.query(t, src), f.rd())
 		if !p.Empty || p.EmptyReason == "" {
 			t.Errorf("case %d: plan not marked empty (reason %q)", i, p.EmptyReason)
 		}
@@ -253,7 +256,7 @@ func TestByName(t *testing.T) {
 func TestSatelliteEnumerationOrder(t *testing.T) {
 	f := load(t, figure1)
 	qg := f.query(t, figure2)
-	p := Heuristic().Plan(qg, f.ix)
+	p := Heuristic().Plan(qg, f.rd())
 	sats := p.Components[0].AllSatellites()
 	if len(sats) != 4 {
 		t.Fatalf("satellites = %d, want 4", len(sats))

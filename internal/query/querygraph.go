@@ -120,10 +120,11 @@ func (c *Component) Vertices() []VertexID {
 	return out
 }
 
-// Build translates q against the data dictionaries d. A nil return with a
-// non-nil error indicates a structurally invalid query; an Unsat graph is
-// a valid query that provably has no solutions.
-func Build(q *sparql.Query, d *dict.Dictionaries) (*Graph, error) {
+// Build translates q against the data dictionaries d (a frozen graph's
+// Dictionaries, or a mutation overlay layering new entries on top). A nil
+// return with a non-nil error indicates a structurally invalid query; an
+// Unsat graph is a valid query that provably has no solutions.
+func Build(q *sparql.Query, d dict.Resolver) (*Graph, error) {
 	g := &Graph{VarIndex: make(map[string]VertexID)}
 	type pairKey struct {
 		a, b VertexID

@@ -17,7 +17,11 @@ type metrics struct {
 	parseErrors atomic.Uint64
 	inFlight    atomic.Int64 // engine executions currently running
 
-	lat latencyRing
+	updates      atomic.Uint64 // update requests accepted for processing
+	updateErrors atomic.Uint64 // update parse/apply failures
+
+	lat       latencyRing
+	updateLat latencyRing
 }
 
 // latencyRing keeps the most recent query latencies for percentile

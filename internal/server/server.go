@@ -1,12 +1,15 @@
 // Package server exposes an AMbER database over HTTP, speaking the
 // SPARQL 1.1 Protocol: query via GET (?query=), POST form-encoded, or
-// POST with an application/sparql-query body; results are serialized in
-// the format negotiated from the Accept header (see internal/results).
+// POST with an application/sparql-query body; updates via POST with an
+// update= form field or an application/sparql-update body; results are
+// serialized in the format negotiated from the Accept header (see
+// internal/results).
 //
 // The server is built for sustained concurrent traffic:
 //
 //   - a bounded LRU cache of materialized results, keyed on normalized
-//     query text plus result-shaping options, serves repeat queries
+//     query text plus result-shaping options plus the database epoch (so
+//     a live update can never serve stale rows), serves repeat queries
 //     without touching the engine;
 //   - a bounded LRU of prepared plans (amber.Prepared, which embeds the
 //     per-branch plan.Plan matching orders and precomputed candidate
@@ -71,6 +74,10 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxQueryLength bounds accepted query text, in bytes. Default 1MiB.
 	MaxQueryLength int
+	// AllowLoad permits LOAD operations in update requests. Off by
+	// default: LOAD reads local files, which an unauthenticated client
+	// must not be able to do.
+	AllowLoad bool
 }
 
 func (c Config) withDefaults() Config {
@@ -220,47 +227,54 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(map[string]any{"error": msg, "status": status}) //nolint:errcheck
 }
 
-// readQuery extracts the SPARQL query text per the SPARQL 1.1 Protocol
-// and parses the request's result-shaping parameters.
-func (s *Server) readQuery(r *http.Request) (string, error) {
+// readQuery extracts the SPARQL query or update text per the SPARQL 1.1
+// Protocol. isUpdate reports an update request (update= form field or an
+// application/sparql-update body); the protocol forbids updates via GET.
+func (s *Server) readQuery(r *http.Request) (text string, isUpdate bool, err error) {
 	switch r.Method {
 	case http.MethodGet:
+		if r.URL.Query().Get("update") != "" {
+			return "", true, errorf(http.StatusBadRequest, "updates require POST")
+		}
 		q := r.URL.Query().Get("query")
 		if q == "" {
-			return "", errorf(http.StatusBadRequest, "missing query parameter")
+			return "", false, errorf(http.StatusBadRequest, "missing query parameter")
 		}
-		return q, nil
+		return q, false, nil
 	case http.MethodPost:
 		ct := r.Header.Get("Content-Type")
 		mt, _, err := mime.ParseMediaType(ct)
 		if ct != "" && err != nil {
-			return "", errorf(http.StatusBadRequest, "malformed Content-Type: %v", err)
+			return "", false, errorf(http.StatusBadRequest, "malformed Content-Type: %v", err)
 		}
 		switch mt {
 		case "", "application/x-www-form-urlencoded":
 			r.Body = http.MaxBytesReader(nil, r.Body, int64(s.cfg.MaxQueryLength)+4096)
 			if err := r.ParseForm(); err != nil {
-				return "", errorf(http.StatusBadRequest, "malformed form body: %v", err)
+				return "", false, errorf(http.StatusBadRequest, "malformed form body: %v", err)
+			}
+			if u := r.PostForm.Get("update"); u != "" {
+				return u, true, nil
 			}
 			q := r.PostForm.Get("query")
 			if q == "" {
-				return "", errorf(http.StatusBadRequest, "missing query form field")
+				return "", false, errorf(http.StatusBadRequest, "missing query or update form field")
 			}
-			return q, nil
-		case "application/sparql-query":
+			return q, false, nil
+		case "application/sparql-query", "application/sparql-update":
 			body, err := io.ReadAll(io.LimitReader(r.Body, int64(s.cfg.MaxQueryLength)+1))
 			if err != nil {
-				return "", errorf(http.StatusBadRequest, "reading body: %v", err)
+				return "", false, errorf(http.StatusBadRequest, "reading body: %v", err)
 			}
 			if len(body) == 0 {
-				return "", errorf(http.StatusBadRequest, "empty query body")
+				return "", false, errorf(http.StatusBadRequest, "empty request body")
 			}
-			return string(body), nil
+			return string(body), mt == "application/sparql-update", nil
 		default:
-			return "", errorf(http.StatusUnsupportedMediaType, "unsupported Content-Type %q", mt)
+			return "", false, errorf(http.StatusUnsupportedMediaType, "unsupported Content-Type %q", mt)
 		}
 	default:
-		return "", errorf(http.StatusMethodNotAllowed, "method %s not allowed; use GET or POST", r.Method)
+		return "", false, errorf(http.StatusMethodNotAllowed, "method %s not allowed; use GET or POST", r.Method)
 	}
 }
 
@@ -380,12 +394,16 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	st := s.state.Load()
 
-	query, err := s.readQuery(r)
+	query, isUpdate, err := s.readQuery(r)
 	if err == nil {
 		if len(query) > s.cfg.MaxQueryLength {
 			err = errorf(http.StatusRequestEntityTooLarge,
 				"query exceeds %d bytes", s.cfg.MaxQueryLength)
 		}
+	}
+	if err == nil && isUpdate {
+		s.handleUpdate(w, r, st, query)
+		return
 	}
 	var params queryParams
 	if err == nil {
@@ -428,7 +446,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	norm := normalizeQuery(query)
-	key := cacheKey(norm, &params.opts)
+	key := cacheKey(norm, &params.opts, st.db.Epoch())
 
 	// Cached results are served without touching the engine, so they
 	// bypass admission control entirely.
@@ -521,12 +539,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.lat.record(time.Since(start))
 }
 
+// handleUpdate executes a SPARQL 1.1 Update request. Updates claim an
+// execution slot like queries — applying a batch and the compaction it
+// may trigger are real work — and respond 204 No Content on success.
+// The database epoch moves with the update, so every result-cache entry
+// of the previous state becomes unreachable at once.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, st *dbState, update string) {
+	if !s.acquire(r.Context()) {
+		s.met.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent))
+		return
+	}
+	defer func() { <-s.sem }()
+	s.met.updates.Add(1)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	start := time.Now()
+	if err := st.db.UpdateOpts(update, &amber.UpdateOptions{AllowLoad: s.cfg.AllowLoad}); err != nil {
+		s.met.updateErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid update: "+err.Error())
+		return
+	}
+	s.met.updateLat.record(time.Since(start))
+	w.Header().Set("X-Epoch", strconv.FormatUint(st.db.Epoch(), 10))
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // cacheKey builds the result-cache key from the normalized query text
-// plus every option that shapes the rows. The timeout is deliberately
-// excluded — it bounds execution, not the result. The plan cache is
-// keyed on the normalized text alone: a plan does not depend on limits.
-func cacheKey(normalizedQuery string, opts *amber.QueryOptions) string {
-	return normalizedQuery + "\x00limit=" + strconv.Itoa(opts.Limit)
+// plus every option that shapes the rows, plus the database epoch — a
+// live update bumps the epoch, so stale cached rows become unreachable
+// instead of being served. The timeout is deliberately excluded — it
+// bounds execution, not the result. The plan cache is keyed on the
+// normalized text alone: a cached amber.Prepared revalidates its plan
+// against the current epoch internally, so plans survive updates while
+// results do not.
+func cacheKey(normalizedQuery string, opts *amber.QueryOptions, epoch uint64) string {
+	return normalizedQuery + "\x00limit=" + strconv.Itoa(opts.Limit) +
+		"\x00epoch=" + strconv.FormatUint(epoch, 10)
 }
 
 // normalizeQuery collapses insignificant whitespace so trivially
@@ -577,16 +627,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // StatsResponse is the /stats document: live serving counters plus the
 // underlying database's statistics.
 type StatsResponse struct {
-	Uptime     string `json:"uptime"`
-	Generation uint64 `json:"generation"`
+	Uptime string `json:"uptime"`
+	// Generation counts hot swaps of the whole database (SIGHUP reload);
+	// the live-update state of the served database is under "generation".
+	Generation uint64 `json:"swap_generation"`
 
-	Queries     uint64 `json:"queries"`
-	CacheHits   uint64 `json:"cache_hits"`
-	CacheMisses uint64 `json:"cache_misses"`
-	Rejected    uint64 `json:"rejected"`
-	Timeouts    uint64 `json:"timeouts"`
-	ParseErrors uint64 `json:"parse_errors"`
-	InFlight    int64  `json:"in_flight"`
+	Queries      uint64 `json:"queries"`
+	Updates      uint64 `json:"updates"`
+	UpdateErrors uint64 `json:"update_errors"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Rejected     uint64 `json:"rejected"`
+	Timeouts     uint64 `json:"timeouts"`
+	ParseErrors  uint64 `json:"parse_errors"`
+	InFlight     int64  `json:"in_flight"`
 
 	ResultCacheEntries int `json:"result_cache_entries"`
 	PlanCacheEntries   int `json:"plan_cache_entries"`
@@ -594,17 +648,55 @@ type StatsResponse struct {
 	P50Millis float64 `json:"p50_ms"`
 	P99Millis float64 `json:"p99_ms"`
 
+	// Live describes the served database's update/compaction state.
+	Live GenerationSection `json:"generation"`
+
 	DB amber.Stats `json:"db"`
+}
+
+// GenerationSection is the /stats "generation" document: the live-update
+// state of the served database.
+type GenerationSection struct {
+	// Epoch is the data version; it moves on every update.
+	Epoch uint64 `json:"epoch"`
+	// Generation counts base rebuilds (compactions and clears).
+	Generation uint64 `json:"generation"`
+	// DeltaAdds and DeltaTombstones size the uncompacted overlay.
+	DeltaAdds       int `json:"delta_adds"`
+	DeltaTombstones int `json:"delta_tombstones"`
+	// Updates counts mutation batches applied to this database;
+	// UpdatesPerSecond is that same counter averaged over server uptime
+	// (it resets with the database on a hot swap), and UpdateP99Millis
+	// the p99 update latency over the recent window.
+	Updates          uint64  `json:"updates"`
+	UpdatesPerSecond float64 `json:"updates_per_second"`
+	UpdateP99Millis  float64 `json:"update_p99_ms"`
+	// Compactions counts completed compactions; LastCompactionMillis is
+	// the duration of the most recent one.
+	Compactions          uint64  `json:"compactions"`
+	LastCompactionMillis float64 `json:"last_compaction_ms"`
 }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() StatsResponse {
 	st := s.state.Load()
 	pcts := s.met.lat.percentiles(0.50, 0.99)
+	upcts := s.met.updateLat.percentiles(0.99)
+	gen := st.db.Generation()
+	uptime := time.Since(s.start)
+	// Rate derives from the store's applied-batch counter (the same
+	// quantity as generation.updates), not the HTTP request counter —
+	// rejected updates must not raise the rate.
+	ups := 0.0
+	if secs := uptime.Seconds(); secs > 0 {
+		ups = float64(gen.Updates) / secs
+	}
 	return StatsResponse{
-		Uptime:             time.Since(s.start).Round(time.Millisecond).String(),
+		Uptime:             uptime.Round(time.Millisecond).String(),
 		Generation:         st.gen,
 		Queries:            s.met.queries.Load(),
+		Updates:            s.met.updates.Load(),
+		UpdateErrors:       s.met.updateErrors.Load(),
 		CacheHits:          s.met.cacheHits.Load(),
 		CacheMisses:        s.met.cacheMisses.Load(),
 		Rejected:           s.met.rejected.Load(),
@@ -615,7 +707,18 @@ func (s *Server) Stats() StatsResponse {
 		PlanCacheEntries:   st.plans.Len(),
 		P50Millis:          float64(pcts[0]) / float64(time.Millisecond),
 		P99Millis:          float64(pcts[1]) / float64(time.Millisecond),
-		DB:                 st.db.Stats(),
+		Live: GenerationSection{
+			Epoch:                gen.Epoch,
+			Generation:           gen.Generation,
+			DeltaAdds:            gen.DeltaAdds,
+			DeltaTombstones:      gen.DeltaTombstones,
+			Updates:              gen.Updates,
+			UpdatesPerSecond:     ups,
+			UpdateP99Millis:      float64(upcts[0]) / float64(time.Millisecond),
+			Compactions:          gen.Compactions,
+			LastCompactionMillis: float64(gen.LastCompaction) / float64(time.Millisecond),
+		},
+		DB: st.db.Stats(),
 	}
 }
 

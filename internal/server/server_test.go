@@ -148,7 +148,18 @@ func TestPostForms(t *testing.T) {
 		t.Fatalf("sparql-query POST: status %d: %s", resp.StatusCode, body)
 	}
 
+	// application/sparql-update is accepted since the live-update
+	// subsystem; malformed update text maps to 400.
 	resp, err = http.Post(ts.URL+"/sparql", "application/sparql-update", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad update: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/sparql", "text/plain", strings.NewReader(knowsQuery))
 	if err != nil {
 		t.Fatal(err)
 	}

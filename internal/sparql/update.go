@@ -1,0 +1,281 @@
+package sparql
+
+import (
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// UpdateKind discriminates the supported SPARQL 1.1 Update operations.
+type UpdateKind uint8
+
+const (
+	// UpInsertData is `INSERT DATA { triples }`.
+	UpInsertData UpdateKind = iota
+	// UpDeleteData is `DELETE DATA { triples }`.
+	UpDeleteData
+	// UpClear is `CLEAR [SILENT] [DEFAULT|ALL]` — the store holds a single
+	// default graph, so both forms wipe it.
+	UpClear
+	// UpLoad is `LOAD [SILENT] <source>`: bulk-insert the triples of an
+	// N-Triples / prefixed-Turtle document. The source IRI is resolved as
+	// a local file path (a file:// prefix is stripped).
+	UpLoad
+)
+
+// String reports the operation keyword.
+func (k UpdateKind) String() string {
+	switch k {
+	case UpInsertData:
+		return "INSERT DATA"
+	case UpDeleteData:
+		return "DELETE DATA"
+	case UpClear:
+		return "CLEAR"
+	case UpLoad:
+		return "LOAD"
+	default:
+		return "UpdateKind(?)"
+	}
+}
+
+// UpdateOp is one operation of an update request.
+type UpdateOp struct {
+	Kind UpdateKind
+	// Triples holds the ground data block of INSERT DATA / DELETE DATA.
+	Triples []rdf.Triple
+	// Source is the LOAD document reference.
+	Source string
+	// Silent records a SILENT modifier (failures are reported as success).
+	Silent bool
+}
+
+// Update is a parsed SPARQL 1.1 Update request: a prologue plus one or
+// more operations separated by ';', executed in order.
+type Update struct {
+	Prefixes *rdf.PrefixMap
+	Ops      []UpdateOp
+}
+
+// ParseUpdate parses a SPARQL 1.1 Update request (the INSERT DATA /
+// DELETE DATA / CLEAR / LOAD subset).
+func ParseUpdate(src string) (*Update, error) {
+	return ParseUpdateWith(src, nil)
+}
+
+// ParseUpdateWith parses an update with pre-bound prefixes (copied, not
+// mutated); PREFIX declarations in the text override them.
+func ParseUpdateWith(src string, base *rdf.PrefixMap) (*Update, error) {
+	prefixes := &rdf.PrefixMap{}
+	if base != nil {
+		prefixes = base.Clone()
+	}
+	p := &parser{lex: newLexer(src), q: &Query{Prefixes: prefixes}}
+	u := &Update{Prefixes: prefixes}
+	if err := p.runUpdate(u); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// runUpdate parses `(PREFIX decl | operation) (';' ...)*`. SPARQL 1.1
+// allows a prologue before every operation, and a trailing ';'.
+func (p *parser) runUpdate(u *Update) error {
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		switch {
+		case t.kind == tokEOF:
+			if len(u.Ops) == 0 {
+				return p.errAt(t, "empty update request")
+			}
+			return nil
+		case keywordIs(t, "PREFIX"):
+			p.peeked = false
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+			continue
+		}
+		op, err := p.parseUpdateOp()
+		if err != nil {
+			return err
+		}
+		u.Ops = append(u.Ops, op)
+		t, err = p.peek()
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokSemi:
+			p.peeked = false
+		case tokEOF:
+		default:
+			return p.errAt(t, "expected ';' or end of update, found %s", describe(t))
+		}
+	}
+}
+
+// parseUpdateOp parses one operation.
+func (p *parser) parseUpdateOp() (UpdateOp, error) {
+	t, err := p.next()
+	if err != nil {
+		return UpdateOp{}, err
+	}
+	switch {
+	case keywordIs(t, "INSERT"):
+		return p.parseDataBlockOp(UpInsertData)
+	case keywordIs(t, "DELETE"):
+		return p.parseDataBlockOp(UpDeleteData)
+	case keywordIs(t, "CLEAR"):
+		return p.parseClear()
+	case keywordIs(t, "LOAD"):
+		return p.parseLoad()
+	default:
+		return UpdateOp{}, p.errAt(t, "expected INSERT DATA, DELETE DATA, CLEAR or LOAD, found %s", describe(t))
+	}
+}
+
+// parseDataBlockOp parses `DATA { ground-triples }` after INSERT/DELETE.
+func (p *parser) parseDataBlockOp(kind UpdateKind) (UpdateOp, error) {
+	t, err := p.next()
+	if err != nil {
+		return UpdateOp{}, err
+	}
+	if !keywordIs(t, "DATA") {
+		if kind == UpDeleteData && keywordIs(t, "WHERE") {
+			return UpdateOp{}, p.errAt(t, "DELETE WHERE is outside the supported update fragment")
+		}
+		return UpdateOp{}, p.errAt(t, "expected DATA after %s (pattern-based updates are unsupported), found %s",
+			map[UpdateKind]string{UpInsertData: "INSERT", UpDeleteData: "DELETE"}[kind], describe(t))
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return UpdateOp{}, err
+	}
+	triples, err := p.parseGroundTriples()
+	if err != nil {
+		return UpdateOp{}, err
+	}
+	return UpdateOp{Kind: kind, Triples: triples}, nil
+}
+
+// parseGroundTriples parses the body of a data block up to '}' and
+// converts it to ground RDF triples, rejecting variables and filters.
+func (p *parser) parseGroundTriples() ([]rdf.Triple, error) {
+	save := p.q.Patterns
+	p.q.Patterns = nil
+	defer func() { p.q.Patterns = save }()
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokRBrace {
+			p.peeked = false
+			break
+		}
+		if t.kind == tokEOF {
+			return nil, p.errAt(t, "unterminated data block, expected '}'")
+		}
+		if keywordIs(t, "FILTER") {
+			return nil, p.errAt(t, "FILTER is not allowed in a data block")
+		}
+		if err := p.parseTriplesSameSubject(); err != nil {
+			return nil, err
+		}
+	}
+	triples := make([]rdf.Triple, 0, len(p.q.Patterns))
+	for _, tp := range p.q.Patterns {
+		rt, err := groundTriple(tp)
+		if err != nil {
+			return nil, err
+		}
+		triples = append(triples, rt)
+	}
+	return triples, nil
+}
+
+// groundTriple converts a pattern to a concrete triple, rejecting
+// variables (data blocks must be ground per SPARQL 1.1 Update).
+func groundTriple(tp TriplePattern) (rdf.Triple, error) {
+	conv := func(t Term, pos string) (rdf.Term, error) {
+		switch t.Kind {
+		case IRI:
+			return rdf.NewIRI(t.Value), nil
+		case Literal:
+			return rdf.NewLiteral(t.Value), nil
+		default:
+			return rdf.Term{}, &Error{Line: 1, Col: 1,
+				Msg: "variable ?" + t.Value + " not allowed as " + pos + " in a data block"}
+		}
+	}
+	s, err := conv(tp.S, "subject")
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	pr, err := conv(tp.P, "predicate")
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	o, err := conv(tp.O, "object")
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	return rdf.Triple{S: s, P: pr, O: o}, nil
+}
+
+// parseClear parses `CLEAR [SILENT] [DEFAULT|ALL]` (after CLEAR).
+func (p *parser) parseClear() (UpdateOp, error) {
+	op := UpdateOp{Kind: UpClear}
+	t, err := p.peek()
+	if err != nil {
+		return op, err
+	}
+	if keywordIs(t, "SILENT") {
+		p.peeked = false
+		op.Silent = true
+		if t, err = p.peek(); err != nil {
+			return op, err
+		}
+	}
+	switch {
+	case keywordIs(t, "DEFAULT"), keywordIs(t, "ALL"):
+		p.peeked = false
+	case keywordIs(t, "NAMED"), keywordIs(t, "GRAPH"):
+		return op, p.errAt(t, "named graphs are unsupported; use CLEAR DEFAULT or CLEAR ALL")
+	}
+	return op, nil
+}
+
+// parseLoad parses `LOAD [SILENT] <source>` (after LOAD).
+func (p *parser) parseLoad() (UpdateOp, error) {
+	op := UpdateOp{Kind: UpLoad}
+	t, err := p.next()
+	if err != nil {
+		return op, err
+	}
+	if keywordIs(t, "SILENT") {
+		op.Silent = true
+		if t, err = p.next(); err != nil {
+			return op, err
+		}
+	}
+	switch t.kind {
+	case tokIRIRef:
+		op.Source = t.text
+	case tokIdent:
+		iri, err := p.q.Prefixes.Expand(t.text)
+		if err != nil {
+			return op, p.errAt(t, "%v", err)
+		}
+		op.Source = iri
+	default:
+		return op, p.errAt(t, "expected document IRI after LOAD, found %s", describe(t))
+	}
+	if strings.HasPrefix(op.Source, "file://") {
+		op.Source = strings.TrimPrefix(op.Source, "file://")
+	}
+	return op, nil
+}

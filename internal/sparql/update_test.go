@@ -1,0 +1,126 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestParseInsertData(t *testing.T) {
+	u, err := ParseUpdate(`PREFIX y: <http://y/>
+		INSERT DATA {
+			<http://x/a> y:knows <http://x/b> ;
+			             y:name "Ada" .
+			<http://x/b> a <http://x/Person> .
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 1 || u.Ops[0].Kind != UpInsertData {
+		t.Fatalf("ops = %+v", u.Ops)
+	}
+	ts := u.Ops[0].Triples
+	if len(ts) != 3 {
+		t.Fatalf("triples = %d, want 3: %v", len(ts), ts)
+	}
+	if ts[0].P.Value != "http://y/knows" || ts[0].O.Value != "http://x/b" {
+		t.Errorf("triple 0 = %v", ts[0])
+	}
+	if !ts[1].O.IsLiteral() || ts[1].O.Value != "Ada" {
+		t.Errorf("triple 1 = %v", ts[1])
+	}
+	if ts[2].P.Value != "http://www.w3.org/1999/02/22-rdf-syntax-ns#type" {
+		t.Errorf("triple 2 `a` not expanded: %v", ts[2])
+	}
+}
+
+func TestParseUpdateSequence(t *testing.T) {
+	u, err := ParseUpdate(`
+		DELETE DATA { <http://s> <http://p> <http://o> . } ;
+		INSERT DATA { <http://s> <http://p> <http://o2> . } ;
+		CLEAR DEFAULT ;
+		LOAD SILENT <file:///tmp/data.nt> ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []UpdateKind{UpDeleteData, UpInsertData, UpClear, UpLoad}
+	if len(u.Ops) != len(kinds) {
+		t.Fatalf("ops = %d, want %d", len(u.Ops), len(kinds))
+	}
+	for i, k := range kinds {
+		if u.Ops[i].Kind != k {
+			t.Errorf("op %d kind = %v, want %v", i, u.Ops[i].Kind, k)
+		}
+	}
+	if u.Ops[3].Source != "/tmp/data.nt" || !u.Ops[3].Silent {
+		t.Errorf("LOAD op = %+v", u.Ops[3])
+	}
+}
+
+func TestParseUpdatePrefixBetweenOps(t *testing.T) {
+	u, err := ParseUpdate(`PREFIX a: <http://a/>
+		INSERT DATA { a:x a:p a:y . } ;
+		PREFIX b: <http://b/>
+		INSERT DATA { b:x b:p b:y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 2 {
+		t.Fatalf("ops = %d", len(u.Ops))
+	}
+	if got := u.Ops[1].Triples[0].S.Value; got != "http://b/x" {
+		t.Errorf("second op subject = %q", got)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{``, "empty update"},
+		{`INSERT DATA { ?x <http://p> <http://o> . }`, "variable"},
+		{`INSERT DATA { <http://s> <http://p> <http://o> . `, "unterminated"},
+		{`INSERT { <http://s> <http://p> <http://o> . } WHERE { }`, "DATA"},
+		{`DELETE WHERE { ?s ?p ?o }`, "outside the supported update fragment"},
+		{`CLEAR GRAPH <http://g>`, "named graphs"},
+		{`LOAD`, "document IRI"},
+		{`SELECT ?x WHERE { ?x <http://p> <http://o> . }`, "expected INSERT DATA"},
+		{`INSERT DATA { <http://s> <http://p> <http://o> . } garbage`, "';'"},
+		{`INSERT DATA { <http://s> <http://p> <http://o> . FILTER (?x = <http://y>) }`, "FILTER"},
+	}
+	for _, c := range cases {
+		_, err := ParseUpdate(c.src)
+		if err == nil {
+			t.Errorf("ParseUpdate(%q): no error, want %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseUpdate(%q) error = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseUpdateWithBasePrefixes(t *testing.T) {
+	base := &rdf.PrefixMap{}
+	base.Set("y", "http://y/")
+	u, err := ParseUpdateWith(`INSERT DATA { y:a y:p y:b . }`, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Ops[0].Triples[0].S.Value; got != "http://y/a" {
+		t.Errorf("subject = %q, want base-prefixed expansion", got)
+	}
+}
+
+func TestParseUpdateLiteralObjects(t *testing.T) {
+	u, err := ParseUpdate(`INSERT DATA { <http://s> <http://p> "v1", "v2" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := u.Ops[0].Triples
+	if len(ts) != 2 || !ts[0].O.IsLiteral() || !ts[1].O.IsLiteral() {
+		t.Fatalf("triples = %v", ts)
+	}
+}

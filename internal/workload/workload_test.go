@@ -111,7 +111,7 @@ func TestGeneratedQueriesSatisfiable(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				n, err := engine.Count(g, ix, plan.For(qg, ix), engine.Options{Limit: 1})
+				n, err := engine.Count(index.NewReader(g, ix), plan.For(qg, index.NewReader(g, ix)), engine.Options{Limit: 1})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -7,7 +7,9 @@ import (
 	"repro/internal/core"
 )
 
-// Save writes a binary snapshot of the database's multigraph to w.
+// Save writes a binary snapshot of the database's multigraph to w —
+// the merged live view, including every update applied so far, whether
+// or not compaction has folded it into the base generation yet.
 // Snapshots load much faster than re-parsing N-Triples; the index
 // ensemble is rebuilt deterministically on load.
 func (db *DB) Save(w io.Writer) error {

@@ -32,19 +32,22 @@ type Stats struct {
 	IndexBytes    int64
 }
 
-// Stats reports the database's statistics.
+// Stats reports the database's statistics for the merged live view
+// (base generation plus any uncompacted delta overlay). The build
+// timings and byte estimates describe the base generation.
 func (db *DB) Stats() Stats {
-	g := db.store.Graph
+	sn := db.store.Snapshot()
+	v := sn.Delta
 	return Stats{
-		Triples:           g.NumTriples(),
-		Vertices:          g.NumVertices(),
-		Edges:             g.NumEdges(),
-		EdgeTypes:         g.NumEdgeTypes(),
-		Attributes:        g.NumAttrs(),
-		DatabaseBuildTime: db.store.Stats.DatabaseTime,
-		IndexBuildTime:    db.store.Stats.IndexTime,
-		DatabaseBytes:     db.store.Stats.DatabaseBytes,
-		IndexBytes:        db.store.Stats.IndexBytes,
+		Triples:           v.NumTriples(),
+		Vertices:          v.NumVertices(),
+		Edges:             v.NumEdges(),
+		EdgeTypes:         v.NumEdgeTypes(),
+		Attributes:        v.NumAttrs(),
+		DatabaseBuildTime: sn.Build.DatabaseTime,
+		IndexBuildTime:    sn.Build.IndexTime,
+		DatabaseBytes:     sn.Build.DatabaseBytes,
+		IndexBytes:        sn.Build.IndexBytes,
 	}
 }
 

@@ -1,0 +1,117 @@
+package amber
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Update parses and executes a SPARQL 1.1 Update request against the
+// database. The supported fragment is INSERT DATA, DELETE DATA, CLEAR
+// [DEFAULT|ALL] and LOAD <file>; operations separated by ';' run in
+// order, each atomically visible. The handle's default prefixes apply,
+// as for queries.
+//
+// Consistency model: when Update returns, every subsequently started
+// query on any handle sharing this database sees the new state
+// (read-your-writes); queries already running finish against the
+// snapshot they started on (snapshot isolation). Writers serialize
+// internally and never block readers.
+func (db *DB) Update(updateText string) error {
+	return db.UpdateOpts(updateText, nil)
+}
+
+// UpdateOptions restrict what an update request may do.
+type UpdateOptions struct {
+	// AllowLoad permits LOAD operations, which read local files. Leave
+	// false when the update text comes from an untrusted source (the
+	// HTTP server does, unless started with -allow-load).
+	AllowLoad bool
+}
+
+// UpdateOpts is Update with explicit restrictions. A nil opts allows
+// everything (trusted, programmatic use).
+func (db *DB) UpdateOpts(updateText string, opts *UpdateOptions) error {
+	u, err := sparql.ParseUpdateWith(updateText, db.prefixes)
+	if err != nil {
+		return err
+	}
+	if opts != nil && !opts.AllowLoad {
+		for _, op := range u.Ops {
+			if op.Kind == sparql.UpLoad {
+				return errors.New("amber: LOAD is disabled for this update source")
+			}
+		}
+	}
+	return db.store.ApplyUpdate(u)
+}
+
+// Mutate applies one programmatic write batch: dels are removed first,
+// then adds are inserted, as a single atomically visible change.
+// Deleting an absent triple or inserting a present one is a no-op. See
+// Update for the consistency model.
+func (db *DB) Mutate(adds, dels []rdf.Triple) error {
+	return db.store.Mutate(adds, dels)
+}
+
+// Epoch returns the database's data version. It increases on every
+// mutation, compaction and clear; equal epochs guarantee identical query
+// answers, which is what result caches should key on.
+func (db *DB) Epoch() uint64 {
+	return db.store.Epoch()
+}
+
+// Compact synchronously rebuilds the base generation plus the delta
+// overlay into a fresh frozen generation (graph, index ensemble and
+// planner statistics) and swaps it in. Mutations normally trigger this
+// in the background past the compaction threshold; Compact forces it.
+func (db *DB) Compact() error {
+	return db.store.Compact()
+}
+
+// WaitCompaction blocks until no background compaction is running —
+// useful for tests and orderly shutdown.
+func (db *DB) WaitCompaction() {
+	db.store.WaitCompaction()
+}
+
+// SetCompactThreshold tunes when background compaction fires: once the
+// delta overlay holds at least n entries (added triples + tombstones).
+// n <= 0 disables automatic compaction; Compact still works. The default
+// is core.DefaultCompactThreshold (8192).
+func (db *DB) SetCompactThreshold(n int) {
+	db.store.SetCompactThreshold(n)
+}
+
+// GenerationStats describes the live-update state of the database.
+type GenerationStats struct {
+	// Epoch is the data version (see DB.Epoch).
+	Epoch uint64
+	// Generation counts base-generation rebuilds (compactions, clears).
+	Generation uint64
+	// DeltaAdds and DeltaTombstones size the uncompacted overlay.
+	DeltaAdds       int
+	DeltaTombstones int
+	// Updates counts mutation batches applied since the DB opened.
+	Updates uint64
+	// Compactions counts completed compactions; LastCompaction is the
+	// duration of the most recent one (zero if none ran yet).
+	Compactions    uint64
+	LastCompaction time.Duration
+}
+
+// Generation snapshots the live-update counters.
+func (db *DB) Generation() GenerationStats {
+	gi := db.store.GenerationInfo()
+	return GenerationStats{
+		Epoch:           gi.Epoch,
+		Generation:      gi.Generation,
+		DeltaAdds:       gi.DeltaAdds,
+		DeltaTombstones: gi.DeltaTombstones,
+		Updates:         gi.Updates,
+		Compactions:     gi.Compactions,
+		LastCompaction:  gi.LastCompaction,
+	}
+}
