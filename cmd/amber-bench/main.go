@@ -13,7 +13,9 @@
 // (complex/DBPEDIA), fig8 (star/YAGO), fig9 (complex/YAGO), fig10
 // (star/LUBM), fig11 (complex/LUBM), all. Beyond the paper, `churn`
 // measures query latency under a mixed read/write workload
-// (-writeratio) with live updates and background compaction enabled.
+// (-writeratio) with live updates and background compaction enabled;
+// add -fsync=always|never|interval=<d> to attach a write-ahead log and
+// measure the write-latency cost of each durability policy.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/plan"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -57,6 +60,7 @@ func main() {
 		planner      = flag.String("planner", "cost", "AMbER matching-order planner: cost (statistics-driven) or heuristic (paper §5.3)")
 		writeRatio   = flag.Float64("writeratio", 0.2, "write fraction for -exp churn (0..1)")
 		writeBatch   = flag.Int("writebatch", 64, "triples per write batch for -exp churn")
+		fsync        = flag.String("fsync", "", "attach a write-ahead log to -exp churn with this policy (always, never, interval=<duration>; empty = no WAL)")
 	)
 	flag.Parse()
 
@@ -64,6 +68,13 @@ func main() {
 	if _, ok := plan.ByName(*planner); !ok {
 		fmt.Fprintf(os.Stderr, "amber-bench: unknown planner %q (use cost or heuristic)\n", *planner)
 		os.Exit(1)
+	}
+	// Likewise a bad fsync policy.
+	if *fsync != "" {
+		if _, _, err := wal.ParseSyncPolicy(*fsync); err != nil {
+			fmt.Fprintln(os.Stderr, "amber-bench:", err)
+			os.Exit(1)
+		}
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -75,6 +86,7 @@ func main() {
 	cfg.Planner = *planner
 	cfg.WriteRatio = *writeRatio
 	cfg.WriteBatch = *writeBatch
+	cfg.Fsync = *fsync
 	cfg.Sizes = nil
 	for _, s := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))

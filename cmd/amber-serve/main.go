@@ -5,6 +5,7 @@
 //
 //	amber-serve -data data.nt -addr :8080
 //	amber-serve -snapshot db.snap -cache 1024 -max-concurrent 32 -timeout 30s
+//	amber-serve -data data.nt -wal-dir ./wal -fsync always
 //
 // Query it with any SPARQL-over-HTTP client:
 //
@@ -17,9 +18,18 @@
 //	curl 'http://localhost:8080/sparql' --data-urlencode \
 //	    'update=INSERT DATA { <http://s> <http://p> <http://o2> . }'
 //
+// Durability: without -wal-dir, updates live only in memory and vanish on
+// restart. With -wal-dir, every update batch is written to a write-ahead
+// log (fsynced per -fsync) before it is acknowledged; starting or
+// reloading replays the log, so acknowledged updates survive crashes.
+// Once the database checkpoints (after compaction, or via DB.Checkpoint),
+// the checkpointed snapshot in -wal-dir supersedes -data/-snapshot as the
+// base.
+//
 // Signals: SIGINT/SIGTERM drain in-flight requests and exit; SIGHUP
 // reloads the data file or snapshot and hot-swaps it in without dropping
-// in-flight queries.
+// in-flight queries (with -wal-dir, logged live updates are replayed on
+// top; without it they are discarded with a warning).
 package main
 
 import (
@@ -55,10 +65,14 @@ func main() {
 
 		compactAt = flag.Int("compact-threshold", 0, "delta entries (adds+tombstones) that trigger background compaction (0 = default 8192, negative disables)")
 		allowLoad = flag.Bool("allow-load", false, "permit LOAD <file> in update requests (reads server-local files)")
+
+		walDir = flag.String("wal-dir", "", "write-ahead log directory: log updates before acknowledging and replay them on start/reload (empty = in-memory updates)")
+		fsync  = flag.String("fsync", "always", "WAL fsync policy: always, never, or interval=<duration> (with -wal-dir)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dataPath, *snapshot, *compactAt, server.Config{
+	src := source{data: *dataPath, snapshot: *snapshot, walDir: *walDir, fsync: *fsync}
+	if err := run(*addr, src, *compactAt, server.Config{
 		CacheSize:      *cacheSize,
 		MaxCacheRows:   *cacheRows,
 		PlanCacheSize:  *planCache,
@@ -73,21 +87,51 @@ func main() {
 	}
 }
 
-// load opens the database from whichever source was configured.
-func load(dataPath, snapshot string) (*amber.DB, error) {
+// source is where the served database comes from: the RDF file or binary
+// snapshot base, plus the optional write-ahead log layered on top.
+type source struct {
+	data     string
+	snapshot string
+	walDir   string
+	fsync    string
+}
+
+// loadBase opens the database from whichever base was configured, without
+// any WAL attachment.
+func (s source) loadBase() (*amber.DB, error) {
 	switch {
-	case snapshot != "":
-		return amber.OpenSnapshotFile(snapshot)
-	case dataPath != "":
-		return amber.OpenFile(dataPath)
+	case s.snapshot != "":
+		return amber.OpenSnapshotFile(s.snapshot)
+	case s.data != "":
+		return amber.OpenFile(s.data)
 	default:
 		return nil, fmt.Errorf("missing -data or -snapshot")
 	}
 }
 
-func run(addr, dataPath, snapshot string, compactAt int, cfg server.Config, grace time.Duration) error {
+// open loads the database: durable (base + WAL replay) when -wal-dir is
+// set, plain in-memory otherwise.
+func (s source) open() (*amber.DB, error) {
+	if s.walDir == "" {
+		return s.loadBase()
+	}
+	db, err := amber.OpenDurable(s.walDir, &amber.DurabilityOptions{
+		Fsync:               s.fsync,
+		CheckpointOnCompact: true,
+		Bootstrap:           s.loadBase,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d := db.Durability(); d.Replayed > 0 {
+		log.Printf("replayed %d WAL record(s) from %s", d.Replayed, s.walDir)
+	}
+	return db, nil
+}
+
+func run(addr string, src source, compactAt int, cfg server.Config, grace time.Duration) error {
 	start := time.Now()
-	db, err := load(dataPath, snapshot)
+	db, err := src.open()
 	if err != nil {
 		return err
 	}
@@ -121,13 +165,14 @@ func run(addr, dataPath, snapshot string, compactAt int, cfg server.Config, grac
 			return err
 		case sig := <-sigc:
 			if sig == syscall.SIGHUP {
-				reload(srv, dataPath, snapshot, compactAt)
+				reload(srv, src, compactAt)
 				continue
 			}
 			log.Printf("%s received, draining for up to %s", sig, grace)
 			ctx, cancel := context.WithTimeout(context.Background(), grace)
 			err := httpSrv.Shutdown(ctx)
 			cancel()
+			srv.DB().Close() //nolint:errcheck // final WAL sync; nothing to do on error
 			return err
 		}
 	}
@@ -135,18 +180,34 @@ func run(addr, dataPath, snapshot string, compactAt int, cfg server.Config, grac
 
 // reload rebuilds the database from its source and hot-swaps it in.
 // In-flight queries finish against the generation they started on.
-// Live updates applied over HTTP since the last load are NOT in the
-// source file and are discarded by the swap — reload warns when that
-// happens (Save the merged view first to keep them).
-func reload(srv *server.Server, dataPath, snapshot string, compactAt int) {
+//
+// With -wal-dir, live updates applied over HTTP are in the WAL: the old
+// log is closed (briefly failing concurrent updates rather than losing
+// them) and the reload replays it on top of the fresh base. Without
+// -wal-dir the updates exist nowhere but memory and are discarded —
+// reload warns when that happens (Save the merged view first to keep
+// them).
+func reload(srv *server.Server, src source, compactAt int) {
 	start := time.Now()
-	if g := srv.DB().Generation(); g.Updates > 0 {
+	old := srv.DB()
+	if src.walDir != "" {
+		// Stop the old generation from appending so the reload owns the
+		// log. From here until the swap, updates shed with 503 (retryable);
+		// reads are unaffected.
+		if err := old.Close(); err != nil {
+			log.Printf("reload: closing WAL: %v", err)
+		}
+	} else if g := old.Generation(); g.Updates > 0 {
 		log.Printf("reload: discarding %d live update batch(es) (delta %d adds / %d tombstones) not present in the source",
 			g.Updates, g.DeltaAdds, g.DeltaTombstones)
 	}
-	db, err := load(dataPath, snapshot)
+	db, err := src.open()
 	if err != nil {
-		log.Printf("reload failed, keeping current database: %v", err)
+		if src.walDir != "" {
+			log.Printf("reload failed, keeping current database WITH ITS WAL CLOSED (updates will fail until a successful reload): %v", err)
+		} else {
+			log.Printf("reload failed, keeping current database: %v", err)
+		}
 		return
 	}
 	if compactAt != 0 {

@@ -1,0 +1,195 @@
+package amber
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func durableInsert(t *testing.T, db *DB, i int) {
+	t.Helper()
+	u := fmt.Sprintf("INSERT DATA { <http://x/s%d> <http://x/p> <http://x/o%d> . }", i, i)
+	if err := db.Update(u); err != nil {
+		t.Fatalf("update %d: %v", i, err)
+	}
+}
+
+func countAll(t *testing.T, db *DB) int {
+	t.Helper()
+	n, err := db.Count("SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(n)
+}
+
+// TestOpenDurableSurvivesCrash is the acceptance scenario: with
+// fsync=always, every acknowledged update must survive a restart with no
+// Save and no checkpoint — recovery comes from WAL replay alone. Close
+// only releases the directory lock (the WAL holds an flock, so an
+// abandoned in-process handle would block the reopen); the true
+// SIGKILL-without-Close variant lives in internal/integration.
+func TestOpenDurableSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(dir, nil) // nil options = fsync=always
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		durableInsert(t, db, i)
+	}
+	if got := countAll(t, db); got != n {
+		t.Fatalf("pre-crash count %d, want %d", got, n)
+	}
+	// "Crash": nothing saved, nothing checkpointed; only the lock drops.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDurable(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Durability().Replayed != n {
+		t.Fatalf("replayed %d records, want %d", re.Durability().Replayed, n)
+	}
+	if got := countAll(t, re); got != n {
+		t.Fatalf("post-recovery count %d, want %d", got, n)
+	}
+	// Post-recovery state equals a from-scratch rebuild of the sequence.
+	ref, err := OpenString("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		durableInsert(t, ref, i)
+	}
+	if got, want := re.Stats(), ref.Stats(); got.Triples != want.Triples ||
+		got.Vertices != want.Vertices || got.Edges != want.Edges {
+		t.Fatalf("recovered stats %+v != rebuild stats %+v", got, want)
+	}
+}
+
+func TestDurableCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(dir, &DurabilityOptions{Fsync: "always", SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		durableInsert(t, db, i)
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(segs) < 2 {
+		t.Fatalf("want multiple segments before checkpoint, got %v", segs)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Segments prior to the checkpoint are gone; only a fresh active one
+	// remains.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("checkpoint left segments %v", segs)
+	}
+	st := db.Durability()
+	if st.Checkpoints != 1 || st.WALBytes != 0 || st.CheckpointSeq != st.LastSeq {
+		t.Fatalf("durability after checkpoint: %+v", st)
+	}
+	durableInsert(t, db, 100)
+	want := countAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> . }"); err == nil {
+		t.Fatal("update succeeded after Close")
+	}
+
+	// Reopen: loads the checkpoint snapshot, replays only the one record
+	// logged after it.
+	re, err := OpenDurable(dir, &DurabilityOptions{Fsync: "always", SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Durability().Replayed != 1 {
+		t.Fatalf("replayed %d records, want 1", re.Durability().Replayed)
+	}
+	if got := countAll(t, re); got != want {
+		t.Fatalf("post-checkpoint recovery count %d, want %d", got, want)
+	}
+}
+
+func TestOpenDurableBootstrapSource(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(t.TempDir(), "seed.nt")
+	if err := os.WriteFile(src, []byte("<http://x/s0> <http://x/p> <http://x/o0> .\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDurable(dir, &DurabilityOptions{SourcePath: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAll(t, db); got != 1 {
+		t.Fatalf("bootstrap count %d, want 1", got)
+	}
+	durableInsert(t, db, 1)
+	db.Close()
+
+	// Without a checkpoint the source stays the base: reopen re-reads it
+	// and replays the logged update on top.
+	re, err := OpenDurable(dir, &DurabilityOptions{SourcePath: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAll(t, re); got != 2 {
+		t.Fatalf("reopen count %d, want 2", got)
+	}
+	// After a checkpoint the snapshot supersedes the source.
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := OpenDurable(dir, &DurabilityOptions{SourcePath: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := countAll(t, re2); got != 2 {
+		t.Fatalf("post-checkpoint reopen count %d, want 2", got)
+	}
+	if re2.Durability().Replayed != 0 {
+		t.Fatalf("replayed %d, want 0 after checkpoint", re2.Durability().Replayed)
+	}
+}
+
+func TestNonDurableNoOps(t *testing.T) {
+	db, err := OpenString("<http://x/s> <http://x/p> <http://x/o> .")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Durability().Enabled {
+		t.Fatal("in-memory DB reports durability enabled")
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close without a WAL keeps the DB writable.
+	if err := db.Update("INSERT DATA { <http://x/a> <http://x/p> <http://x/b> . }"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on in-memory DB succeeded")
+	}
+}
+
+func TestOpenDurableBadFsync(t *testing.T) {
+	if _, err := OpenDurable(t.TempDir(), &DurabilityOptions{Fsync: "sometimes"}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}

@@ -17,6 +17,7 @@ package core
 
 import (
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/delta"
@@ -71,8 +72,16 @@ func (sn *Snapshot) Resolver() dict.Resolver { return sn.Delta }
 // Store is an AMbER database instance: a handle over the current
 // Snapshot. Reads are lock-free; mutations serialize internally. All
 // methods are safe for concurrent use.
+//
+// A store is in-memory by default; AttachWAL adds write-ahead
+// durability: every mutation is logged (and fsynced, per policy) before
+// it is published, and reopening the log replays acknowledged writes
+// that a crash would otherwise lose.
 type Store struct {
 	live liveState // snapshot pointer, writer lock, compaction machinery
+
+	// dur is the write-ahead log attachment; nil for in-memory stores.
+	dur atomic.Pointer[durable]
 }
 
 // NewStore builds the store from a triple slice (offline stage).

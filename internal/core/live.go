@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/multigraph"
 	"repro/internal/rdf"
+	"repro/internal/wal"
 )
 
 // DefaultCompactThreshold is the overlay size (added triples plus
@@ -107,6 +109,17 @@ func (s *Store) Mutate(adds, dels []rdf.Triple) error {
 		l.mu.Unlock()
 		return err
 	}
+	// Write-ahead discipline: the batch reaches the log (and, under
+	// fsync=always, stable storage) before the new snapshot is published
+	// or the caller is acknowledged. On log failure nothing changes.
+	if d := s.dur.Load(); d != nil {
+		if _, werr := d.log.Append(wal.Record{
+			Kind: wal.KindMutation, Epoch: cur.Epoch + 1, Adds: adds, Dels: dels,
+		}); werr != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("%w: %w", ErrDurability, werr)
+		}
+	}
 	if l.compacting {
 		// The replay log only exists to let an in-flight rebuild catch
 		// up; when no compaction is running, the snapshot itself is the
@@ -131,7 +144,9 @@ func (s *Store) Mutate(adds, dels []rdf.Triple) error {
 	if done != nil {
 		go func() {
 			defer close(done)
-			s.runCompaction() //nolint:errcheck // unreachable for validated batches
+			if s.runCompaction() == nil { // error unreachable for validated batches
+				s.maybeAutoCheckpoint()
+			}
 		}()
 	}
 	return nil
@@ -140,13 +155,20 @@ func (s *Store) Mutate(adds, dels []rdf.Triple) error {
 // Clear atomically replaces the store's contents with an empty
 // generation (SPARQL `CLEAR DEFAULT` / `CLEAR ALL`). An in-flight
 // compaction detects the generation change and discards its result.
-func (s *Store) Clear() {
+// On a durable store the clear is logged first; a log failure leaves
+// the contents untouched.
+func (s *Store) Clear() error {
 	g := (&multigraph.Builder{}).Build()
 	ix := index.Build(g)
 	l := &s.live
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur := l.snap.Load()
+	if d := s.dur.Load(); d != nil {
+		if _, err := d.log.Append(wal.Record{Kind: wal.KindClear, Epoch: cur.Epoch + 1}); err != nil {
+			return fmt.Errorf("%w: %w", ErrDurability, err)
+		}
+	}
 	l.snap.Store(&Snapshot{
 		Graph: g, Index: ix, Delta: delta.NewView(g, ix),
 		Epoch: cur.Epoch + 1, Gen: cur.Gen + 1,
@@ -157,6 +179,7 @@ func (s *Store) Clear() {
 	})
 	l.log = nil
 	l.updates.Add(1)
+	return nil
 }
 
 // Compact synchronously rebuilds base+delta into a fresh generation and
@@ -183,7 +206,11 @@ func (s *Store) Compact() error {
 	l.compactDone = done
 	l.mu.Unlock()
 	defer close(done)
-	return s.runCompaction()
+	err := s.runCompaction()
+	if err == nil {
+		s.maybeAutoCheckpoint()
+	}
+	return err
 }
 
 // WaitCompaction blocks until the compaction that is in flight when it

@@ -22,7 +22,7 @@ func (s *Store) ApplyUpdate(u *sparql.Update) error {
 		case sparql.UpDeleteData:
 			err = s.Mutate(nil, op.Triples)
 		case sparql.UpClear:
-			s.Clear()
+			err = s.Clear()
 		case sparql.UpLoad:
 			err = s.load(op.Source)
 		default:

@@ -24,6 +24,7 @@ package delta
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dict"
 	"repro/internal/index"
@@ -85,6 +86,12 @@ type View struct {
 	adds, dels int // overlay entries: added triples, tombstones
 	numTriples int // merged triple count (base ± overlay)
 	newPairs   int // pairs with adds where the base had no edge
+
+	// card caches the blended planner statistics (base counts corrected
+	// by overlay adds/tombstones), computed lazily on first use because
+	// most views are never planned against.
+	cardOnce sync.Once
+	card     *index.Cardinalities
 }
 
 // NewView returns the empty overlay over a frozen generation.
@@ -334,10 +341,79 @@ func (v *View) HasAttrs(vid dict.VertexID, want []dict.AttrID) bool {
 	return true
 }
 
-// Cardinalities exposes the base generation's planner statistics. The
-// overlay deliberately does not restate them — estimates only steer the
-// matching order, and compaction refreshes them wholesale.
-func (v *View) Cardinalities() *index.Cardinalities { return v.ix.Card }
+// Cardinalities returns planner statistics for the merged view: the base
+// generation's per-edge-type counts blended with the overlay's additions
+// and tombstones, so the cost planner doesn't order matching off stale
+// counts when the overlay is large (e.g. an edge type that exists only
+// in the overlay would otherwise estimate to zero and look spuriously
+// selective). The blend is computed lazily, once per view, and cached —
+// most views are never planned against. It is an estimate: deletions do
+// not decrement the per-vertex counts (a tombstone may or may not remove
+// a vertex's last edge of a type), which only ever errs toward the base
+// generation's answer. Compaction still refreshes the statistics
+// wholesale.
+func (v *View) Cardinalities() *index.Cardinalities {
+	base := v.ix.Card
+	if base == nil || v.Empty() {
+		return base
+	}
+	v.cardOnce.Do(func() { v.card = v.blendCardinalities(base) })
+	return v.card
+}
+
+// blendCardinalities clones the base statistics (extended over
+// overlay-new edge types) and folds in the overlay's edge deltas.
+func (v *View) blendCardinalities(base *index.Cardinalities) *index.Cardinalities {
+	nT := v.NumEdgeTypes()
+	c := &index.Cardinalities{
+		OutVertices: make([]int, nT),
+		InVertices:  make([]int, nT),
+		Edges:       make([]int, nT),
+		NumVertices: v.NumVertices(),
+	}
+	copy(c.OutVertices, base.OutVertices)
+	copy(c.InVertices, base.InVertices)
+	copy(c.Edges, base.Edges)
+
+	type vertType struct {
+		v dict.VertexID
+		t dict.EdgeType
+	}
+	outGain := make(map[vertType]bool)
+	inGain := make(map[vertType]bool)
+	for k, pd := range v.pairs {
+		for _, t := range pd.add {
+			c.Edges[t]++
+			outGain[vertType{k.from, t}] = true
+			inGain[vertType{k.to, t}] = true
+		}
+		for _, t := range pd.del {
+			// Tombstones only ever carry base types on base pairs, so the
+			// decrement cannot underflow a correct base count; clamp anyway
+			// for safety.
+			if c.Edges[t] > 0 {
+				c.Edges[t]--
+			}
+		}
+	}
+	// A vertex counts once per (type, side); overlay gains that the base
+	// generation already counted (the vertex had a base edge of that type
+	// on that side) must not count again. The probe is one trie lookup
+	// per distinct gained (vertex, type) — bounded by the overlay size,
+	// which compaction keeps small.
+	countGains := func(gain map[vertType]bool, dir index.Direction, counts []int) {
+		for key := range gain {
+			if int(key.v) < v.baseNV && int(key.t) < v.baseNT &&
+				len(v.ix.N.Neighbors(key.v, dir, []dict.EdgeType{key.t})) > 0 {
+				continue
+			}
+			counts[key.t]++
+		}
+	}
+	countGains(outGain, index.Outgoing, c.OutVertices)
+	countGains(inGain, index.Incoming, c.InVertices)
+	return c
+}
 
 // ---- enumeration -------------------------------------------------------
 

@@ -349,3 +349,83 @@ func TestViewMatchesRebuild(t *testing.T) {
 		}
 	}
 }
+
+// TestCardinalitiesBlendOverlay: planner statistics over a view must
+// reflect overlay additions (including edge types and vertices the base
+// has never seen) and tombstones, without mutating the base statistics.
+func TestCardinalitiesBlendOverlay(t *testing.T) {
+	g, ix := buildBase(t, baseData)
+	v := NewView(g, ix)
+	if v.Cardinalities() != ix.Card {
+		t.Fatal("empty view must expose the base statistics unchanged")
+	}
+	baseKnows, _ := v.LookupEdgeType("http://p/knows")
+	baseEdges := ix.Card.Edges[baseKnows]
+	baseOut := ix.Card.OutVertices[baseKnows]
+	baseNumV := ix.Card.NumVertices
+
+	// Add: a fan of 3 edges with a brand-new type from a brand-new hub,
+	// plus one more `knows` edge out of a (a already has outgoing knows).
+	// Delete: b's only outgoing knows edge (b→c).
+	v2, err := v.Apply(
+		[]rdf.Triple{
+			tr("http://x/hub", "http://p/follows", "http://x/a"),
+			tr("http://x/hub", "http://p/follows", "http://x/b"),
+			tr("http://x/hub", "http://p/follows", "http://x/c"),
+			tr("http://x/a", "http://p/knows", "http://x/hub"),
+		},
+		[]rdf.Triple{tr("http://x/b", "http://p/knows", "http://x/c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := v2.Cardinalities()
+	if card == nil {
+		t.Fatal("nil blended cardinalities")
+	}
+	if card == ix.Card {
+		t.Fatal("overlay view returned the base statistics object")
+	}
+	follows, ok := v2.LookupEdgeType("http://p/follows")
+	if !ok {
+		t.Fatal("overlay edge type not resolvable")
+	}
+	if got := card.Edges[follows]; got != 3 {
+		t.Errorf("Edges[follows] = %d, want 3", got)
+	}
+	if got := card.VerticesWith(index.Outgoing, follows); got != 1 {
+		t.Errorf("OutVertices[follows] = %d, want 1 (the hub)", got)
+	}
+	if got := card.VerticesWith(index.Incoming, follows); got != 3 {
+		t.Errorf("InVertices[follows] = %d, want 3", got)
+	}
+	// knows: +1 edge (a→hub), −1 edge (b→c tombstone). a already had
+	// outgoing knows, so OutVertices must not double-count it.
+	if got, want := card.Edges[baseKnows], baseEdges; got != want {
+		t.Errorf("Edges[knows] = %d, want %d", got, want)
+	}
+	if got, want := card.OutVertices[baseKnows], baseOut; got != want {
+		t.Errorf("OutVertices[knows] = %d, want %d", got, want)
+	}
+	// hub gained incoming knows (a→hub): one more incoming-knows vertex.
+	if got, want := card.VerticesWith(index.Incoming, baseKnows), ix.Card.InVertices[baseKnows]+1; got != want {
+		t.Errorf("InVertices[knows] = %d, want %d", got, want)
+	}
+	if got, want := card.NumVertices, baseNumV+1; got != want {
+		t.Errorf("NumVertices = %d, want %d", got, want)
+	}
+	// The base statistics stayed untouched, and the blend is cached.
+	if ix.Card.Edges[baseKnows] != baseEdges || ix.Card.NumVertices != baseNumV {
+		t.Error("base Cardinalities mutated by the blend")
+	}
+	if int(follows) < len(ix.Card.Edges) {
+		t.Error("base Cardinalities grew an overlay edge type")
+	}
+	if v2.Cardinalities() != card {
+		t.Error("blend not cached across calls")
+	}
+	// Fanout over the blend is usable by the planner: 3 follows edges
+	// from one source vertex.
+	if got := card.Fanout(index.Outgoing, follows); got != 3 {
+		t.Errorf("Fanout(out, follows) = %v, want 3", got)
+	}
+}

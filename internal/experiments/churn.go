@@ -3,12 +3,14 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/rdf"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -35,6 +37,14 @@ type ChurnResult struct {
 	// LastCompaction is the duration of the final one.
 	Compactions    uint64
 	LastCompaction time.Duration
+	// Fsync is the WAL policy the run used ("" = no WAL); Fsyncs and
+	// WALBytes are the log's counters over the measured workload.
+	// DurabilityErr reports a WAL setup failure (the run then proceeds
+	// without durability).
+	Fsync         string
+	Fsyncs        uint64
+	WALBytes      int64
+	DurabilityErr string
 }
 
 // RunChurn interleaves workload queries with INSERT/DELETE batches at
@@ -72,6 +82,26 @@ func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
 	defer d.Amber.SetCompactThreshold(core.DefaultCompactThreshold)
 
 	res := ChurnResult{WriteRatio: cfg.WriteRatio}
+
+	// Durable mode: log every write batch to a throwaway WAL under the
+	// requested fsync policy, so WriteAvg includes the durability cost.
+	if cfg.Fsync != "" {
+		policy, interval, err := wal.ParseSyncPolicy(cfg.Fsync)
+		if err == nil {
+			var walDir string
+			walDir, err = os.MkdirTemp("", "amber-churn-wal-")
+			if err == nil {
+				defer os.RemoveAll(walDir) //nolint:errcheck
+				_, err = d.Amber.AttachWAL(walDir, core.WALOptions{Policy: policy, Interval: interval})
+			}
+		}
+		if err != nil {
+			res.DurabilityErr = err.Error()
+		} else {
+			res.Fsync = cfg.Fsync
+			defer d.Amber.DetachWAL() //nolint:errcheck
+		}
+	}
 	var (
 		readLats  []time.Duration
 		writeTime time.Duration
@@ -113,13 +143,18 @@ func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
 			readLats = append(readLats, dur)
 		}
 	}
-	// Quiesce and capture the run's compaction counters BEFORE the
-	// restore below, which forces its own compaction and must not be
-	// attributed to the measured workload.
+	// Quiesce and capture the run's compaction and durability counters
+	// BEFORE the restore below, which forces its own compaction (and logs
+	// its own writes) that must not be attributed to the measured workload.
 	d.Amber.WaitCompaction()
 	genAfter := d.Amber.GenerationInfo()
 	res.Compactions = genAfter.Compactions - genBefore.Compactions
 	res.LastCompaction = genAfter.LastCompaction
+	if res.Fsync != "" {
+		di := d.Amber.DurabilityInfo()
+		res.Fsyncs = di.Fsyncs
+		res.WALBytes = di.WALBytes
+	}
 
 	// Restore: remove everything still inserted, fold into a fresh base.
 	for _, ts := range pending {
@@ -156,5 +191,12 @@ func FormatChurn(r ChurnResult) string {
 	fmt.Fprintf(&b, "writes: %d  avg=%s\n", r.Writes, r.WriteAvg.Round(time.Microsecond))
 	fmt.Fprintf(&b, "compactions during run: %d (last took %s)\n",
 		r.Compactions, r.LastCompaction.Round(time.Microsecond))
+	switch {
+	case r.DurabilityErr != "":
+		fmt.Fprintf(&b, "durability: DISABLED (WAL setup failed: %s)\n", r.DurabilityErr)
+	case r.Fsync != "":
+		fmt.Fprintf(&b, "durability: fsync=%s  fsyncs=%d  wal_bytes=%d\n",
+			r.Fsync, r.Fsyncs, r.WALBytes)
+	}
 	return b.String()
 }

@@ -52,6 +52,12 @@ type Config struct {
 	// write batch (0 = 64). Only RunChurn consumes them.
 	WriteRatio float64
 	WriteBatch int
+	// Fsync, when non-empty, attaches a write-ahead log (in a temporary
+	// directory) to the churn run's store with the given policy —
+	// "always", "never" or "interval=<duration>" — so the write-latency
+	// cost of each durability policy is measurable. Only RunChurn
+	// consumes it.
+	Fsync string
 }
 
 // DefaultConfig returns the laptop-scale defaults.

@@ -1,0 +1,144 @@
+package integration
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	amber "repro"
+)
+
+// The kill-and-recover test re-executes this test binary as a child
+// process (the stdlib's helper-process pattern): the child opens a
+// durable database with fsync=always, applies updates one at a time, and
+// prints "ACK <n>" after each acknowledged batch. The parent SIGKILLs it
+// mid-stream — a real crash, no deferred cleanup, no atexit flushing —
+// then reopens the directory in-process and verifies every acknowledged
+// update survived.
+
+const (
+	killEnvDir   = "AMBER_KILL_HELPER_DIR"
+	killTotal    = 50
+	killAckAfter = 10 // parent kills once it has read this many acks
+)
+
+func killSubject(i int) string { return fmt.Sprintf("http://kill/s%d", i) }
+
+// TestKillRecoverHelper is the child body; it only runs when re-executed
+// by TestKillRecover with the environment variable set.
+func TestKillRecoverHelper(t *testing.T) {
+	dir := os.Getenv(killEnvDir)
+	if dir == "" {
+		t.Skip("helper process body; run via TestKillRecover")
+	}
+	db, err := amber.OpenDurable(dir, &amber.DurabilityOptions{Fsync: "always"})
+	if err != nil {
+		fmt.Printf("ERR %v\n", err)
+		return
+	}
+	for i := 0; i < killTotal; i++ {
+		u := fmt.Sprintf("INSERT DATA { <%s> <http://kill/p> <http://kill/o%d> . }", killSubject(i), i)
+		if err := db.Update(u); err != nil {
+			fmt.Printf("ERR %v\n", err)
+			return
+		}
+		// The update returned: it is fsynced and recoverable by contract.
+		fmt.Printf("ACK %d\n", i+1)
+	}
+	// Stay alive so the parent always kills a running process, never
+	// reaps a clean exit.
+	time.Sleep(time.Minute)
+}
+
+func TestKillRecover(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics are POSIX-only")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(exe, "-test.run", "^TestKillRecoverHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), killEnvDir+"="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+	}()
+
+	// Read acknowledgements until enough writes are durable, then SIGKILL
+	// the child mid-flight.
+	acked := 0
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "ERR ") {
+			t.Fatalf("helper failed: %s", line)
+		}
+		if n, ok := strings.CutPrefix(line, "ACK "); ok {
+			v, err := strconv.Atoi(n)
+			if err != nil {
+				t.Fatalf("bad ack line %q", line)
+			}
+			acked = v
+			if acked >= killAckAfter {
+				break
+			}
+		}
+	}
+	if acked < killAckAfter {
+		t.Fatalf("child exited after only %d acks", acked)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck // the kill is the expected exit
+
+	// Recover: every acknowledged update must be present; the total state
+	// must be a valid prefix of the send sequence (the child may have
+	// gotten further than the last ack we read before the kill landed).
+	db, err := amber.OpenDurable(dir, &amber.DurabilityOptions{Fsync: "always"})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer db.Close()
+	n, err := db.Count("SELECT ?s ?o WHERE { ?s <http://kill/p> ?o . }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) < acked || int(n) > killTotal {
+		t.Fatalf("recovered %d triples, want a prefix in [%d, %d]", n, acked, killTotal)
+	}
+	if rep := db.Durability().Replayed; rep != int(n) {
+		t.Fatalf("replayed %d records but counted %d triples", rep, n)
+	}
+	// The prefix property: exactly the first n subjects exist.
+	for i := 0; i < int(n); i++ {
+		q := fmt.Sprintf("SELECT ?o WHERE { <%s> <http://kill/p> ?o . }", killSubject(i))
+		c, err := db.Count(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != 1 {
+			t.Fatalf("acknowledged subject %d missing after recovery", i)
+		}
+	}
+	if c, _ := db.Count(fmt.Sprintf("SELECT ?o WHERE { <%s> <http://kill/p> ?o . }", killSubject(int(n))), nil); c != 0 {
+		t.Fatalf("recovered state is not a prefix: subject %d present beyond count %d", n, n)
+	}
+}

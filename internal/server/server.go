@@ -34,6 +34,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
@@ -558,6 +559,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, st *dbStat
 	start := time.Now()
 	if err := st.db.UpdateOpts(update, &amber.UpdateOptions{AllowLoad: s.cfg.AllowLoad}); err != nil {
 		s.met.updateErrors.Add(1)
+		if errors.Is(err, amber.ErrDurability) {
+			// The request was fine; the write-ahead log failed (disk full,
+			// fsync error, or closed mid-reload). 503 tells the client to
+			// retry instead of dropping the write as malformed.
+			writeError(w, http.StatusServiceUnavailable, "update not durable: "+err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid update: "+err.Error())
 		return
 	}
@@ -651,7 +659,37 @@ type StatsResponse struct {
 	// Live describes the served database's update/compaction state.
 	Live GenerationSection `json:"generation"`
 
+	// Durability describes the write-ahead log state (enabled=false and
+	// zeroes when the server runs without -wal-dir).
+	Durability DurabilitySection `json:"durability"`
+
 	DB amber.Stats `json:"db"`
+}
+
+// DurabilitySection is the /stats "durability" document: the served
+// database's write-ahead log state.
+type DurabilitySection struct {
+	Enabled bool   `json:"enabled"`
+	Policy  string `json:"policy,omitempty"`
+	// WALBytes and Segments size the live log.
+	WALBytes int64 `json:"wal_bytes"`
+	Segments int   `json:"segments"`
+	// LastSeq is the newest logged record; CheckpointSeq the sequence
+	// through which the log has been truncated.
+	LastSeq       uint64 `json:"last_seq"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Appends and Fsyncs count log operations since the database opened;
+	// Replayed is how many records were replayed at open.
+	Appends  uint64 `json:"appends"`
+	Fsyncs   uint64 `json:"fsyncs"`
+	Replayed int    `json:"replayed"`
+	// Checkpoints counts checkpoints; LastCheckpoint is the RFC 3339
+	// time of the most recent one (empty if none ran).
+	Checkpoints    uint64 `json:"checkpoints"`
+	LastCheckpoint string `json:"last_checkpoint,omitempty"`
+	// LastCheckpointError is the most recent automatic checkpoint
+	// failure, empty when none (or once one succeeds again).
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
 }
 
 // GenerationSection is the /stats "generation" document: the live-update
@@ -707,6 +745,7 @@ func (s *Server) Stats() StatsResponse {
 		PlanCacheEntries:   st.plans.Len(),
 		P50Millis:          float64(pcts[0]) / float64(time.Millisecond),
 		P99Millis:          float64(pcts[1]) / float64(time.Millisecond),
+		Durability:         durabilitySection(st.db),
 		Live: GenerationSection{
 			Epoch:                gen.Epoch,
 			Generation:           gen.Generation,
@@ -720,6 +759,28 @@ func (s *Server) Stats() StatsResponse {
 		},
 		DB: st.db.Stats(),
 	}
+}
+
+// durabilitySection renders the served database's WAL state.
+func durabilitySection(db *amber.DB) DurabilitySection {
+	d := db.Durability()
+	sec := DurabilitySection{
+		Enabled:             d.Enabled,
+		Policy:              d.Policy,
+		WALBytes:            d.WALBytes,
+		Segments:            d.Segments,
+		LastSeq:             d.LastSeq,
+		CheckpointSeq:       d.CheckpointSeq,
+		Appends:             d.Appends,
+		Fsyncs:              d.Fsyncs,
+		Replayed:            d.Replayed,
+		Checkpoints:         d.Checkpoints,
+		LastCheckpointError: d.LastCheckpointError,
+	}
+	if !d.LastCheckpoint.IsZero() {
+		sec.LastCheckpoint = d.LastCheckpoint.Format(time.RFC3339)
+	}
+	return sec
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable: the single-writer
+// guarantee then rests on the operator, as it did before locking existed.
+func lockFile(f *os.File) error { return nil }

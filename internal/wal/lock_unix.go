@@ -1,0 +1,17 @@
+//go:build unix
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on f. The lock
+// is tied to the open file description: it fails while any other open of
+// the file (same or another process) holds it, and the kernel releases it
+// when the holder's descriptor closes — including on SIGKILL, so a
+// crashed process never wedges the directory.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

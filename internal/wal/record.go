@@ -1,0 +1,217 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/rdf"
+)
+
+// Kind discriminates the logged operations.
+type Kind uint8
+
+const (
+	// KindMutation is one applied write batch: dels removed, adds inserted.
+	KindMutation Kind = 1
+	// KindClear wipes the store to an empty generation (SPARQL CLEAR).
+	KindClear Kind = 2
+)
+
+// String reports the kind name, for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindMutation:
+		return "mutation"
+	case KindClear:
+		return "clear"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one logged operation. Seq is the log sequence number: assigned
+// by Append, monotonically increasing across restarts, never reused. Epoch
+// is the store's data version after the operation applied — informational,
+// for diagnostics and tests; replay ordering relies on Seq alone.
+type Record struct {
+	Seq   uint64
+	Epoch uint64
+	Kind  Kind
+	// Adds and Dels are the batch for KindMutation; both empty for
+	// KindClear.
+	Adds, Dels []rdf.Triple
+}
+
+// crcTable is the Castagnoli polynomial, the standard choice for storage
+// checksums (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the fixed per-record framing overhead: a 4-byte
+// little-endian payload length followed by a 4-byte CRC32-C of the payload.
+const frameHeaderSize = 8
+
+// maxPayload bounds a single record's encoded payload. Anything larger in
+// a frame header is treated as corruption, so a torn length field cannot
+// make replay attempt a gigantic allocation.
+const maxPayload = 1 << 30
+
+// appendTerm encodes a term value as uvarint length + bytes.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendTriple encodes S (IRI value), P (IRI value), then O as a kind byte
+// plus value. Subjects and predicates are IRIs by construction (mutations
+// are validated before logging), so only the object carries a kind.
+func appendTriple(buf []byte, t rdf.Triple) []byte {
+	buf = appendString(buf, t.S.Value)
+	buf = appendString(buf, t.P.Value)
+	buf = append(buf, byte(t.O.Kind))
+	return appendString(buf, t.O.Value)
+}
+
+// encodePayload renders the record payload (everything inside the frame):
+// kind, seq, epoch, then the two triple lists.
+func encodePayload(buf []byte, r *Record) []byte {
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, r.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Adds)))
+	for _, t := range r.Adds {
+		buf = appendTriple(buf, t)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Dels)))
+	for _, t := range r.Dels {
+		buf = appendTriple(buf, t)
+	}
+	return buf
+}
+
+// encodeFrame renders the full frame: length, CRC32-C, payload.
+func encodeFrame(buf []byte, r *Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = encodePayload(buf, r)
+	payload := buf[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// byteReader walks an in-memory payload.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wal: %s at payload offset %d", msg, r.off)
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated byte")
+		return 0
+	}
+	c := r.b[r.off]
+	r.off++
+	return c
+}
+
+func (r *byteReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("string length past payload end")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *byteReader) triple() rdf.Triple {
+	s := r.str()
+	p := r.str()
+	kind := rdf.TermKind(r.byte())
+	o := r.str()
+	if r.err != nil {
+		return rdf.Triple{}
+	}
+	if kind != rdf.IRI && kind != rdf.Literal {
+		r.fail("bad object term kind")
+		return rdf.Triple{}
+	}
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.Term{Kind: kind, Value: o}}
+}
+
+// decodePayload parses one record payload. It returns an error on any
+// malformed content; the caller treats that as the end of the valid prefix.
+func decodePayload(payload []byte) (Record, error) {
+	r := byteReader{b: payload}
+	rec := Record{Kind: Kind(r.byte())}
+	if rec.Kind != KindMutation && rec.Kind != KindClear {
+		return rec, fmt.Errorf("wal: unknown record kind %d", rec.Kind)
+	}
+	rec.Seq = r.uvarint()
+	rec.Epoch = r.uvarint()
+	nAdds := r.uvarint()
+	if r.err != nil {
+		return rec, r.err
+	}
+	if nAdds > uint64(len(payload)) {
+		return rec, fmt.Errorf("wal: add count %d exceeds payload", nAdds)
+	}
+	if nAdds > 0 {
+		rec.Adds = make([]rdf.Triple, 0, nAdds)
+	}
+	for i := uint64(0); i < nAdds; i++ {
+		rec.Adds = append(rec.Adds, r.triple())
+		if r.err != nil {
+			return rec, r.err
+		}
+	}
+	nDels := r.uvarint()
+	if r.err != nil {
+		return rec, r.err
+	}
+	if nDels > uint64(len(payload)) {
+		return rec, fmt.Errorf("wal: del count %d exceeds payload", nDels)
+	}
+	if nDels > 0 {
+		rec.Dels = make([]rdf.Triple, 0, nDels)
+	}
+	for i := uint64(0); i < nDels; i++ {
+		rec.Dels = append(rec.Dels, r.triple())
+		if r.err != nil {
+			return rec, r.err
+		}
+	}
+	if r.off != len(payload) {
+		return rec, fmt.Errorf("wal: %d trailing payload bytes", len(payload)-r.off)
+	}
+	return rec, nil
+}

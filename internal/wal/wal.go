@@ -1,0 +1,689 @@
+// Package wal implements the write-ahead log behind AMbER's crash-safe
+// live updates: an append-only, segmented log of update batches with
+// length+CRC32-C-framed records, a configurable fsync policy, replay on
+// open, and checkpoint-driven truncation.
+//
+// Layout: a log directory holds segment files named wal-<firstseq>.seg
+// (sixteen hex digits, so lexical order is sequence order) plus an
+// optional `checkpoint` file recording the sequence number up to which
+// the store's state is durable elsewhere (a checkpointed snapshot).
+// Records carry a log sequence number that increases monotonically across
+// restarts; replay applies, in order, exactly the records with a sequence
+// above the checkpoint.
+//
+// Torn writes: a crash can leave a partially written frame at the log
+// tail. Replay validates each frame's length and checksum and stops at
+// the first bad one — the surviving records are a prefix of the
+// acknowledged history, which is the strongest guarantee an append-only
+// log can give. Open truncates the torn tail (and discards any later
+// segments, which can only exist after mid-log corruption) so appending
+// resumes from a clean boundary.
+//
+// Durability policy: SyncAlways fsyncs before Append returns (no
+// acknowledged record is ever lost, at one fsync per batch); SyncEvery
+// fsyncs in the background at a fixed interval (a crash loses at most the
+// last interval); SyncNever leaves syncing to the OS page cache. Every
+// policy writes frames straight through to the file — there is no
+// user-space buffer — so even SyncNever survives a process kill; only an
+// OS crash can lose unsynced records.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs before every Append returns (the default).
+	SyncAlways SyncPolicy = iota
+	// SyncEvery fsyncs at a fixed interval in the background.
+	SyncEvery
+	// SyncNever never fsyncs explicitly; the OS flushes when it pleases.
+	SyncNever
+)
+
+// String renders the policy in the -fsync flag syntax.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncEvery:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag syntax: "always", "never", or
+// "interval=<duration>" (e.g. "interval=100ms"). The empty string means
+// SyncAlways.
+func ParseSyncPolicy(s string) (SyncPolicy, time.Duration, error) {
+	switch {
+	case s == "" || s == "always":
+		return SyncAlways, 0, nil
+	case s == "never":
+		return SyncNever, 0, nil
+	case strings.HasPrefix(s, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval="))
+		if err != nil || d <= 0 {
+			return 0, 0, fmt.Errorf("wal: bad fsync interval %q", s)
+		}
+		return SyncEvery, d, nil
+	default:
+		return 0, 0, fmt.Errorf("wal: unknown fsync policy %q (use always, never or interval=<duration>)", s)
+	}
+}
+
+// Options tune a log. The zero value selects the documented defaults.
+type Options struct {
+	// Policy is the fsync policy; default SyncAlways.
+	Policy SyncPolicy
+	// Interval is the background fsync period for SyncEvery; default 1s.
+	Interval time.Duration
+	// SegmentBytes rotates to a fresh segment once the active one exceeds
+	// this size; default 16 MiB.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return o
+}
+
+// Stats is a point-in-time description of the log, the quantities the
+// server's /stats durability section reports.
+type Stats struct {
+	// Dir is the log directory.
+	Dir string
+	// Policy renders the effective fsync policy ("always", "never",
+	// "interval=<d>").
+	Policy string
+	// Bytes is the total size of all segment files; Segments their count
+	// (including the active one).
+	Bytes    int64
+	Segments int
+	// LastSeq is the sequence number of the most recent record (0 when
+	// the log has never held one); CheckpointSeq the sequence up to which
+	// records have been truncated away.
+	LastSeq       uint64
+	CheckpointSeq uint64
+	// Appends and Fsyncs count operations since the log was opened.
+	Appends uint64
+	Fsyncs  uint64
+	// Replayed is the number of records replayed when the log was opened.
+	Replayed int
+	// Checkpoints counts Checkpoint calls since open; LastCheckpoint is
+	// the wall-clock time of the most recent one (zero if none ran).
+	Checkpoints    uint64
+	LastCheckpoint time.Time
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	path  string
+	first uint64 // sequence of its first record
+	last  uint64 // sequence of its last record (0 while empty)
+	bytes int64
+}
+
+const (
+	segPrefix      = "wal-"
+	segSuffix      = ".seg"
+	checkpointName = "checkpoint"
+	lockName       = "LOCK"
+)
+
+// maxRetainedBuf caps the scratch encoding buffer kept between appends;
+// a one-off giant batch must not pin its allocation for the log's life.
+const maxRetainedBuf = 1 << 20
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use; Append calls are serialized internally (callers typically hold
+// their own writer lock anyway).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	lockf    *os.File  // flock'd LOCK file guarding the directory
+	f        *os.File  // active segment
+	active   segment   // active segment metadata
+	sealed   []segment // earlier segments, in sequence order
+	lastSeq  uint64
+	cpSeq    uint64
+	dirty    bool // bytes written since the last fsync
+	closed   bool
+	appends  uint64
+	fsyncs   uint64
+	cpCount  uint64
+	cpTime   time.Time
+	replayed int
+	buf      []byte // scratch frame-encoding buffer
+
+	stop chan struct{} // interval syncer shutdown; nil unless SyncEvery
+	done chan struct{}
+}
+
+// Open opens (creating if necessary) the log in dir, replays every record
+// above the checkpoint through apply in sequence order, truncates any torn
+// tail, and leaves the log ready for appending. A nil apply skips replay
+// delivery but still scans (the scan is what finds the last sequence and
+// the torn tail). An apply error aborts the open.
+func Open(dir string, opts Options, apply func(Record) error) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// One writer per directory: two logs appending to the same segments
+	// would interleave frames and sequence numbers, and the next replay
+	// would silently truncate at the first inconsistency — acknowledged
+	// writes from both would vanish. The kernel drops the lock when the
+	// holder dies, so crashes never wedge the directory.
+	lockf, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := lockFile(lockf); err != nil {
+		lockf.Close()
+		return nil, fmt.Errorf("wal: directory %s is already in use by another log: %w", dir, err)
+	}
+	l, err := openLocked(dir, opts, apply)
+	if err != nil {
+		lockf.Close()
+		return nil, err
+	}
+	l.lockf = lockf
+	if opts.Policy == SyncEvery {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// openLocked is the body of Open, run while holding the directory lock.
+func openLocked(dir string, opts Options, apply func(Record) error) (*Log, error) {
+	l := &Log{dir: dir, opts: opts}
+	cpSeq, err := readCheckpoint(filepath.Join(dir, checkpointName))
+	if err != nil {
+		return nil, err
+	}
+	l.cpSeq = cpSeq
+	l.lastSeq = cpSeq
+
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Scan segments in order, replaying valid records. The first bad frame
+	// ends the valid prefix: its segment is truncated there and every
+	// later segment is dropped (they can only hold post-corruption data).
+	// prev enforces strictly increasing sequences across the whole log,
+	// not just within one segment — a stale or restored-from-backup
+	// segment must not replay duplicate or out-of-order records.
+	corrupted := false
+	var prev uint64
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if corrupted {
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		first, _ := parseSegName(name)
+		seg := segment{path: path, first: first}
+		validEnd, last, n, scanErr := l.scanSegment(path, &prev, apply)
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		seg.bytes = validEnd
+		seg.last = last
+		info, statErr := os.Stat(path)
+		if statErr != nil {
+			return nil, statErr
+		}
+		if info.Size() > validEnd {
+			// Torn or corrupt tail: cut it so appends resume cleanly.
+			if err := os.Truncate(path, validEnd); err != nil {
+				return nil, err
+			}
+			corrupted = true
+		}
+		l.replayed += n
+		l.sealed = append(l.sealed, seg)
+	}
+
+	// The newest scanned segment becomes the active one; with none (fresh
+	// log, or everything checkpointed away) a new segment starts at
+	// lastSeq+1.
+	if n := len(l.sealed); n > 0 {
+		l.active = l.sealed[n-1]
+		l.sealed = l.sealed[:n-1]
+		l.f, err = os.OpenFile(l.active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	} else {
+		err = l.newSegment(l.lastSeq + 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// scanSegment replays path's valid records, returning the byte offset of
+// the end of the last valid frame, the sequence of the last valid record
+// (0 if none), and how many records were delivered to apply. prev is the
+// cross-segment sequence cursor: records must continue strictly above it.
+func (l *Log) scanSegment(path string, prev *uint64, apply func(Record) error) (int64, uint64, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var off int64
+	var last uint64
+	applied := 0
+	for int64(len(data))-off >= frameHeaderSize {
+		n := int64(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxPayload || off+frameHeaderSize+n > int64(len(data)) {
+			break
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+n]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			break
+		}
+		if rec.Seq <= *prev {
+			break // sequences must strictly increase across the whole log
+		}
+		off += frameHeaderSize + n
+		last = rec.Seq
+		*prev = rec.Seq
+		if rec.Seq > l.lastSeq {
+			l.lastSeq = rec.Seq
+		}
+		if rec.Seq > l.cpSeq && apply != nil {
+			if aerr := apply(rec); aerr != nil {
+				return 0, 0, 0, fmt.Errorf("wal: replaying record %d: %w", rec.Seq, aerr)
+			}
+			applied++
+		}
+	}
+	return off, last, applied, nil
+}
+
+// listSegments returns segment file names in sequence order.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := parseSegName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // fixed-width hex: lexical order == numeric order
+	return names, nil
+}
+
+// newSegment creates and activates a fresh segment whose first record
+// will carry sequence first. Caller holds mu (or is Open, pre-publish).
+func (l *Log) newSegment(first uint64) error {
+	path := filepath.Join(l.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if l.f != nil {
+		l.sealed = append(l.sealed, l.active)
+	}
+	l.f = f
+	l.active = segment{path: path, first: first}
+	return nil
+}
+
+// Append assigns the next sequence number to rec, writes its frame, and
+// — under SyncAlways — fsyncs before returning. The record is part of the
+// durable history from the moment Append returns.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec.Seq = l.lastSeq + 1
+	l.buf = encodeFrame(l.buf[:0], &rec)
+	if cap(l.buf) > maxRetainedBuf {
+		// Give the oversized scratch buffer back after this append; one
+		// giant batch must not pin its allocation for the log's lifetime.
+		defer func() { l.buf = nil }()
+	}
+	if len(l.buf)-frameHeaderSize > maxPayload {
+		// Replay treats frames past maxPayload as corruption; writing one
+		// would acknowledge a batch that destroys itself (and everything
+		// after it) on recovery.
+		return 0, fmt.Errorf("wal: record payload %d bytes exceeds the %d limit", len(l.buf)-frameHeaderSize, maxPayload)
+	}
+	if l.active.bytes > 0 && l.active.bytes+int64(len(l.buf)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(rec.Seq); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		// The frame may be partially on disk; a torn frame is exactly what
+		// replay tolerates, but this process must not ack or write past it.
+		l.closeLocked()
+		return 0, err
+	}
+	l.active.bytes += int64(len(l.buf))
+	l.active.last = rec.Seq
+	l.lastSeq = rec.Seq
+	l.appends++
+	l.dirty = true
+	if l.opts.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			l.closeLocked()
+			return 0, err
+		}
+	}
+	return rec.Seq, nil
+}
+
+// rotateLocked seals the active segment (fsyncing it, so sealed segments
+// are always fully durable) and starts a new one at first.
+func (l *Log) rotateLocked(first uint64) error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	old := l.f
+	if err := l.newSegment(first); err != nil {
+		return err
+	}
+	return old.Close()
+}
+
+// syncLocked fsyncs the active segment if it has unsynced bytes.
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.fsyncs++
+	return nil
+}
+
+// Sync forces an fsync of the active segment, whatever the policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// syncLoop is the SyncEvery background syncer.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				l.syncLocked() //nolint:errcheck // next Append surfaces persistent failures
+			}
+			l.mu.Unlock()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Checkpoint records that the store's state through seq is durable outside
+// the log (a saved snapshot), then removes every segment holding only
+// records at or below seq. The active segment is rotated first so it can
+// be removed too once it qualifies. Replay after a checkpoint applies only
+// records above seq.
+func (l *Log) Checkpoint(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if seq > l.lastSeq {
+		return fmt.Errorf("wal: checkpoint seq %d beyond last appended %d", seq, l.lastSeq)
+	}
+	if seq < l.cpSeq {
+		return fmt.Errorf("wal: checkpoint seq %d behind existing checkpoint %d", seq, l.cpSeq)
+	}
+	// Make everything the checkpoint covers durable before declaring it
+	// superseded, then persist the checkpoint marker atomically.
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := writeCheckpoint(filepath.Join(l.dir, checkpointName), seq); err != nil {
+		return err
+	}
+	l.cpSeq = seq
+	// Rotate a non-empty active segment so fully-covered records don't pin
+	// the file open forever.
+	if l.active.bytes > 0 && l.active.last <= seq {
+		if err := l.rotateLocked(l.lastSeq + 1); err != nil {
+			return err
+		}
+	}
+	kept := l.sealed[:0]
+	for _, seg := range l.sealed {
+		if seg.last <= seq {
+			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.sealed = kept
+	l.cpCount++
+	l.cpTime = time.Now()
+	return nil
+}
+
+// LastSeq returns the sequence number of the most recent record.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	policy := l.opts.Policy.String()
+	if l.opts.Policy == SyncEvery {
+		policy = "interval=" + l.opts.Interval.String()
+	}
+	st := Stats{
+		Dir:            l.dir,
+		Policy:         policy,
+		LastSeq:        l.lastSeq,
+		CheckpointSeq:  l.cpSeq,
+		Appends:        l.appends,
+		Fsyncs:         l.fsyncs,
+		Replayed:       l.replayed,
+		Checkpoints:    l.cpCount,
+		LastCheckpoint: l.cpTime,
+	}
+	for _, seg := range l.sealed {
+		st.Bytes += seg.bytes
+	}
+	st.Bytes += l.active.bytes
+	st.Segments = len(l.sealed) + 1
+	return st
+}
+
+// closeLocked tears down the file handle and stops the background syncer
+// (l.stop is never reassigned, so closing it here is race-free with the
+// loop's select); caller holds mu. Idempotent via l.closed.
+func (l *Log) closeLocked() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	if l.lockf != nil {
+		// Closing the descriptor releases the flock, freeing the directory
+		// for a successor (e.g. a server reload).
+		l.lockf.Close()
+		l.lockf = nil
+	}
+	if l.stop != nil {
+		close(l.stop)
+	}
+}
+
+// Close fsyncs and closes the log, waiting for the background syncer (if
+// any) to exit — including when an earlier Append/Sync failure already
+// closed the files internally. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	var err error
+	if !l.closed {
+		err = l.syncLocked()
+		l.closeLocked()
+	}
+	done := l.done
+	l.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	return err
+}
+
+// ---- checkpoint file ----------------------------------------------------
+
+// The checkpoint file is one line "amber-wal v1 <seq> <crc32c-of-seq>\n",
+// written to a temp file and renamed into place so it is atomically either
+// the old or the new checkpoint. A corrupt file is an error — replaying
+// below a real checkpoint could resurrect pre-CLEAR state, so guessing is
+// worse than refusing.
+
+func writeCheckpoint(path string, seq uint64) error {
+	body := strconv.FormatUint(seq, 10)
+	line := fmt.Sprintf("amber-wal v1 %s %08x\n", body, crc32.Checksum([]byte(body), crcTable))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(f, line); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+func readCheckpoint(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) != 4 || fields[0] != "amber-wal" || fields[1] != "v1" {
+		return 0, fmt.Errorf("wal: malformed checkpoint file %s", path)
+	}
+	seq, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wal: malformed checkpoint seq in %s: %w", path, err)
+	}
+	crc, err := strconv.ParseUint(fields[3], 16, 32)
+	if err != nil || uint32(crc) != crc32.Checksum([]byte(fields[2]), crcTable) {
+		return 0, fmt.Errorf("wal: checkpoint file %s fails its checksum", path)
+	}
+	return seq, nil
+}
+
+// SyncDir fsyncs a directory so renames and removals inside it are
+// durable. Best-effort on platforms where directories cannot be synced.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}

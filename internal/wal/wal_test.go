@@ -1,0 +1,487 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+func mut(i int) Record {
+	return Record{
+		Kind:  KindMutation,
+		Epoch: uint64(i + 1),
+		Adds: []rdf.Triple{{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", i)),
+			P: rdf.NewIRI("http://x/p"),
+			O: rdf.NewIRI(fmt.Sprintf("http://x/o%d", i)),
+		}},
+		Dels: []rdf.Triple{{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/d%d", i)),
+			P: rdf.NewIRI("http://x/q"),
+			O: rdf.NewLiteral(fmt.Sprintf("lit \"quoted\" %d\n", i)),
+		}},
+	}
+}
+
+func openCollect(t *testing.T, dir string, opts Options) (*Log, []Record) {
+	t.Helper()
+	var got []Record
+	l, err := Open(dir, opts, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, got := openCollect(t, dir, Options{})
+	if len(got) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(got))
+	}
+	want := []Record{mut(0), mut(1), {Kind: KindClear, Epoch: 3}, mut(3)}
+	for i, r := range want {
+		seq, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d: seq %d, want %d", i, seq, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, got := openCollect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d", i, r.Seq)
+		}
+		w := want[i]
+		w.Seq = uint64(i + 1)
+		if !reflect.DeepEqual(r, w) {
+			t.Errorf("record %d: got %+v, want %+v", i, r, w)
+		}
+	}
+	// Sequence numbering continues across restarts.
+	seq, err := l2.Append(mut(9))
+	if err != nil || seq != uint64(len(want)+1) {
+		t.Fatalf("post-reopen Append: seq %d err %v", seq, err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 256, Policy: SyncNever})
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(mut(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, got := openCollect(t, dir, Options{SegmentBytes: 256})
+	defer l2.Close()
+	if len(got) != 40 {
+		t.Fatalf("replayed %d, want 40", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("replay out of order at %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestCheckpointTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append(mut(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats()
+	if err := l.Checkpoint(20); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	after := l.Stats()
+	if after.Segments >= before.Segments {
+		t.Fatalf("checkpoint removed no segments: %d -> %d", before.Segments, after.Segments)
+	}
+	if after.CheckpointSeq != 20 {
+		t.Fatalf("CheckpointSeq = %d", after.CheckpointSeq)
+	}
+	l.Close()
+
+	// Replay resumes strictly above the checkpoint.
+	l2, got := openCollect(t, dir, Options{SegmentBytes: 256})
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(got))
+	}
+	if got[0].Seq != 21 || got[len(got)-1].Seq != 30 {
+		t.Fatalf("replayed seqs %d..%d, want 21..30", got[0].Seq, got[len(got)-1].Seq)
+	}
+	// Checkpointing everything leaves a log that replays nothing.
+	if err := l2.Checkpoint(30); err != nil {
+		t.Fatalf("Checkpoint(30): %v", err)
+	}
+	l2.Close()
+	l3, got := openCollect(t, dir, Options{SegmentBytes: 256})
+	defer l3.Close()
+	if len(got) != 0 {
+		t.Fatalf("replayed %d records after full checkpoint", len(got))
+	}
+	if l3.LastSeq() != 30 {
+		t.Fatalf("LastSeq after full checkpoint = %d, want 30", l3.LastSeq())
+	}
+}
+
+func TestCheckpointRejectsBadSeq(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	defer l.Close()
+	if _, err := l.Append(mut(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(5); err == nil {
+		t.Fatal("Checkpoint beyond lastSeq succeeded")
+	}
+	if err := l.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(0); err == nil {
+		t.Fatal("Checkpoint behind existing checkpoint succeeded")
+	}
+}
+
+// TestCrashPointPrefixProperty is the crash-point sweep: a log truncated
+// at EVERY byte offset must replay exactly the records whose frames fully
+// survive — a prefix — and never error or panic.
+func TestCrashPointPrefixProperty(t *testing.T) {
+	src := t.TempDir()
+	const n = 12
+	l, _ := openCollect(t, src, Options{})
+	ends := make([]int64, 0, n+1) // ends[k] = file size after k records
+	ends = append(ends, 0)
+	segPath := filepath.Join(src, segName(1))
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(mut(i)); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(segPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, info.Size())
+	}
+	l.Close()
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// complete(cut) = number of whole frames within the first cut bytes.
+	complete := func(cut int64) int {
+		k := 0
+		for k+1 <= n && ends[k+1] <= cut {
+			k++
+		}
+		return k
+	}
+
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lc, got := openCollect(t, dir, Options{})
+		want := complete(cut)
+		if len(got) != want {
+			t.Fatalf("cut=%d: replayed %d records, want %d", cut, len(got), want)
+		}
+		for i, r := range got {
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("cut=%d: record %d has seq %d (not a prefix)", cut, i, r.Seq)
+			}
+		}
+		// The log stays appendable after recovery, continuing the prefix.
+		seq, err := lc.Append(mut(99))
+		if err != nil || seq != uint64(want+1) {
+			t.Fatalf("cut=%d: append after recovery: seq %d err %v", cut, seq, err)
+		}
+		lc.Close()
+	}
+}
+
+// TestMidLogCorruptionStopsReplay flips a payload byte in the middle of a
+// segment: everything from that frame on must be discarded.
+func TestMidLogCorruptionStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(mut(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) == 0 || len(got) >= 10 {
+		t.Fatalf("replayed %d records after mid-log corruption, want a proper prefix", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("non-prefix replay: record %d seq %d", i, r.Seq)
+		}
+	}
+}
+
+// TestCorruptionDropsLaterSegments: a bad frame in an earlier segment must
+// not let records from later segments replay (they would be out of order).
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append(mut(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("need ≥3 segments, got %d", st.Segments)
+	}
+	l.Close()
+	names, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, dir, Options{SegmentBytes: 256})
+	defer l2.Close()
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("non-prefix replay: record %d seq %d", i, r.Seq)
+		}
+	}
+	rest, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 {
+		t.Fatalf("later segments survived corruption: %v", rest)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in     string
+		policy SyncPolicy
+		iv     time.Duration
+		ok     bool
+	}{
+		{"", SyncAlways, 0, true},
+		{"always", SyncAlways, 0, true},
+		{"never", SyncNever, 0, true},
+		{"interval=250ms", SyncEvery, 250 * time.Millisecond, true},
+		{"interval=0s", 0, 0, false},
+		{"interval=", 0, 0, false},
+		{"sometimes", 0, 0, false},
+	}
+	for _, c := range cases {
+		p, iv, err := ParseSyncPolicy(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseSyncPolicy(%q): err=%v, ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (p != c.policy || iv != c.iv) {
+			t.Errorf("ParseSyncPolicy(%q) = %v,%v want %v,%v", c.in, p, iv, c.policy, c.iv)
+		}
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, opts := range []Options{
+		{Policy: SyncAlways},
+		{Policy: SyncEvery, Interval: 10 * time.Millisecond},
+		{Policy: SyncNever},
+	} {
+		dir := t.TempDir()
+		l, _ := openCollect(t, dir, opts)
+		for i := 0; i < 5; i++ {
+			if _, err := l.Append(mut(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if opts.Policy == SyncEvery {
+			time.Sleep(50 * time.Millisecond) // let the background syncer run
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		st := l.Stats()
+		if opts.Policy == SyncAlways && st.Fsyncs < 5 {
+			t.Errorf("always: %d fsyncs for 5 appends", st.Fsyncs)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, got := openCollect(t, dir, opts)
+		if len(got) != 5 {
+			t.Errorf("policy %v: replayed %d records", opts.Policy, len(got))
+		}
+	}
+}
+
+func TestClosedLogErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	if _, err := l.Append(mut(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(mut(1)); err != ErrClosed {
+		t.Fatalf("Append on closed log: %v", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync on closed log: %v", err)
+	}
+	if err := l.Checkpoint(1); err != ErrClosed {
+		t.Fatalf("Checkpoint on closed log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestCorruptCheckpointFileRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	if _, err := l.Append(mut(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := os.WriteFile(filepath.Join(dir, checkpointName), []byte("amber-wal v1 0 deadbeef\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}, nil); err == nil {
+		t.Fatal("Open accepted a checkpoint file with a bad checksum")
+	}
+}
+
+// TestDirectoryLock: a second Open of a live log directory must fail;
+// closing the first releases it.
+func TestDirectoryLock(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	if _, err := Open(dir, Options{}, nil); err == nil {
+		t.Fatal("second Open of a live directory succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	l2.Close()
+}
+
+// TestCrossSegmentMonotonicity: a later segment whose sequences do not
+// continue strictly above the earlier ones (a restored backup copy) must
+// not replay — the scan treats it as corruption.
+func TestCrossSegmentMonotonicity(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(mut(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	names, err := listSegments(dir)
+	if err != nil || len(names) < 2 {
+		t.Fatalf("need >=2 segments: %v (%v)", names, err)
+	}
+	// Duplicate the first segment's content under a name sorting last:
+	// its records' sequences rewind below the preceding segment's.
+	data, err := os.ReadFile(filepath.Join(dir, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(1<<40)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, dir, Options{SegmentBytes: 256})
+	defer l2.Close()
+	if len(got) != 20 {
+		t.Fatalf("replayed %d records, want 20 (stale copy must not replay)", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+// TestOversizedAppendRejected: a record whose payload exceeds the replay
+// corruption threshold must be refused, not acknowledged.
+func TestOversizedAppendRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates >1GiB")
+	}
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{Policy: SyncNever})
+	defer l.Close()
+	huge := Record{Kind: KindMutation, Adds: []rdf.Triple{{
+		S: rdf.NewIRI("http://x/s"),
+		P: rdf.NewIRI("http://x/p"),
+		O: rdf.NewLiteral(string(make([]byte, maxPayload))),
+	}}}
+	if _, err := l.Append(huge); err == nil {
+		t.Fatal("oversized record acknowledged")
+	}
+	// The log remains usable and the reject left nothing on disk.
+	if seq, err := l.Append(mut(0)); err != nil || seq != 1 {
+		t.Fatalf("append after reject: seq=%d err=%v", seq, err)
+	}
+}
