@@ -16,11 +16,20 @@
 //
 // The WHERE clause supports basic graph patterns (with PREFIX, `a` and
 // `;`/`,` abbreviations), plus the extension fragment the paper lists as
-// future work: DISTINCT, UNION, a FILTER subset (=, !=, regex substring,
-// strstarts), LIMIT and OFFSET. OPTIONAL and GROUP BY remain out of scope.
+// future work: ASK, DISTINCT, UNION, a FILTER subset (=, !=, regex
+// substring, strstarts), LIMIT and OFFSET. OPTIONAL and GROUP BY remain
+// out of scope.
+//
+// Results are typed: bindings are Terms (IRI, blank node, or literal
+// with datatype and language tag), surfaced through the context-aware
+// cursor API (QueryContext/Rows), the range-over-func form (All), or the
+// legacy flattened Row maps. Single-occurrence object variables may bind
+// literals (`SELECT ?name WHERE { ?x <…/name> ?name }`); variables that
+// join across patterns bind graph vertices, as in the paper.
 package amber
 
 import (
+	"context"
 	"errors"
 	"io"
 	"os"
@@ -33,8 +42,19 @@ import (
 	"repro/internal/sparql"
 )
 
-// ErrTimeout is returned when a query exceeds QueryOptions.Timeout.
+// ErrTimeout is returned when a query exceeds QueryOptions.Timeout (or a
+// context deadline during a ctx-aware execution).
 var ErrTimeout = errors.New("amber: query timeout exceeded")
+
+// mapExecErr normalizes engine abort errors to the public surface:
+// deadline expiry becomes ErrTimeout, a caller's cancellation stays
+// context.Canceled, everything else passes through.
+func mapExecErr(err error) error {
+	if err == engine.ErrDeadlineExceeded || errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return err
+}
 
 // DB is an AMbER database: the data multigraph plus its index ensemble,
 // and — since the live-update subsystem — a mutation path. Open one with
@@ -107,9 +127,13 @@ type QueryOptions struct {
 // engine limit with the query's own LIMIT clause (the tighter bound
 // wins). It captures the timeout deadline from the moment it is called,
 // so call it at execution start — after parsing and preparation — to
-// keep parse cost from eating the query's time budget.
-func (o *QueryOptions) engineOptions(queryLimit int) engine.Options {
+// keep parse cost from eating the query's time budget. ctx, when
+// non-nil, is polled by the engine alongside the deadline, so callers
+// can cancel in-flight work; Timeout remains a plain deadline, so the
+// two compose (the tighter bound aborts first).
+func (o *QueryOptions) engineOptions(ctx context.Context, queryLimit int) engine.Options {
 	var e engine.Options
+	e.Ctx = ctx
 	if o != nil {
 		e.Limit = o.Limit
 		if o.Timeout != 0 {
@@ -124,7 +148,15 @@ func (o *QueryOptions) engineOptions(queryLimit int) engine.Options {
 	return e
 }
 
-// Row is one solution: projected variable name → bound IRI.
+// Row is one solution in the legacy flattened form: projected variable
+// name → the bound term's text (an IRI, a blank label, or a literal's
+// lexical form — the datatype and language tag are dropped). A variable
+// that is unbound in the matched UNION branch maps to the empty string.
+//
+// Deprecated-ish: new code should use the typed Binding surface
+// (QueryContext, Prepared.All, Rows), which keeps literals typed and
+// distinguishes unbound from empty. Row remains supported as a thin
+// wrapper over it.
 type Row map[string]string
 
 // Query runs a SPARQL SELECT query and materializes the result rows.
@@ -139,7 +171,8 @@ func (db *DB) Query(sparqlText string, opts *QueryOptions) ([]Row, error) {
 
 // QueryIter streams result rows to fn, stopping early when fn returns
 // false. Each Row is freshly allocated and may be retained. A projected
-// variable that is unbound in a UNION branch maps to the empty string.
+// variable that is unbound in a UNION branch maps to the empty string;
+// see Row for what typed literals flatten to.
 func (db *DB) QueryIter(sparqlText string, opts *QueryOptions, fn func(Row) bool) error {
 	p, err := db.Prepare(sparqlText)
 	if err != nil {
@@ -179,11 +212,12 @@ func (db *DB) CountParallel(sparqlText string, opts *QueryOptions, workers int) 
 // loop) skips all of it. A Prepared is tied to the DB that produced it
 // and, like the DB, is safe for concurrent use.
 type Prepared struct {
-	db *DB
-	cp *core.PreparedQuery
+	db    *DB
+	cp    *core.PreparedQuery
+	shape *bindingShape // projection names + index, shared by every row
 }
 
-// Prepare parses and prepares a SPARQL SELECT query for repeated
+// Prepare parses and prepares a SPARQL SELECT or ASK query for repeated
 // execution with varying options.
 func (db *DB) Prepare(sparqlText string) (*Prepared, error) {
 	pq, err := db.parse(sparqlText)
@@ -194,7 +228,7 @@ func (db *DB) Prepare(sparqlText string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, cp: cp}, nil
+	return &Prepared{db: db, cp: cp, shape: newBindingShape(cp.Projection())}, nil
 }
 
 // Projection returns the projected variable names, in SELECT order
@@ -216,38 +250,29 @@ func (p *Prepared) Query(opts *QueryOptions) ([]Row, error) {
 // QueryIter executes the prepared query, streaming rows to fn; see
 // DB.QueryIter for semantics.
 func (p *Prepared) QueryIter(opts *QueryOptions, fn func(Row) bool) error {
-	proj := p.cp.Projection()
-	err := p.cp.Execute(opts.engineOptions(0), func(sol core.Solution) bool {
+	proj := p.shape.vars
+	err := p.cp.Execute(opts.engineOptions(nil, 0), func(sol core.Solution) bool {
 		row := make(Row, len(proj))
 		for _, name := range proj {
-			row[name] = sol[name]
+			row[name] = sol[name].Value // zero Term → "" when unbound
 		}
 		return fn(row)
 	})
-	if err == engine.ErrDeadlineExceeded {
-		return ErrTimeout
-	}
-	return err
+	return mapExecErr(err)
 }
 
 // Count counts solutions of the prepared query; see DB.Count.
 func (p *Prepared) Count(opts *QueryOptions) (uint64, error) {
 	if p.cp.Plain() {
-		n, err := p.cp.CountPlan(opts.engineOptions(p.cp.Query().Limit))
-		if err == engine.ErrDeadlineExceeded {
-			return n, ErrTimeout
-		}
-		return n, err
+		n, err := p.cp.CountPlan(opts.engineOptions(nil, p.cp.Query().Limit))
+		return n, mapExecErr(err)
 	}
 	var n uint64
-	err := p.cp.Execute(opts.engineOptions(0), func(core.Solution) bool {
+	err := p.cp.Execute(opts.engineOptions(nil, 0), func(core.Solution) bool {
 		n++
 		return true
 	})
-	if err == engine.ErrDeadlineExceeded {
-		return n, ErrTimeout
-	}
-	return n, err
+	return n, mapExecErr(err)
 }
 
 // CountParallel counts solutions with a worker pool; see DB.CountParallel.
@@ -255,9 +280,6 @@ func (p *Prepared) CountParallel(opts *QueryOptions, workers int) (uint64, error
 	if !p.cp.Plain() {
 		return p.Count(opts)
 	}
-	n, err := p.cp.CountPlanParallel(opts.engineOptions(p.cp.Query().Limit), workers)
-	if err == engine.ErrDeadlineExceeded {
-		return n, ErrTimeout
-	}
-	return n, err
+	n, err := p.cp.CountPlanParallel(opts.engineOptions(nil, p.cp.Query().Limit), workers)
+	return n, mapExecErr(err)
 }

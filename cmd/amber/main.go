@@ -1,19 +1,24 @@
-// Command amber loads an RDF dataset and answers SPARQL SELECT queries
-// with the AMbER engine.
+// Command amber loads an RDF dataset and answers SPARQL SELECT and ASK
+// queries with the AMbER engine. Results print as typed terms in
+// N-Triples syntax (literals keep their datatype and language tag);
+// Ctrl-C cancels an in-flight query through the engine's context
+// support.
 //
 // Usage:
 //
 //	amber -data data.nt -query 'SELECT ?x WHERE { ... }'
 //	amber -data data.nt -queryfile q.rq -limit 10 -timeout 60s
+//	amber -data data.nt -query 'ASK { ... }'
 //	amber -data data.nt -stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"os/signal"
 	"time"
 
 	"repro"
@@ -95,13 +100,28 @@ func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, t
 	}
 
 	opts := &amber.QueryOptions{Limit: limit, Timeout: timeout}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	prep, err := db.PrepareContext(ctx, queryText)
+	if err != nil {
+		return err
+	}
 	qStart := time.Now()
+	if prep.IsAsk() {
+		yes, err := prep.AskContext(ctx, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v (%s)\n", yes, time.Since(qStart).Round(time.Microsecond))
+		return nil
+	}
 	if countOnly {
 		var n uint64
 		if workers > 1 {
-			n, err = db.CountParallel(queryText, opts, workers)
+			n, err = prep.CountParallel(opts, workers)
 		} else {
-			n, err = db.Count(queryText, opts)
+			n, err = prep.Count(opts)
 		}
 		if err != nil {
 			return err
@@ -110,24 +130,22 @@ func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, t
 		return nil
 	}
 	nRows := 0
-	err = db.QueryIter(queryText, opts, func(row amber.Row) bool {
-		nRows++
-		vars := make([]string, 0, len(row))
-		for v := range row {
-			vars = append(vars, v)
+	for b, err := range prep.All(ctx, opts) {
+		if err != nil {
+			return err
 		}
-		sort.Strings(vars)
-		for i, v := range vars {
+		nRows++
+		for i, v := range b.Vars() {
 			if i > 0 {
 				fmt.Print("\t")
 			}
-			fmt.Printf("?%s=<%s>", v, row[v])
+			if t, ok := b.At(i); ok {
+				fmt.Printf("?%s=%s", v, t)
+			} else {
+				fmt.Printf("?%s=UNBOUND", v)
+			}
 		}
 		fmt.Println()
-		return true
-	})
-	if err != nil {
-		return err
 	}
 	fmt.Fprintf(os.Stderr, "%d rows in %s\n", nRows, time.Since(qStart).Round(time.Microsecond))
 	return nil

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -93,4 +94,36 @@ SELECT * WHERE { ?a y:livedIn ?b }`, nil)
 		log.Fatal(err)
 	}
 	fmt.Printf("\nQ3: %d livedIn facts\n", n)
+
+	// Typed literal bindings: the band's name is a literal attribute in
+	// the multigraph model, and a single-occurrence object variable binds
+	// it as a typed term through the cursor API.
+	fmt.Println("\nQ4: literal bindings via the typed cursor")
+	cur, err := db.QueryContext(context.Background(), `
+PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?band ?name WHERE { ?band y:hasName ?name }`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+		var band, name amber.Term
+		if err := cur.Scan(&band, &name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s is named %s (a %s term)\n", band.Value, name, name.Kind)
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// ASK: existence without enumeration.
+	yes, err := db.Ask(`
+PREFIX y: <http://dbpedia.org/ontology/>
+PREFIX x: <http://dbpedia.org/resource/>
+ASK { x:Music_Band y:foundedIn "1994" }`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ5: founded in 1994? %v\n", yes)
 }

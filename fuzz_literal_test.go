@@ -1,0 +1,115 @@
+package amber
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/results"
+)
+
+// validDatatypeIRI bounds the fuzzer to datatype IRIs the N-Triples
+// surface syntax can express (anything not containing the delimiters the
+// parser uses to frame an IRIRef).
+func validDatatypeIRI(s string) bool {
+	if s == "" {
+		return false
+	}
+	return !strings.ContainsAny(s, "<>\"\n\r\t ")
+}
+
+// validLangTag bounds language tags to the [A-Za-z0-9-]+ surface the
+// parsers accept.
+func validLangTag(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzLiteralRoundTrip drives arbitrary literal content through the full
+// pipeline — N-Triples serialization → parse → dictionary intern → engine
+// decode → SPARQL TSV serialization → re-parse — and asserts the typed
+// term survives byte-identical at every hop.
+func FuzzLiteralRoundTrip(f *testing.F) {
+	f.Add("42", "http://www.w3.org/2001/XMLSchema#integer", "")
+	f.Add("hi", "", "en")
+	f.Add("plain", "", "")
+	f.Add("line1\nline2\t\"quoted\"\\", "", "")
+	f.Add("", "", "")                                             // empty lexical form
+	f.Add("x", "http://www.w3.org/2001/XMLSchema#string", "")     // normalizes to plain
+	f.Add("折り紙", "", "ja")                                        // non-ASCII lexical
+	f.Add("a@en", "", "")                                         // fold-ambiguous lexical
+	f.Add("42^^http://www.w3.org/2001/XMLSchema#integer", "", "") // fold-ambiguous lexical
+	f.Fuzz(func(t *testing.T, lex, dt, lang string) {
+		var o Term
+		switch {
+		case lang != "":
+			if !validLangTag(lang) {
+				t.Skip()
+			}
+			o = NewLangLiteral(lex, lang)
+		case dt != "":
+			if !validDatatypeIRI(dt) {
+				t.Skip()
+			}
+			o = NewTypedLiteral(lex, dt)
+		default:
+			o = NewLiteral(lex)
+		}
+
+		// Hop 1: render to N-Triples and parse back.
+		line := "<http://x/s> <http://p/v> " + o.String() + " .\n"
+		triples, err := rdf.ParseString(line)
+		if err != nil {
+			t.Fatalf("constructed line does not parse: %v\n%s", err, line)
+		}
+		if len(triples) != 1 || triples[0].O != o {
+			t.Fatalf("N-Triples round trip: %+v, want %+v", triples[0].O, o)
+		}
+
+		// Hop 2: intern into a store and decode through a query binding.
+		db, err := OpenString(line)
+		if err != nil {
+			t.Fatalf("OpenString: %v", err)
+		}
+		var got []Term
+		for b, err := range db.All(context.Background(), `SELECT ?v WHERE { <http://x/s> <http://p/v> ?v }`, nil) {
+			if err != nil {
+				t.Fatalf("query: %v", err)
+			}
+			if v, ok := b.Get("v"); ok {
+				got = append(got, v)
+			}
+		}
+		if len(got) != 1 || got[0] != o {
+			t.Fatalf("intern→decode round trip: %v, want %v", got, o)
+		}
+
+		// Hop 3: serialize as SPARQL TSV (full Turtle term syntax) and
+		// parse the field back as N-Triples.
+		tsv, _ := results.Lookup("tsv")
+		var sb strings.Builder
+		if err := results.WriteAll(tsv, &sb, []string{"v"}, []map[string]rdf.Term{{"v": o}}); err != nil {
+			t.Fatalf("TSV: %v", err)
+		}
+		lines := strings.SplitN(sb.String(), "\n", 3)
+		if len(lines) < 2 {
+			t.Fatalf("TSV output too short: %q", sb.String())
+		}
+		reparsed, err := rdf.ParseString("<http://x/s> <http://p/v> " + lines[1] + " .\n")
+		if err != nil {
+			t.Fatalf("TSV field does not re-parse: %v\nfield: %q", err, lines[1])
+		}
+		if reparsed[0].O != o {
+			t.Fatalf("TSV round trip: %+v, want %+v", reparsed[0].O, o)
+		}
+	})
+}

@@ -175,7 +175,7 @@ func estimateGraphBytes(g *multigraph.Graph) int64 {
 	}
 	for i := 0; i < g.Dicts.Attrs.Len(); i++ {
 		a := g.Dicts.Attr(dict.AttrID(i))
-		bytes += int64(len(a.Predicate)+len(a.Literal)) + 24
+		bytes += int64(len(a.Predicate)+len(a.Lexical)+len(a.Datatype)+len(a.Lang)) + 24
 	}
 	return bytes
 }
@@ -308,19 +308,22 @@ func (s *Store) Stream(p *plan.Plan, opts engine.Options, yield func([]dict.Vert
 	return engine.Stream(s.Snapshot().Reader(), p, opts, yield)
 }
 
-// Binding is one variable binding of a solution row.
+// Binding is one variable binding of a solution row. Value is the term's
+// text (IRI, blank label, or literal lexical form — empty when the
+// variable is unbound in this row); Term carries the full typed term.
 type Binding struct {
 	Var   string
 	Value string
+	Term  rdf.Term
 }
 
 // Row is one solution: bindings in projection order.
 type Row []Binding
 
 // Select runs a SPARQL SELECT end to end and materializes the projected
-// rows (translated back to IRIs via Mv⁻¹). The full extension fragment
-// (DISTINCT, UNION, FILTER, OFFSET) is honoured via Execute, as is the
-// query's LIMIT clause in addition to opts.Limit.
+// rows (translated back to terms via Mv⁻¹/Ma⁻¹). The full extension
+// fragment (DISTINCT, UNION, FILTER, OFFSET) is honoured via Execute, as
+// is the query's LIMIT clause in addition to opts.Limit.
 func (s *Store) Select(src string, opts engine.Options) ([]Row, error) {
 	pq, err := sparql.Parse(src)
 	if err != nil {
@@ -331,7 +334,8 @@ func (s *Store) Select(src string, opts engine.Options) ([]Row, error) {
 	err = s.Execute(pq, opts, func(sol Solution) bool {
 		row := make(Row, len(proj))
 		for i, name := range proj {
-			row[i] = Binding{Var: name, Value: sol[name]}
+			t := sol[name]
+			row[i] = Binding{Var: name, Value: t.Value, Term: t}
 		}
 		rows = append(rows, row)
 		return true

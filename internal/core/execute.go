@@ -9,13 +9,26 @@ import (
 	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
-// Solution is one complete embedding translated back to IRIs: variable
-// name → IRI. Variables that do not occur in the matched UNION branch are
-// absent from the map (SPARQL's unbound).
-type Solution map[string]string
+// Solution is one complete embedding translated back to RDF terms:
+// variable name → typed term (IRI, blank node, or — for literal
+// satellites — a literal with its datatype and language tag intact).
+// Variables that do not occur in the matched UNION branch are absent
+// from the map (SPARQL's unbound).
+type Solution map[string]rdf.Term
+
+// BindingTerm decodes one engine binding slot through the executing
+// snapshot's dictionaries: an encoded attribute id becomes its typed
+// literal, a vertex id its IRI or blank node.
+func BindingTerm(res dict.Resolver, id dict.VertexID) rdf.Term {
+	if dict.IsAttrBinding(id) {
+		return res.Attr(dict.AttrBinding(id)).Literal()
+	}
+	return rdf.NewResource(res.VertexIRI(id))
+}
 
 // IsPlain reports whether the query uses only the paper's core fragment
 // (single BGP, no DISTINCT/FILTER/OFFSET), for which the factorized Count
@@ -178,6 +191,21 @@ func (p *PreparedQuery) Count(opts engine.Options) (uint64, error) {
 	return n, err
 }
 
+// Ask reports whether the query has at least one solution, stopping the
+// search at the first one. It always takes the enumeration path: for a
+// plain query Execute pushes the limit of one into the engine, whose
+// Stream mode aborts after the first embedding — the factorized Count
+// would tally every core match before applying its cap.
+func (p *PreparedQuery) Ask(opts engine.Options) (bool, error) {
+	opts.Limit = 1
+	found := false
+	err := p.Execute(opts, func(Solution) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
 // CountPlanParallel is CountPlan with a worker pool.
 func (p *PreparedQuery) CountPlanParallel(opts engine.Options, workers int) (uint64, error) {
 	sn, st, err := p.resolve()
@@ -271,7 +299,7 @@ func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) 
 			}
 			sol := make(Solution, len(qg.Vars))
 			for u := range qg.Vars {
-				sol[qg.Vars[u].Name] = res.VertexIRI(asg[u])
+				sol[qg.Vars[u].Name] = BindingTerm(res, asg[u])
 			}
 			return emit(sol)
 		})
@@ -283,10 +311,15 @@ func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) 
 }
 
 // distinctKey builds a deduplication key over the projected variables.
+// The N-Triples rendering is injective over terms (kind, datatype and
+// language tag are all part of it), and an unbound variable renders as
+// the empty string, which no term renders as.
 func distinctKey(proj []string, sol Solution) string {
 	parts := make([]string, len(proj))
 	for i, v := range proj {
-		parts[i] = sol[v]
+		if t, ok := sol[v]; ok {
+			parts[i] = t.String()
+		}
 	}
 	return strings.Join(parts, "\x00")
 }
@@ -296,13 +329,54 @@ func distinctKey(proj []string, sol Solution) string {
 // per call so the compiled form retains no snapshot reference).
 type compiledFilter func(asg []dict.VertexID, res dict.Resolver) bool
 
+// bindingText is the FILTER view of a binding: the IRI (or blank label)
+// for resources, the lexical form for literals.
+func bindingText(res dict.Resolver, id dict.VertexID) string {
+	if dict.IsAttrBinding(id) {
+		return res.Attr(dict.AttrBinding(id)).Lexical
+	}
+	return res.VertexIRI(id)
+}
+
+// sameBinding is sameTerm over two engine bindings. Equal ids are always
+// the same term, but the converse stopped holding with literal
+// satellites: attributes are interned per <predicate, literal>, so the
+// same literal reached through two predicates carries two distinct ids
+// and must be compared as a term.
+func sameBinding(res dict.Resolver, a, b dict.VertexID) bool {
+	if a == b {
+		return true
+	}
+	if !dict.IsAttrBinding(a) || !dict.IsAttrBinding(b) {
+		return false // distinct vertices, or a literal vs a resource
+	}
+	ta, tb := res.Attr(dict.AttrBinding(a)), res.Attr(dict.AttrBinding(b))
+	return ta.Lexical == tb.Lexical && ta.Datatype == tb.Datatype && ta.Lang == tb.Lang
+}
+
 // compileFilters resolves filter variables against the branch's query
 // graph. A filter whose variable is absent from this branch is vacuously
 // true for the branch (the variable is unbound there).
 func compileFilters(fs []sparql.Filter, qg *query.Graph) []compiledFilter {
 	text := func(u query.VertexID, pred func(string) bool) compiledFilter {
 		return func(asg []dict.VertexID, res dict.Resolver) bool {
-			return pred(res.VertexIRI(asg[u]))
+			return pred(bindingText(res, asg[u]))
+		}
+	}
+	// termEq is sameTerm equality against a constant: the texts must
+	// match and, when either side carries a datatype or language tag,
+	// the annotations must match too (an IRI constant or a plain-literal
+	// constant still compares textually against IRI bindings, preserving
+	// the pre-typed-term behaviour).
+	termEq := func(u query.VertexID, rhs sparql.Term) compiledFilter {
+		want := rhs.RDF()
+		return func(asg []dict.VertexID, res dict.Resolver) bool {
+			id := asg[u]
+			if dict.IsAttrBinding(id) {
+				a := res.Attr(dict.AttrBinding(id))
+				return a.Lexical == want.Value && a.Datatype == want.Datatype && a.Lang == want.Lang
+			}
+			return want.Datatype == "" && want.Lang == "" && res.VertexIRI(id) == want.Value
 		}
 	}
 	var out []compiledFilter
@@ -318,16 +392,16 @@ func compileFilters(fs []sparql.Filter, qg *query.Graph) []compiledFilter {
 			}
 			switch f.Op {
 			case sparql.FilterEq:
-				out = append(out, func(asg []dict.VertexID, _ dict.Resolver) bool { return asg[lhs] == asg[rhs] })
+				out = append(out, func(asg []dict.VertexID, res dict.Resolver) bool { return sameBinding(res, asg[lhs], asg[rhs]) })
 			case sparql.FilterNe:
-				out = append(out, func(asg []dict.VertexID, _ dict.Resolver) bool { return asg[lhs] != asg[rhs] })
+				out = append(out, func(asg []dict.VertexID, res dict.Resolver) bool { return !sameBinding(res, asg[lhs], asg[rhs]) })
 			case sparql.FilterRegex:
 				out = append(out, func(asg []dict.VertexID, res dict.Resolver) bool {
-					return strings.Contains(res.VertexIRI(asg[lhs]), res.VertexIRI(asg[rhs]))
+					return strings.Contains(bindingText(res, asg[lhs]), bindingText(res, asg[rhs]))
 				})
 			case sparql.FilterStrStarts:
 				out = append(out, func(asg []dict.VertexID, res dict.Resolver) bool {
-					return strings.HasPrefix(res.VertexIRI(asg[lhs]), res.VertexIRI(asg[rhs]))
+					return strings.HasPrefix(bindingText(res, asg[lhs]), bindingText(res, asg[rhs]))
 				})
 			}
 			continue
@@ -335,9 +409,10 @@ func compileFilters(fs []sparql.Filter, qg *query.Graph) []compiledFilter {
 		val := f.RHS.Value
 		switch f.Op {
 		case sparql.FilterEq:
-			out = append(out, text(lhs, func(x string) bool { return x == val }))
+			out = append(out, termEq(lhs, f.RHS))
 		case sparql.FilterNe:
-			out = append(out, text(lhs, func(x string) bool { return x != val }))
+			eq := termEq(lhs, f.RHS)
+			out = append(out, func(asg []dict.VertexID, res dict.Resolver) bool { return !eq(asg, res) })
 		case sparql.FilterRegex:
 			out = append(out, text(lhs, func(x string) bool { return strings.Contains(x, val) }))
 		case sparql.FilterStrStarts:

@@ -48,7 +48,7 @@ SELECT DISTINCT ?p WHERE {
 }`)
 	var got []string
 	if err := s.Execute(pq, engine.Options{}, func(sol Solution) bool {
-		got = append(got, sol["p"])
+		got = append(got, sol["p"].Value)
 		return true
 	}); err != nil {
 		t.Fatal(err)

@@ -63,6 +63,9 @@ type View struct {
 	etIRI   []string
 	attrID  map[dict.Attribute]dict.AttrID
 	attrVal []dict.Attribute
+	// attrPred indexes overlay attribute ids by predicate (sorted), the
+	// overlay's extension of AttrDict.PredicateAttrs.
+	attrPred map[string][]dict.AttrID
 
 	// Edge overlay: per-pair type deltas plus per-vertex touch lists
 	// (sorted neighbour ids with any delta on the connecting pair).
@@ -158,12 +161,12 @@ func (v *View) LookupEdgeType(predicate string) (dict.EdgeType, bool) {
 	return id, ok
 }
 
-// LookupAttr resolves a <predicate, literal> tuple.
-func (v *View) LookupAttr(predicate, literal string) (dict.AttrID, bool) {
-	if id, ok := v.g.Dicts.LookupAttr(predicate, literal); ok {
+// LookupAttr resolves a <predicate, literal-term> tuple.
+func (v *View) LookupAttr(predicate string, o rdf.Term) (dict.AttrID, bool) {
+	if id, ok := v.g.Dicts.LookupAttr(predicate, o); ok {
 		return id, true
 	}
-	id, ok := v.attrID[dict.Attribute{Predicate: predicate, Literal: literal}]
+	id, ok := v.attrID[dict.AttributeOf(predicate, o)]
 	return id, ok
 }
 
@@ -189,6 +192,20 @@ func (v *View) Attr(a dict.AttrID) dict.Attribute {
 		return v.g.Dicts.Attr(a)
 	}
 	return v.attrVal[int(a)-v.baseNA]
+}
+
+// PredicateAttrs returns the sorted attribute ids carrying the predicate
+// across base and overlay dictionaries (base ids precede overlay ids, so
+// concatenation preserves order).
+func (v *View) PredicateAttrs(predicate string) []dict.AttrID {
+	base := v.g.Dicts.PredicateAttrs(predicate)
+	over := v.attrPred[predicate]
+	if len(over) == 0 {
+		return base
+	}
+	out := make([]dict.AttrID, 0, len(base)+len(over))
+	out = append(out, base...)
+	return append(out, over...)
 }
 
 // ---- index.Reader ------------------------------------------------------
@@ -288,6 +305,20 @@ func (v *View) attrVertices(a dict.AttrID) []dict.VertexID {
 		base = v.ix.A.Vertices(a)
 	}
 	del, add := v.attrDel[a], v.attrAdd[a]
+	if del == nil && add == nil {
+		return base
+	}
+	return unionSorted(subtractSorted(base, del), add)
+}
+
+// VertexAttrs returns the sorted attribute ids vid carries under the
+// merged view (base attributes minus tombstones plus overlay additions).
+func (v *View) VertexAttrs(vid dict.VertexID) []dict.AttrID {
+	var base []dict.AttrID
+	if int(vid) < v.baseNV {
+		base = v.g.Attrs(vid)
+	}
+	del, add := v.delAttrs[vid], v.addAttrs[vid]
 	if del == nil && add == nil {
 		return base
 	}
@@ -424,10 +455,10 @@ func (v *View) blendCardinalities(base *index.Cardinalities) *index.Cardinalitie
 func (v *View) Triples(yield func(rdf.Triple) bool) bool {
 	for i := 0; i < v.baseNV; i++ {
 		vid := dict.VertexID(i)
-		s := rdf.NewIRI(v.g.Dicts.VertexIRI(vid))
+		s := rdf.NewResource(v.g.Dicts.VertexIRI(vid))
 		for _, nb := range v.g.Out(vid) {
 			pd, hasPD := v.pairs[edgeKey{vid, nb.V}]
-			o := rdf.NewIRI(v.g.Dicts.VertexIRI(nb.V))
+			o := rdf.NewResource(v.g.Dicts.VertexIRI(nb.V))
 			for _, t := range nb.Types {
 				if hasPD && containsType(pd.del, t) {
 					continue
@@ -443,7 +474,7 @@ func (v *View) Triples(yield func(rdf.Triple) bool) bool {
 				continue
 			}
 			at := v.g.Dicts.Attr(a)
-			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(at.Predicate), O: rdf.NewLiteral(at.Literal)}) {
+			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(at.Predicate), O: at.Literal()}) {
 				return false
 			}
 		}
@@ -461,7 +492,7 @@ func (v *View) Triples(yield func(rdf.Triple) bool) bool {
 		return keys[i].to < keys[j].to
 	})
 	for _, k := range keys {
-		s, o := rdf.NewIRI(v.VertexIRI(k.from)), rdf.NewIRI(v.VertexIRI(k.to))
+		s, o := rdf.NewResource(v.VertexIRI(k.from)), rdf.NewResource(v.VertexIRI(k.to))
 		for _, t := range v.pairs[k].add {
 			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(v.EdgeTypeIRI(t)), O: o}) {
 				return false
@@ -474,10 +505,10 @@ func (v *View) Triples(yield func(rdf.Triple) bool) bool {
 	}
 	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
 	for _, vid := range verts {
-		s := rdf.NewIRI(v.VertexIRI(vid))
+		s := rdf.NewResource(v.VertexIRI(vid))
 		for _, a := range v.addAttrs[vid] {
 			at := v.Attr(a)
-			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(at.Predicate), O: rdf.NewLiteral(at.Literal)}) {
+			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(at.Predicate), O: at.Literal()}) {
 				return false
 			}
 		}
@@ -491,11 +522,18 @@ func (v *View) Triples(yield func(rdf.Triple) bool) bool {
 // must be IRIs, the object an IRI or literal. Mutation entry points call
 // it up front so a replayed log can never fail mid-apply.
 func Validate(t rdf.Triple) error {
-	if !t.S.IsIRI() {
-		return fmt.Errorf("delta: subject must be an IRI: %v", t)
+	if !t.S.IsResource() {
+		return fmt.Errorf("delta: subject must be an IRI or blank node: %v", t)
 	}
 	if !t.P.IsIRI() {
 		return fmt.Errorf("delta: predicate must be an IRI: %v", t)
+	}
+	if t.O.Datatype != "" && t.O.Lang != "" {
+		// At most one annotation per literal (rdf.Term invariant); an
+		// attribute interned with both would be unloadable from a
+		// snapshot. Explicit xsd:string needs no rejection — interning
+		// normalizes it (dict.AttributeOf), matching WAL replay.
+		return fmt.Errorf("delta: literal with both datatype and language tag: %v", t)
 	}
 	return nil
 }
@@ -624,9 +662,9 @@ func (m *mutable) internEdgeType(p string) dict.EdgeType {
 	return id
 }
 
-func (m *mutable) internAttr(p, lit string) dict.AttrID {
-	a := dict.Attribute{Predicate: p, Literal: lit}
-	if id, ok := m.v.g.Dicts.LookupAttr(p, lit); ok {
+func (m *mutable) internAttr(p string, o rdf.Term) dict.AttrID {
+	a := dict.AttributeOf(p, o)
+	if id, ok := m.v.g.Dicts.LookupAttr(p, o); ok {
 		return id
 	}
 	if id, ok := m.attrID[a]; ok {
@@ -663,7 +701,7 @@ func (m *mutable) pair(k edgeKey) *pairSets {
 func (m *mutable) insert(t rdf.Triple) {
 	s := m.internVertex(t.S.Value)
 	if t.O.IsLiteral() {
-		a := m.internAttr(t.P.Value, t.O.Value)
+		a := m.internAttr(t.P.Value, t.O)
 		if m.delAttrs[s][a] {
 			delete(m.delAttrs[s], a)
 			m.numTriples++
@@ -706,7 +744,7 @@ func (m *mutable) delete(t rdf.Triple) {
 		return
 	}
 	if t.O.IsLiteral() {
-		a, ok := m.lookupAttr(t.P.Value, t.O.Value)
+		a, ok := m.lookupAttr(t.P.Value, t.O)
 		if !ok {
 			return
 		}
@@ -763,11 +801,11 @@ func (m *mutable) lookupEdgeType(p string) (dict.EdgeType, bool) {
 	return id, ok
 }
 
-func (m *mutable) lookupAttr(p, lit string) (dict.AttrID, bool) {
-	if id, ok := m.v.g.Dicts.LookupAttr(p, lit); ok {
+func (m *mutable) lookupAttr(p string, o rdf.Term) (dict.AttrID, bool) {
+	if id, ok := m.v.g.Dicts.LookupAttr(p, o); ok {
 		return id, true
 	}
-	id, ok := m.attrID[dict.Attribute{Predicate: p, Literal: lit}]
+	id, ok := m.attrID[dict.AttributeOf(p, o)]
 	return id, ok
 }
 
@@ -843,6 +881,12 @@ func (m *mutable) freeze() *View {
 	for _, inv := range [2]map[dict.AttrID][]dict.VertexID{nv.attrAdd, nv.attrDel} {
 		for _, vs := range inv {
 			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		}
+	}
+	if len(m.attrVal) > 0 {
+		nv.attrPred = make(map[string][]dict.AttrID)
+		for i, a := range m.attrVal {
+			nv.attrPred[a.Predicate] = append(nv.attrPred[a.Predicate], dict.AttrID(v.baseNA+i))
 		}
 	}
 	nv.touched = make([]dict.VertexID, 0, len(touchedSet))

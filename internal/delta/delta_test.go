@@ -141,7 +141,7 @@ func TestViewNewVerticesAndAttrs(t *testing.T) {
 		t.Errorf("VertexIRI round trip = %q", v.VertexIRI(n1))
 	}
 	// New attribute reachable through the overlay A index.
-	aid, ok := v.LookupAttr("http://p/name", "nova")
+	aid, ok := v.LookupAttr("http://p/name", rdf.NewLiteral("nova"))
 	if !ok {
 		t.Fatal("new attr not resolvable")
 	}
@@ -149,7 +149,7 @@ func TestViewNewVerticesAndAttrs(t *testing.T) {
 		t.Errorf("AttrCandidates(nova) = %v, want [%v]", got, n1)
 	}
 	// Existing attr tuple on a new subject vertex.
-	aAda, _ := v.LookupAttr("http://p/name", "ada")
+	aAda, _ := v.LookupAttr("http://p/name", rdf.NewLiteral("ada"))
 	a, _ := v.LookupVertex("http://x/a")
 	if got := v.AttrCandidates([]dict.AttrID{aAda}); !reflect.DeepEqual(got, []dict.VertexID{a}) {
 		t.Errorf("AttrCandidates(ada) = %v", got)
@@ -337,7 +337,7 @@ func TestViewMatchesRebuild(t *testing.T) {
 		// Attribute lists agree.
 		for ai := 0; ai < g2.NumAttrs(); ai++ {
 			at := g2.Dicts.Attr(dict.AttrID(ai))
-			oa, ok := v.LookupAttr(at.Predicate, at.Literal)
+			oa, ok := v.LookupAttr(at.Predicate, at.Literal())
 			if !ok {
 				t.Fatalf("trial %d: overlay missing attr %v", trial, at)
 			}

@@ -2,16 +2,24 @@
 // paper (Section 2.1.1, Table 2) uses to transform an RDF tripleset into a
 // data multigraph:
 //
-//   - the vertex dictionary Mv, mapping subject/object IRIs to vertex ids;
+//   - the vertex dictionary Mv, mapping subject/object IRIs (and blank
+//     labels, which live in the "_:" namespace) to vertex ids;
 //   - the edge-type dictionary Me, mapping predicate IRIs to edge-type ids;
 //   - the attribute dictionary Ma, mapping <predicate, object-literal>
-//     tuples to attribute ids.
+//     tuples to attribute ids. The literal is interned as a full typed
+//     term (lexical form, datatype IRI, language tag), not a folded
+//     string, so `"42"^^xsd:integer` and the plain string "42" are
+//     distinct attributes and decode back to distinct terms.
 //
 // All dictionaries are bidirectional: identifiers are dense and start at 0,
 // so the inverse mapping is a plain slice lookup.
 package dict
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
 
 // VertexID identifies a data (or query) vertex. Identifiers are dense.
 type VertexID uint32
@@ -23,6 +31,22 @@ type EdgeType uint32
 
 // AttrID identifies a <predicate, literal> attribute tuple.
 type AttrID uint32
+
+// litBindingBit tags an engine binding slot as holding an attribute id
+// (a literal binding) rather than a vertex id. Vertex ids stay below it
+// in practice (2³¹ vertices), so encoded literal bindings sort after all
+// vertex bindings, which keeps mixed candidate lists sorted.
+const litBindingBit VertexID = 1 << 31
+
+// EncodeAttrBinding packs an attribute id into the engine's vertex-id
+// binding space. See LitSat in internal/query.
+func EncodeAttrBinding(a AttrID) VertexID { return litBindingBit | VertexID(a) }
+
+// IsAttrBinding reports whether a binding slot holds an encoded attribute.
+func IsAttrBinding(v VertexID) bool { return v&litBindingBit != 0 }
+
+// AttrBinding unpacks an encoded attribute binding.
+func AttrBinding(v VertexID) AttrID { return AttrID(v &^ litBindingBit) }
 
 // StringDict is a bidirectional string↔dense-id dictionary.
 // The zero value is ready to use.
@@ -64,22 +88,51 @@ func (d *StringDict) Value(id uint32) string {
 func (d *StringDict) Len() int { return len(d.values) }
 
 // Attribute is the <predicate, object-literal> tuple that Ma maps to an
-// attribute identifier (e.g. <y:hasCapacityOf, "90000"> ↦ a0).
+// attribute identifier (e.g. <y:hasCapacityOf, "90000"> ↦ a0). The
+// literal is kept typed: Lexical is the lexical form, Datatype the
+// explicit datatype IRI (empty for plain/xsd:string literals), Lang the
+// language tag (empty unless language-tagged). At most one of Datatype
+// and Lang is non-empty, mirroring rdf.Term.
 type Attribute struct {
 	Predicate string
-	Literal   string
+	Lexical   string
+	Datatype  string
+	Lang      string
+}
+
+// AttributeOf builds the dictionary key for a predicate and a literal
+// object term. The term's Kind is not inspected — callers pass literal
+// objects only. An explicit xsd:string datatype is normalized to the
+// plain form here, so a programmatically built Term{Datatype: xsd:string}
+// interns identically to the parser's normalized terms (and to what WAL
+// replay reconstructs).
+func AttributeOf(predicate string, o rdf.Term) Attribute {
+	dt := o.Datatype
+	if dt == rdf.XSDString {
+		dt = ""
+	}
+	return Attribute{Predicate: predicate, Lexical: o.Value, Datatype: dt, Lang: o.Lang}
+}
+
+// Literal reconstructs the attribute's object as a typed literal term.
+func (a Attribute) Literal() rdf.Term {
+	return rdf.Term{Kind: rdf.Literal, Value: a.Lexical, Datatype: a.Datatype, Lang: a.Lang}
 }
 
 // String renders the tuple for diagnostics.
 func (a Attribute) String() string {
-	return "<" + a.Predicate + ", \"" + a.Literal + "\">"
+	return "<" + a.Predicate + ", " + a.Literal().String() + ">"
 }
 
-// AttrDict is a bidirectional Attribute↔AttrID dictionary.
+// AttrDict is a bidirectional Attribute↔AttrID dictionary. Alongside the
+// tuple mapping it maintains a per-predicate posting list (sorted by id),
+// which is what lets query translation bind literal-object variables: the
+// candidates for `?x p ?lit` are exactly PredicateAttrs(p).
 // The zero value is ready to use.
 type AttrDict struct {
 	ids    map[Attribute]AttrID
 	values []Attribute
+	byPred map[string][]AttrID
 }
 
 // Intern returns the id for a, assigning the next dense id on first sight.
@@ -89,10 +142,14 @@ func (d *AttrDict) Intern(a Attribute) AttrID {
 	}
 	if d.ids == nil {
 		d.ids = make(map[Attribute]AttrID)
+		d.byPred = make(map[string][]AttrID)
 	}
 	id := AttrID(len(d.values))
 	d.ids[a] = id
 	d.values = append(d.values, a)
+	// Ids are assigned in increasing order, so per-predicate lists stay
+	// sorted by construction.
+	d.byPred[a.Predicate] = append(d.byPred[a.Predicate], id)
 	return id
 }
 
@@ -110,6 +167,13 @@ func (d *AttrDict) Value(id AttrID) Attribute {
 	return d.values[id]
 }
 
+// PredicateAttrs returns the sorted ids of every attribute whose predicate
+// is pred (nil when the predicate has no literal occurrences). The slice
+// is shared and must not be modified.
+func (d *AttrDict) PredicateAttrs(pred string) []AttrID {
+	return d.byPred[pred]
+}
+
 // Len reports the number of interned attributes.
 func (d *AttrDict) Len() int { return len(d.values) }
 
@@ -119,14 +183,21 @@ func (d *AttrDict) Len() int { return len(d.values) }
 // top of a base. Query translation and solution rendering depend only on
 // this interface, so they work against either.
 type Resolver interface {
-	// LookupVertex resolves an IRI to its vertex id without interning.
+	// LookupVertex resolves an IRI (or blank label) to its vertex id
+	// without interning.
 	LookupVertex(iri string) (VertexID, bool)
 	// LookupEdgeType resolves a predicate IRI without interning.
 	LookupEdgeType(predicate string) (EdgeType, bool)
-	// LookupAttr resolves a <predicate, literal> tuple without interning.
-	LookupAttr(predicate, literal string) (AttrID, bool)
+	// LookupAttr resolves a <predicate, literal-term> tuple without
+	// interning.
+	LookupAttr(predicate string, o rdf.Term) (AttrID, bool)
 	// VertexIRI applies the inverse mapping Mv⁻¹.
 	VertexIRI(v VertexID) string
+	// Attr applies the inverse mapping Ma⁻¹.
+	Attr(a AttrID) Attribute
+	// PredicateAttrs returns the sorted ids of the attributes carrying
+	// the given predicate (nil when none). The slice must not be modified.
+	PredicateAttrs(predicate string) []AttrID
 }
 
 // Dictionaries bundles the three mapping functions of Table 2.
@@ -147,9 +218,9 @@ func (d *Dictionaries) InternEdgeType(predicate string) EdgeType {
 	return EdgeType(d.EdgeTypes.Intern(predicate))
 }
 
-// InternAttr applies Ma.
-func (d *Dictionaries) InternAttr(predicate, literal string) AttrID {
-	return d.Attrs.Intern(Attribute{Predicate: predicate, Literal: literal})
+// InternAttr applies Ma for a literal object term.
+func (d *Dictionaries) InternAttr(predicate string, o rdf.Term) AttrID {
+	return d.Attrs.Intern(AttributeOf(predicate, o))
 }
 
 // LookupVertex resolves an IRI without interning (used for query constants:
@@ -166,8 +237,8 @@ func (d *Dictionaries) LookupEdgeType(predicate string) (EdgeType, bool) {
 }
 
 // LookupAttr resolves an attribute tuple without interning.
-func (d *Dictionaries) LookupAttr(predicate, literal string) (AttrID, bool) {
-	return d.Attrs.Lookup(Attribute{Predicate: predicate, Literal: literal})
+func (d *Dictionaries) LookupAttr(predicate string, o rdf.Term) (AttrID, bool) {
+	return d.Attrs.Lookup(AttributeOf(predicate, o))
 }
 
 // VertexIRI applies the inverse mapping Mv⁻¹, used to translate embeddings
@@ -179,3 +250,8 @@ func (d *Dictionaries) EdgeTypeIRI(t EdgeType) string { return d.EdgeTypes.Value
 
 // Attr applies Ma⁻¹.
 func (d *Dictionaries) Attr(a AttrID) Attribute { return d.Attrs.Value(a) }
+
+// PredicateAttrs returns the sorted attribute ids of a predicate.
+func (d *Dictionaries) PredicateAttrs(predicate string) []AttrID {
+	return d.Attrs.PredicateAttrs(predicate)
+}

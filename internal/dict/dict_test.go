@@ -1,6 +1,8 @@
 package dict
 
 import (
+	"repro/internal/rdf"
+
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -55,18 +57,18 @@ func TestStringDictValuePanicsOutOfRange(t *testing.T) {
 
 func TestAttrDict(t *testing.T) {
 	var d AttrDict
-	a0 := d.Intern(Attribute{"y:hasCapacityOf", "90000"})
-	a1 := d.Intern(Attribute{"y:wasFoundedIn", "1994"})
+	a0 := d.Intern(Attribute{Predicate: "y:hasCapacityOf", Lexical: "90000"})
+	a1 := d.Intern(Attribute{Predicate: "y:wasFoundedIn", Lexical: "1994"})
 	if a0 == a1 {
 		t.Fatal("distinct attributes share id")
 	}
-	if again := d.Intern(Attribute{"y:hasCapacityOf", "90000"}); again != a0 {
+	if again := d.Intern(Attribute{Predicate: "y:hasCapacityOf", Lexical: "90000"}); again != a0 {
 		t.Errorf("re-Intern = %d, want %d", again, a0)
 	}
-	if got := d.Value(a1); got.Predicate != "y:wasFoundedIn" || got.Literal != "1994" {
+	if got := d.Value(a1); got.Predicate != "y:wasFoundedIn" || got.Lexical != "1994" {
 		t.Errorf("Value = %v", got)
 	}
-	if _, ok := d.Lookup(Attribute{"y:hasName", "MCA_Band"}); ok {
+	if _, ok := d.Lookup(Attribute{Predicate: "y:hasName", Lexical: "MCA_Band"}); ok {
 		t.Error("Lookup of absent attribute succeeded")
 	}
 	if d.Len() != 2 {
@@ -85,7 +87,7 @@ func TestAttrDictValuePanics(t *testing.T) {
 }
 
 func TestAttributeString(t *testing.T) {
-	a := Attribute{"y:hasName", "MCA_Band"}
+	a := Attribute{Predicate: "y:hasName", Lexical: "MCA_Band"}
 	if got := a.String(); got != `<y:hasName, "MCA_Band">` {
 		t.Errorf("String = %q", got)
 	}
@@ -95,7 +97,7 @@ func TestDictionariesRoundTrip(t *testing.T) {
 	var d Dictionaries
 	v := d.InternVertex("http://x/London")
 	e := d.InternEdgeType("http://y/isPartOf")
-	a := d.InternAttr("http://y/hasCapacityOf", "90000")
+	a := d.InternAttr("http://y/hasCapacityOf", rdf.NewLiteral("90000"))
 
 	if got := d.VertexIRI(v); got != "http://x/London" {
 		t.Errorf("VertexIRI = %q", got)
@@ -103,7 +105,7 @@ func TestDictionariesRoundTrip(t *testing.T) {
 	if got := d.EdgeTypeIRI(e); got != "http://y/isPartOf" {
 		t.Errorf("EdgeTypeIRI = %q", got)
 	}
-	if got := d.Attr(a); got.Literal != "90000" {
+	if got := d.Attr(a); got.Lexical != "90000" {
 		t.Errorf("Attr = %v", got)
 	}
 
@@ -119,10 +121,10 @@ func TestDictionariesRoundTrip(t *testing.T) {
 	if _, ok := d.LookupEdgeType("http://y/nope"); ok {
 		t.Error("LookupEdgeType(absent) succeeded")
 	}
-	if id, ok := d.LookupAttr("http://y/hasCapacityOf", "90000"); !ok || id != a {
+	if id, ok := d.LookupAttr("http://y/hasCapacityOf", rdf.NewLiteral("90000")); !ok || id != a {
 		t.Errorf("LookupAttr = %d, %v", id, ok)
 	}
-	if _, ok := d.LookupAttr("http://y/hasCapacityOf", "1"); ok {
+	if _, ok := d.LookupAttr("http://y/hasCapacityOf", rdf.NewLiteral("1")); ok {
 		t.Error("LookupAttr(absent) succeeded")
 	}
 }

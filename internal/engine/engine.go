@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"math"
 	"time"
@@ -36,6 +37,11 @@ type Options struct {
 	// Deadline aborts the search when passed (zero = none). The paper's
 	// experiments use a 60-second per-query constraint.
 	Deadline time.Time
+	// Ctx, when non-nil, aborts the search when the context is done —
+	// the engine polls ctx.Done() alongside the deadline, so a server
+	// can cancel in-flight work when its client disconnects. The run
+	// then returns ctx.Err().
+	Ctx context.Context
 	// Stats, when non-nil, is filled with search counters.
 	Stats *Stats
 }
@@ -67,25 +73,40 @@ type matcher struct {
 	yield    func([]dict.VertexID) bool
 	limit    int
 	deadline time.Time
+	done     <-chan struct{} // Ctx.Done(), nil without a context
+	ctx      context.Context
 	stats    *Stats
 
-	steps   int
-	yielded uint64
-	stopped bool // yield refused or limit reached
-	expired bool // deadline passed
+	steps    int
+	yielded  uint64
+	stopped  bool  // yield refused or limit reached
+	expired  bool  // deadline passed or context done
+	abortErr error // why the search aborted (expired only)
 }
 
-// checkDeadline reports whether the search must abort.
+// checkDeadline reports whether the search must abort: the deadline
+// passed, or the run's context was cancelled. Clock reads and channel
+// polls are throttled to one per deadlineCheckMask+1 steps.
 func (m *matcher) checkDeadline() bool {
 	if m.expired {
 		return true
 	}
 	m.steps++
-	if m.deadline.IsZero() || m.steps&deadlineCheckMask != 0 {
+	if m.steps&deadlineCheckMask != 0 || (m.deadline.IsZero() && m.done == nil) {
 		return false
 	}
-	if time.Now().After(m.deadline) {
+	if m.done != nil {
+		select {
+		case <-m.done:
+			m.expired = true
+			m.abortErr = m.ctx.Err()
+			return true
+		default:
+		}
+	}
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
 		m.expired = true
+		m.abortErr = ErrDeadlineExceeded
 	}
 	return m.expired
 }
@@ -98,7 +119,7 @@ func Stream(r index.Reader, p *plan.Plan, opts Options, yield func([]dict.Vertex
 	m, ok := prepare(r, p, opts)
 	m.yield = yield
 	if m.expired {
-		return ErrDeadlineExceeded
+		return m.abortErr
 	}
 	if !ok {
 		return nil
@@ -110,7 +131,7 @@ func Stream(r index.Reader, p *plan.Plan, opts Options, yield func([]dict.Vertex
 	}
 	m.matchComponent(0)
 	if m.expired {
-		return ErrDeadlineExceeded
+		return m.abortErr
 	}
 	return nil
 }
@@ -121,7 +142,7 @@ func Stream(r index.Reader, p *plan.Plan, opts Options, yield func([]dict.Vertex
 func Count(r index.Reader, p *plan.Plan, opts Options) (uint64, error) {
 	m, ok := prepare(r, p, opts)
 	if m.expired {
-		return 0, ErrDeadlineExceeded
+		return 0, m.abortErr
 	}
 	if !ok {
 		return 0, nil
@@ -163,8 +184,17 @@ func prepare(r index.Reader, p *plan.Plan, opts Options) (*matcher, bool) {
 		deadline: opts.Deadline,
 		stats:    opts.Stats,
 	}
+	if opts.Ctx != nil {
+		m.ctx, m.done = opts.Ctx, opts.Ctx.Done()
+		if err := m.ctx.Err(); err != nil {
+			m.expired = true
+			m.abortErr = err
+			return m, false
+		}
+	}
 	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
 		m.expired = true
+		m.abortErr = ErrDeadlineExceeded
 		return m, false
 	}
 	if p.Empty {
@@ -206,8 +236,18 @@ func (m *matcher) restrict(u query.VertexID, cand []dict.VertexID) []dict.Vertex
 
 // initialCandidates computes CandInit for a component's first core vertex:
 // the S index probe (QuerySynIndex) refined by ProcessVertex (Algorithm 3,
-// lines 4–5).
+// lines 4–5). A literal satellite that forms its own component (constant
+// subject) has its exact mixed vertex/literal candidate list precomputed
+// at plan time; the signature index knows nothing about literals, so the
+// probe is skipped.
 func (m *matcher) initialCandidates(u query.VertexID) []dict.VertexID {
+	if m.q.Vars[u].Lit != nil {
+		cand := m.p.Fixed[int(u)]
+		if m.stats != nil {
+			m.stats.InitCandidates += len(cand)
+		}
+		return cand
+	}
 	cand := m.r.SignatureCandidates(m.q.Synopsis(u))
 	cand = m.restrict(u, cand)
 	if m.stats != nil {
@@ -218,10 +258,15 @@ func (m *matcher) initialCandidates(u query.VertexID) []dict.VertexID {
 
 // satCandidates is Algorithm 2 for a single satellite us attached to core
 // vertex uc matched at vc: neighbourhood probes for every direction of the
-// multi-edge, refined by the fixed candidates.
+// multi-edge, refined by the fixed candidates. A literal satellite instead
+// unions the vertex-side neighbourhood probe with vc's matching attributes
+// (encoded literal bindings, which sort after every vertex id).
 func (m *matcher) satCandidates(uc, us query.VertexID, vc dict.VertexID) []dict.VertexID {
 	if m.stats != nil {
 		m.stats.SatProbes++
+	}
+	if lit := m.q.Vars[us].Lit; lit != nil {
+		return m.litCandidates(lit, vc)
 	}
 	toSat, fromSat := m.q.EdgesBetween(uc, us)
 	var cand []dict.VertexID
@@ -239,6 +284,28 @@ func (m *matcher) satCandidates(uc, us query.VertexID, vc dict.VertexID) []dict.
 		}
 	}
 	return m.restrict(us, cand)
+}
+
+// litCandidates computes a literal satellite's candidate set under the
+// subject match vc: p-edge neighbours (when p is an edge type) followed by
+// vc's <p, ·> attributes as encoded literal bindings. Both halves are
+// sorted and every encoded binding exceeds every vertex id, so the
+// concatenation is sorted.
+func (m *matcher) litCandidates(lit *query.LitSat, vc dict.VertexID) []dict.VertexID {
+	var verts []dict.VertexID
+	if len(lit.Types) > 0 {
+		verts = m.r.Neighbors(vc, index.Outgoing, lit.Types)
+	}
+	attrs := otil.IntersectSorted(m.r.VertexAttrs(vc), lit.Attrs)
+	if len(attrs) == 0 {
+		return verts
+	}
+	out := make([]dict.VertexID, 0, len(verts)+len(attrs))
+	out = append(out, verts...)
+	for _, a := range attrs {
+		out = append(out, dict.EncodeAttrBinding(a))
+	}
+	return out
 }
 
 // matchSatellites is Algorithm 2: computes candidate sets for all
@@ -401,7 +468,7 @@ func (m *matcher) countComponent(ci int) (uint64, error) {
 	total := uint64(0)
 	for _, vinit := range m.initialCandidates(uinit) {
 		if m.checkDeadline() {
-			return 0, ErrDeadlineExceeded
+			return 0, m.abortErr
 		}
 		if !m.matchSatellites(uinit, vinit, comp.Satellites[uinit]) {
 			continue
@@ -421,7 +488,7 @@ func (m *matcher) countComponent(ci int) (uint64, error) {
 // countMatch mirrors homomorphicMatch in count mode.
 func (m *matcher) countMatch(comp *plan.ComponentPlan, pos int, matched []bool) (uint64, error) {
 	if m.checkDeadline() {
-		return 0, ErrDeadlineExceeded
+		return 0, m.abortErr
 	}
 	if m.stats != nil {
 		m.stats.Recursions++

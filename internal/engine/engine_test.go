@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -654,5 +655,89 @@ func TestParallelDeadlineMidRun(t *testing.T) {
 		if err != nil {
 			t.Fatalf("unexpected error %v", err)
 		}
+	}
+}
+
+// TestLiteralSatelliteStream: a single-occurrence object variable binds
+// literal attributes (encoded bindings) and, for mixed predicates, the
+// vertex neighbours too; Count factorizes over them like any satellite.
+func TestLiteralSatelliteStream(t *testing.T) {
+	f := load(t, `
+<http://x/b> <http://p/mixed> <http://x/a> .
+<http://x/b> <http://p/mixed> "both" .
+<http://x/b> <http://p/name> "Bea" .
+`)
+	p := f.query(t, `SELECT ?v WHERE { ?s <http://p/mixed> ?v }`)
+	var verts, lits int
+	err := Stream(f.rd(), p, Options{}, func(asg []dict.VertexID) bool {
+		u := p.Query.VarIndex["v"]
+		if dict.IsAttrBinding(asg[u]) {
+			a := f.g.Dicts.Attr(dict.AttrBinding(asg[u]))
+			if a.Lexical != "both" {
+				t.Errorf("literal binding = %+v", a)
+			}
+			lits++
+		} else {
+			verts++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verts != 1 || lits != 1 {
+		t.Errorf("mixed satellite: %d vertex + %d literal bindings, want 1+1", verts, lits)
+	}
+	n, err := Count(f.rd(), p, Options{})
+	if err != nil || n != 2 {
+		t.Errorf("Count = %d, %v; want 2", n, err)
+	}
+	np, err := CountParallel(f.rd(), p, Options{}, 4)
+	if err != nil || np != n {
+		t.Errorf("CountParallel = %d, %v; want %d", np, err, n)
+	}
+}
+
+// TestContextCancellationAborts: cancelling Options.Ctx mid-search stops
+// the enumeration within the polling interval and reports ctx.Err().
+func TestContextCancellationAborts(t *testing.T) {
+	// A 3-clique-ish dense graph with plenty of embeddings to enumerate.
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if i != j {
+				fmt.Fprintf(&sb, "<http://v/%d> <http://p/t> <http://v/%d> .\n", i, j)
+			}
+		}
+	}
+	f := load(t, sb.String())
+	p := f.query(t, `SELECT ?a ?b ?c WHERE {
+		?a <http://p/t> ?b . ?b <http://p/t> ?c . ?c <http://p/t> ?a .
+	}`)
+	ctx, cancel := context.WithCancel(context.Background())
+	var yielded int
+	err := Stream(f.rd(), p, Options{Ctx: ctx}, func([]dict.VertexID) bool {
+		yielded++
+		if yielded == 1 {
+			cancel()
+		}
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("Stream err = %v, want context.Canceled", err)
+	}
+	// The full result set is ~40·39·38 ≈ 59k embeddings; cancellation must
+	// stop within one polling interval of the first yield.
+	if yielded > 1000 {
+		t.Errorf("yielded %d embeddings after cancellation", yielded)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := Count(f.rd(), p, Options{Ctx: ctx2}); err != context.Canceled {
+		t.Errorf("pre-cancelled Count err = %v", err)
+	}
+	if _, err := CountParallel(f.rd(), p, Options{Ctx: ctx2}, 4); err != context.Canceled {
+		t.Errorf("pre-cancelled CountParallel err = %v", err)
 	}
 }

@@ -31,7 +31,7 @@ func CountParallel(r index.Reader, p *plan.Plan, opts Options, workers int) (uin
 	}
 	master, ok := prepare(r, p, opts)
 	if master.expired {
-		return 0, ErrDeadlineExceeded
+		return 0, master.abortErr
 	}
 	if !ok {
 		return 0, nil
@@ -96,7 +96,7 @@ func countComponentParallel(r index.Reader, p *plan.Plan, opts Options, ci int, 
 				if m.expired {
 					mu.Lock()
 					if firstErr == nil {
-						firstErr = ErrDeadlineExceeded
+						firstErr = m.abortErr
 					}
 					mu.Unlock()
 				}
@@ -133,7 +133,7 @@ func (m *matcher) countFromInitial(ci int, vinit dict.VertexID) (uint64, error) 
 	comp := &m.p.Components[ci]
 	uinit := comp.Core[0]
 	if m.checkDeadline() {
-		return 0, ErrDeadlineExceeded
+		return 0, m.abortErr
 	}
 	if !m.admissible(uinit, vinit) || !m.inFixed(uinit, vinit) {
 		return 0, nil

@@ -281,6 +281,9 @@ type Reader interface {
 	// HasAttrs reports whether v carries every attribute in attrs
 	// (sorted ascending).
 	HasAttrs(v dict.VertexID, attrs []dict.AttrID) bool
+	// VertexAttrs returns v's sorted attribute ids (the paper's LV(v)).
+	// The result must not be modified.
+	VertexAttrs(v dict.VertexID) []dict.AttrID
 	// HasEdgeTypes reports whether the edge from→to exists with a label
 	// set containing every type in types (sorted ascending).
 	HasEdgeTypes(from, to dict.VertexID, types []dict.EdgeType) bool
@@ -318,6 +321,11 @@ func (r GraphReader) AttrCandidates(attrs []dict.AttrID) []dict.VertexID {
 // HasAttrs checks the graph's attribute sets.
 func (r GraphReader) HasAttrs(v dict.VertexID, attrs []dict.AttrID) bool {
 	return r.G.HasAttrs(v, attrs)
+}
+
+// VertexAttrs returns the graph's attribute set of v.
+func (r GraphReader) VertexAttrs(v dict.VertexID) []dict.AttrID {
+	return r.G.Attrs(v)
 }
 
 // HasEdgeTypes checks the graph's adjacency.

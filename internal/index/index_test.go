@@ -63,7 +63,7 @@ func lookupT(t *testing.T, g *multigraph.Graph, pred string) dict.EdgeType {
 
 func TestAttributeIndexSingle(t *testing.T) {
 	g, ix := buildAll(t)
-	a, ok := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasCapacityOf", "90000")
+	a, ok := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasCapacityOf", rdf.NewLiteral("90000"))
 	if !ok {
 		t.Fatal("attribute missing")
 	}
@@ -79,8 +79,8 @@ func TestAttributeIndexSingle(t *testing.T) {
 // Music_Band.
 func TestAttributeIndexConjunction(t *testing.T) {
 	g, ix := buildAll(t)
-	a1, ok1 := g.Dicts.LookupAttr("http://dbpedia.org/ontology/foundedIn", "1994")
-	a2, ok2 := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasName", "MCA_Band")
+	a1, ok1 := g.Dicts.LookupAttr("http://dbpedia.org/ontology/foundedIn", rdf.NewLiteral("1994"))
+	a2, ok2 := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasName", rdf.NewLiteral("MCA_Band"))
 	if !ok1 || !ok2 {
 		t.Fatal("attributes missing")
 	}
@@ -90,7 +90,7 @@ func TestAttributeIndexConjunction(t *testing.T) {
 		t.Errorf("Candidates({a1,a2}) = %v, want [%d]", got, want)
 	}
 	// Conjunction with a foreign attribute must be empty.
-	a0, _ := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasCapacityOf", "90000")
+	a0, _ := g.Dicts.LookupAttr("http://dbpedia.org/ontology/hasCapacityOf", rdf.NewLiteral("90000"))
 	if got := ix.A.Candidates([]dict.AttrID{a1, a0}); got != nil {
 		t.Errorf("impossible conjunction = %v", got)
 	}

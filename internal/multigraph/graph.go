@@ -144,17 +144,22 @@ func (b *Builder) grow(v dict.VertexID) {
 // It returns an error when the triple violates the RDF model (literal
 // subject or predicate).
 func (b *Builder) Add(t rdf.Triple) error {
-	if !t.S.IsIRI() {
-		return fmt.Errorf("multigraph: subject must be an IRI: %v", t)
+	if !t.S.IsResource() {
+		return fmt.Errorf("multigraph: subject must be an IRI or blank node: %v", t)
 	}
 	if !t.P.IsIRI() {
 		return fmt.Errorf("multigraph: predicate must be an IRI: %v", t)
+	}
+	if t.O.Datatype != "" && t.O.Lang != "" {
+		// A literal carries at most one annotation; accepting both would
+		// intern an attribute the snapshot format refuses to reload.
+		return fmt.Errorf("multigraph: literal with both datatype and language tag: %v", t)
 	}
 	b.numTriples++
 	s := b.dicts.InternVertex(t.S.Value)
 	b.grow(s)
 	if t.O.IsLiteral() {
-		a := b.dicts.InternAttr(t.P.Value, t.O.Value)
+		a := b.dicts.InternAttr(t.P.Value, t.O)
 		if b.attrs[s] == nil {
 			b.attrs[s] = make(map[dict.AttrID]struct{})
 		}

@@ -92,7 +92,7 @@ func TestFigure1Attributes(t *testing.T) {
 
 	if got := g.Attrs(wembley); len(got) != 1 {
 		t.Fatalf("Wembley attrs = %v, want 1 attribute", got)
-	} else if a := g.Dicts.Attr(got[0]); a.Literal != "90000" {
+	} else if a := g.Dicts.Attr(got[0]); a.Lexical != "90000" {
 		t.Errorf("Wembley attribute = %v", a)
 	}
 	if got := g.Attrs(band); len(got) != 2 {

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"repro/internal/dict"
+	"repro/internal/rdf"
 )
 
 // Snapshot format: a compact binary serialization of the data multigraph
@@ -20,15 +21,22 @@ import (
 //	magic "AMBG" + version byte
 //	vertex dictionary:    count, then len-prefixed strings
 //	edge-type dictionary: count, then len-prefixed strings
-//	attribute dictionary: count, then (predicate, literal) string pairs
+//	attribute dictionary: count, then per attribute
+//	           version 1: (predicate, literal) string pairs
+//	           version 2: (predicate, lexical, datatype, lang) tuples
 //	numTriples
 //	adjacency: per vertex: out-degree, then per neighbour:
 //	           target id, type count, delta-encoded sorted type ids
 //	attributes: per vertex: count, delta-encoded sorted attribute ids
 //	crc32 (IEEE, fixed 4-byte little endian) over everything prior
+//
+// Version 2 carries typed literals; writers always emit it. Version 1
+// snapshots (written before the typed-term model) still open: their folded
+// literal strings load as plain literals, exactly as they were stored.
 const (
-	snapshotMagic   = "AMBG"
-	snapshotVersion = 1
+	snapshotMagic      = "AMBG"
+	snapshotVersion    = 2
+	snapshotVersionOld = 1
 )
 
 // crcWriter tees written bytes into a CRC.
@@ -92,7 +100,13 @@ func (g *Graph) Encode(w io.Writer) error {
 		if err := cw.str(a.Predicate); err != nil {
 			return err
 		}
-		if err := cw.str(a.Literal); err != nil {
+		if err := cw.str(a.Lexical); err != nil {
+			return err
+		}
+		if err := cw.str(a.Datatype); err != nil {
+			return err
+		}
+		if err := cw.str(a.Lang); err != nil {
 			return err
 		}
 	}
@@ -198,8 +212,10 @@ func Decode(r io.Reader) (*Graph, error) {
 	if string(head[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, fmt.Errorf("multigraph: bad snapshot magic %q", head[:len(snapshotMagic)])
 	}
-	if head[len(snapshotMagic)] != snapshotVersion {
-		return nil, fmt.Errorf("multigraph: unsupported snapshot version %d", head[len(snapshotMagic)])
+	version := head[len(snapshotMagic)]
+	if version != snapshotVersion && version != snapshotVersionOld {
+		return nil, fmt.Errorf("multigraph: unsupported snapshot version %d (this build reads versions %d and %d; rebuild the snapshot with Save)",
+			version, snapshotVersionOld, snapshotVersion)
 	}
 	g := &Graph{}
 	// Dictionaries: intern in id order, so dense ids are reproduced.
@@ -242,7 +258,22 @@ func Decode(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		if id := g.Dicts.InternAttr(p, l); uint64(id) != i {
+		lit := rdf.NewLiteral(l)
+		if version >= 2 {
+			dt, err := cr.str(maxStr)
+			if err != nil {
+				return nil, err
+			}
+			lang, err := cr.str(maxStr)
+			if err != nil {
+				return nil, err
+			}
+			if dt != "" && lang != "" {
+				return nil, fmt.Errorf("multigraph: attribute %d has both datatype and language tag", i)
+			}
+			lit = rdf.Term{Kind: rdf.Literal, Value: l, Datatype: dt, Lang: lang}
+		}
+		if id := g.Dicts.InternAttr(p, lit); uint64(id) != i {
 			return nil, fmt.Errorf("multigraph: duplicate attribute <%s,%s> in snapshot", p, l)
 		}
 	}

@@ -1,11 +1,15 @@
 package multigraph
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/dict"
+	"repro/internal/rdf"
 )
 
 func encodeDecode(t *testing.T, g *Graph) *Graph {
@@ -155,5 +159,140 @@ func TestSnapshotDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Error("snapshot encoding not deterministic")
+	}
+}
+
+// encodeV1 writes the pre-typed-term snapshot layout (version 1): the
+// attribute dictionary carries (predicate, literal) string pairs with no
+// datatype or language fields. Kept as a byte-level emitter so the
+// compatibility guarantee — old Save files still open — stays tested
+// after the writer moved to version 2.
+func encodeV1(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	cw := &crcWriter{w: bw}
+	write := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := cw.Write([]byte(snapshotMagic))
+	write(err)
+	_, err = cw.Write([]byte{snapshotVersionOld})
+	write(err)
+	write(cw.uvarint(uint64(g.Dicts.Vertices.Len())))
+	for i := 0; i < g.Dicts.Vertices.Len(); i++ {
+		write(cw.str(g.Dicts.Vertices.Value(uint32(i))))
+	}
+	write(cw.uvarint(uint64(g.Dicts.EdgeTypes.Len())))
+	for i := 0; i < g.Dicts.EdgeTypes.Len(); i++ {
+		write(cw.str(g.Dicts.EdgeTypes.Value(uint32(i))))
+	}
+	write(cw.uvarint(uint64(g.Dicts.Attrs.Len())))
+	for i := 0; i < g.Dicts.Attrs.Len(); i++ {
+		a := g.Dicts.Attr(dict.AttrID(i))
+		write(cw.str(a.Predicate))
+		write(cw.str(a.Lexical)) // v1 stored the folded lexical form here
+	}
+	write(cw.uvarint(uint64(g.numTriples)))
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.out[v]
+		write(cw.uvarint(uint64(len(adj))))
+		for _, nb := range adj {
+			write(cw.uvarint(uint64(nb.V)))
+			write(cw.uvarint(uint64(len(nb.Types))))
+			prev := uint64(0)
+			for _, ty := range nb.Types {
+				write(cw.uvarint(uint64(ty) - prev))
+				prev = uint64(ty)
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		as := g.attrs[v]
+		write(cw.uvarint(uint64(len(as))))
+		prev := uint64(0)
+		for _, a := range as {
+			write(cw.uvarint(uint64(a) - prev))
+			prev = uint64(a)
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := bw.Write(tail[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeVersion1Snapshot: snapshots written before the typed-term
+// dictionary still open; their folded literal strings load as plain
+// literals, exactly as stored.
+func TestDecodeVersion1Snapshot(t *testing.T) {
+	g, err := FromTriples([]rdf.Triple{
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://y/p"), O: rdf.NewIRI("http://x/b")},
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://y/q"), O: rdf.NewLiteral("folded@en")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := encodeV1(t, g)
+	got, err := Decode(bytes.NewReader(old))
+	if err != nil {
+		t.Fatalf("Decode(v1): %v", err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumTriples() != g.NumTriples() {
+		t.Errorf("v1 decode sizes: %d vertices %d triples", got.NumVertices(), got.NumTriples())
+	}
+	a := got.Dicts.Attr(0)
+	if a.Lexical != "folded@en" || a.Datatype != "" || a.Lang != "" {
+		t.Errorf("v1 attribute = %+v, want plain folded literal", a)
+	}
+}
+
+// TestDecodeUnknownVersionFails: a future version must fail with a clear
+// versioned error, not a checksum mismatch or a garbled graph.
+func TestDecodeUnknownVersionFails(t *testing.T) {
+	g, err := FromTriples([]rdf.Triple{
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://y/p"), O: rdf.NewIRI("http://x/b")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(snapshotMagic)] = 99
+	_, err = Decode(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "unsupported snapshot version 99") {
+		t.Errorf("Decode(v99) err = %v", err)
+	}
+}
+
+// TestTypedAttributeSnapshotRoundTrip: datatypes and language tags
+// survive Encode→Decode.
+func TestTypedAttributeSnapshotRoundTrip(t *testing.T) {
+	g, err := FromTriples([]rdf.Triple{
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://y/age"),
+			O: rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")},
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://y/greet"),
+			O: rdf.NewLangLiteral("hi", "en")},
+		{S: rdf.NewBlank("b1"), P: rdf.NewIRI("http://y/name"), O: rdf.NewLiteral("plain")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := encodeDecode(t, g)
+	for i := 0; i < g.Dicts.Attrs.Len(); i++ {
+		want := g.Dicts.Attr(dict.AttrID(i))
+		if have := got.Dicts.Attr(dict.AttrID(i)); have != want {
+			t.Errorf("attr %d = %+v, want %+v", i, have, want)
+		}
 	}
 }

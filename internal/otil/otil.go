@@ -193,12 +193,12 @@ func collectTerminals(n *tnode, out *[]dict.VertexID) {
 // Len reports the number of distinct edge types indexed.
 func (t *Trie) Len() int { return len(t.inv) }
 
-// IntersectSorted returns the intersection of two ascending vertex lists.
-func IntersectSorted(a, b []dict.VertexID) []dict.VertexID {
+// IntersectSorted returns the intersection of two ascending id lists.
+func IntersectSorted[T ~uint32](a, b []T) []T {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	var out []dict.VertexID
+	var out []T
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -215,9 +215,9 @@ func IntersectSorted(a, b []dict.VertexID) []dict.VertexID {
 	return out
 }
 
-// ContainsSorted reports whether v occurs in the ascending vertex list,
-// by binary search.
-func ContainsSorted(lst []dict.VertexID, v dict.VertexID) bool {
+// ContainsSorted reports whether v occurs in the ascending id list, by
+// binary search.
+func ContainsSorted[T ~uint32](lst []T, v T) bool {
 	lo, hi := 0, len(lst)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)

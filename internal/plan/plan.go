@@ -26,9 +26,11 @@ package plan
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/dict"
 	"repro/internal/index"
+	"repro/internal/multigraph"
 	"repro/internal/otil"
 	"repro/internal/query"
 )
@@ -192,15 +194,30 @@ func (s *scaffold) computeFixed() {
 	s.p.IsFixed = make([]bool, n)
 	for u := range s.q.Vars {
 		v := &s.q.Vars[u]
-		if len(v.Attrs) == 0 && len(v.IRIs) == 0 {
+		if lit := v.Lit; lit != nil && lit.SubjectVar < 0 {
+			// A literal satellite with a constant subject forms its own
+			// single-vertex component; its exact candidate list — p-edge
+			// neighbours plus encoded <p, ·> attributes of the constant —
+			// is computable right here.
+			s.p.IsFixed[u] = true
+			s.p.Fixed[u] = litFixed(s.r, lit)
+			if len(s.p.Fixed[u]) == 0 {
+				s.p.markEmpty("empty candidate set for ?" + v.Name)
+			}
+			continue
+		}
+		cand, have := s.litSupport(v)
+		if len(v.Attrs) == 0 && len(v.IRIs) == 0 && !have {
 			continue
 		}
 		s.p.IsFixed[u] = true
-		var cand []dict.VertexID
-		have := false
 		if len(v.Attrs) > 0 {
-			cand = s.r.AttrCandidates(v.Attrs)
-			have = true
+			ac := s.r.AttrCandidates(v.Attrs)
+			if have {
+				cand = otil.IntersectSorted(cand, ac)
+			} else {
+				cand, have = ac, true
+			}
 		}
 		for _, c := range v.IRIs {
 			nb := s.r.Neighbors(c.DataVertex, c.Dir, c.Types)
@@ -218,6 +235,70 @@ func (s *scaffold) computeFixed() {
 			s.p.markEmpty("empty candidate set for ?" + v.Name)
 		}
 	}
+}
+
+// litFixed materializes the candidate list of a constant-subject literal
+// satellite: the subject's p-neighbours followed by its matching
+// attributes as encoded literal bindings (sorted by construction).
+func litFixed(r index.Reader, lit *query.LitSat) []dict.VertexID {
+	var verts []dict.VertexID
+	if len(lit.Types) > 0 {
+		verts = r.Neighbors(lit.SubjectVertex, index.Outgoing, lit.Types)
+	}
+	attrs := otil.IntersectSorted(r.VertexAttrs(lit.SubjectVertex), lit.Attrs)
+	out := make([]dict.VertexID, 0, len(verts)+len(attrs))
+	out = append(out, verts...)
+	for _, a := range attrs {
+		out = append(out, dict.EncodeAttrBinding(a))
+	}
+	return out
+}
+
+// litSupport bounds a vertex's candidates through its literal
+// satellites: a match must satisfy every satellite, i.e. carry a <p, ·>
+// attribute or (when p is also an edge type) an outgoing p-edge. The
+// union of p's inverted attribute lists with the signature-index probe
+// for a single outgoing p multi-edge is therefore a sound candidate
+// superset (the signature probe over-approximates p-edge sources per
+// Lemma 1). Without it, a subject whose only pattern is the literal one
+// would degrade to a full vertex scan — its own synopsis is empty.
+func (s *scaffold) litSupport(v *query.Vertex) (cand []dict.VertexID, have bool) {
+	for _, uo := range v.LitSats {
+		lit := s.q.Vars[uo].Lit
+		var union []dict.VertexID
+		for _, a := range lit.Attrs {
+			union = append(union, s.r.AttrCandidates([]dict.AttrID{a})...)
+		}
+		if len(lit.Types) > 0 {
+			syn := multigraph.SynopsisFromMultiEdges(nil, [][]dict.EdgeType{lit.Types}).AsQuery()
+			union = append(union, s.r.SignatureCandidates(syn)...)
+		}
+		sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+		union = dedupVerts(union)
+		if have {
+			cand = otil.IntersectSorted(cand, union)
+		} else {
+			cand, have = union, true
+		}
+		if len(cand) == 0 {
+			return cand, true
+		}
+	}
+	return cand, have
+}
+
+// dedupVerts removes duplicates from a sorted list in place.
+func dedupVerts(a []dict.VertexID) []dict.VertexID {
+	if len(a) < 2 {
+		return a
+	}
+	out := a[:1]
+	for _, x := range a[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // rank1 is the paper's r1(u): the number of satellite vertices attached to

@@ -1,7 +1,15 @@
 // Package query translates a parsed SPARQL query into the query multigraph
 // Q of the AMbER paper (Section 2.2.1) against a concrete data graph's
 // dictionaries, and performs the structural analysis the matching engine
-// needs: core/satellite decomposition (Section 3, Section 5). The matching
+// needs: core/satellite decomposition (Section 3, Section 5).
+//
+// Beyond the paper's model, an object variable that occurs exactly once in
+// the query may bind literals: the data multigraph folds literal objects
+// into vertex attributes, so pattern `?s p ?o` translates such a ?o into a
+// literal satellite whose candidates are the subject's <p, ·> attributes
+// (encoded attribute ids, see dict.EncodeAttrBinding) unioned with the
+// ordinary p-edge neighbours. This is what lets typed literals reach the
+// result set. The matching
 // order of the core vertices is deliberately NOT chosen here — ordering is
 // a planning decision made by internal/plan, which may use either the
 // paper's static heuristic (Section 5.3) or data-aware cost estimates.
@@ -41,6 +49,25 @@ type IRIConstraint struct {
 	Types []dict.EdgeType
 }
 
+// LitSat marks a satellite variable that may bind literals as well as
+// vertices: pattern `S p ?o` where ?o occurs nowhere else and predicate p
+// has literal occurrences in the data. The satellite's candidates are the
+// union of the subject's p-neighbours (when p is also an edge type) and
+// its <p, ·> attributes, the latter encoded via dict.EncodeAttrBinding.
+type LitSat struct {
+	// SubjectVar is the subject query vertex, or -1 when the subject is
+	// the constant SubjectVertex.
+	SubjectVar VertexID
+	// SubjectVertex is the constant subject's data vertex (SubjectVar < 0).
+	SubjectVertex dict.VertexID
+	// Types is p's edge-type id as a one-element probe set; nil when p
+	// never links two vertices in the data.
+	Types []dict.EdgeType
+	// Attrs is Ma's sorted posting list for predicate p (non-empty by
+	// construction — otherwise the pattern translates the ordinary way).
+	Attrs []dict.AttrID
+}
+
 // Vertex is one query vertex u ∈ U with everything attached to it.
 type Vertex struct {
 	// Name is the SPARQL variable name (without '?').
@@ -54,6 +81,11 @@ type Vertex struct {
 	In  []Edge
 	// SelfTypes holds types of self-loop patterns (?x p ?x), sorted.
 	SelfTypes []dict.EdgeType
+	// Lit, non-nil on a literal satellite, describes its binding sources.
+	Lit *LitSat
+	// LitSats lists the literal satellites hanging off this vertex
+	// (inverse of Lit.SubjectVar), sorted ascending.
+	LitSats []VertexID
 }
 
 // GroundEdge is a fully instantiated pattern (IRI p IRI): a boolean check.
@@ -157,6 +189,48 @@ func Build(q *sparql.Query, d dict.Resolver) (*Graph, error) {
 		}
 	}
 
+	// Count variable occurrences: an object variable that occurs exactly
+	// once may bind literals (see LitSat).
+	occ := make(map[string]int)
+	for _, p := range q.Patterns {
+		if p.S.Kind == sparql.Var {
+			occ[p.S.Value]++
+		}
+		if p.O.Kind == sparql.Var {
+			occ[p.O.Value]++
+		}
+	}
+	// litSatellite translates pattern `S p ?o` as a literal satellite when
+	// ?o is single-occurrence and p has literal occurrences in the data.
+	// It reports whether it consumed the pattern.
+	litSatellite := func(p sparql.TriplePattern) bool {
+		if occ[p.O.Value] != 1 {
+			return false
+		}
+		attrs := d.PredicateAttrs(p.P.Value)
+		if len(attrs) == 0 {
+			return false
+		}
+		var types []dict.EdgeType
+		if et, ok := d.LookupEdgeType(p.P.Value); ok {
+			types = []dict.EdgeType{et}
+		}
+		uo := varID(p.O.Value)
+		if p.S.Kind == sparql.Var {
+			us := varID(p.S.Value)
+			g.Vars[uo].Lit = &LitSat{SubjectVar: us, Types: types, Attrs: attrs}
+			g.Vars[us].LitSats = append(g.Vars[us].LitSats, uo)
+			return true
+		}
+		v, ok := d.LookupVertex(p.S.Value)
+		if !ok {
+			unsat("IRI <%s> not in data", p.S.Value)
+			return true
+		}
+		g.Vars[uo].Lit = &LitSat{SubjectVar: -1, SubjectVertex: v, Types: types, Attrs: attrs}
+		return true
+	}
+
 	for _, p := range q.Patterns {
 		if p.P.Kind != sparql.IRI {
 			return nil, fmt.Errorf("query: predicate must be an IRI in pattern %v", p)
@@ -171,9 +245,9 @@ func Build(q *sparql.Query, d dict.Resolver) (*Graph, error) {
 		}
 
 		if p.O.Kind == sparql.Literal {
-			a, ok := d.LookupAttr(p.P.Value, p.O.Value)
+			a, ok := d.LookupAttr(p.P.Value, p.O.RDF())
 			if !ok {
-				unsat("attribute <%s, %q> not in data", p.P.Value, p.O.Value)
+				unsat("attribute <%s, %s> not in data", p.P.Value, p.O.RDF())
 				continue
 			}
 			switch p.S.Kind {
@@ -191,13 +265,16 @@ func Build(q *sparql.Query, d dict.Resolver) (*Graph, error) {
 			continue
 		}
 
+		sVar := p.S.Kind == sparql.Var
+		oVar := p.O.Kind == sparql.Var
+		if oVar && litSatellite(p) {
+			continue
+		}
 		et, ok := d.LookupEdgeType(p.P.Value)
 		if !ok {
 			unsat("predicate <%s> not in data", p.P.Value)
 			continue
 		}
-		sVar := p.S.Kind == sparql.Var
-		oVar := p.O.Kind == sparql.Var
 		switch {
 		case sVar && oVar:
 			us, uo := varID(p.S.Value), varID(p.O.Value)
@@ -281,6 +358,7 @@ func Build(q *sparql.Query, d dict.Resolver) (*Graph, error) {
 			}
 			return v.IRIs[a].Dir < v.IRIs[b].Dir
 		})
+		sort.Slice(v.LitSats, func(a, b int) bool { return v.LitSats[a] < v.LitSats[b] })
 	}
 	sort.Slice(g.GroundEdges, func(a, b int) bool {
 		if g.GroundEdges[a].From != g.GroundEdges[b].From {
@@ -332,21 +410,29 @@ func dedupTypes(a []dict.EdgeType) []dict.EdgeType {
 // order (Out edges before In edges, each sorted by To).
 func (g *Graph) VarNeighbors(u VertexID) []VertexID { return g.varNeighbors(u) }
 
-// varNeighbors returns the distinct variable neighbours of u.
+// varNeighbors returns the distinct variable neighbours of u, including
+// literal-satellite links (which connect a satellite to its subject even
+// when the predicate is not an edge type).
 func (g *Graph) varNeighbors(u VertexID) []VertexID {
 	seen := make(map[VertexID]bool)
 	var out []VertexID
-	for _, e := range g.Vars[u].Out {
-		if !seen[e.To] {
-			seen[e.To] = true
-			out = append(out, e.To)
+	add := func(w VertexID) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
 		}
 	}
+	for _, e := range g.Vars[u].Out {
+		add(e.To)
+	}
 	for _, e := range g.Vars[u].In {
-		if !seen[e.To] {
-			seen[e.To] = true
-			out = append(out, e.To)
-		}
+		add(e.To)
+	}
+	for _, w := range g.Vars[u].LitSats {
+		add(w)
+	}
+	if lit := g.Vars[u].Lit; lit != nil && lit.SubjectVar >= 0 {
+		add(lit.SubjectVar)
 	}
 	return out
 }
@@ -486,6 +572,15 @@ func (g *Graph) decomposeComponent(members []VertexID) Component {
 		// which is satellite), so it stays here rather than in the planner.
 		best := members[0]
 		for _, u := range members[1:] {
+			// A literal satellite can never be core: its candidates are
+			// enumerable only from its subject (or fixed constant subject).
+			if g.Vars[u].Lit != nil && g.Vars[best].Lit == nil {
+				continue
+			}
+			if g.Vars[best].Lit != nil && g.Vars[u].Lit == nil {
+				best = u
+				continue
+			}
 			if g.Rank2(u) > g.Rank2(best) ||
 				(g.Rank2(u) == g.Rank2(best) && len(g.Vars[u].Attrs) > len(g.Vars[best].Attrs)) {
 				best = u

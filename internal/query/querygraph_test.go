@@ -430,3 +430,115 @@ SELECT * WHERE {
 		t.Errorf("Rank2(a) = %d, want 3 (two triangle edges + IRI edge)", got)
 	}
 }
+
+// parseQ is a small helper for the literal-satellite tests.
+func parseQ(t *testing.T, src string) *sparql.Query {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestLitSatelliteAttrOnlyPredicate: `?s p ?o` over a predicate that only
+// occurs with literal objects used to be unsatisfiable; it now yields a
+// literal satellite attached to the subject.
+func TestLitSatelliteAttrOnlyPredicate(t *testing.T) {
+	g := dataGraph(t)
+	q := parseQ(t, `PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?s ?n WHERE { ?s y:hasName ?n }`)
+	qg, err := Build(q, &g.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qg.Unsat {
+		t.Fatalf("attr-only predicate unsat: %s", qg.UnsatReason)
+	}
+	uo := qg.VarIndex["n"]
+	us := qg.VarIndex["s"]
+	lit := qg.Vars[uo].Lit
+	if lit == nil {
+		t.Fatal("object variable has no Lit constraint")
+	}
+	if lit.SubjectVar != us || len(lit.Types) != 0 || len(lit.Attrs) == 0 {
+		t.Errorf("Lit = %+v", lit)
+	}
+	if len(qg.Components) != 1 {
+		t.Fatalf("components = %d, want 1 (lit link must connect)", len(qg.Components))
+	}
+	comp := qg.Components[0]
+	if len(comp.Core) != 1 || comp.Core[0] != us {
+		t.Errorf("core = %v, want [?s]", comp.Core)
+	}
+	if sats := comp.Satellites[us]; len(sats) != 1 || sats[0] != uo {
+		t.Errorf("satellites = %v, want [?n]", sats)
+	}
+}
+
+// TestLitSatelliteConstSubject: a constant subject makes the literal
+// satellite its own single-vertex component with a fixed candidate list.
+func TestLitSatelliteConstSubject(t *testing.T) {
+	g := dataGraph(t)
+	q := parseQ(t, `PREFIX y: <http://dbpedia.org/ontology/>
+PREFIX x: <http://dbpedia.org/resource/>
+SELECT ?n WHERE { x:Music_Band y:hasName ?n }`)
+	qg, err := Build(q, &g.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uo := qg.VarIndex["n"]
+	lit := qg.Vars[uo].Lit
+	if lit == nil || lit.SubjectVar >= 0 {
+		t.Fatalf("Lit = %+v, want constant subject", lit)
+	}
+	if want, _ := g.Dicts.LookupVertex("http://dbpedia.org/resource/Music_Band"); lit.SubjectVertex != want {
+		t.Errorf("SubjectVertex = %d, want %d", lit.SubjectVertex, want)
+	}
+	if len(qg.Components) != 1 || len(qg.Components[0].Core) != 1 || qg.Components[0].Core[0] != uo {
+		t.Errorf("decomposition = %+v", qg.Components)
+	}
+}
+
+// TestLitSatelliteMultiOccurrenceStaysVertex: a variable that joins
+// across patterns keeps the paper's vertex-only semantics.
+func TestLitSatelliteMultiOccurrenceStaysVertex(t *testing.T) {
+	g := dataGraph(t)
+	q := parseQ(t, `PREFIX y: <http://dbpedia.org/ontology/>
+SELECT ?b WHERE { ?a y:wasBornIn ?b . ?c y:diedIn ?b }`)
+	qg, err := Build(q, &g.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qg.Vars[qg.VarIndex["b"]].Lit != nil {
+		t.Error("join variable acquired a Lit constraint")
+	}
+}
+
+// TestLitSatelliteMixedPredicate: when the predicate is both an edge type
+// and an attribute predicate, the satellite probes both sides.
+func TestLitSatelliteMixedPredicate(t *testing.T) {
+	triples, err := rdf.ParseString(`
+<http://x/b> <http://p/mixed> <http://x/a> .
+<http://x/b> <http://p/mixed> "both" .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := multigraph.FromTriples(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := parseQ(t, `SELECT ?v WHERE { ?s <http://p/mixed> ?v }`)
+	qg, err := Build(q, &g.Dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := qg.Vars[qg.VarIndex["v"]].Lit
+	if lit == nil {
+		t.Fatal("mixed predicate: no Lit")
+	}
+	if len(lit.Types) != 1 || len(lit.Attrs) != 1 {
+		t.Errorf("Lit = %+v, want one edge type and one attribute", lit)
+	}
+}

@@ -28,9 +28,9 @@ func (e *ParseError) Error() string {
 //     style `PREFIX p: <ns>`;
 //   - prefixed names (`p:local`) wherever a full IRI may appear.
 //
-// Literal datatype (`^^<iri>`) and language (`@tag`) suffixes are parsed and
-// folded into the literal's lexical value, since the engine treats literals
-// opaquely.
+// Literal datatype (`^^<iri>`) and language (`@tag`) suffixes are parsed
+// into the Term's Datatype and Lang fields, so typed literals survive the
+// full parse → intern → decode → serialize path.
 type Decoder struct {
 	scan     *bufio.Scanner
 	prefixes *PrefixMap
@@ -150,8 +150,8 @@ func (d *Decoder) parseTriple() (Triple, error) {
 	if err != nil {
 		return Triple{}, err
 	}
-	if !s.IsIRI() {
-		return Triple{}, d.errf("subject must be an IRI, got literal %q", s.Value)
+	if !s.IsResource() {
+		return Triple{}, d.errf("subject must be an IRI or blank node, got literal %q", s.Value)
 	}
 	d.skipSpace()
 	p, err := d.parseTerm()
@@ -159,7 +159,7 @@ func (d *Decoder) parseTriple() (Triple, error) {
 		return Triple{}, err
 	}
 	if !p.IsIRI() {
-		return Triple{}, d.errf("predicate must be an IRI, got literal %q", p.Value)
+		return Triple{}, d.errf("predicate must be an IRI, got %v", p)
 	}
 	d.skipSpace()
 	o, err := d.parseTerm()
@@ -220,7 +220,7 @@ func (d *Decoder) parseBlank() (Term, error) {
 	if d.pos == start+2 {
 		return Term{}, d.errf("blank node with empty label")
 	}
-	return NewIRI(d.buf[start:d.pos]), nil
+	return NewBlank(d.buf[start:d.pos]), nil
 }
 
 func (d *Decoder) parsePrefixedName() (Term, error) {
@@ -294,21 +294,28 @@ func (d *Decoder) parseLiteral() (Term, error) {
 		d.pos++
 	}
 	val := b.String()
-	// Optional suffixes, folded into the lexical value.
+	// Optional datatype / language suffixes.
 	if d.pos < len(d.buf) && d.buf[d.pos] == '@' {
-		start := d.pos
 		d.pos++
+		start := d.pos
 		for d.pos < len(d.buf) && (isNameByte(d.buf[d.pos]) || d.buf[d.pos] == '-') {
 			d.pos++
 		}
-		val += d.buf[start:d.pos]
-	} else if strings.HasPrefix(d.buf[d.pos:], "^^") {
+		if d.pos == start {
+			return Term{}, d.errf("empty language tag")
+		}
+		return NewLangLiteral(val, d.buf[start:d.pos]), nil
+	}
+	if strings.HasPrefix(d.buf[d.pos:], "^^") {
 		d.pos += 2
 		dt, err := d.parseTerm()
 		if err != nil {
 			return Term{}, err
 		}
-		val += "^^" + dt.Value
+		if !dt.IsIRI() {
+			return Term{}, d.errf("datatype must be an IRI, got %v", dt)
+		}
+		return NewTypedLiteral(val, dt.Value), nil
 	}
 	return NewLiteral(val), nil
 }

@@ -111,11 +111,11 @@ func TestParseLiteralSuffixes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseString: %v", err)
 	}
-	if got[0].O.Value != "42^^http://www.w3.org/2001/XMLSchema#integer" {
-		t.Errorf("datatype literal = %q", got[0].O.Value)
+	if want := NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"); got[0].O != want {
+		t.Errorf("datatype literal = %v, want %v", got[0].O, want)
 	}
-	if got[1].O.Value != "bonjour@fr" {
-		t.Errorf("lang literal = %q", got[1].O.Value)
+	if want := NewLangLiteral("bonjour", "fr"); got[1].O != want {
+		t.Errorf("lang literal = %v, want %v", got[1].O, want)
 	}
 }
 
@@ -183,7 +183,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	triples := []Triple{
 		{NewIRI("http://x/s"), NewIRI("http://y/p"), NewIRI("http://x/o")},
 		{NewIRI("http://x/s"), NewIRI("http://y/p"), NewLiteral(`tricky "value"` + "\twith\ttabs")},
-		{NewIRI("_:blank"), NewIRI("http://y/p"), NewLiteral("plain")},
+		{NewBlank("blank"), NewIRI("http://y/p"), NewLiteral("plain")},
 	}
 	var sb strings.Builder
 	enc := NewEncoder(&sb)

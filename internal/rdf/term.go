@@ -4,9 +4,11 @@
 //
 // The model follows the W3C RDF 1.1 abstract syntax restricted to what the
 // AMbER paper (EDBT 2016, Section 2.1) requires: a subject and a predicate
-// are always IRIs, an object is either an IRI or a literal. Blank nodes are
-// accepted by the parser and treated as IRIs in a dedicated namespace so
-// that downstream components need only two term kinds.
+// are always IRIs (blank nodes are accepted as subjects and objects), an
+// object is an IRI, a blank node or a literal. Literals are typed: the
+// lexical form, the datatype IRI and the language tag are carried as
+// separate fields end to end, so `"42"^^xsd:integer` and the plain string
+// `"42^^…"` are distinct terms.
 package rdf
 
 import (
@@ -14,17 +16,28 @@ import (
 	"strings"
 )
 
-// TermKind discriminates the two kinds of RDF terms the engine manipulates.
+// XSDString is the datatype IRI of plain string literals. Per RDF 1.1 a
+// simple literal and one explicitly typed as xsd:string denote the same
+// term, so the parser and constructors normalize the explicit form away:
+// a Term with empty Datatype and Lang is an xsd:string literal.
+const XSDString = "http://www.w3.org/2001/XMLSchema#string"
+
+// LangString is the datatype IRI RDF 1.1 assigns to language-tagged
+// literals. It is implied by a non-empty Lang and never stored in
+// Term.Datatype.
+const LangString = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+
+// TermKind discriminates the kinds of RDF terms the engine manipulates.
 type TermKind uint8
 
 const (
-	// IRI is an Internationalized Resource Identifier (or a blank node
-	// mapped into the _: namespace).
+	// IRI is an Internationalized Resource Identifier.
 	IRI TermKind = iota
-	// Literal is an RDF literal; only its lexical form is retained. The
-	// paper treats literals opaquely as attribute values, so datatype and
-	// language tags are folded into the lexical form when present.
+	// Literal is an RDF literal: a lexical form plus an optional datatype
+	// IRI or language tag.
 	Literal
+	// Blank is a blank node, identified by its _: label.
+	Blank
 )
 
 // String reports the kind name, for diagnostics.
@@ -34,25 +47,65 @@ func (k TermKind) String() string {
 		return "IRI"
 	case Literal:
 		return "Literal"
+	case Blank:
+		return "Blank"
 	default:
 		return fmt.Sprintf("TermKind(%d)", uint8(k))
 	}
 }
 
-// Term is a single RDF term: an IRI or a literal.
+// Term is a single RDF term: an IRI, a blank node or a literal.
 //
-// The zero value is an empty IRI, which is never produced by the parser and
-// can therefore be used as a sentinel.
+// Value holds the IRI text, the blank label (including the "_:" prefix)
+// or the literal's lexical form. Datatype and Lang are meaningful only
+// for literals; at most one of them is non-empty.
+//
+// The zero value is an empty IRI, which is never produced by the parser
+// and can therefore be used as a sentinel.
 type Term struct {
-	Kind  TermKind
-	Value string
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
 }
 
 // NewIRI returns an IRI term.
 func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
 
-// NewLiteral returns a literal term.
+// NewLiteral returns a plain (xsd:string) literal term.
 func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+// xsd:string is normalized to the plain form.
+func NewTypedLiteral(lexical, datatype string) Term {
+	if datatype == XSDString || datatype == "" {
+		return Term{Kind: Literal, Value: lexical}
+	}
+	return Term{Kind: Literal, Value: lexical, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{Kind: Literal, Value: lexical, Lang: lang}
+}
+
+// NewBlank returns a blank-node term; label may be given with or without
+// the "_:" prefix.
+func NewBlank(label string) Term {
+	if !strings.HasPrefix(label, "_:") {
+		label = "_:" + label
+	}
+	return Term{Kind: Blank, Value: label}
+}
+
+// NewResource reconstructs an IRI or blank-node term from its dictionary
+// key (the vertex dictionaries store blank labels in the "_:" namespace).
+func NewResource(v string) Term {
+	if strings.HasPrefix(v, "_:") {
+		return Term{Kind: Blank, Value: v}
+	}
+	return Term{Kind: IRI, Value: v}
+}
 
 // IsIRI reports whether the term is an IRI.
 func (t Term) IsIRI() bool { return t.Kind == IRI }
@@ -60,18 +113,55 @@ func (t Term) IsIRI() bool { return t.Kind == IRI }
 // IsLiteral reports whether the term is a literal.
 func (t Term) IsLiteral() bool { return t.Kind == Literal }
 
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// IsResource reports whether the term can denote a graph vertex: an IRI
+// or a blank node.
+func (t Term) IsResource() bool { return t.Kind == IRI || t.Kind == Blank }
+
 // IsZero reports whether the term is the zero Term.
-func (t Term) IsZero() bool { return t.Kind == IRI && t.Value == "" }
+func (t Term) IsZero() bool { return t == Term{} }
+
+// DatatypeIRI returns the literal's effective datatype under RDF 1.1
+// semantics: the explicit datatype, rdf:langString for language-tagged
+// literals, xsd:string otherwise. It returns "" for non-literals.
+func (t Term) DatatypeIRI() string {
+	if t.Kind != Literal {
+		return ""
+	}
+	if t.Lang != "" {
+		return LangString
+	}
+	if t.Datatype == "" {
+		return XSDString
+	}
+	return t.Datatype
+}
 
 // String renders the term in N-Triples syntax.
 func (t Term) String() string {
-	if t.Kind == Literal {
-		return `"` + escapeLiteral(t.Value) + `"`
+	switch t.Kind {
+	case Literal:
+		s := `"` + escapeLiteral(t.Value) + `"`
+		switch {
+		case t.Lang != "":
+			s += "@" + t.Lang
+		case t.Datatype != "":
+			s += "^^<" + t.Datatype + ">"
+		}
+		return s
+	case Blank:
+		if isBlankLabel(t.Value) {
+			return t.Value
+		}
+		return "<" + t.Value + ">"
+	default:
+		if isBlankLabel(t.Value) {
+			return t.Value
+		}
+		return "<" + t.Value + ">"
 	}
-	if isBlankLabel(t.Value) {
-		return t.Value
-	}
-	return "<" + t.Value + ">"
 }
 
 // isBlankLabel reports whether v is a well-formed blank-node identifier
@@ -119,8 +209,8 @@ func escapeLiteral(s string) string {
 	return b.String()
 }
 
-// Triple is one RDF statement <s, p, o>. S and P are always IRIs; O is an
-// IRI or a literal (enforced by the parser, not by the type).
+// Triple is one RDF statement <s, p, o>. S is an IRI or blank node, P is
+// always an IRI; O is any term (enforced by the parser, not by the type).
 type Triple struct {
 	S, P, O Term
 }

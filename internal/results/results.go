@@ -1,5 +1,12 @@
 // Package results serializes SPARQL query solutions in the W3C SPARQL 1.1
-// Query Results formats: JSON, XML, CSV and TSV.
+// Query Results formats: JSON, XML, CSV and TSV — both the variable-
+// binding documents of SELECT and the boolean documents of ASK.
+//
+// Serialization is term-driven: every binding is a typed rdf.Term, so the
+// writers emit `"type":"uri"|"literal"|"bnode"`, `"datatype"` and
+// `"xml:lang"` from the term itself instead of guessing from the value
+// text, and an unbound variable (absent from the row) is omitted rather
+// than rendered as an empty string.
 //
 // The writers are streaming: rows are encoded and flushed incrementally
 // against the engine's row-callback API, so arbitrarily large result sets
@@ -14,6 +21,8 @@ import (
 	"encoding/xml"
 	"io"
 	"strings"
+
+	"repro/internal/rdf"
 )
 
 // Writer serializes one result set. Implementations are not safe for
@@ -21,11 +30,20 @@ import (
 type Writer interface {
 	// Begin emits the header for the projected variable names (without '?').
 	Begin(vars []string) error
-	// Row emits one solution. A variable that is absent from the map or
-	// mapped to the empty string is unbound in this row.
-	Row(row map[string]string) error
+	// Row emits one solution. A variable that is absent from the map is
+	// unbound in this row; a present term is emitted typed, even when its
+	// lexical form is empty.
+	Row(row map[string]rdf.Term) error
 	// End emits the trailer and flushes buffered output.
 	End() error
+}
+
+// BoolWriter additionally serializes the boolean result document of an
+// ASK query. All built-in formats implement it.
+type BoolWriter interface {
+	// Bool emits a complete boolean results document and flushes it. Use
+	// instead of Begin/Row/End, not alongside.
+	Bool(value bool) error
 }
 
 // Format identifies one supported serialization.
@@ -57,38 +75,6 @@ func Lookup(name string) (Format, bool) {
 	return Format{}, false
 }
 
-// isIRI reports whether a bound value looks like an absolute IRI: an
-// RFC 3986 scheme, a ':', and a remainder free of whitespace and the
-// characters IRIs forbid. AMbER binds variables to multigraph vertices,
-// which are IRIs, but values decoded from data may be plain strings;
-// those serialize as literals.
-func isIRI(v string) bool {
-	colon := -1
-	for i := 0; i < len(v); i++ {
-		c := v[i]
-		if c == ':' {
-			colon = i
-			break
-		}
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
-		case i > 0 && (c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.'):
-		default:
-			return false
-		}
-	}
-	if colon <= 0 {
-		return false
-	}
-	for i := colon + 1; i < len(v); i++ {
-		switch c := v[i]; {
-		case c <= ' ', c == '<', c == '>', c == '"', c == '{', c == '}', c == '|', c == '\\', c == '^', c == '`':
-			return false
-		}
-	}
-	return true
-}
-
 // --- JSON (application/sparql-results+json) ---
 
 type jsonWriter struct {
@@ -113,7 +99,7 @@ func (j *jsonWriter) Begin(vars []string) error {
 	return err
 }
 
-func (j *jsonWriter) Row(row map[string]string) error {
+func (j *jsonWriter) Row(row map[string]rdf.Term) error {
 	if j.first {
 		j.first = false
 	} else {
@@ -122,21 +108,32 @@ func (j *jsonWriter) Row(row map[string]string) error {
 	j.w.WriteByte('{')
 	n := 0
 	for _, v := range j.vars {
-		val := row[v]
-		if val == "" {
-			continue
+		t, ok := row[v]
+		if !ok {
+			continue // unbound: the binding is absent, not empty
 		}
 		if n > 0 {
 			j.w.WriteByte(',')
 		}
 		n++
 		writeJSONString(j.w, v)
-		if isIRI(val) {
-			j.w.WriteString(`:{"type":"uri","value":`)
-		} else {
-			j.w.WriteString(`:{"type":"literal","value":`)
+		switch t.Kind {
+		case rdf.Literal:
+			j.w.WriteString(`:{"type":"literal"`)
+			if t.Lang != "" {
+				j.w.WriteString(`,"xml:lang":`)
+				writeJSONString(j.w, t.Lang)
+			} else if t.Datatype != "" {
+				j.w.WriteString(`,"datatype":`)
+				writeJSONString(j.w, t.Datatype)
+			}
+		case rdf.Blank:
+			j.w.WriteString(`:{"type":"bnode"`)
+		default:
+			j.w.WriteString(`:{"type":"uri"`)
 		}
-		writeJSONString(j.w, val)
+		j.w.WriteString(`,"value":`)
+		writeJSONString(j.w, bindingValue(t))
 		j.w.WriteByte('}')
 	}
 	_, err := j.w.WriteString("}")
@@ -148,12 +145,33 @@ func (j *jsonWriter) End() error {
 	return j.w.Flush()
 }
 
+func (j *jsonWriter) Bool(value bool) error {
+	j.w.WriteString(`{"head":{},"boolean":`)
+	if value {
+		j.w.WriteString("true}")
+	} else {
+		j.w.WriteString("false}")
+	}
+	j.w.WriteString("\n")
+	return j.w.Flush()
+}
+
 func writeJSONString(w *bufio.Writer, s string) {
 	b, err := json.Marshal(s)
 	if err != nil { // cannot happen for a string
 		b = []byte(`""`)
 	}
 	w.Write(b)
+}
+
+// bindingValue is a term's document value: the IRI, the blank label
+// without its "_:" prefix (the JSON/XML formats carry the kind out of
+// band), or the literal's lexical form.
+func bindingValue(t rdf.Term) string {
+	if t.Kind == rdf.Blank {
+		return strings.TrimPrefix(t.Value, "_:")
+	}
+	return t.Value
 }
 
 // --- XML (application/sparql-results+xml) ---
@@ -178,24 +196,40 @@ func (x *xmlWriter) Begin(vars []string) error {
 	return err
 }
 
-func (x *xmlWriter) Row(row map[string]string) error {
+func (x *xmlWriter) Row(row map[string]rdf.Term) error {
 	x.w.WriteString("  <result>\n")
 	for _, v := range x.vars {
-		val := row[v]
-		if val == "" {
+		t, ok := row[v]
+		if !ok {
 			continue
 		}
 		x.w.WriteString(`    <binding name="`)
 		xmlEscape(x.w, v)
 		x.w.WriteString(`">`)
-		if isIRI(val) {
-			x.w.WriteString("<uri>")
-			xmlEscape(x.w, val)
-			x.w.WriteString("</uri>")
-		} else {
-			x.w.WriteString("<literal>")
-			xmlEscape(x.w, val)
+		switch t.Kind {
+		case rdf.Literal:
+			switch {
+			case t.Lang != "":
+				x.w.WriteString(`<literal xml:lang="`)
+				xmlEscape(x.w, t.Lang)
+				x.w.WriteString(`">`)
+			case t.Datatype != "":
+				x.w.WriteString(`<literal datatype="`)
+				xmlEscape(x.w, t.Datatype)
+				x.w.WriteString(`">`)
+			default:
+				x.w.WriteString("<literal>")
+			}
+			xmlEscape(x.w, t.Value)
 			x.w.WriteString("</literal>")
+		case rdf.Blank:
+			x.w.WriteString("<bnode>")
+			xmlEscape(x.w, bindingValue(t))
+			x.w.WriteString("</bnode>")
+		default:
+			x.w.WriteString("<uri>")
+			xmlEscape(x.w, t.Value)
+			x.w.WriteString("</uri>")
 		}
 		x.w.WriteString("</binding>\n")
 	}
@@ -205,6 +239,18 @@ func (x *xmlWriter) Row(row map[string]string) error {
 
 func (x *xmlWriter) End() error {
 	x.w.WriteString("</results>\n</sparql>\n")
+	return x.w.Flush()
+}
+
+func (x *xmlWriter) Bool(value bool) error {
+	x.w.WriteString(xml.Header)
+	x.w.WriteString(`<sparql xmlns="http://www.w3.org/2005/sparql-results#">` + "\n<head/>\n")
+	if value {
+		x.w.WriteString("<boolean>true</boolean>\n")
+	} else {
+		x.w.WriteString("<boolean>false</boolean>\n")
+	}
+	x.w.WriteString("</sparql>\n")
 	return x.w.Flush()
 }
 
@@ -232,14 +278,32 @@ func (c *csvWriter) Begin(vars []string) error {
 	return c.w.Write(vars)
 }
 
-func (c *csvWriter) Row(row map[string]string) error {
+// Row emits the SPARQL CSV form: IRIs bare, blank nodes with their _:
+// label, literals as their lexical form (datatype and language are not
+// representable in CSV, per the spec); unbound variables are empty
+// fields. encoding/csv quotes fields containing separators, quotes or
+// newlines, per RFC 4180.
+func (c *csvWriter) Row(row map[string]rdf.Term) error {
 	for i, v := range c.vars {
-		c.rec[i] = row[v]
+		t, ok := row[v]
+		if !ok {
+			c.rec[i] = ""
+			continue
+		}
+		c.rec[i] = t.Value
 	}
 	return c.w.Write(c.rec)
 }
 
 func (c *csvWriter) End() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+func (c *csvWriter) Bool(value bool) error {
+	if err := c.w.Write([]string{boolLexical(value)}); err != nil {
+		return err
+	}
 	c.w.Flush()
 	return c.w.Error()
 }
@@ -266,21 +330,36 @@ func (t *tsvWriter) Begin(vars []string) error {
 	return err
 }
 
-func (t *tsvWriter) Row(row map[string]string) error {
+// Row emits the SPARQL TSV form: terms in full Turtle syntax — IRIs in
+// angle brackets, blank nodes as _:labels, literals quoted with escapes
+// and their @lang / ^^<datatype> suffix. Unbound variables are empty
+// fields.
+func (t *tsvWriter) Row(row map[string]rdf.Term) error {
 	for i, v := range t.vars {
 		if i > 0 {
 			t.w.WriteByte('\t')
 		}
-		val := row[v]
-		if val == "" {
+		term, ok := row[v]
+		if !ok {
 			continue // unbound: empty field
 		}
-		if isIRI(val) {
+		switch term.Kind {
+		case rdf.Literal:
+			writeTSVLiteral(t.w, term.Value)
+			if term.Lang != "" {
+				t.w.WriteByte('@')
+				t.w.WriteString(term.Lang)
+			} else if term.Datatype != "" {
+				t.w.WriteString("^^<")
+				t.w.WriteString(term.Datatype)
+				t.w.WriteByte('>')
+			}
+		case rdf.Blank:
+			t.w.WriteString(term.Value)
+		default:
 			t.w.WriteByte('<')
-			t.w.WriteString(val)
+			t.w.WriteString(term.Value)
 			t.w.WriteByte('>')
-		} else {
-			writeTSVLiteral(t.w, val)
 		}
 	}
 	_, err := t.w.WriteString("\n")
@@ -288,6 +367,19 @@ func (t *tsvWriter) Row(row map[string]string) error {
 }
 
 func (t *tsvWriter) End() error { return t.w.Flush() }
+
+func (t *tsvWriter) Bool(value bool) error {
+	t.w.WriteString(boolLexical(value))
+	t.w.WriteString("\n")
+	return t.w.Flush()
+}
+
+func boolLexical(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
 
 // writeTSVLiteral writes a quoted Turtle-style literal with the escapes
 // the SPARQL TSV spec requires (tab, newline, carriage return, quote,
@@ -315,7 +407,7 @@ func writeTSVLiteral(w *bufio.Writer, s string) {
 
 // WriteAll serializes a fully materialized result set — the cached-result
 // fast path. vars is the projection; rows are the solutions in order.
-func WriteAll(f Format, w io.Writer, vars []string, rows []map[string]string) error {
+func WriteAll(f Format, w io.Writer, vars []string, rows []map[string]rdf.Term) error {
 	sw := f.New(w)
 	if err := sw.Begin(vars); err != nil {
 		return err
@@ -326,4 +418,9 @@ func WriteAll(f Format, w io.Writer, vars []string, rows []map[string]string) er
 		}
 	}
 	return sw.End()
+}
+
+// WriteBool serializes a boolean (ASK) results document.
+func WriteBool(f Format, w io.Writer, value bool) error {
+	return f.New(w).(BoolWriter).Bool(value)
 }

@@ -5,14 +5,19 @@ import (
 	"encoding/xml"
 	"strings"
 	"testing"
+
+	"repro/internal/rdf"
 )
 
 var testVars = []string{"s", "o"}
 
-var testRows = []map[string]string{
-	{"s": "http://x/a", "o": "http://x/b"},
-	{"s": "http://x/c"}, // o unbound
-	{"s": "http://x/d", "o": `plain "text"` + "\twith\ttabs"},
+var testRows = []map[string]rdf.Term{
+	{"s": rdf.NewIRI("http://x/a"), "o": rdf.NewIRI("http://x/b")},
+	{"s": rdf.NewIRI("http://x/c")}, // o unbound
+	{"s": rdf.NewIRI("http://x/d"), "o": rdf.NewLiteral(`plain "text"` + "\twith\ttabs")},
+	{"s": rdf.NewBlank("b0"), "o": rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")},
+	{"s": rdf.NewIRI("http://x/e"), "o": rdf.NewLangLiteral("bonjour", "fr")},
+	{"s": rdf.NewIRI("http://x/f"), "o": rdf.NewLiteral("")}, // bound empty literal
 }
 
 func render(t *testing.T, name string) string {
@@ -28,6 +33,26 @@ func render(t *testing.T, name string) string {
 	return sb.String()
 }
 
+func renderBool(t *testing.T, name string, v bool) string {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("Lookup(%q) failed", name)
+	}
+	var sb strings.Builder
+	if err := WriteBool(f, &sb, v); err != nil {
+		t.Fatalf("WriteBool(%s): %v", name, err)
+	}
+	return sb.String()
+}
+
+type jsonBinding struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype"`
+	Lang     string `json:"xml:lang"`
+}
+
 func TestJSONFormat(t *testing.T) {
 	out := render(t, "json")
 	var doc struct {
@@ -35,10 +60,7 @@ func TestJSONFormat(t *testing.T) {
 			Vars []string `json:"vars"`
 		} `json:"head"`
 		Results struct {
-			Bindings []map[string]struct {
-				Type  string `json:"type"`
-				Value string `json:"value"`
-			} `json:"bindings"`
+			Bindings []map[string]jsonBinding `json:"bindings"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal([]byte(out), &doc); err != nil {
@@ -47,8 +69,8 @@ func TestJSONFormat(t *testing.T) {
 	if len(doc.Head.Vars) != 2 || doc.Head.Vars[0] != "s" {
 		t.Errorf("head.vars = %v", doc.Head.Vars)
 	}
-	if len(doc.Results.Bindings) != 3 {
-		t.Fatalf("bindings = %d, want 3", len(doc.Results.Bindings))
+	if len(doc.Results.Bindings) != len(testRows) {
+		t.Fatalf("bindings = %d, want %d", len(doc.Results.Bindings), len(testRows))
 	}
 	b0 := doc.Results.Bindings[0]
 	if b0["s"].Type != "uri" || b0["s"].Value != "http://x/a" {
@@ -57,8 +79,51 @@ func TestJSONFormat(t *testing.T) {
 	if _, present := doc.Results.Bindings[1]["o"]; present {
 		t.Error("unbound variable serialized in JSON binding")
 	}
-	if doc.Results.Bindings[2]["o"].Type != "literal" {
-		t.Errorf("non-IRI value not typed literal: %+v", doc.Results.Bindings[2]["o"])
+	if got := doc.Results.Bindings[2]["o"]; got.Type != "literal" || got.Datatype != "" || got.Lang != "" {
+		t.Errorf("plain literal = %+v", got)
+	}
+	if got := doc.Results.Bindings[3]["s"]; got.Type != "bnode" || got.Value != "b0" {
+		t.Errorf("bnode binding = %+v", got)
+	}
+	if got := doc.Results.Bindings[3]["o"]; got.Type != "literal" ||
+		got.Datatype != "http://www.w3.org/2001/XMLSchema#integer" || got.Value != "42" {
+		t.Errorf("typed literal = %+v", got)
+	}
+	if got := doc.Results.Bindings[4]["o"]; got.Type != "literal" || got.Lang != "fr" || got.Value != "bonjour" {
+		t.Errorf("lang literal = %+v", got)
+	}
+	if got, present := doc.Results.Bindings[5]["o"]; !present || got.Value != "" {
+		t.Errorf("bound empty literal must be present: %+v (present=%v)", got, present)
+	}
+}
+
+// TestJSONGolden pins the exact serialization of the worked example from
+// the SPARQL 1.1 Query Results JSON Format spec (typed literal, language
+// tag, blank node, unbound variable).
+func TestJSONGolden(t *testing.T) {
+	f, _ := Lookup("json")
+	var sb strings.Builder
+	rows := []map[string]rdf.Term{
+		{
+			"book":  rdf.NewIRI("http://example.org/book/book6"),
+			"title": rdf.NewLangLiteral("Harry Potter", "en"),
+		},
+		{
+			"book":  rdf.NewBlank("r1"),
+			"price": rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"),
+		},
+	}
+	if err := WriteAll(f, &sb, []string{"book", "title", "price"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"head":{"vars":["book","title","price"]},"results":{"bindings":[` +
+		`{"book":{"type":"uri","value":"http://example.org/book/book6"},` +
+		`"title":{"type":"literal","xml:lang":"en","value":"Harry Potter"}},` +
+		`{"book":{"type":"bnode","value":"r1"},` +
+		`"price":{"type":"literal","datatype":"http://www.w3.org/2001/XMLSchema#integer","value":"42"}}` +
+		"]}}\n"
+	if got := sb.String(); got != want {
+		t.Errorf("JSON golden mismatch:\n got: %s\nwant: %s", got, want)
 	}
 }
 
@@ -76,7 +141,12 @@ func TestXMLFormat(t *testing.T) {
 				Bindings []struct {
 					Name    string `xml:"name,attr"`
 					URI     string `xml:"uri"`
-					Literal string `xml:"literal"`
+					BNode   string `xml:"bnode"`
+					Literal struct {
+						Datatype string `xml:"datatype,attr"`
+						Lang     string `xml:"lang,attr"`
+						Value    string `xml:",chardata"`
+					} `xml:"literal"`
 				} `xml:"binding"`
 			} `xml:"result"`
 		} `xml:"results"`
@@ -87,8 +157,8 @@ func TestXMLFormat(t *testing.T) {
 	if len(doc.Head.Variables) != 2 {
 		t.Errorf("variables = %+v", doc.Head.Variables)
 	}
-	if len(doc.Results.Results) != 3 {
-		t.Fatalf("results = %d, want 3", len(doc.Results.Results))
+	if len(doc.Results.Results) != len(testRows) {
+		t.Fatalf("results = %d, want %d", len(doc.Results.Results), len(testRows))
 	}
 	if got := doc.Results.Results[0].Bindings[0].URI; got != "http://x/a" {
 		t.Errorf("result 0 uri = %q", got)
@@ -96,16 +166,25 @@ func TestXMLFormat(t *testing.T) {
 	if n := len(doc.Results.Results[1].Bindings); n != 1 {
 		t.Errorf("row with unbound var has %d bindings, want 1", n)
 	}
-	if got := doc.Results.Results[2].Bindings[1].Literal; !strings.Contains(got, "plain") {
+	if got := doc.Results.Results[2].Bindings[1].Literal.Value; !strings.Contains(got, "plain") {
 		t.Errorf("literal binding = %q", got)
+	}
+	if got := doc.Results.Results[3].Bindings[0].BNode; got != "b0" {
+		t.Errorf("bnode = %q", got)
+	}
+	if got := doc.Results.Results[3].Bindings[1].Literal.Datatype; got != "http://www.w3.org/2001/XMLSchema#integer" {
+		t.Errorf("datatype attr = %q", got)
+	}
+	if got := doc.Results.Results[4].Bindings[1].Literal.Lang; got != "fr" {
+		t.Errorf("xml:lang attr = %q", got)
 	}
 }
 
 func TestCSVFormat(t *testing.T) {
 	out := render(t, "csv")
 	lines := strings.Split(strings.TrimRight(out, "\r\n"), "\r\n")
-	if len(lines) != 4 {
-		t.Fatalf("lines = %d, want 4 (header + 3 rows):\n%q", len(lines), out)
+	if len(lines) != 1+len(testRows) {
+		t.Fatalf("lines = %d, want %d (header + rows):\n%q", len(lines), 1+len(testRows), out)
 	}
 	if lines[0] != "s,o" {
 		t.Errorf("header = %q", lines[0])
@@ -119,13 +198,21 @@ func TestCSVFormat(t *testing.T) {
 	if !strings.Contains(lines[3], `"`) {
 		t.Errorf("row with quotes not CSV-escaped: %q", lines[3])
 	}
+	// CSV flattens typed literals to their lexical form and keeps blank
+	// labels, per the SPARQL 1.1 CSV spec.
+	if lines[4] != "_:b0,42" {
+		t.Errorf("typed row = %q", lines[4])
+	}
+	if lines[5] != "http://x/e,bonjour" {
+		t.Errorf("lang row = %q", lines[5])
+	}
 }
 
 func TestTSVFormat(t *testing.T) {
 	out := render(t, "tsv")
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("lines = %d, want 4:\n%q", len(lines), out)
+	if len(lines) != 1+len(testRows) {
+		t.Fatalf("lines = %d, want %d:\n%q", len(lines), 1+len(testRows), out)
 	}
 	if lines[0] != "?s\t?o" {
 		t.Errorf("header = %q", lines[0])
@@ -141,6 +228,43 @@ func TestTSVFormat(t *testing.T) {
 	}
 	if !strings.Contains(lines[3], `\"`) {
 		t.Errorf("literal quotes not escaped: %q", lines[3])
+	}
+	// TSV carries full Turtle terms: typed and tagged literals keep their
+	// annotations, blank nodes their labels.
+	if lines[4] != "_:b0\t\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>" {
+		t.Errorf("typed row = %q", lines[4])
+	}
+	if lines[5] != "<http://x/e>\t\"bonjour\"@fr" {
+		t.Errorf("lang row = %q", lines[5])
+	}
+	if lines[6] != "<http://x/f>\t\"\"" {
+		t.Errorf("bound empty literal row = %q", lines[6])
+	}
+}
+
+func TestBooleanDocuments(t *testing.T) {
+	if got := renderBool(t, "json", true); got != `{"head":{},"boolean":true}`+"\n" {
+		t.Errorf("json bool = %q", got)
+	}
+	if got := renderBool(t, "json", false); got != `{"head":{},"boolean":false}`+"\n" {
+		t.Errorf("json bool = %q", got)
+	}
+	xmlOut := renderBool(t, "xml", true)
+	var doc struct {
+		XMLName xml.Name `xml:"sparql"`
+		Boolean bool     `xml:"boolean"`
+	}
+	if err := xml.Unmarshal([]byte(xmlOut), &doc); err != nil {
+		t.Fatalf("invalid boolean XML: %v\n%s", err, xmlOut)
+	}
+	if !doc.Boolean {
+		t.Errorf("xml boolean = %v", doc.Boolean)
+	}
+	if got := renderBool(t, "csv", false); strings.TrimSpace(got) != "false" {
+		t.Errorf("csv bool = %q", got)
+	}
+	if got := renderBool(t, "tsv", true); got != "true\n" {
+		t.Errorf("tsv bool = %q", got)
 	}
 }
 
@@ -171,19 +295,6 @@ func TestNegotiate(t *testing.T) {
 		f, ok := Negotiate(c.accept)
 		if ok != c.ok || (ok && f.Name != c.want) {
 			t.Errorf("Negotiate(%q) = (%q, %v), want (%q, %v)", c.accept, f.Name, ok, c.want, c.ok)
-		}
-	}
-}
-
-func TestIsIRI(t *testing.T) {
-	for _, v := range []string{"http://x/a", "urn:isbn:123", "mailto:a@b"} {
-		if !isIRI(v) {
-			t.Errorf("isIRI(%q) = false", v)
-		}
-	}
-	for _, v := range []string{"", "plain text", "42", ":nope", "has space:x", "note: hello world", "a:b\tc"} {
-		if isIRI(v) {
-			t.Errorf("isIRI(%q) = true", v)
 		}
 	}
 }

@@ -14,6 +14,7 @@ type metrics struct {
 	cacheMisses atomic.Uint64
 	rejected    atomic.Uint64 // 503s from admission control
 	timeouts    atomic.Uint64
+	cancelled   atomic.Uint64
 	parseErrors atomic.Uint64
 	inFlight    atomic.Int64 // engine executions currently running
 

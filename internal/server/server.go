@@ -110,10 +110,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// cachedResult is one materialized result set.
+// cachedResult is one materialized result set: the typed rows of a
+// SELECT, or the boolean verdict of an ASK.
 type cachedResult struct {
-	vars []string
-	rows []map[string]string
+	vars    []string
+	rows    []map[string]amber.Term
+	isBool  bool
+	boolVal bool
 }
 
 // dbState bundles a database generation with its caches. Swapping the
@@ -457,7 +460,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		w.Header().Set("Content-Type", params.format.ContentType)
 		w.Header().Set("X-Cache", "hit")
-		if results.WriteAll(params.format, w, cr.vars, cr.rows) == nil {
+		var werr error
+		if cr.isBool {
+			werr = results.WriteBool(params.format, w, cr.boolVal)
+		} else {
+			werr = results.WriteAll(params.format, w, cr.vars, cr.rows)
+		}
+		if werr == nil {
 			s.met.lat.record(time.Since(start))
 		}
 		return
@@ -487,6 +496,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		testHookExecute(query)
 	}
 
+	// Execution runs under the request's context: when the client
+	// disconnects, the engine aborts at its next poll, the admission slot
+	// frees, and no result-cache entry is written for the abandoned run.
+	ctx := r.Context()
+
+	if prep.IsAsk() {
+		val, aerr := prep.AskContext(ctx, &params.opts)
+		switch {
+		case aerr == amber.ErrTimeout:
+			s.met.timeouts.Add(1)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("query timed out after %s", params.opts.Timeout))
+			return
+		case errors.Is(aerr, context.Canceled):
+			s.met.cancelled.Add(1)
+			return // client went away
+		case aerr != nil:
+			writeError(w, http.StatusInternalServerError, aerr.Error())
+			return
+		}
+		w.Header().Set("Content-Type", params.format.ContentType)
+		w.Header().Set("X-Cache", "miss")
+		if results.WriteBool(params.format, w, val) == nil {
+			st.results.Put(key, &cachedResult{isBool: true, boolVal: val})
+			s.met.lat.record(time.Since(start))
+		}
+		return
+	}
+
 	cw := &countingWriter{dst: w}
 	sw := params.format.New(cw)
 	w.Header().Set("Content-Type", params.format.ContentType)
@@ -496,11 +534,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := sw.Begin(vars); err != nil {
 		return
 	}
-	collected := make([]map[string]string, 0, 64)
+	collected := make([]map[string]amber.Term, 0, 64)
 	collecting := s.cfg.MaxCacheRows > 0
 	var writeErr error
-	qerr := prep.QueryIter(&params.opts, func(row amber.Row) bool {
-		m := map[string]string(row)
+	qerr := prep.QueryIterContext(ctx, &params.opts, func(b amber.Binding) bool {
+		m := b.Map()
 		if collecting {
 			if len(collected) < s.cfg.MaxCacheRows {
 				collected = append(collected, m)
@@ -523,6 +561,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("query timed out after %s", params.opts.Timeout))
 		}
 		return
+	case errors.Is(qerr, context.Canceled):
+		s.met.cancelled.Add(1)
+		return // client went away; the engine already aborted
 	case qerr != nil:
 		if cw.n == 0 {
 			writeError(w, http.StatusInternalServerError, qerr.Error())
@@ -647,6 +688,7 @@ type StatsResponse struct {
 	CacheMisses  uint64 `json:"cache_misses"`
 	Rejected     uint64 `json:"rejected"`
 	Timeouts     uint64 `json:"timeouts"`
+	Cancelled    uint64 `json:"cancelled"`
 	ParseErrors  uint64 `json:"parse_errors"`
 	InFlight     int64  `json:"in_flight"`
 
@@ -739,6 +781,7 @@ func (s *Server) Stats() StatsResponse {
 		CacheMisses:        s.met.cacheMisses.Load(),
 		Rejected:           s.met.rejected.Load(),
 		Timeouts:           s.met.timeouts.Load(),
+		Cancelled:          s.met.cancelled.Load(),
 		ParseErrors:        s.met.parseErrors.Load(),
 		InFlight:           s.met.inFlight.Load(),
 		ResultCacheEntries: st.results.Len(),

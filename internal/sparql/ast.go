@@ -1,6 +1,6 @@
 // Package sparql parses the SPARQL fragment the AMbER paper addresses
-// (Section 2.2): SELECT/WHERE queries whose WHERE clause is a basic graph
-// pattern of triple patterns. Subjects and objects may be variables, IRIs
+// (Section 2.2): SELECT/WHERE (and ASK) queries whose WHERE clause is a
+// basic graph pattern of triple patterns. Subjects and objects may be variables, IRIs
 // or (for objects) literals; predicates are always instantiated IRIs.
 //
 // Supported surface syntax beyond the minimum: PREFIX declarations,
@@ -43,10 +43,25 @@ func (k TermKind) String() string {
 }
 
 // Term is one position of a triple pattern. For Var terms Value holds the
-// variable name without the leading sigil.
+// variable name without the leading sigil; for Literal terms Value is the
+// lexical form and Datatype/Lang carry the optional type annotation
+// (mirroring rdf.Term).
 type Term struct {
-	Kind  TermKind
-	Value string
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// RDF converts a constant term to its RDF form. Var terms have no RDF
+// form; callers must not pass them.
+func (t Term) RDF() rdf.Term {
+	switch t.Kind {
+	case Literal:
+		return rdf.Term{Kind: rdf.Literal, Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	default:
+		return rdf.NewResource(t.Value)
+	}
 }
 
 // String renders the term in SPARQL syntax.
@@ -55,7 +70,7 @@ func (t Term) String() string {
 	case Var:
 		return "?" + t.Value
 	case Literal:
-		return rdf.NewLiteral(t.Value).String()
+		return t.RDF().String()
 	default:
 		return "<" + t.Value + ">"
 	}
@@ -125,10 +140,13 @@ func (f Filter) String() string {
 	}
 }
 
-// Query is a parsed SELECT query.
+// Query is a parsed SELECT or ASK query.
 type Query struct {
 	// Prefixes holds the PREFIX declarations.
 	Prefixes *rdf.PrefixMap
+	// Ask records an ASK query: no projection, the answer is whether any
+	// solution exists.
+	Ask bool
 	// Select lists the projected variable names (without '?'); empty with
 	// Star set means SELECT *.
 	Select []string
@@ -198,15 +216,19 @@ func (q *Query) String() string {
 			fmt.Fprintf(&b, "PREFIX %s: <%s>\n", p, ns)
 		}
 	}
-	b.WriteString("SELECT")
-	if q.Distinct {
-		b.WriteString(" DISTINCT")
-	}
-	if q.Star {
-		b.WriteString(" *")
+	if q.Ask {
+		b.WriteString("ASK")
 	} else {
-		for _, v := range q.Select {
-			b.WriteString(" ?" + v)
+		b.WriteString("SELECT")
+		if q.Distinct {
+			b.WriteString(" DISTINCT")
+		}
+		if q.Star {
+			b.WriteString(" *")
+		} else {
+			for _, v := range q.Select {
+				b.WriteString(" ?" + v)
+			}
 		}
 	}
 	b.WriteString(" WHERE {\n")

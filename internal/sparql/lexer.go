@@ -73,6 +73,12 @@ type token struct {
 	text string
 	line int
 	col  int
+	// Literal annotations (tokLiteral only): the language tag, or the
+	// datatype (raw IRI text, or a prefixed name the parser must expand
+	// when dtPrefixed is set).
+	lang       string
+	dtRaw      string
+	dtPrefixed bool
 }
 
 // Error is a SPARQL syntax error with position information.
@@ -262,16 +268,20 @@ func (l *lexer) lexLiteral() (token, error) {
 		}
 		l.advance(1)
 	}
-	val := b.String()
-	// Fold datatype / language suffixes into the lexical value, mirroring
-	// the data-side parser.
+	tok.text = b.String()
+	// Optional datatype / language suffixes, carried as annotations so
+	// the parser builds typed literal terms (mirroring the data-side
+	// parser).
 	if l.pos < len(l.src) && l.src[l.pos] == '@' {
-		start := l.pos
 		l.advance(1)
+		start := l.pos
 		for l.pos < len(l.src) && (isIdentByte(l.src[l.pos]) || l.src[l.pos] == '-') {
 			l.advance(1)
 		}
-		val += l.src[start:l.pos]
+		if l.pos == start {
+			return tok, l.errf("empty language tag")
+		}
+		tok.lang = l.src[start:l.pos]
 	} else if strings.HasPrefix(l.src[l.pos:], "^^") {
 		l.advance(2)
 		dt, err := l.next()
@@ -279,13 +289,14 @@ func (l *lexer) lexLiteral() (token, error) {
 			return tok, err
 		}
 		switch dt.kind {
-		case tokIRIRef, tokIdent:
-			val += "^^" + dt.text
+		case tokIRIRef:
+			tok.dtRaw = dt.text
+		case tokIdent:
+			tok.dtRaw, tok.dtPrefixed = dt.text, true
 		default:
 			return tok, l.errf("expected datatype IRI after ^^")
 		}
 	}
-	tok.text = val
 	return tok, nil
 }
 

@@ -79,23 +79,27 @@ func (p *parser) run() error {
 			return err
 		}
 	}
-	// SELECT clause.
+	// SELECT or ASK clause.
 	t, err := p.next()
 	if err != nil {
 		return err
 	}
-	if !keywordIs(t, "SELECT") {
-		return p.errAt(t, "expected SELECT, found %s", describe(t))
-	}
-	if t, err = p.peek(); err != nil {
-		return err
-	}
-	if keywordIs(t, "DISTINCT") {
-		p.peeked = false
-		p.q.Distinct = true
-	}
-	if err := p.parseSelectList(); err != nil {
-		return err
+	switch {
+	case keywordIs(t, "ASK"):
+		p.q.Ask = true
+	case keywordIs(t, "SELECT"):
+		if t, err = p.peek(); err != nil {
+			return err
+		}
+		if keywordIs(t, "DISTINCT") {
+			p.peeked = false
+			p.q.Distinct = true
+		}
+		if err := p.parseSelectList(); err != nil {
+			return err
+		}
+	default:
+		return p.errAt(t, "expected SELECT or ASK, found %s", describe(t))
 	}
 	// WHERE clause.
 	t, err = p.next()
@@ -403,12 +407,32 @@ func (p *parser) filterArg(what string) (Term, error) {
 	}
 	switch t.kind {
 	case tokLiteral:
-		return Term{Kind: Literal, Value: t.text}, nil
+		return p.literalTerm(t)
 	case tokVar:
 		return Term{Kind: Var, Value: t.text}, nil
 	default:
 		return Term{}, p.errAt(t, "expected %s, found %s", what, describe(t))
 	}
+}
+
+// literalTerm builds a typed literal pattern term from a literal token,
+// expanding a prefixed datatype name and normalizing explicit xsd:string
+// to the plain form (per RDF 1.1 both denote the same term).
+func (p *parser) literalTerm(t token) (Term, error) {
+	term := Term{Kind: Literal, Value: t.text, Lang: t.lang}
+	if t.dtRaw != "" {
+		dt := t.dtRaw
+		if t.dtPrefixed {
+			var err error
+			if dt, err = p.q.Prefixes.Expand(t.dtRaw); err != nil {
+				return Term{}, p.errAt(t, "%v", err)
+			}
+		}
+		if dt != rdf.XSDString {
+			term.Datatype = dt
+		}
+	}
+	return term, nil
 }
 
 // expect consumes the next token, requiring the given kind.
@@ -528,7 +552,7 @@ func (p *parser) parseTerm(pos termPos) (Term, error) {
 		if pos != posObject {
 			return Term{}, p.errAt(t, "literals may only appear in object position")
 		}
-		return Term{Kind: Literal, Value: t.text}, nil
+		return p.literalTerm(t)
 	case tokIdent:
 		if t.text == "a" && pos == posPredicate {
 			return Term{Kind: IRI, Value: "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"}, nil

@@ -169,11 +169,11 @@ func TestLiteralEscapesAndSuffixes(t *testing.T) {
 	if got := q.Patterns[0].O.Value; got != "a\"b\nc" {
 		t.Errorf("escape literal = %q", got)
 	}
-	if got := q.Patterns[1].O.Value; got != "42^^http://www.w3.org/2001/XMLSchema#int" {
-		t.Errorf("datatype literal = %q", got)
+	if o := q.Patterns[1].O; o.Value != "42" || o.Datatype != "http://www.w3.org/2001/XMLSchema#int" {
+		t.Errorf("datatype literal = %+v", o)
 	}
-	if got := q.Patterns[2].O.Value; got != "chat@fr" {
-		t.Errorf("lang literal = %q", got)
+	if o := q.Patterns[2].O; o.Value != "chat" || o.Lang != "fr" {
+		t.Errorf("lang literal = %+v", o)
 	}
 }
 
@@ -196,7 +196,7 @@ func TestParseErrors(t *testing.T) {
 		src  string
 		want string // substring of the error
 	}{
-		{"no select", `ASK { ?s ?p ?o }`, "expected SELECT"},
+		{"no select", `DESCRIBE <http://x/a>`, "expected SELECT or ASK"},
 		{"empty select", `SELECT WHERE { ?s <http://y/p> ?o }`, "SELECT needs"},
 		{"no brace", `SELECT ?s ?s <http://y/p> ?o }`, "expected '{'"},
 		{"variable predicate", `SELECT ?s WHERE { ?s ?p ?o }`, "variable predicates"},

@@ -202,10 +202,8 @@ func (p *parser) parseGroundTriples() ([]rdf.Triple, error) {
 func groundTriple(tp TriplePattern) (rdf.Triple, error) {
 	conv := func(t Term, pos string) (rdf.Term, error) {
 		switch t.Kind {
-		case IRI:
-			return rdf.NewIRI(t.Value), nil
-		case Literal:
-			return rdf.NewLiteral(t.Value), nil
+		case IRI, Literal:
+			return t.RDF(), nil
 		default:
 			return rdf.Term{}, &Error{Line: 1, Col: 1,
 				Msg: "variable ?" + t.Value + " not allowed as " + pos + " in a data block"}

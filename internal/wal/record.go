@@ -62,14 +62,46 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// appendTriple encodes S (IRI value), P (IRI value), then O as a kind byte
-// plus value. Subjects and predicates are IRIs by construction (mutations
-// are validated before logging), so only the object carries a kind.
+// Object term codes. The original format used rdf.TermKind directly
+// (0 = IRI, 1 = plain literal); the typed-term codes extend it without
+// breaking replay of logs written before datatypes and language tags were
+// carried: old records use only codes 0 and 1, and the new encoder still
+// emits exactly those bytes for IRIs and plain literals.
+const (
+	objIRI     = 0 // value
+	objLiteral = 1 // lexical form, plain (xsd:string)
+	objTyped   = 2 // lexical form + datatype IRI
+	objLang    = 3 // lexical form + language tag
+	objBlank   = 4 // blank label (with "_:" prefix)
+)
+
+// appendTriple encodes S (IRI or blank label), P (IRI value), then O as a
+// kind code plus value (plus the datatype or language tag for typed
+// literals). Subjects are resources by construction (mutations are
+// validated before logging), and blank labels are self-describing via
+// their "_:" prefix, so S and P need no kind code.
 func appendTriple(buf []byte, t rdf.Triple) []byte {
 	buf = appendString(buf, t.S.Value)
 	buf = appendString(buf, t.P.Value)
-	buf = append(buf, byte(t.O.Kind))
-	return appendString(buf, t.O.Value)
+	switch {
+	case t.O.Kind == rdf.Blank:
+		buf = append(buf, objBlank)
+		return appendString(buf, t.O.Value)
+	case t.O.Kind == rdf.Literal && t.O.Lang != "":
+		buf = append(buf, objLang)
+		buf = appendString(buf, t.O.Value)
+		return appendString(buf, t.O.Lang)
+	case t.O.Kind == rdf.Literal && t.O.Datatype != "":
+		buf = append(buf, objTyped)
+		buf = appendString(buf, t.O.Value)
+		return appendString(buf, t.O.Datatype)
+	case t.O.Kind == rdf.Literal:
+		buf = append(buf, objLiteral)
+		return appendString(buf, t.O.Value)
+	default:
+		buf = append(buf, objIRI)
+		return appendString(buf, t.O.Value)
+	}
 }
 
 // encodePayload renders the record payload (everything inside the frame):
@@ -156,16 +188,29 @@ func (r *byteReader) str() string {
 func (r *byteReader) triple() rdf.Triple {
 	s := r.str()
 	p := r.str()
-	kind := rdf.TermKind(r.byte())
-	o := r.str()
-	if r.err != nil {
-		return rdf.Triple{}
-	}
-	if kind != rdf.IRI && kind != rdf.Literal {
+	code := r.byte()
+	var o rdf.Term
+	switch code {
+	case objIRI:
+		o = rdf.NewIRI(r.str())
+	case objLiteral:
+		o = rdf.NewLiteral(r.str())
+	case objTyped:
+		lex := r.str()
+		o = rdf.NewTypedLiteral(lex, r.str())
+	case objLang:
+		lex := r.str()
+		o = rdf.NewLangLiteral(lex, r.str())
+	case objBlank:
+		o = rdf.NewResource(r.str())
+	default:
 		r.fail("bad object term kind")
 		return rdf.Triple{}
 	}
-	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.Term{Kind: kind, Value: o}}
+	if r.err != nil {
+		return rdf.Triple{}
+	}
+	return rdf.Triple{S: rdf.NewResource(s), P: rdf.NewIRI(p), O: o}
 }
 
 // decodePayload parses one record payload. It returns an error on any

@@ -485,3 +485,55 @@ func TestOversizedAppendRejected(t *testing.T) {
 		t.Fatalf("append after reject: seq=%d err=%v", seq, err)
 	}
 }
+
+// TestTypedObjectRoundTrip: datatypes, language tags and blank nodes
+// survive Append → reopen → Replay; IRIs and plain literals keep the
+// original single-byte object codes (see appendTriple).
+func TestTypedObjectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := Record{
+		Kind:  KindMutation,
+		Epoch: 1,
+		Adds: []rdf.Triple{
+			{S: rdf.NewIRI("http://x/s"), P: rdf.NewIRI("http://p/age"),
+				O: rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")},
+			{S: rdf.NewBlank("b7"), P: rdf.NewIRI("http://p/greet"),
+				O: rdf.NewLangLiteral("hi", "en")},
+			{S: rdf.NewIRI("http://x/s"), P: rdf.NewIRI("http://p/knows"),
+				O: rdf.NewBlank("b8")},
+		},
+		Dels: []rdf.Triple{
+			{S: rdf.NewIRI("http://x/s"), P: rdf.NewIRI("http://p/name"),
+				O: rdf.NewLiteral("plain")},
+		},
+	}
+	log, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var replayed []Record
+	log2, err := Open(dir, Options{}, func(r Record) error {
+		replayed = append(replayed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(replayed) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(replayed))
+	}
+	got := replayed[0]
+	if !reflect.DeepEqual(got.Adds, rec.Adds) {
+		t.Errorf("adds round trip:\n got %v\nwant %v", got.Adds, rec.Adds)
+	}
+	if !reflect.DeepEqual(got.Dels, rec.Dels) {
+		t.Errorf("dels round trip:\n got %v\nwant %v", got.Dels, rec.Dels)
+	}
+}

@@ -224,7 +224,7 @@ func (g *Generator) variabilize(ts []rdf.Triple) (*sparql.Query, bool) {
 	for _, t := range ts {
 		var o sparql.Term
 		if t.O.IsLiteral() {
-			o = sparql.Term{Kind: sparql.Literal, Value: t.O.Value}
+			o = sparql.Term{Kind: sparql.Literal, Value: t.O.Value, Datatype: t.O.Datatype, Lang: t.O.Lang}
 		} else {
 			o = term(t.O.Value)
 		}
