@@ -16,9 +16,16 @@
 // (-writeratio) with live updates and background compaction enabled;
 // add -fsync=always|never|interval=<d> to attach a write-ahead log and
 // measure the write-latency cost of each durability policy.
+//
+// With -json, the command instead emits a machine-readable amber-bench/v1
+// report (load rates, latency percentiles by query shape, churn write
+// latency per fsync policy, cost-vs-heuristic planner win ratio) — the
+// format committed as BENCH_NNNN.json files; -quick shrinks the run to
+// CI smoke-test scale and -validate checks an existing report file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -61,8 +68,24 @@ func main() {
 		writeRatio   = flag.Float64("writeratio", 0.2, "write fraction for -exp churn (0..1)")
 		writeBatch   = flag.Int("writebatch", 64, "triples per write batch for -exp churn")
 		fsync        = flag.String("fsync", "", "attach a write-ahead log to -exp churn with this policy (always, never, interval=<duration>; empty = no WAL)")
+		jsonOut      = flag.Bool("json", false, "emit a machine-readable benchmark report (amber-bench/v1 JSON) instead of the paper tables")
+		quick        = flag.Bool("quick", false, "with -json: CI smoke-test scale (small LUBM corpus, one workload point)")
+		validate     = flag.String("validate", "", "validate an amber-bench/v1 JSON report file and exit")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err == nil {
+			err = experiments.ValidateReport(data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amber-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s report\n", *validate, experiments.ReportSchema)
+		return
+	}
 
 	// Fail on a bad planner name before any (expensive) dataset build.
 	if _, ok := plan.ByName(*planner); !ok {
@@ -97,10 +120,29 @@ func main() {
 		cfg.Sizes = append(cfg.Sizes, n)
 	}
 
+	if *jsonOut {
+		if err := runReport(cfg, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "amber-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "amber-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runReport writes the machine-readable benchmark report to stdout.
+func runReport(cfg experiments.Config, quick bool) error {
+	rep, err := experiments.RunBenchReport(cfg, quick)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func run(exp string, cfg experiments.Config) error {

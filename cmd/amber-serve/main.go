@@ -30,6 +30,11 @@
 // reloads the data file or snapshot and hot-swaps it in without dropping
 // in-flight queries (with -wal-dir, logged live updates are replayed on
 // top; without it they are discarded with a warning).
+//
+// Observability: /metrics serves Prometheus text exposition, /stats a
+// JSON summary, /debug/traces the most recent request traces. -slow-query
+// logs slow requests as JSON lines, and -debug-addr starts a separate
+// pprof-only listener (keep it off the public address).
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +52,19 @@ import (
 	amber "repro"
 	"repro/internal/server"
 )
+
+// pprofMux serves the net/http/pprof handlers on an explicit mux, so the
+// debug listener exposes profiling and nothing else (in particular not
+// whatever third parties registered on http.DefaultServeMux).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	var (
@@ -68,11 +87,15 @@ func main() {
 
 		walDir = flag.String("wal-dir", "", "write-ahead log directory: log updates before acknowledging and replay them on start/reload (empty = in-memory updates)")
 		fsync  = flag.String("fsync", "always", "WAL fsync policy: always, never, or interval=<duration> (with -wal-dir)")
+
+		slowQuery    = flag.Duration("slow-query", 0, "log queries at least this slow as JSON lines (0 disables)")
+		slowQueryLog = flag.String("slow-query-log", "", "slow-query log file (default stderr; appended)")
+		traceBuffer  = flag.Int("trace-buffer", 128, "recent request traces kept for /debug/traces (-1 disables)")
+		debugAddr    = flag.String("debug-addr", "", "separate listen address for net/http/pprof (keep it private; empty disables)")
 	)
 	flag.Parse()
 
-	src := source{data: *dataPath, snapshot: *snapshot, walDir: *walDir, fsync: *fsync}
-	if err := run(*addr, src, *compactAt, server.Config{
+	cfg := server.Config{
 		CacheSize:      *cacheSize,
 		MaxCacheRows:   *cacheRows,
 		PlanCacheSize:  *planCache,
@@ -81,7 +104,21 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTime,
 		AllowLoad:      *allowLoad,
-	}, *shutdownGrace); err != nil {
+		SlowQuery:      *slowQuery,
+		TraceBuffer:    *traceBuffer,
+	}
+	if *slowQuery > 0 && *slowQueryLog != "" {
+		f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amber-serve: opening slow-query log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.SlowQueryOut = f
+	}
+
+	src := source{data: *dataPath, snapshot: *snapshot, walDir: *walDir, fsync: *fsync}
+	if err := run(*addr, *debugAddr, src, *compactAt, cfg, *shutdownGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "amber-serve:", err)
 		os.Exit(1)
 	}
@@ -129,7 +166,7 @@ func (s source) open() (*amber.DB, error) {
 	return db, nil
 }
 
-func run(addr string, src source, compactAt int, cfg server.Config, grace time.Duration) error {
+func run(addr, debugAddr string, src source, compactAt int, cfg server.Config, grace time.Duration) error {
 	start := time.Now()
 	db, err := src.open()
 	if err != nil {
@@ -151,11 +188,28 @@ func run(addr string, src source, compactAt int, cfg server.Config, grace time.D
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving SPARQL on %s (endpoints: /sparql /stats /healthz)", addr)
+		log.Printf("serving SPARQL on %s (endpoints: /sparql /stats /metrics /debug/traces /healthz)", addr)
 		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
 			errc <- err
 		}
 	}()
+
+	if debugAddr != "" {
+		// pprof stays on its own listener so profiling never rides the
+		// public SPARQL address; bind it to localhost or a private net.
+		dbg := &http.Server{
+			Addr:              debugAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("serving pprof on %s/debug/pprof/", debugAddr)
+			if err := dbg.ListenAndServe(); err != http.ErrServerClosed {
+				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+		defer dbg.Close() //nolint:errcheck // best-effort teardown on exit
+	}
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)

@@ -10,6 +10,7 @@
 //	amber -data data.nt -queryfile q.rq -limit 10 -timeout 60s
 //	amber -data data.nt -query 'ASK { ... }'
 //	amber -data data.nt -stats
+//	amber -data data.nt -verbose -query '...'   # structured trace on stderr
 package main
 
 import (
@@ -17,11 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -36,15 +39,23 @@ func main() {
 		countOnly = flag.Bool("count", false, "print only the number of solutions")
 		workers   = flag.Int("workers", 1, "worker goroutines for -count (parallel engine)")
 		stats     = flag.Bool("stats", false, "print database statistics and exit")
+		verbose   = flag.Bool("verbose", false, "log load/query progress and a per-query execution trace to stderr")
 	)
 	flag.Parse()
-	if err := run(*dataPath, *snapshot, *saveSnap, *queryText, *queryFile, *limit, *timeout, *countOnly, *workers, *stats); err != nil {
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if err := run(logger, *dataPath, *snapshot, *saveSnap, *queryText, *queryFile, *limit, *timeout, *countOnly, *workers, *stats, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "amber:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, timeout time.Duration, countOnly bool, workers int, stats bool) error {
+func run(logger *slog.Logger, dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, timeout time.Duration, countOnly bool, workers int, stats, verbose bool) error {
 	var (
 		db  *amber.DB
 		err error
@@ -65,12 +76,13 @@ func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, t
 		if err := db.SaveFile(saveSnap); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", saveSnap)
+		logger.Info("snapshot written", "path", saveSnap)
 		return nil
 	}
 	st := db.Stats()
-	fmt.Fprintf(os.Stderr, "loaded %d triples (%d vertices, %d edge types) in %s\n",
-		st.Triples, st.Vertices, st.EdgeTypes, time.Since(start).Round(time.Millisecond))
+	logger.Info("loaded",
+		"triples", st.Triples, "vertices", st.Vertices, "edge_types", st.EdgeTypes,
+		"duration", time.Since(start).Round(time.Millisecond))
 
 	if stats {
 		fmt.Printf("triples:     %d\n", st.Triples)
@@ -103,6 +115,22 @@ func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, t
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// With -verbose, thread a trace through the context so the execution
+	// layer records plan shape, engine effort, and per-level frontiers —
+	// the same record the server's slow-query log emits.
+	var tr *obs.Trace
+	if verbose {
+		tr = obs.NewTrace(queryText)
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	logTrace := func(status string, rows uint64) {
+		if tr == nil {
+			return
+		}
+		tr.Finish(status, rows)
+		logger.LogAttrs(ctx, slog.LevelDebug, "query trace", tr.SlogAttrs()...)
+	}
+
 	prep, err := db.PrepareContext(ctx, queryText)
 	if err != nil {
 		return err
@@ -111,8 +139,10 @@ func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, t
 	if prep.IsAsk() {
 		yes, err := prep.AskContext(ctx, opts)
 		if err != nil {
+			logTrace("error", 0)
 			return err
 		}
+		logTrace("ok", 0)
 		fmt.Printf("%v (%s)\n", yes, time.Since(qStart).Round(time.Microsecond))
 		return nil
 	}
@@ -124,14 +154,17 @@ func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, t
 			n, err = prep.Count(opts)
 		}
 		if err != nil {
+			logTrace("error", 0)
 			return err
 		}
+		logTrace("ok", n)
 		fmt.Printf("%d solutions in %s\n", n, time.Since(qStart).Round(time.Microsecond))
 		return nil
 	}
 	nRows := 0
 	for b, err := range prep.All(ctx, opts) {
 		if err != nil {
+			logTrace("error", uint64(nRows))
 			return err
 		}
 		nRows++
@@ -147,6 +180,7 @@ func run(dataPath, snapshot, saveSnap, queryText, queryFile string, limit int, t
 		}
 		fmt.Println()
 	}
-	fmt.Fprintf(os.Stderr, "%d rows in %s\n", nRows, time.Since(qStart).Round(time.Microsecond))
+	logTrace("ok", uint64(nRows))
+	logger.Info("done", "rows", nRows, "duration", time.Since(qStart).Round(time.Microsecond))
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/rdf"
@@ -231,11 +232,18 @@ func (s *Store) Execute(pq *sparql.Query, opts engine.Options, yield func(Soluti
 }
 
 // Execute runs the prepared query against one pinned snapshot; see
-// Store.Execute for semantics.
+// Store.Execute for semantics. When opts.Ctx carries an obs.Trace, the
+// engine's effort counters and per-level candidate frontiers are
+// recorded into it (per branch), alongside any opts.Stats the caller
+// passed.
 func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) error {
 	sn, st, err := p.resolve()
 	if err != nil {
 		return err
+	}
+	tr := obs.TraceFromContext(opts.Ctx)
+	if tr != nil && len(st.branches) > 0 {
+		tr.SetPlan(st.branches[0].pl.Planner, p.Shape(), planSummary(st.branches), sn.Epoch)
 	}
 	pq := p.pq
 	limit := pq.Limit
@@ -285,13 +293,22 @@ func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) 
 	}
 
 	res := sn.Resolver()
-	for _, branch := range st.branches {
+	for bi := range st.branches {
 		if stop {
 			break
 		}
+		branch := &st.branches[bi]
 		filters := branch.filters
 		qg := branch.pl.Query
-		err := engine.Stream(sn.Reader(), branch.pl, engOpts, func(asg []dict.VertexID) bool {
+		// A traced run uses per-branch engine stats (branches execute
+		// different plans, so their level records must not interleave),
+		// merged into the trace — and the caller's Stats — afterwards.
+		engBranch := engOpts
+		var bstats engine.Stats
+		if tr != nil {
+			engBranch.Stats = &bstats
+		}
+		err := engine.Stream(sn.Reader(), branch.pl, engBranch, func(asg []dict.VertexID) bool {
 			for _, f := range filters {
 				if !f(asg, res) {
 					return true
@@ -303,6 +320,15 @@ func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) 
 			}
 			return emit(sol)
 		})
+		if tr != nil {
+			traceBranch(tr, bi, branch.pl, &bstats)
+			if opts.Stats != nil {
+				opts.Stats.InitCandidates += bstats.InitCandidates
+				opts.Stats.Recursions += bstats.Recursions
+				opts.Stats.SatProbes += bstats.SatProbes
+				opts.Stats.Embeddings += bstats.Embeddings
+			}
+		}
 		if err != nil {
 			return err
 		}

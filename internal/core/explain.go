@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/otil"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -75,6 +77,52 @@ func (s *Store) ExplainQuery(pl plan.Planner, pq *sparql.Query) (string, error) 
 			b.WriteString("\n")
 		}
 	}
+	return b.String(), nil
+}
+
+// ExplainAnalyze executes the query under a trace and renders, for every
+// core-vertex matching level, the planner's estimated candidate-set size
+// against the frontier the engine actually enumerated (total and mean
+// per visit, with the visit count — the level's share of the recursion).
+// Execution honours opts (limit, deadline, context); on an execution
+// error (timeout, cancellation) no report is produced and the error is
+// returned. The output format is human-oriented and not stable.
+func (s *Store) ExplainAnalyze(pl plan.Planner, pq *sparql.Query, opts engine.Options) (string, error) {
+	p, err := s.PrepareQueryWith(pl, pq)
+	if err != nil {
+		return "", err
+	}
+	tr := obs.NewTrace("")
+	opts.Ctx = obs.ContextWithTrace(opts.Ctx, tr)
+	rows := uint64(0)
+	if err := p.Execute(opts, func(Solution) bool { rows++; return true }); err != nil {
+		return "", err
+	}
+	tr.Finish("ok", rows)
+
+	v := tr.View()
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %d pattern(s), shape=%s\n", len(pq.Patterns), p.Shape())
+	fmt.Fprintf(&b, "planner: %s\n", v.Planner)
+	if v.PlanSummary != "" {
+		fmt.Fprintf(&b, "plan: %s\n", v.PlanSummary)
+	}
+	lastBranch, lastComp := -1, -1
+	for _, l := range v.Levels {
+		if l.Branch != lastBranch || l.Component != lastComp {
+			fmt.Fprintf(&b, "branch %d component %d:\n", l.Branch, l.Component)
+			lastBranch, lastComp = l.Branch, l.Component
+		}
+		fmt.Fprintf(&b, "  core[%d] ?%s est=%s actual=%d visits=%d mean=%s\n",
+			l.Pos, l.Var, fmtEst(l.Est), l.Candidates, l.Visits, fmtEst(l.Mean()))
+	}
+	fmt.Fprintf(&b, "engine: init_candidates=%d recursions=%d sat_probes=%d embeddings=%d\n",
+		v.Engine.InitCandidates, v.Engine.Recursions, v.Engine.SatProbes, v.Engine.Embeddings)
+	if ratio, ok := tr.EstActualRatio(); ok {
+		fmt.Fprintf(&b, "plan quality: est/actual ratio=%.2f\n", ratio)
+	}
+	fmt.Fprintf(&b, "rows: %d\n", rows)
+	fmt.Fprintf(&b, "time: %s\n", tr.Duration())
 	return b.String(), nil
 }
 

@@ -57,6 +57,25 @@ type Stats struct {
 	SatProbes int
 	// Embeddings counts embeddings yielded (Stream) or counted (Count).
 	Embeddings uint64
+	// Levels records the actual candidate frontier observed at every
+	// core-vertex matching level of the plan — the measured counterpart of
+	// the planner's estimates. Unlike the scalar counters, which
+	// accumulate across runs, Levels is reset to the executed plan's shape
+	// at the start of each run and so always describes the last run.
+	Levels []LevelStats
+}
+
+// LevelStats is one core-vertex matching level: Visits counts how many
+// times the level's candidate set was computed (the level's share of the
+// recursion), Candidates sums the set sizes across those visits. The
+// mean frontier size Candidates/Visits is directly comparable to the
+// planner's per-level estimate (plan.ComponentPlan.Estimates).
+type LevelStats struct {
+	Component  int
+	Pos        int
+	Vertex     query.VertexID
+	Candidates uint64
+	Visits     uint64
 }
 
 // deadlineCheckMask throttles clock reads to one per this many steps.
@@ -76,6 +95,7 @@ type matcher struct {
 	done     <-chan struct{} // Ctx.Done(), nil without a context
 	ctx      context.Context
 	stats    *Stats
+	levelIdx []int // per-component offset into stats.Levels; nil without stats
 
 	steps    int
 	yielded  uint64
@@ -200,10 +220,36 @@ func prepare(r index.Reader, p *plan.Plan, opts Options) (*matcher, bool) {
 	if p.Empty {
 		return m, false
 	}
+	if m.stats != nil {
+		total := 0
+		m.levelIdx = make([]int, len(p.Components))
+		for ci := range p.Components {
+			m.levelIdx[ci] = total
+			total += len(p.Components[ci].Core)
+		}
+		levels := make([]LevelStats, total)
+		for ci := range p.Components {
+			for pos, u := range p.Components[ci].Core {
+				levels[m.levelIdx[ci]+pos] = LevelStats{Component: ci, Pos: pos, Vertex: u}
+			}
+		}
+		m.stats.Levels = levels
+	}
 	n := len(m.q.Vars)
 	m.asg = make([]dict.VertexID, n)
 	m.satSets = make([][]dict.VertexID, n)
 	return m, true
+}
+
+// recordLevel accumulates one computation of a core level's candidate
+// set into stats.Levels.
+func (m *matcher) recordLevel(ci, pos, n int) {
+	if m.levelIdx == nil {
+		return
+	}
+	l := &m.stats.Levels[m.levelIdx[ci]+pos]
+	l.Candidates += uint64(n)
+	l.Visits++
 }
 
 // admissible applies the per-candidate constraints that are cheaper to
@@ -378,7 +424,9 @@ func (m *matcher) matchComponent(ci int) {
 	comp := &m.p.Components[ci]
 	uinit := comp.Core[0]
 	matched := make([]bool, len(m.q.Vars))
-	for _, vinit := range m.initialCandidates(uinit) {
+	cand := m.initialCandidates(uinit)
+	m.recordLevel(ci, 0, len(cand))
+	for _, vinit := range cand {
 		if m.stopped || m.checkDeadline() {
 			return
 		}
@@ -408,7 +456,9 @@ func (m *matcher) homomorphicMatch(ci int, comp *plan.ComponentPlan, pos int, ma
 		return
 	}
 	unxt := comp.Core[pos]
-	for _, vnxt := range m.coreCandidates(unxt, matched) {
+	cand := m.coreCandidates(unxt, matched)
+	m.recordLevel(ci, pos, len(cand))
+	for _, vnxt := range cand {
 		if m.stopped || m.expired {
 			return
 		}
@@ -466,7 +516,9 @@ func (m *matcher) countComponent(ci int) (uint64, error) {
 	uinit := comp.Core[0]
 	matched := make([]bool, len(m.q.Vars))
 	total := uint64(0)
-	for _, vinit := range m.initialCandidates(uinit) {
+	cand := m.initialCandidates(uinit)
+	m.recordLevel(ci, 0, len(cand))
+	for _, vinit := range cand {
 		if m.checkDeadline() {
 			return 0, m.abortErr
 		}
@@ -475,7 +527,7 @@ func (m *matcher) countComponent(ci int) (uint64, error) {
 		}
 		m.asg[uinit] = vinit
 		matched[uinit] = true
-		sub, err := m.countMatch(comp, 1, matched)
+		sub, err := m.countMatch(ci, comp, 1, matched)
 		matched[uinit] = false
 		if err != nil {
 			return 0, err
@@ -486,7 +538,7 @@ func (m *matcher) countComponent(ci int) (uint64, error) {
 }
 
 // countMatch mirrors homomorphicMatch in count mode.
-func (m *matcher) countMatch(comp *plan.ComponentPlan, pos int, matched []bool) (uint64, error) {
+func (m *matcher) countMatch(ci int, comp *plan.ComponentPlan, pos int, matched []bool) (uint64, error) {
 	if m.checkDeadline() {
 		return 0, m.abortErr
 	}
@@ -502,13 +554,15 @@ func (m *matcher) countMatch(comp *plan.ComponentPlan, pos int, matched []bool) 
 	}
 	unxt := comp.Core[pos]
 	total := uint64(0)
-	for _, vnxt := range m.coreCandidates(unxt, matched) {
+	cand := m.coreCandidates(unxt, matched)
+	m.recordLevel(ci, pos, len(cand))
+	for _, vnxt := range cand {
 		if !m.matchSatellites(unxt, vnxt, comp.Satellites[unxt]) {
 			continue
 		}
 		m.asg[unxt] = vnxt
 		matched[unxt] = true
-		sub, err := m.countMatch(comp, pos+1, matched)
+		sub, err := m.countMatch(ci, comp, pos+1, matched)
 		matched[unxt] = false
 		if err != nil {
 			return 0, err

@@ -354,6 +354,46 @@ func TestStatsPopulated(t *testing.T) {
 	}
 }
 
+// TestStatsLevels: a traced run records one level per core vertex, the
+// visits at level 0 total one per component, and Stream and Count agree
+// on the frontier sizes (they walk the same candidate sets).
+func TestStatsLevels(t *testing.T) {
+	f := load(t, figure1)
+	p := f.query(t, figure2)
+	var countSt Stats
+	if _, err := Count(f.rd(), p, Options{Stats: &countSt}); err != nil {
+		t.Fatal(err)
+	}
+	wantLevels := 0
+	for ci := range p.Components {
+		wantLevels += len(p.Components[ci].Core)
+	}
+	if len(countSt.Levels) != wantLevels {
+		t.Fatalf("levels = %d, want %d", len(countSt.Levels), wantLevels)
+	}
+	for _, l := range countSt.Levels {
+		if l.Pos == 0 && l.Visits != 1 {
+			t.Errorf("component %d level 0 visits = %d, want 1", l.Component, l.Visits)
+		}
+		if l.Visits == 0 {
+			t.Errorf("level %+v never visited", l)
+		}
+	}
+	var streamSt Stats
+	if err := Stream(f.rd(), p, Options{Stats: &streamSt}, func([]dict.VertexID) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamSt.Levels) != len(countSt.Levels) {
+		t.Fatalf("stream levels = %d, count levels = %d", len(streamSt.Levels), len(countSt.Levels))
+	}
+	for i := range streamSt.Levels {
+		s, c := streamSt.Levels[i], countSt.Levels[i]
+		if s.Candidates != c.Candidates || s.Visits != c.Visits {
+			t.Errorf("level %d: stream %+v != count %+v", i, s, c)
+		}
+	}
+}
+
 // ---- brute-force cross-check ------------------------------------------
 
 // bruteForce enumerates homomorphic embeddings by unconstrained

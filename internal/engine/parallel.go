@@ -144,7 +144,7 @@ func (m *matcher) countFromInitial(ci int, vinit dict.VertexID) (uint64, error) 
 	matched := make([]bool, len(m.q.Vars))
 	m.asg[uinit] = vinit
 	matched[uinit] = true
-	return m.countMatch(comp, 1, matched)
+	return m.countMatch(ci, comp, 1, matched)
 }
 
 // inFixed reports whether v is within u's fixed candidate set (when one

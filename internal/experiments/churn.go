@@ -29,8 +29,9 @@ type ChurnResult struct {
 	WriteRatio    float64
 	// ReadAvg/ReadP50/ReadP99 summarize answered-read latency.
 	ReadAvg, ReadP50, ReadP99 time.Duration
-	// WriteAvg summarizes write-batch latency.
-	WriteAvg time.Duration
+	// WriteAvg/WriteP50/WriteP99 summarize write-batch latency; with a
+	// WAL attached they include the durability (fsync) cost.
+	WriteAvg, WriteP50, WriteP99 time.Duration
 	// Unanswered is the percentage of reads that hit the timeout.
 	Unanswered float64
 	// Compactions counts compactions that fired during the run;
@@ -104,7 +105,7 @@ func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
 	}
 	var (
 		readLats  []time.Duration
-		writeTime time.Duration
+		writeLats []time.Duration
 		pending   [][]rdf.Triple // inserted batches not yet deleted
 		nextID    int
 	)
@@ -131,7 +132,7 @@ func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
 				d.Amber.Mutate(ts, nil) //nolint:errcheck
 				pending = append(pending, ts)
 			}
-			writeTime += time.Since(start)
+			writeLats = append(writeLats, time.Since(start))
 			res.Writes++
 			continue
 		}
@@ -163,22 +164,29 @@ func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
 	d.Amber.Compact() //nolint:errcheck
 
 	if len(readLats) > 0 {
-		sort.Slice(readLats, func(i, j int) bool { return readLats[i] < readLats[j] })
-		var total time.Duration
-		for _, l := range readLats {
-			total += l
-		}
-		res.ReadAvg = total / time.Duration(len(readLats))
-		res.ReadP50 = readLats[len(readLats)/2]
-		res.ReadP99 = readLats[min(len(readLats)-1, len(readLats)*99/100)]
+		res.ReadAvg, res.ReadP50, res.ReadP99 = latencySummary(readLats)
 	}
-	if res.Writes > 0 {
-		res.WriteAvg = writeTime / time.Duration(res.Writes)
+	if len(writeLats) > 0 {
+		res.WriteAvg, res.WriteP50, res.WriteP99 = latencySummary(writeLats)
 	}
 	if res.Reads > 0 {
 		res.Unanswered = 100 * float64(res.Reads-answered) / float64(res.Reads)
 	}
 	return res
+}
+
+// latencySummary sorts the samples in place and returns their mean, p50
+// and p99 (nearest-rank).
+func latencySummary(lats []time.Duration) (avg, p50, p99 time.Duration) {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var total time.Duration
+	for _, l := range lats {
+		total += l
+	}
+	avg = total / time.Duration(len(lats))
+	p50 = lats[len(lats)/2]
+	p99 = lats[min(len(lats)-1, len(lats)*99/100)]
+	return avg, p50, p99
 }
 
 // FormatChurn renders a churn result as a small report block.
@@ -188,7 +196,9 @@ func FormatChurn(r ChurnResult) string {
 	fmt.Fprintf(&b, "reads:  %d (unanswered %.1f%%)  avg=%s p50=%s p99=%s\n",
 		r.Reads, r.Unanswered, r.ReadAvg.Round(time.Microsecond),
 		r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond))
-	fmt.Fprintf(&b, "writes: %d  avg=%s\n", r.Writes, r.WriteAvg.Round(time.Microsecond))
+	fmt.Fprintf(&b, "writes: %d  avg=%s p50=%s p99=%s\n",
+		r.Writes, r.WriteAvg.Round(time.Microsecond),
+		r.WriteP50.Round(time.Microsecond), r.WriteP99.Round(time.Microsecond))
 	fmt.Fprintf(&b, "compactions during run: %d (last took %s)\n",
 		r.Compactions, r.LastCompaction.Round(time.Microsecond))
 	switch {

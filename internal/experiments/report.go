@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// ReportSchema identifies the JSON layout of BenchReport. Bump it when a
+// field changes meaning or disappears; additions are backward-compatible
+// within a version.
+const ReportSchema = "amber-bench/v1"
+
+// BenchReport is the machine-readable output of `amber-bench -json`: one
+// self-describing document per run, committed to the repository as
+// BENCH_NNNN.json files so performance has a trajectory across PRs
+// rather than a single mutable number.
+type BenchReport struct {
+	Schema      string        `json:"schema"`
+	GeneratedAt string        `json:"generated_at"` // RFC 3339, UTC
+	GoVersion   string        `json:"go_version"`
+	Planner     string        `json:"planner"`
+	Config      ReportConfig  `json:"config"`
+	Load        []LoadResult  `json:"load"`
+	Queries     []QueryResult `json:"queries"`
+	Churn       []ChurnReport `json:"churn"`
+
+	PlannerComparison PlannerComparison `json:"planner_comparison"`
+}
+
+// ReportConfig records the knobs the run used, so two reports are only
+// compared when their workloads match.
+type ReportConfig struct {
+	Scale           int     `json:"scale"`
+	Universities    int     `json:"universities"`
+	QueriesPerPoint int     `json:"queries_per_point"`
+	TimeoutMS       float64 `json:"timeout_ms"`
+	Seed            int64   `json:"seed"`
+	Sizes           []int   `json:"sizes"`
+	Quick           bool    `json:"quick"`
+}
+
+// LoadResult is the offline stage of one dataset: corpus size and the
+// cost of building AMbER's database plus index ensemble.
+type LoadResult struct {
+	Dataset       string  `json:"dataset"`
+	Triples       int     `json:"triples"`
+	BuildMS       float64 `json:"build_ms"`
+	TriplesPerSec float64 `json:"triples_per_sec"`
+	IndexBytes    int64   `json:"index_bytes"`
+}
+
+// QueryResult summarizes AMbER latency for one (dataset, shape, size)
+// workload point. Percentiles are over answered queries only; the
+// unanswered share is reported separately.
+type QueryResult struct {
+	Dataset       string  `json:"dataset"`
+	Shape         string  `json:"shape"` // star | complex
+	Size          int     `json:"size"`
+	Queries       int     `json:"queries"`
+	Answered      int     `json:"answered"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	UnansweredPct float64 `json:"unanswered_pct"`
+}
+
+// ChurnReport is one mixed read/write run under one durability policy.
+type ChurnReport struct {
+	Fsync       string  `json:"fsync"` // "" = no WAL
+	Reads       int     `json:"reads"`
+	Writes      int     `json:"writes"`
+	ReadP50MS   float64 `json:"read_p50_ms"`
+	ReadP99MS   float64 `json:"read_p99_ms"`
+	WriteP50MS  float64 `json:"write_p50_ms"`
+	WriteP99MS  float64 `json:"write_p99_ms"`
+	Compactions uint64  `json:"compactions"`
+	Fsyncs      uint64  `json:"fsyncs"`
+}
+
+// PlannerComparison pits the cost-based planner against the paper's
+// §5.3 heuristic on the same workload: WinRatio is the fraction of
+// queries the cost planner answered at least as fast.
+type PlannerComparison struct {
+	Dataset        string  `json:"dataset"`
+	Queries        int     `json:"queries"`
+	CostWins       int     `json:"cost_wins"`
+	WinRatio       float64 `json:"win_ratio"`
+	CostP50MS      float64 `json:"cost_p50_ms"`
+	HeuristicP50MS float64 `json:"heuristic_p50_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// QuickConfig shrinks a config to the CI smoke-test scale: one small
+// LUBM corpus, one workload point, short timeout.
+func QuickConfig(cfg Config) Config {
+	cfg.Scale = 1
+	cfg.Universities = 2
+	cfg.QueriesPerPoint = 8
+	cfg.Sizes = []int{10}
+	cfg.Timeout = 300 * time.Millisecond
+	return cfg
+}
+
+// RunBenchReport runs the benchmark trajectory: dataset builds, AMbER
+// query latency percentiles by shape, churn under each durability
+// policy, and the cost-vs-heuristic planner comparison. Quick mode uses
+// a single small LUBM corpus so the whole run fits a CI smoke test.
+func RunBenchReport(cfg Config, quick bool) (*BenchReport, error) {
+	datasetNames := []string{"DBPEDIA", "YAGO", "LUBM"}
+	fsyncs := []string{"", "always", "never"}
+	if quick {
+		cfg = QuickConfig(cfg)
+		datasetNames = []string{"LUBM"}
+		fsyncs = []string{"", "always"}
+	}
+
+	rep := &BenchReport{
+		Schema:      ReportSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Planner:     cfg.Planner,
+		Config: ReportConfig{
+			Scale:           cfg.Scale,
+			Universities:    cfg.Universities,
+			QueriesPerPoint: cfg.QueriesPerPoint,
+			TimeoutMS:       ms(cfg.Timeout),
+			Seed:            cfg.Seed,
+			Sizes:           cfg.Sizes,
+			Quick:           quick,
+		},
+	}
+	if rep.Planner == "" {
+		rep.Planner = "cost"
+	}
+
+	var datasets []*Dataset
+	for _, name := range datasetNames {
+		start := time.Now()
+		d, err := BuildDataset(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		buildDur := time.Since(start)
+		datasets = append(datasets, d)
+		lr := LoadResult{
+			Dataset:    name,
+			Triples:    len(d.Triples),
+			BuildMS:    ms(buildDur),
+			IndexBytes: d.AmberStats.IndexBytes,
+		}
+		if buildDur > 0 {
+			lr.TriplesPerSec = float64(len(d.Triples)) / buildDur.Seconds()
+		}
+		rep.Load = append(rep.Load, lr)
+	}
+
+	shapes := []struct {
+		name string
+		kind workload.Kind
+	}{{"star", workload.Star}, {"complex", workload.Complex}}
+	for _, d := range datasets {
+		for _, sh := range shapes {
+			for _, size := range cfg.Sizes {
+				queries := d.Gen.Workload(sh.kind, size, cfg.QueriesPerPoint)
+				qr := QueryResult{Dataset: d.Name, Shape: sh.name, Size: size, Queries: len(queries)}
+				var lats []time.Duration
+				for _, q := range queries {
+					answered, dur, _ := d.RunQuery(AMbER, q, cfg.Timeout)
+					if answered {
+						lats = append(lats, dur)
+					}
+				}
+				qr.Answered = len(lats)
+				if len(lats) > 0 {
+					_, p50, p99 := latencySummary(lats)
+					qr.P50MS, qr.P99MS = ms(p50), ms(p99)
+				}
+				if qr.Queries > 0 {
+					qr.UnansweredPct = 100 * float64(qr.Queries-qr.Answered) / float64(qr.Queries)
+				}
+				rep.Queries = append(rep.Queries, qr)
+			}
+		}
+	}
+
+	// Churn and the planner comparison run on the first dataset only: the
+	// point is tracking write latency per fsync policy and planner wins
+	// over time, not covering every corpus.
+	churnDS := datasets[0]
+	for _, fs := range fsyncs {
+		ccfg := cfg
+		ccfg.Fsync = fs
+		r := RunChurn(churnDS, workload.Star, ccfg)
+		rep.Churn = append(rep.Churn, ChurnReport{
+			Fsync:       fs,
+			Reads:       r.Reads,
+			Writes:      r.Writes,
+			ReadP50MS:   ms(r.ReadP50),
+			ReadP99MS:   ms(r.ReadP99),
+			WriteP50MS:  ms(r.WriteP50),
+			WriteP99MS:  ms(r.WriteP99),
+			Compactions: r.Compactions,
+			Fsyncs:      r.Fsyncs,
+		})
+	}
+
+	rep.PlannerComparison = runPlannerComparison(churnDS, workload.Star, cfg)
+	return rep, nil
+}
+
+// runPlannerComparison times every workload query under both planners on
+// AMbER and counts how often the cost-based order is at least as fast.
+func runPlannerComparison(d *Dataset, kind workload.Kind, cfg Config) PlannerComparison {
+	size := 10
+	if len(cfg.Sizes) > 0 {
+		size = cfg.Sizes[0]
+	}
+	costPl, _ := plan.ByName("cost")
+	heurPl, _ := plan.ByName("heuristic")
+	queries := d.Gen.Workload(kind, size, cfg.QueriesPerPoint)
+	pc := PlannerComparison{Dataset: d.Name}
+
+	timeWith := func(pl plan.Planner, q int) (time.Duration, bool) {
+		g, err := d.Amber.PrepareQueryWith(pl, queries[q])
+		if err != nil {
+			return 0, false
+		}
+		start := time.Now()
+		_, err = g.Count(engine.Options{Deadline: start.Add(cfg.Timeout)})
+		return time.Since(start), err == nil
+	}
+
+	var costLats, heurLats []time.Duration
+	for qi := range queries {
+		costDur, costOK := timeWith(costPl, qi)
+		heurDur, heurOK := timeWith(heurPl, qi)
+		if !costOK && !heurOK {
+			continue // neither finished; no information
+		}
+		pc.Queries++
+		// A timeout loses to any finished run; both finished compares times.
+		switch {
+		case costOK && !heurOK:
+			pc.CostWins++
+		case costOK && heurOK && costDur <= heurDur:
+			pc.CostWins++
+		}
+		if costOK {
+			costLats = append(costLats, costDur)
+		}
+		if heurOK {
+			heurLats = append(heurLats, heurDur)
+		}
+	}
+	if pc.Queries > 0 {
+		pc.WinRatio = float64(pc.CostWins) / float64(pc.Queries)
+	}
+	if len(costLats) > 0 {
+		sort.Slice(costLats, func(i, j int) bool { return costLats[i] < costLats[j] })
+		pc.CostP50MS = ms(costLats[len(costLats)/2])
+	}
+	if len(heurLats) > 0 {
+		sort.Slice(heurLats, func(i, j int) bool { return heurLats[i] < heurLats[j] })
+		pc.HeuristicP50MS = ms(heurLats[len(heurLats)/2])
+	}
+	return pc
+}
+
+// ValidateReport checks that data is a well-formed BenchReport: the CI
+// schema gate for committed BENCH_NNNN.json files. Unknown fields are
+// rejected so accidental schema drift fails loudly.
+func ValidateReport(data []byte) error {
+	var rep BenchReport
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("bench report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return fmt.Errorf("bench report: schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	if _, err := time.Parse(time.RFC3339, rep.GeneratedAt); err != nil {
+		return fmt.Errorf("bench report: bad generated_at: %w", err)
+	}
+	if rep.GoVersion == "" {
+		return fmt.Errorf("bench report: missing go_version")
+	}
+	if rep.Planner != "cost" && rep.Planner != "heuristic" {
+		return fmt.Errorf("bench report: unknown planner %q", rep.Planner)
+	}
+	if len(rep.Load) == 0 {
+		return fmt.Errorf("bench report: no load results")
+	}
+	for _, l := range rep.Load {
+		if l.Dataset == "" || l.Triples <= 0 {
+			return fmt.Errorf("bench report: bad load entry %+v", l)
+		}
+	}
+	if len(rep.Queries) == 0 {
+		return fmt.Errorf("bench report: no query results")
+	}
+	for _, q := range rep.Queries {
+		if q.Shape != "star" && q.Shape != "complex" {
+			return fmt.Errorf("bench report: unknown shape %q", q.Shape)
+		}
+		if q.P99MS < q.P50MS {
+			return fmt.Errorf("bench report: %s/%s/%d: p99 %.3fms < p50 %.3fms",
+				q.Dataset, q.Shape, q.Size, q.P99MS, q.P50MS)
+		}
+		if q.Answered > q.Queries || q.UnansweredPct < 0 || q.UnansweredPct > 100 {
+			return fmt.Errorf("bench report: %s/%s/%d: inconsistent answered counts",
+				q.Dataset, q.Shape, q.Size)
+		}
+	}
+	if len(rep.Churn) == 0 {
+		return fmt.Errorf("bench report: no churn results")
+	}
+	for _, c := range rep.Churn {
+		if c.WriteP99MS < c.WriteP50MS || c.ReadP99MS < c.ReadP50MS {
+			return fmt.Errorf("bench report: churn fsync=%q: p99 < p50", c.Fsync)
+		}
+	}
+	if r := rep.PlannerComparison.WinRatio; r < 0 || r > 1 {
+		return fmt.Errorf("bench report: win_ratio %.3f outside [0,1]", r)
+	}
+	return nil
+}

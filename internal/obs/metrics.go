@@ -1,0 +1,385 @@
+// Package obs is AMbER's zero-dependency observability layer: a
+// Prometheus-text-format metrics registry (counters, gauges and fixed-
+// bucket histograms, hand-rolled — no client library), lightweight
+// per-request traces carried through context, a bounded ring of recent
+// traces, a JSON-lines slow-query log, and a per-generation plan-quality
+// accumulator. The server threads it through core and the engine so the
+// paper's central quantities — per-level candidate frontier sizes,
+// recursion counts, est-vs-actual planner accuracy — are visible on live
+// traffic, not only in offline benchmarks.
+//
+// Everything here is stdlib-only and safe for concurrent use.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the fixed histogram bounds (seconds) used for all
+// request-latency histograms: 100µs to 10s, roughly logarithmic. The
+// final +Inf bucket is implicit.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// exposition. Bounds are upper edges in ascending order; observations
+// above the last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64   // float64 bits, CAS-accumulated
+	count   atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-th quantile (0..1) from the bucket counts,
+// interpolating linearly within the containing bucket. With no
+// observations it returns 0; observations in the +Inf bucket clamp to
+// the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			if i < len(h.bounds) {
+				lower = h.bounds[i]
+			}
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no upper edge to interpolate toward.
+				return lower
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return lower
+}
+
+// ---- registry ----------------------------------------------------------
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one metric name: scalar, func-backed, or a set of labeled
+// children.
+type family struct {
+	name, help string
+	kind       metricKind
+	label      string // label name for vec families; "" = scalar
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // func-backed counter/gauge
+	hist    *Histogram
+
+	mu       sync.Mutex
+	children map[string]any // label value -> *Counter | *Histogram
+	order    []string
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Register every family once, at construction.
+type Registry struct {
+	mu         sync.Mutex
+	fams       []*family
+	byName     map[string]*family
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic("obs: duplicate metric " + f.name)
+	}
+	r.byName[f.name] = f
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers and returns a scalar counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — used to expose an existing atomic counter without duplicating
+// state (so /metrics and /stats can never disagree).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&family{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// Histogram registers and returns a histogram with the given bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(&family{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	f := &family{name: name, help: help, kind: kindCounter, label: label, children: map[string]any{}}
+	r.add(f)
+	return &CounterVec{f: f}
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use. Label values must be low-cardinality (a shape enum, a
+// stage name) — every distinct value becomes an exposition line.
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.children[value]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	v.f.children[value] = c
+	v.f.order = append(v.f.order, value)
+	sort.Strings(v.f.order)
+	return c
+}
+
+// HistogramVec is a histogram family keyed by one label.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	f := &family{name: name, help: help, kind: kindHistogram, label: label, children: map[string]any{}}
+	r.add(f)
+	return &HistogramVec{f: f, bounds: bounds}
+}
+
+// With returns the child histogram for the given label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if h, ok := v.f.children[value]; ok {
+		return h.(*Histogram)
+	}
+	h := NewHistogram(v.bounds)
+	v.f.children[value] = h
+	v.f.order = append(v.f.order, value)
+	sort.Strings(v.f.order)
+	return h
+}
+
+// AddCollector registers fn to run at the start of every scrape, before
+// any family renders — the hook that refreshes sampled gauges (runtime
+// memstats) with a single collection pass instead of one per metric.
+func (r *Registry) AddCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every family in text exposition format
+// (version 0.0.4), sorted by metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	fams := append([]*family{}, r.fams...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	switch {
+	case f.children != nil:
+		f.mu.Lock()
+		order := append([]string{}, f.order...)
+		children := make(map[string]any, len(f.children))
+		for k, v := range f.children {
+			children[k] = v
+		}
+		f.mu.Unlock()
+		for _, lv := range order {
+			sel := f.label + `="` + escapeLabel(lv) + `"`
+			switch m := children[lv].(type) {
+			case *Counter:
+				fmt.Fprintf(b, "%s{%s} %s\n", f.name, sel, fmtFloat(float64(m.Value())))
+			case *Histogram:
+				writeHistogram(b, f.name, sel, m)
+			}
+		}
+	case f.hist != nil:
+		writeHistogram(b, f.name, "", f.hist)
+	case f.fn != nil:
+		fmt.Fprintf(b, "%s %s\n", f.name, fmtFloat(f.fn()))
+	case f.counter != nil:
+		fmt.Fprintf(b, "%s %s\n", f.name, fmtFloat(float64(f.counter.Value())))
+	case f.gauge != nil:
+		fmt.Fprintf(b, "%s %s\n", f.name, fmtFloat(f.gauge.Value()))
+	}
+}
+
+// writeHistogram renders the cumulative bucket lines plus _sum and
+// _count. extraSel is the vec label selector ("" for scalar families).
+func writeHistogram(b *strings.Builder, name, extraSel string, h *Histogram) {
+	join := func(le string) string {
+		if extraSel == "" {
+			return `le="` + le + `"`
+		}
+		return extraSel + `,le="` + le + `"`
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, join(fmtFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, join("+Inf"), cum)
+	sel := ""
+	if extraSel != "" {
+		sel = "{" + extraSel + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, sel, fmtFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, sel, h.Count())
+}
+
+// fmtFloat renders a sample value the way Prometheus expects: integral
+// values without an exponent or trailing zeros.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, `\"`+"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

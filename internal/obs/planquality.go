@@ -1,0 +1,44 @@
+package obs
+
+import "sync"
+
+// PlanQuality accumulates planner-accuracy ratios (Trace.EstActualRatio)
+// per database generation: observing under a new generation resets the
+// window, so the reported mean always describes estimates made against
+// the current base graph — compaction rebuilds the synopsis the planner
+// estimates from, and stale ratios would mask a regression.
+type PlanQuality struct {
+	mu  sync.Mutex
+	gen uint64
+	sum float64
+	n   uint64
+}
+
+// Observe records one query's est/actual ratio under the given
+// generation.
+func (p *PlanQuality) Observe(gen uint64, ratio float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if gen != p.gen {
+		p.gen, p.sum, p.n = gen, 0, 0
+	}
+	p.sum += ratio
+	p.n++
+	p.mu.Unlock()
+}
+
+// Summary reports the current window: its generation, sample count, and
+// mean est/actual frontier ratio (0 when empty).
+func (p *PlanQuality) Summary() (gen uint64, samples uint64, mean float64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.n == 0 {
+		return p.gen, 0, 0
+	}
+	return p.gen, p.n, p.sum / float64(p.n)
+}

@@ -1,0 +1,57 @@
+package obs
+
+import "runtime"
+
+// RuntimeStats is a point-in-time picture of the Go runtime, shared by
+// /metrics and the /stats "runtime" section.
+type RuntimeStats struct {
+	Goroutines   int     `json:"goroutines"`
+	HeapAlloc    uint64  `json:"heap_alloc_bytes"`
+	HeapSys      uint64  `json:"heap_sys_bytes"`
+	HeapObjects  uint64  `json:"heap_objects"`
+	TotalAlloc   uint64  `json:"total_alloc_bytes"`
+	NumGC        uint32  `json:"gc_cycles"`
+	GCPauseTotal float64 `json:"gc_pause_total_seconds"`
+	GCPauseLast  float64 `json:"gc_pause_last_seconds"`
+}
+
+// ReadRuntimeStats samples the runtime (one ReadMemStats pass).
+func ReadRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeStats{
+		Goroutines:   runtime.NumGoroutine(),
+		HeapAlloc:    ms.HeapAlloc,
+		HeapSys:      ms.HeapSys,
+		HeapObjects:  ms.HeapObjects,
+		TotalAlloc:   ms.TotalAlloc,
+		NumGC:        ms.NumGC,
+		GCPauseTotal: float64(ms.PauseTotalNs) / 1e9,
+	}
+	if ms.NumGC > 0 {
+		rs.GCPauseLast = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	return rs
+}
+
+// RegisterRuntimeMetrics registers go_* gauges on the registry, filled
+// by one runtime sample per scrape.
+func RegisterRuntimeMetrics(reg *Registry) {
+	goroutines := reg.Gauge("go_goroutines", "Number of goroutines that currently exist.")
+	heapAlloc := reg.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := reg.Gauge("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	heapObjects := reg.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.")
+	totalAlloc := reg.Gauge("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.")
+	numGC := reg.Gauge("go_gc_cycles_total", "Completed GC cycles.")
+	pauseTotal := reg.Gauge("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
+	reg.AddCollector(func() {
+		rs := ReadRuntimeStats()
+		goroutines.Set(float64(rs.Goroutines))
+		heapAlloc.Set(float64(rs.HeapAlloc))
+		heapSys.Set(float64(rs.HeapSys))
+		heapObjects.Set(float64(rs.HeapObjects))
+		totalAlloc.Set(float64(rs.TotalAlloc))
+		numGC.Set(float64(rs.NumGC))
+		pauseTotal.Set(rs.GCPauseTotal)
+	})
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -46,7 +47,11 @@ func (r *latencyRing) record(d time.Duration) {
 }
 
 // percentiles returns the given quantiles (0..1) over the recorded
-// window, nearest-rank. With no samples it returns zeros.
+// window, nearest-rank: the smallest sample such that at least q·n
+// samples are ≤ it, i.e. sorted index ceil(q·n)−1. The previous
+// round-half-up formula (int(q·n+0.5)−1) under-reported whenever
+// frac(q·n) fell below 0.5 — e.g. p99 over 52 samples returned the
+// 51st smallest instead of the 52nd. With no samples it returns zeros.
 func (r *latencyRing) percentiles(qs ...float64) []time.Duration {
 	r.mu.Lock()
 	samples := make([]time.Duration, r.n)
@@ -59,7 +64,7 @@ func (r *latencyRing) percentiles(qs ...float64) []time.Duration {
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	for i, q := range qs {
-		idx := int(q*float64(len(samples))+0.5) - 1
+		idx := int(math.Ceil(q*float64(len(samples)))) - 1
 		if idx < 0 {
 			idx = 0
 		}

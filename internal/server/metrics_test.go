@@ -1,0 +1,69 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRingPercentiles(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	seq := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = ms(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		qs      []float64
+		want    []time.Duration
+	}{
+		{"empty", nil, []float64{0.5, 0.99}, []time.Duration{0, 0}},
+		{"single", []time.Duration{ms(7)}, []float64{0, 0.5, 0.99, 1}, []time.Duration{ms(7), ms(7), ms(7), ms(7)}},
+		// Two samples: nearest-rank ceil(q·n)−1 puts p50 on the first and
+		// p99 on the last.
+		{"two samples", []time.Duration{ms(1), ms(10)}, []float64{0.5, 0.99}, []time.Duration{ms(1), ms(10)}},
+		// frac(q·n) < 0.5 is where the old round-half-up formula dropped a
+		// rank: q=0.92 over 10 samples needs the 10th smallest (ceil(9.2)),
+		// not the 9th (int(9.7)); likewise p99 over 52 needs the maximum.
+		{"rank not rounded down", seq(10), []float64{0.92}, []time.Duration{ms(10)}},
+		{"p99 of 52", seq(52), []float64{0.99}, []time.Duration{ms(52)}},
+		// Three samples: p50 is the middle, p99 the max.
+		{"three samples", []time.Duration{ms(30), ms(10), ms(20)}, []float64{0.5, 0.99}, []time.Duration{ms(20), ms(30)}},
+		// 100 samples 1..100ms: p50 = 50ms, p90 = 90ms, p99 = 99ms.
+		{"hundred", seq(100), []float64{0.5, 0.9, 0.99}, []time.Duration{ms(50), ms(90), ms(99)}},
+		// Quantile edges clamp to the extremes.
+		{"edges", seq(10), []float64{0, 1}, []time.Duration{ms(1), ms(10)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var r latencyRing
+			for _, d := range c.samples {
+				r.record(d)
+			}
+			got := r.percentiles(c.qs...)
+			for i := range c.qs {
+				if got[i] != c.want[i] {
+					t.Errorf("q=%v: got %v, want %v", c.qs[i], got[i], c.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLatencyRingWraps(t *testing.T) {
+	var r latencyRing
+	// Overfill the ring: only the newest len(buf) samples should remain.
+	for i := 0; i < len(r.buf)+100; i++ {
+		r.record(time.Duration(i) * time.Microsecond)
+	}
+	got := r.percentiles(0)[0] // minimum of the window
+	if want := 100 * time.Microsecond; got != want {
+		t.Errorf("after wrap, min = %v, want %v (oldest samples evicted)", got, want)
+	}
+	if r.n != len(r.buf) {
+		t.Errorf("n = %d, want %d", r.n, len(r.buf))
+	}
+}

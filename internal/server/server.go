@@ -39,6 +39,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	amber "repro"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/results"
 )
@@ -79,6 +81,22 @@ type Config struct {
 	// default: LOAD reads local files, which an unauthenticated client
 	// must not be able to do.
 	AllowLoad bool
+	// SlowQuery enables the slow-query log: every query whose total
+	// handling time meets this threshold is written as one JSON line
+	// (request ID, truncated query text, plan summary, stage timings,
+	// engine counters, epoch) to SlowQueryOut. Zero disables it.
+	SlowQuery time.Duration
+	// SlowQueryOut receives slow-query records. Defaults to os.Stderr
+	// when SlowQuery is set.
+	SlowQueryOut io.Writer
+	// TraceBuffer bounds the /debug/traces ring of recent request traces.
+	// Default 128; negative disables the ring (the endpoint serves an
+	// empty list).
+	TraceBuffer int
+	// DisableHistograms turns off the bucketed latency histograms. /stats
+	// percentiles then fall back to the 1024-entry sliding-window ring,
+	// and /metrics omits the *_duration_seconds families.
+	DisableHistograms bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +124,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueryLength <= 0 {
 		c.MaxQueryLength = 1 << 20
+	}
+	def(&c.TraceBuffer, 128)
+	if c.SlowQuery > 0 && c.SlowQueryOut == nil {
+		c.SlowQueryOut = os.Stderr
 	}
 	return c
 }
@@ -168,6 +190,23 @@ type Server struct {
 	met   metrics
 	start time.Time
 	mux   *http.ServeMux
+
+	// Observability (see internal/obs): the Prometheus registry behind
+	// /metrics, the recent-trace ring behind /debug/traces, the slow-query
+	// log, and the per-generation planner-accuracy accumulator. The
+	// histograms are nil when Config.DisableHistograms is set (the
+	// latencyRing then carries /stats percentiles).
+	reg        *obs.Registry
+	queryHist  *obs.Histogram
+	updateHist *obs.Histogram
+	stageHist  *obs.HistogramVec
+	engRecur   *obs.CounterVec
+	engInit    *obs.CounterVec
+	engSat     *obs.CounterVec
+	engEmb     *obs.CounterVec
+	traces     *obs.TraceRing
+	slowLog    *obs.SlowLog
+	planQual   obs.PlanQuality
 }
 
 // New builds a Server serving db with the given configuration.
@@ -178,10 +217,15 @@ func New(db *amber.DB, cfg Config) *Server {
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	s.state.Store(newDBState(db, s.cfg, 0))
+	s.traces = obs.NewTraceRing(s.cfg.TraceBuffer)
+	s.slowLog = obs.NewSlowLog(s.cfg.SlowQueryOut, s.cfg.SlowQuery)
+	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/sparql", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -220,15 +264,21 @@ func errorf(status int, format string, args ...any) *httpError {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// writeError emits a JSON error body. Call only before any result bytes
-// have been written.
-func writeError(w http.ResponseWriter, status int, msg string) {
+// writeError emits a JSON error body carrying the request ID (also
+// echoed in the X-Request-Id header), so a client-side error report can
+// be matched against the slow-query log and /debug/traces. Call only
+// before any result bytes have been written. reqID may be empty.
+func writeError(w http.ResponseWriter, status int, msg, reqID string) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]any{"error": msg, "status": status}) //nolint:errcheck
+	body := map[string]any{"error": msg, "status": status}
+	if reqID != "" {
+		body["request_id"] = reqID
+	}
+	json.NewEncoder(w).Encode(body) //nolint:errcheck
 }
 
 // readQuery extracts the SPARQL query or update text per the SPARQL 1.1
@@ -286,7 +336,8 @@ func (s *Server) readQuery(r *http.Request) (text string, isUpdate bool, err err
 type queryParams struct {
 	opts    amber.QueryOptions
 	format  results.Format
-	explain bool
+	explain bool // render the plan instead of (or in addition to) executing
+	analyze bool // explain=analyze: execute and report actual frontiers
 	planner string
 }
 
@@ -332,14 +383,18 @@ func (s *Server) readParams(r *http.Request) (queryParams, error) {
 
 	switch v := get("explain"); v {
 	case "", "0", "false":
-	case "1", "true", "yes":
+	case "1", "true", "yes", "plan":
 		p.explain = true
+	case "analyze", "analyse":
+		p.explain, p.analyze = true, true
+	default:
+		return p, errorf(http.StatusBadRequest, "invalid explain %q; use 1, plan, or analyze", v)
+	}
+	if p.explain {
 		p.planner = get("planner")
 		if _, ok := plan.ByName(p.planner); !ok {
 			return p, errorf(http.StatusBadRequest, "unknown planner %q; use cost or heuristic", p.planner)
 		}
-	default:
-		return p, errorf(http.StatusBadRequest, "invalid explain %q", v)
 	}
 
 	if v := get("format"); v != "" {
@@ -398,6 +453,12 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	st := s.state.Load()
 
+	// Every request gets an ID up front, echoed in the X-Request-Id
+	// header and any error body, so a client report can be matched to a
+	// slow-query record or a /debug/traces entry.
+	reqID := obs.NewRequestID()
+	w.Header().Set("X-Request-Id", reqID)
+
 	query, isUpdate, err := s.readQuery(r)
 	if err == nil {
 		if len(query) > s.cfg.MaxQueryLength {
@@ -406,7 +467,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err == nil && isUpdate {
-		s.handleUpdate(w, r, st, query)
+		s.handleUpdate(w, r, st, query, reqID)
 		return
 	}
 	var params queryParams
@@ -418,30 +479,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if he.status == http.StatusMethodNotAllowed {
 			w.Header().Set("Allow", "GET, POST")
 		}
-		writeError(w, he.status, he.msg)
+		writeError(w, he.status, he.msg, reqID)
 		return
 	}
 
-	// Explain renders the matching plan instead of executing. It runs no
-	// embedding search, but its index probes (one signature scan per core
-	// vertex) still scale with graph size, so it claims an execution slot
-	// like any query; it skips the result cache (plans are cheap relative
-	// to cache bookkeeping and the output embeds live cardinalities).
+	// Explain renders the matching plan; explain=analyze additionally
+	// executes the query and reports actual per-level frontiers. Both run
+	// real index work, so they claim an execution slot like any query;
+	// they skip the result cache (plans are cheap relative to cache
+	// bookkeeping and the output embeds live cardinalities).
 	if params.explain {
 		if !s.acquire(r.Context()) {
 			s.met.rejected.Add(1)
 			writeError(w, http.StatusServiceUnavailable,
-				fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent))
+				fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent), reqID)
 			return
 		}
 		defer func() { <-s.sem }()
 		s.met.queries.Add(1)
 		s.met.inFlight.Add(1)
 		defer s.met.inFlight.Add(-1)
-		out, eerr := st.db.ExplainPlanner(query, params.planner)
-		if eerr != nil {
+		var out string
+		var eerr error
+		if params.analyze {
+			out, eerr = st.db.ExplainAnalyzeContext(r.Context(), query, params.planner, &params.opts)
+		} else {
+			out, eerr = st.db.ExplainPlanner(query, params.planner)
+		}
+		switch {
+		case eerr == amber.ErrTimeout:
+			s.met.timeouts.Add(1)
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("query timed out after %s", params.opts.Timeout), reqID)
+			return
+		case errors.Is(eerr, context.Canceled):
+			s.met.cancelled.Add(1)
+			return // client went away
+		case eerr != nil:
 			s.met.parseErrors.Add(1)
-			writeError(w, http.StatusBadRequest, "invalid query: "+eerr.Error())
+			writeError(w, http.StatusBadRequest, "invalid query: "+eerr.Error(), reqID)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -457,6 +533,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if cr, ok := st.results.Get(key); ok {
 		s.met.queries.Add(1)
 		s.met.cacheHits.Add(1)
+		tr := obs.NewTraceID(reqID, query)
 		start := time.Now()
 		w.Header().Set("Content-Type", params.format.ContentType)
 		w.Header().Set("X-Cache", "hit")
@@ -467,14 +544,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			werr = results.WriteAll(params.format, w, cr.vars, cr.rows)
 		}
 		if werr == nil {
-			s.met.lat.record(time.Since(start))
+			d := time.Since(start)
+			tr.AddSpan("serialize", d)
+			s.finishTrace(st, tr, "hit", uint64(len(cr.rows)))
+			s.recordLatency(d)
 		}
 		return
 	}
 	if !s.acquire(r.Context()) {
 		s.met.rejected.Add(1)
 		writeError(w, http.StatusServiceUnavailable,
-			fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent))
+			fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent), reqID)
 		return
 	}
 	defer func() { <-s.sem }()
@@ -483,12 +563,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.cacheMisses.Add(1)
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
+	tr := obs.NewTraceID(reqID, query)
 	start := time.Now()
 
+	endParse := tr.Span("parse_plan")
 	prep, perr := st.prepare(norm, query)
+	endParse()
 	if perr != nil {
 		s.met.parseErrors.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid query: "+perr.Error())
+		s.finishTrace(st, tr, "parse_error", 0)
+		writeError(w, http.StatusBadRequest, "invalid query: "+perr.Error(), reqID)
 		return
 	}
 
@@ -499,28 +583,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Execution runs under the request's context: when the client
 	// disconnects, the engine aborts at its next poll, the admission slot
 	// frees, and no result-cache entry is written for the abandoned run.
-	ctx := r.Context()
+	// The trace rides the context into core.PreparedQuery.Execute, which
+	// fills in the engine counters and per-level frontiers.
+	ctx := obs.ContextWithTrace(r.Context(), tr)
 
 	if prep.IsAsk() {
+		endExec := tr.Span("execute")
 		val, aerr := prep.AskContext(ctx, &params.opts)
+		endExec()
 		switch {
 		case aerr == amber.ErrTimeout:
 			s.met.timeouts.Add(1)
+			s.finishTrace(st, tr, "timeout", 0)
 			writeError(w, http.StatusServiceUnavailable,
-				fmt.Sprintf("query timed out after %s", params.opts.Timeout))
+				fmt.Sprintf("query timed out after %s", params.opts.Timeout), reqID)
 			return
 		case errors.Is(aerr, context.Canceled):
 			s.met.cancelled.Add(1)
+			s.finishTrace(st, tr, "cancelled", 0)
 			return // client went away
 		case aerr != nil:
-			writeError(w, http.StatusInternalServerError, aerr.Error())
+			s.finishTrace(st, tr, "error", 0)
+			writeError(w, http.StatusInternalServerError, aerr.Error(), reqID)
 			return
 		}
 		w.Header().Set("Content-Type", params.format.ContentType)
 		w.Header().Set("X-Cache", "miss")
 		if results.WriteBool(params.format, w, val) == nil {
 			st.results.Put(key, &cachedResult{isBool: true, boolVal: val})
-			s.met.lat.record(time.Since(start))
+			s.finishTrace(st, tr, "ok", 0)
+			s.recordLatency(time.Since(start))
 		}
 		return
 	}
@@ -537,6 +629,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	collected := make([]map[string]amber.Term, 0, 64)
 	collecting := s.cfg.MaxCacheRows > 0
 	var writeErr error
+	var rows uint64
+	var serialize time.Duration
+	loopStart := time.Now()
 	qerr := prep.QueryIterContext(ctx, &params.opts, func(b amber.Binding) bool {
 		m := b.Map()
 		if collecting {
@@ -546,39 +641,59 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				collecting, collected = false, nil
 			}
 		}
+		rowStart := time.Now()
 		if werr := sw.Row(m); werr != nil {
 			writeErr = werr
 			return false
 		}
+		serialize += time.Since(rowStart)
+		rows++
 		return true
 	})
+	// The loop interleaves engine work and row writes; attribute the
+	// write share to "serialize" and the rest to "execute".
+	tr.AddSpan("execute", time.Since(loopStart)-serialize)
 
 	switch {
 	case qerr == amber.ErrTimeout:
 		s.met.timeouts.Add(1)
+		tr.AddSpan("serialize", serialize)
+		s.finishTrace(st, tr, "timeout", rows)
 		if cw.n == 0 {
 			writeError(w, http.StatusServiceUnavailable,
-				fmt.Sprintf("query timed out after %s", params.opts.Timeout))
+				fmt.Sprintf("query timed out after %s", params.opts.Timeout), reqID)
 		}
 		return
 	case errors.Is(qerr, context.Canceled):
 		s.met.cancelled.Add(1)
+		tr.AddSpan("serialize", serialize)
+		s.finishTrace(st, tr, "cancelled", rows)
 		return // client went away; the engine already aborted
 	case qerr != nil:
+		tr.AddSpan("serialize", serialize)
+		s.finishTrace(st, tr, "error", rows)
 		if cw.n == 0 {
-			writeError(w, http.StatusInternalServerError, qerr.Error())
+			writeError(w, http.StatusInternalServerError, qerr.Error(), reqID)
 		}
 		return
 	case writeErr != nil:
+		tr.AddSpan("serialize", serialize)
+		s.finishTrace(st, tr, "client_gone", rows)
 		return // client went away mid-stream; nothing useful to do
 	}
-	if sw.End() != nil {
+	endStart := time.Now()
+	swErr := sw.End()
+	serialize += time.Since(endStart)
+	tr.AddSpan("serialize", serialize)
+	if swErr != nil {
+		s.finishTrace(st, tr, "client_gone", rows)
 		return
 	}
 	if collecting {
 		st.results.Put(key, &cachedResult{vars: vars, rows: collected})
 	}
-	s.met.lat.record(time.Since(start))
+	s.finishTrace(st, tr, "ok", rows)
+	s.recordLatency(time.Since(start))
 }
 
 // handleUpdate executes a SPARQL 1.1 Update request. Updates claim an
@@ -586,11 +701,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // may trigger are real work — and respond 204 No Content on success.
 // The database epoch moves with the update, so every result-cache entry
 // of the previous state becomes unreachable at once.
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, st *dbState, update string) {
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, st *dbState, update, reqID string) {
 	if !s.acquire(r.Context()) {
 		s.met.rejected.Add(1)
 		writeError(w, http.StatusServiceUnavailable,
-			fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent))
+			fmt.Sprintf("server saturated (%d executions in flight)", s.cfg.MaxConcurrent), reqID)
 		return
 	}
 	defer func() { <-s.sem }()
@@ -604,13 +719,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, st *dbStat
 			// The request was fine; the write-ahead log failed (disk full,
 			// fsync error, or closed mid-reload). 503 tells the client to
 			// retry instead of dropping the write as malformed.
-			writeError(w, http.StatusServiceUnavailable, "update not durable: "+err.Error())
+			writeError(w, http.StatusServiceUnavailable, "update not durable: "+err.Error(), reqID)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "invalid update: "+err.Error())
+		writeError(w, http.StatusBadRequest, "invalid update: "+err.Error(), reqID)
 		return
 	}
-	s.met.updateLat.record(time.Since(start))
+	d := time.Since(start)
+	if s.updateHist != nil {
+		s.updateHist.Observe(d.Seconds())
+	} else {
+		s.met.updateLat.record(d)
+	}
 	w.Header().Set("X-Epoch", strconv.FormatUint(st.db.Epoch(), 10))
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -705,7 +825,37 @@ type StatsResponse struct {
 	// zeroes when the server runs without -wal-dir).
 	Durability DurabilitySection `json:"durability"`
 
+	// Runtime describes the Go runtime hosting the server.
+	Runtime RuntimeSection `json:"runtime"`
+
+	// PlanQuality summarizes planner estimate accuracy on live traffic
+	// since the last compaction (see PlanQualitySection).
+	PlanQuality PlanQualitySection `json:"plan_quality"`
+
 	DB amber.Stats `json:"db"`
+}
+
+// RuntimeSection is the /stats "runtime" document.
+type RuntimeSection struct {
+	Goroutines    int     `json:"goroutines"`
+	HeapBytes     uint64  `json:"heap_bytes"`
+	HeapObjects   uint64  `json:"heap_objects"`
+	GCCycles      uint32  `json:"gc_cycles"`
+	GCPauseTotal  float64 `json:"gc_pause_total_seconds"`
+	GCPauseLast   float64 `json:"gc_pause_last_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// PlanQualitySection is the /stats "plan_quality" document: the mean
+// est/actual candidate-frontier ratio over traced queries, windowed per
+// database generation (the window resets when a compaction rebuilds the
+// base the planner estimates from). A ratio near 1 means the cost-based
+// planner's synopsis is tracking the data; drifting far above or below
+// 1 flags stale statistics.
+type PlanQualitySection struct {
+	Generation         uint64  `json:"generation"`
+	Samples            uint64  `json:"samples"`
+	MeanEstActualRatio float64 `json:"mean_est_actual_ratio"`
 }
 
 // DurabilitySection is the /stats "durability" document: the served
@@ -757,11 +907,21 @@ type GenerationSection struct {
 	LastCompactionMillis float64 `json:"last_compaction_ms"`
 }
 
-// Stats snapshots the serving counters.
+// Stats snapshots the serving counters. Latency percentiles come from
+// the bucketed histograms (interpolated) or, with histograms disabled,
+// the sliding-window latencyRing.
 func (s *Server) Stats() StatsResponse {
 	st := s.state.Load()
-	pcts := s.met.lat.percentiles(0.50, 0.99)
-	upcts := s.met.updateLat.percentiles(0.99)
+	var p50, p99, up99 time.Duration
+	if s.queryHist != nil {
+		p50 = time.Duration(s.queryHist.Quantile(0.50) * float64(time.Second))
+		p99 = time.Duration(s.queryHist.Quantile(0.99) * float64(time.Second))
+		up99 = time.Duration(s.updateHist.Quantile(0.99) * float64(time.Second))
+	} else {
+		pcts := s.met.lat.percentiles(0.50, 0.99)
+		p50, p99 = pcts[0], pcts[1]
+		up99 = s.met.updateLat.percentiles(0.99)[0]
+	}
 	gen := st.db.Generation()
 	uptime := time.Since(s.start)
 	// Rate derives from the store's applied-batch counter (the same
@@ -786,8 +946,8 @@ func (s *Server) Stats() StatsResponse {
 		InFlight:           s.met.inFlight.Load(),
 		ResultCacheEntries: st.results.Len(),
 		PlanCacheEntries:   st.plans.Len(),
-		P50Millis:          float64(pcts[0]) / float64(time.Millisecond),
-		P99Millis:          float64(pcts[1]) / float64(time.Millisecond),
+		P50Millis:          float64(p50) / float64(time.Millisecond),
+		P99Millis:          float64(p99) / float64(time.Millisecond),
 		Durability:         durabilitySection(st.db),
 		Live: GenerationSection{
 			Epoch:                gen.Epoch,
@@ -796,12 +956,33 @@ func (s *Server) Stats() StatsResponse {
 			DeltaTombstones:      gen.DeltaTombstones,
 			Updates:              gen.Updates,
 			UpdatesPerSecond:     ups,
-			UpdateP99Millis:      float64(upcts[0]) / float64(time.Millisecond),
+			UpdateP99Millis:      float64(up99) / float64(time.Millisecond),
 			Compactions:          gen.Compactions,
 			LastCompactionMillis: float64(gen.LastCompaction) / float64(time.Millisecond),
 		},
-		DB: st.db.Stats(),
+		Runtime:     s.runtimeSection(uptime),
+		PlanQuality: s.planQualitySection(),
+		DB:          st.db.Stats(),
 	}
+}
+
+// runtimeSection samples the Go runtime for /stats.
+func (s *Server) runtimeSection(uptime time.Duration) RuntimeSection {
+	rs := obs.ReadRuntimeStats()
+	return RuntimeSection{
+		Goroutines:    rs.Goroutines,
+		HeapBytes:     rs.HeapAlloc,
+		HeapObjects:   rs.HeapObjects,
+		GCCycles:      rs.NumGC,
+		GCPauseTotal:  rs.GCPauseTotal,
+		GCPauseLast:   rs.GCPauseLast,
+		UptimeSeconds: uptime.Seconds(),
+	}
+}
+
+func (s *Server) planQualitySection() PlanQualitySection {
+	gen, n, mean := s.planQual.Summary()
+	return PlanQualitySection{Generation: gen, Samples: n, MeanEstActualRatio: mean}
 }
 
 // durabilitySection renders the served database's WAL state.

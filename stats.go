@@ -1,6 +1,7 @@
 package amber
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"time"
@@ -72,4 +73,30 @@ func (db *DB) ExplainPlanner(sparqlText, planner string) (string, error) {
 		return "", err
 	}
 	return db.store.ExplainQuery(pl, pq)
+}
+
+// ExplainAnalyze executes the query and renders, per core-vertex
+// matching level, the planner's estimated candidate-set size against
+// the frontier the engine actually enumerated, plus the engine's effort
+// counters — EXPLAIN's estimates validated by a real run. opts bounds
+// the execution exactly as in QueryContext (a timed-out run returns
+// ErrTimeout and no report). The format is human-oriented and not
+// stable.
+func (db *DB) ExplainAnalyze(sparqlText string, opts *QueryOptions) (string, error) {
+	return db.ExplainAnalyzeContext(context.Background(), sparqlText, "", opts)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze with cancellation and an
+// explicit planner name ("" = cost-based).
+func (db *DB) ExplainAnalyzeContext(ctx context.Context, sparqlText, planner string, opts *QueryOptions) (string, error) {
+	pl, ok := plan.ByName(planner)
+	if !ok {
+		return "", errors.New("amber: unknown planner " + strconv.Quote(planner))
+	}
+	pq, err := db.parse(sparqlText)
+	if err != nil {
+		return "", err
+	}
+	out, err := db.store.ExplainAnalyze(pl, pq, opts.engineOptions(ctx, 0))
+	return out, mapExecErr(err)
 }
