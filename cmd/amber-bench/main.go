@@ -68,9 +68,11 @@ func main() {
 		writeRatio   = flag.Float64("writeratio", 0.2, "write fraction for -exp churn (0..1)")
 		writeBatch   = flag.Int("writebatch", 64, "triples per write batch for -exp churn")
 		fsync        = flag.String("fsync", "", "attach a write-ahead log to -exp churn with this policy (always, never, interval=<duration>; empty = no WAL)")
+		writers      = flag.Int("writers", 8, "concurrent writer goroutines for -exp churn (1 = interleaved single-writer loop)")
 		jsonOut      = flag.Bool("json", false, "emit a machine-readable benchmark report (amber-bench/v1 JSON) instead of the paper tables")
 		quick        = flag.Bool("quick", false, "with -json: CI smoke-test scale (small LUBM corpus, one workload point)")
 		validate     = flag.String("validate", "", "validate an amber-bench/v1 JSON report file and exit")
+		compare      = flag.Bool("compare", false, "compare two amber-bench/v1 JSON report files (old new): exit non-zero on schema drift or a >2x regression in any shared metric")
 	)
 	flag.Parse()
 
@@ -84,6 +86,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: valid %s report\n", *validate, experiments.ReportSchema)
+		return
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "amber-bench: -compare needs exactly two report files (old new)")
+			os.Exit(1)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "amber-bench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -110,6 +124,7 @@ func main() {
 	cfg.WriteRatio = *writeRatio
 	cfg.WriteBatch = *writeBatch
 	cfg.Fsync = *fsync
+	cfg.Writers = *writers
 	cfg.Sizes = nil
 	for _, s := range strings.Split(*sizes, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -121,6 +136,9 @@ func main() {
 	}
 
 	if *jsonOut {
+		// -json -exp churn emits the churn-focused report: the CI
+		// write-throughput smoke shape.
+		cfg.ChurnOnly = *exp == "churn"
 		if err := runReport(cfg, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "amber-bench:", err)
 			os.Exit(1)
@@ -132,6 +150,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "amber-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare gates the benchmark trajectory: schema drift in either
+// report or a >2x regression in any shared metric fails the run.
+func runCompare(oldPath, newPath string) error {
+	oldData, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newData, err := os.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	regs, err := experiments.CompareReports(oldData, newData)
+	if err != nil {
+		return err
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d regression(s) between %s and %s", len(regs), oldPath, newPath)
+	}
+	fmt.Printf("%s -> %s: no regressions in shared metrics\n", oldPath, newPath)
+	return nil
 }
 
 // runReport writes the machine-readable benchmark report to stdout.

@@ -52,6 +52,7 @@ type durable struct {
 	log            *wal.Log
 	dir            string
 	autoCheckpoint bool
+	syncAlways     bool // fsync=always: commitGroup owns the sync barrier
 
 	cpMu   sync.Mutex   // serializes Checkpoint with Close/Detach
 	closed atomic.Bool  // set under cpMu before the log closes
@@ -87,7 +88,11 @@ func (s *Store) AttachWAL(dir string, o WALOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.dur.Store(&durable{log: log, dir: dir, autoCheckpoint: o.CheckpointOnCompact})
+	s.dur.Store(&durable{
+		log: log, dir: dir,
+		autoCheckpoint: o.CheckpointOnCompact,
+		syncAlways:     o.Policy == wal.SyncAlways,
+	})
 	return log.Stats().Replayed, nil
 }
 

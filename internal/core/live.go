@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,13 @@ import (
 // tombstones) past which a mutation triggers background compaction.
 const DefaultCompactThreshold = 8192
 
+// versionsPerEntry bounds version-chain memory under churn: the overlay
+// retains a copy-on-write bucket version per mutation, and adds that
+// cancel against deletes leave Size unchanged while versions keep
+// growing. Compaction therefore also triggers once the overlay holds
+// more than versionsPerEntry × threshold retained versions.
+const versionsPerEntry = 8
+
 // mutation is one applied write batch, kept in the replay log so a
 // compaction built off-lock can catch up with writes that landed while
 // it was rebuilding.
@@ -24,15 +32,33 @@ type mutation struct {
 	adds, dels []rdf.Triple
 }
 
+// commitReq is one writer's batch waiting on the commit queue. done is
+// closed once the batch has been durably committed (or failed), with err
+// carrying the outcome.
+type commitReq struct {
+	adds, dels []rdf.Triple
+	err        error
+	done       chan struct{}
+}
+
 // liveState is the MVCC machinery of a Store: the atomically swapped
-// snapshot, the writer lock, the replay log of the current base
-// generation, and the compaction bookkeeping.
+// snapshot, the writer lock, the group-commit queue, the replay log of
+// the current base generation, and the compaction bookkeeping.
 type liveState struct {
 	snap atomic.Pointer[Snapshot]
 
 	mu         sync.Mutex // serializes mutations, clears and swap-ins
 	log        []mutation // batches applied while a compaction is rebuilding
 	compacting bool       // guarded by mu; one compaction at a time
+
+	// Group commit: concurrent Mutate callers enqueue their batches; the
+	// first becomes the leader and commits everything queued as one group
+	// (one WAL append span, one fsync, one published snapshot), then
+	// re-drains until the queue is empty. qmu only guards the queue — it
+	// is never held across a commit, so enqueueing never blocks on I/O.
+	qmu     sync.Mutex
+	queue   []*commitReq
+	leading bool
 
 	// compactDone is closed when the in-flight compaction (background or
 	// forced) finishes; nil when idle. Guarded by mu. A fresh channel per
@@ -44,6 +70,25 @@ type liveState struct {
 	updates        atomic.Uint64
 	compactions    atomic.Uint64
 	lastCompaction atomic.Int64 // nanoseconds
+
+	// Commit-group statistics (see WriteInfo).
+	groups         atomic.Uint64
+	groupedBatches atomic.Uint64
+	maxGroup       atomic.Uint64
+	groupSizes     [groupSizeBuckets]atomic.Uint64
+
+	// Copy-on-write effort retired with replaced generations; the live
+	// generation's counters stay in its delta overlay.
+	copiedEntriesPrev atomic.Uint64
+	copiedBytesPrev   atomic.Uint64
+}
+
+// retireDelta folds a replaced generation's copy-on-write counters into
+// the store-lifetime accumulators (called under mu at snapshot swap).
+func (l *liveState) retireDelta(v *delta.View) {
+	e, b := v.CopyStats()
+	l.copiedEntriesPrev.Add(e)
+	l.copiedBytesPrev.Add(b)
 }
 
 func (l *liveState) init(sn *Snapshot) {
@@ -91,56 +136,245 @@ func (s *Store) SetCompactThreshold(n int) {
 	s.live.compactThreshold.Store(int64(n))
 }
 
+// GroupSizeBounds are the upper bounds of WriteInfo.GroupSizeBuckets:
+// commit groups of ≤1, ≤2, ≤4, ≤8, ≤16 and ≤32 batches; a final
+// overflow bucket counts larger groups.
+var GroupSizeBounds = [...]uint64{1, 2, 4, 8, 16, 32}
+
+const groupSizeBuckets = len(GroupSizeBounds) + 1
+
+// WriteInfo describes the write path's group-commit and overlay
+// copy-on-write behaviour: the quantities behind the server's /stats
+// "write_path" section and the write-path /metrics.
+type WriteInfo struct {
+	// Batches counts mutation batches committed through the write path.
+	Batches uint64
+	// Groups counts commit groups: each is one WAL append span (one fsync
+	// under fsync=always) and one published snapshot covering every batch
+	// in the group. Batches/Groups is the mean group size; Fsyncs/Batches
+	// (from DurabilityInfo) is the amortization the grouping bought.
+	Groups uint64
+	// MaxGroupSize is the largest commit group since the store opened.
+	MaxGroupSize uint64
+	// GroupSizeBuckets is a histogram of commit-group sizes; bucket i
+	// counts groups of size ≤ GroupSizeBounds[i], the last bucket counts
+	// the overflow.
+	GroupSizeBuckets [groupSizeBuckets]uint64
+	// OverlayEntriesCopied and OverlayBytesCopied measure the overlay's
+	// cumulative copy-on-write effort (entries copied into fresh bucket
+	// versions and an estimate of the bytes those copies retained) across
+	// all generations. The per-batch delta is O(batch), independent of
+	// overlay size.
+	OverlayEntriesCopied uint64
+	OverlayBytesCopied   uint64
+	// OverlayVersions is the live generation's retained bucket-version
+	// count (the churn-memory quantity compaction also triggers on).
+	OverlayVersions uint64
+}
+
+// WriteInfo snapshots the write-path counters.
+func (s *Store) WriteInfo() WriteInfo {
+	l := &s.live
+	sn := s.Snapshot()
+	e, b := sn.Delta.CopyStats()
+	wi := WriteInfo{
+		Batches:              l.groupedBatches.Load(),
+		Groups:               l.groups.Load(),
+		MaxGroupSize:         l.maxGroup.Load(),
+		OverlayEntriesCopied: l.copiedEntriesPrev.Load() + e,
+		OverlayBytesCopied:   l.copiedBytesPrev.Load() + b,
+		OverlayVersions:      uint64(sn.Delta.Versions()),
+	}
+	for i := range wi.GroupSizeBuckets {
+		wi.GroupSizeBuckets[i] = l.groupSizes[i].Load()
+	}
+	return wi
+}
+
+// recordGroup updates the commit-group statistics for one group of n
+// batches (called under mu).
+func (l *liveState) recordGroup(n uint64) {
+	l.groups.Add(1)
+	l.groupedBatches.Add(n)
+	for {
+		cur := l.maxGroup.Load()
+		if n <= cur || l.maxGroup.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	i := 0
+	for i < len(GroupSizeBounds) && n > GroupSizeBounds[i] {
+		i++
+	}
+	l.groupSizes[i].Add(1)
+}
+
 // Mutate applies one write batch: dels are removed first, then adds are
 // inserted, atomically — no reader ever observes the batch partially
 // applied. Triples are validated up front; on error nothing changes.
 // When the call returns, every later query sees the new state
 // (read-your-writes). Deleting absent triples and inserting present
 // ones are no-ops, per SPARQL 1.1 Update semantics.
+//
+// Concurrent callers group-commit: batches queued while a commit is in
+// flight are committed together by the leading writer — one WAL append
+// span, one fsync under fsync=always, one published snapshot — so
+// durable write throughput scales with writer concurrency instead of
+// paying one fsync per batch. Acknowledgement semantics are unchanged:
+// when Mutate returns nil the batch is applied and, on a durable store,
+// as stable as the fsync policy promises.
 func (s *Store) Mutate(adds, dels []rdf.Triple) error {
 	if len(adds) == 0 && len(dels) == 0 {
 		return nil
 	}
+	// Validate before enqueueing: a malformed triple must fail only its
+	// own caller, never a whole commit group, and commitGroup relies on
+	// Apply being infallible for validated input (the shared overlay
+	// cannot roll back a half-applied group).
+	for _, t := range dels {
+		if err := delta.Validate(t); err != nil {
+			return err
+		}
+	}
+	for _, t := range adds {
+		if err := delta.Validate(t); err != nil {
+			return err
+		}
+	}
+	l := &s.live
+	req := &commitReq{adds: adds, dels: dels, done: make(chan struct{})}
+	l.qmu.Lock()
+	l.queue = append(l.queue, req)
+	if l.leading {
+		// A leader is draining the queue; it will commit this batch in an
+		// upcoming group and close done.
+		l.qmu.Unlock()
+		<-req.done
+		return req.err
+	}
+	l.leading = true
+	for len(l.queue) > 0 {
+		group := l.queue
+		l.queue = nil
+		l.qmu.Unlock()
+		s.commitGroup(group)
+		l.qmu.Lock()
+	}
+	l.leading = false
+	l.qmu.Unlock()
+	<-req.done // own batch was part of a group this leader committed
+	return req.err
+}
+
+// commitGroup commits queued batches as one unit under the writer lock:
+// one WAL append span (one fsync) covering every batch, the batches
+// applied to the overlay in order, and one snapshot publish. The epoch
+// still advances once per batch, so epoch-keyed caches behave exactly as
+// if the batches had committed individually.
+func (s *Store) commitGroup(group []*commitReq) {
 	l := &s.live
 	l.mu.Lock()
 	cur := l.snap.Load()
-	nv, err := cur.Delta.Apply(adds, dels)
-	if err != nil {
-		l.mu.Unlock()
-		return err
-	}
-	// Write-ahead discipline: the batch reaches the log (and, under
-	// fsync=always, stable storage) before the new snapshot is published
-	// or the caller is acknowledged. On log failure nothing changes.
+
+	// Write-ahead discipline at group granularity: every batch reaches
+	// the log before any of them is applied, and stable storage before
+	// any of them is acknowledged. Applying before logging would risk
+	// publishing overlay state the log never saw (the shared overlay
+	// cannot roll back). Under fsync=always the fsync runs concurrently
+	// with applying the group — both must finish before the publish, but
+	// neither needs the other — so a commit costs max(fsync, apply)
+	// instead of their sum. On an append failure the whole group fails
+	// and nothing changes. On an fsync failure the overlay has applied
+	// the group but it is never published: readers keep the pre-group
+	// snapshot, and the failed sync closed the log, so every later
+	// durable write fails before it could touch the overlay.
+	var syncErr chan error
 	if d := s.dur.Load(); d != nil {
-		if _, werr := d.log.Append(wal.Record{
-			Kind: wal.KindMutation, Epoch: cur.Epoch + 1, Adds: adds, Dels: dels,
-		}); werr != nil {
+		recs := make([]wal.Record, len(group))
+		for i, req := range group {
+			recs[i] = wal.Record{
+				Kind: wal.KindMutation, Epoch: cur.Epoch + uint64(i) + 1,
+				Adds: req.adds, Dels: req.dels,
+			}
+		}
+		if _, werr := d.log.AppendBatchNoSync(recs); werr != nil {
+			err := fmt.Errorf("%w: %w", ErrDurability, werr)
 			l.mu.Unlock()
-			return fmt.Errorf("%w: %w", ErrDurability, werr)
+			for _, req := range group {
+				req.err = err
+				close(req.done)
+			}
+			return
+		}
+		if d.syncAlways {
+			syncErr = make(chan error, 1)
+			go func() { syncErr <- d.log.Sync() }()
+			// Yield so the syncer reaches its fsync syscall now: once it is
+			// in the kernel it releases the P, and the applies below run
+			// concurrently with the disk flush even on GOMAXPROCS=1.
+			runtime.Gosched()
+		}
+	}
+
+	nv := cur.Delta
+	epoch := cur.Epoch
+	for _, req := range group {
+		next, err := nv.Apply(req.adds, req.dels)
+		if err != nil {
+			// Unreachable: batches were validated before enqueueing and nv
+			// is always the newest view. Fail the batch rather than panic.
+			req.err = err
+			continue
+		}
+		nv = next
+		epoch++
+	}
+	if syncErr != nil {
+		if werr := <-syncErr; werr != nil {
+			err := fmt.Errorf("%w: %w", ErrDurability, werr)
+			l.mu.Unlock()
+			for _, req := range group {
+				req.err = err
+				close(req.done)
+			}
+			return
 		}
 	}
 	if l.compacting {
 		// The replay log only exists to let an in-flight rebuild catch
 		// up; when no compaction is running, the snapshot itself is the
-		// durable state and logging would grow without bound.
-		l.log = append(l.log, mutation{
-			adds: append([]rdf.Triple(nil), adds...),
-			dels: append([]rdf.Triple(nil), dels...),
-		})
+		// durable state and logging would grow without bound. Deferred
+		// until the group is known durable: a batch that was never
+		// acknowledged must not reach the rebuilt generation.
+		for _, req := range group {
+			if req.err != nil {
+				continue
+			}
+			l.log = append(l.log, mutation{
+				adds: append([]rdf.Triple(nil), req.adds...),
+				dels: append([]rdf.Triple(nil), req.dels...),
+			})
+		}
 	}
-	l.snap.Store(&Snapshot{
-		Graph: cur.Graph, Index: cur.Index, Delta: nv,
-		Epoch: cur.Epoch + 1, Gen: cur.Gen, Build: cur.Build,
-	})
-	l.updates.Add(1)
+	if epoch != cur.Epoch {
+		l.snap.Store(&Snapshot{
+			Graph: cur.Graph, Index: cur.Index, Delta: nv,
+			Epoch: epoch, Gen: cur.Gen, Build: cur.Build,
+		})
+		l.updates.Add(epoch - cur.Epoch)
+		l.recordGroup(uint64(len(group)))
+	}
 	var done chan struct{}
-	if th := l.compactThreshold.Load(); th > 0 && int64(nv.Size()) >= th && !l.compacting {
+	if th := l.compactThreshold.Load(); th > 0 && !l.compacting &&
+		(int64(nv.Size()) >= th || int64(nv.Versions()) >= versionsPerEntry*th) {
 		l.compacting = true
 		done = make(chan struct{})
 		l.compactDone = done
 	}
 	l.mu.Unlock()
+	for _, req := range group {
+		close(req.done)
+	}
 	if done != nil {
 		go func() {
 			defer close(done)
@@ -149,7 +383,6 @@ func (s *Store) Mutate(adds, dels []rdf.Triple) error {
 			}
 		}()
 	}
-	return nil
 }
 
 // Clear atomically replaces the store's contents with an empty
@@ -169,6 +402,7 @@ func (s *Store) Clear() error {
 			return fmt.Errorf("%w: %w", ErrDurability, err)
 		}
 	}
+	l.retireDelta(cur.Delta)
 	l.snap.Store(&Snapshot{
 		Graph: g, Index: ix, Delta: delta.NewView(g, ix),
 		Epoch: cur.Epoch + 1, Gen: cur.Gen + 1,
@@ -286,6 +520,7 @@ func (s *Store) runCompaction() error {
 			return err // validated at Mutate time; unreachable
 		}
 	}
+	l.retireDelta(cur2.Delta)
 	l.snap.Store(&Snapshot{
 		Graph: g, Index: ix, Delta: nv,
 		Epoch: cur2.Epoch + 1, Gen: cur2.Gen + 1, Build: build,

@@ -51,11 +51,22 @@ func LUBM(cfg LUBMConfig) []rdf.Triple {
 		return rdf.NewIRI(ubRes + fmt.Sprintf(format, args...))
 	}
 	pred := func(name string) rdf.Term { return rdf.NewIRI(ubOnt + name) }
+	// Random draws can repeat (a student taking the same course twice);
+	// RDF graphs are triple sets, so dedupe at emission. The rng draw
+	// sequence is untouched — only the duplicate append is skipped — so
+	// generated corpora stay stable across versions for a given seed.
+	seen := make(map[rdf.Triple]bool)
+	add := func(t rdf.Triple) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
 	emit := func(s rdf.Term, p string, o rdf.Term) {
-		out = append(out, rdf.Triple{S: s, P: pred(p), O: o})
+		add(rdf.Triple{S: s, P: pred(p), O: o})
 	}
 	lit := func(s rdf.Term, p, v string) {
-		out = append(out, rdf.Triple{S: s, P: pred(p), O: rdf.NewLiteral(v)})
+		add(rdf.Triple{S: s, P: pred(p), O: rdf.NewLiteral(v)})
 	}
 	span := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
 

@@ -57,6 +57,17 @@ func PowerLaw(cfg PowerLawConfig) []rdf.Triple {
 		return rng.Intn(cfg.Vertices)
 	}
 
+	// Random draws can land on the same (s, p, o) twice; RDF graphs are
+	// triple sets, so dedupe at emission. The rng draw sequence (and the
+	// preferential-attachment pool) is untouched — only the duplicate
+	// append is skipped — keeping corpora seed-stable across versions.
+	seen := make(map[rdf.Triple]bool, cfg.Edges+cfg.LiteralTriples)
+	add := func(t rdf.Triple) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
 	for i := 0; i < cfg.Edges; i++ {
 		s := rng.Intn(cfg.Vertices)
 		o := pickTarget()
@@ -65,13 +76,13 @@ func PowerLaw(cfg PowerLawConfig) []rdf.Triple {
 		}
 		pool = append(pool, o)
 		p := int(zipf.Uint64())
-		out = append(out, rdf.Triple{S: ent(s), P: pred(p), O: ent(o)})
+		add(rdf.Triple{S: ent(s), P: pred(p), O: ent(o)})
 	}
 	for i := 0; i < cfg.LiteralTriples; i++ {
 		s := rng.Intn(cfg.Vertices)
 		p := rng.Intn(cfg.LiteralPredicates)
 		v := rng.Intn(cfg.LiteralValues)
-		out = append(out, rdf.Triple{
+		add(rdf.Triple{
 			S: ent(s),
 			P: rdf.NewIRI(fmt.Sprintf("%sattr%d", cfg.PredicateNS, p)),
 			O: rdf.NewLiteral(fmt.Sprintf("value_%d_%d", p, v)),

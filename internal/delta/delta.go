@@ -14,17 +14,38 @@
 // through the overlay, so overlay matching stays sublinear in the base
 // and linear only in the delta.
 //
-// Views are persistent (copy-on-write): Apply returns a new View sharing
-// the base and leaves the receiver untouched, which is what gives the
-// MVCC read path its snapshot isolation — a query pins one View and can
-// never observe a torn update. Writers are expected to be serialized by
-// the owner (internal/core.Store); readers need no synchronization.
+// # Writer-owned overlay, frozen views
+//
+// All Views published over one base generation share a single
+// writer-owned overlay (the shared struct). A View is a lightweight
+// handle: a version number plus fixed-length prefixes of the shared
+// append-only structures. Apply mutates the shared overlay in place at
+// the next version and returns a new View bound to it — O(batch) work,
+// independent of how much overlay has accumulated — instead of deep
+// copying the whole overlay per batch.
+//
+// Snapshot isolation is preserved two ways. Structures whose answers
+// must be exact (pair deltas, attribute sets and their inverted lists)
+// are keyed maps of immutable version chains: the writer prepends a
+// copy-on-write bucket per mutation, and a reader walks to the newest
+// bucket at or below its View's version. Structures whose entries are
+// monotone supersets verified by exact probes downstream (touch lists,
+// the touched-vertex list, dictionary extensions) are shared outright
+// and filtered by the View's id bounds.
+//
+// Apply must be called on the newest View of its overlay — the shape
+// internal/core.Store's serialized writer guarantees. Readers need no
+// synchronization and may run concurrently with the writer; version
+// chains keep growing until compaction starts a fresh generation, which
+// is why Store also triggers compaction on Versions(), not just Size().
 package delta
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/index"
@@ -45,50 +66,170 @@ type pairDelta struct {
 	del []dict.EdgeType
 }
 
-// View is one immutable overlay snapshot over a frozen base generation.
-// The zero value is not usable; start from NewView and evolve with Apply.
-// A View is safe for concurrent readers.
-type View struct {
+// verNode is one immutable version of a bucket, newest first. A reader
+// walks the chain to the first node at or below its View's version; the
+// single writer prepends (or replaces an unpublished head in place —
+// never mutating a node a published View can see).
+type verNode[V any] struct {
+	ver  uint64
+	val  V
+	prev *verNode[V]
+}
+
+// verMap is a concurrent map of version chains: the exact-visibility
+// copy-on-write store behind pair deltas and attribute postings.
+type verMap[K comparable, V any] struct {
+	m swmap[K, verNode[V]]
+}
+
+// get returns the bucket visible at version ver.
+func (vm *verMap[K, V]) get(k K, ver uint64) (V, bool) {
+	var zero V
+	for n := vm.m.load(k); n != nil; n = n.prev {
+		if n.ver <= ver {
+			return n.val, true
+		}
+	}
+	return zero, false
+}
+
+// verRef is a writer-side handle on one bucket: the map entry (nil when
+// the key is absent) and the chain head it carried. The serialized
+// writer's version upper-bounds every chain, so the head is always the
+// bucket it sees; threading the ref into putRef saves the second map
+// probe a get-then-put pair would pay. A ref is invalidated by any
+// insert into the same verMap (swmap handle caveat).
+type verRef[K comparable, V any] struct {
+	e    *swentry[K, verNode[V]]
+	head *verNode[V]
+}
+
+// ref returns the writer's handle on k's bucket.
+func (vm *verMap[K, V]) ref(k K) verRef[K, V] {
+	e := vm.m.entry(k)
+	if e == nil {
+		return verRef[K, V]{}
+	}
+	return verRef[K, V]{e: e, head: e.val.Load()}
+}
+
+// putRef prepends val as the version-ver bucket of k (writer only),
+// through the handle ref obtained for k. When the head already carries
+// ver — several mutations of one batch touching the same bucket — the
+// head is superseded without growing the chain. Reports whether the key
+// is new.
+func (vm *verMap[K, V]) putRef(k K, ref verRef[K, V], ver uint64, val V) bool {
+	prev := ref.head
+	if prev != nil && prev.ver == ver {
+		prev = prev.prev
+	}
+	n := &verNode[V]{ver: ver, val: val, prev: prev}
+	if ref.e != nil {
+		ref.e.val.Store(n)
+		return false
+	}
+	vm.m.insert(k, n)
+	return true
+}
+
+// rangeVisible calls f for every key with a bucket visible at ver.
+// Iteration order is unspecified; callers sort.
+func (vm *verMap[K, V]) rangeVisible(ver uint64, f func(K, V)) {
+	vm.m.rangeAll(func(k K, head *verNode[V]) bool {
+		for n := head; n != nil; n = n.prev {
+			if n.ver <= ver {
+				f(k, n.val)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// shared is the writer-owned overlay state behind every View of one base
+// generation. The single writer (serialized by the owner) mutates it;
+// concurrent readers reach it only through version-bounded Views.
+type shared struct {
 	g  *multigraph.Graph
 	ix *index.Index
 
 	baseNV, baseNT, baseNA int
 
+	// ver is the version of the newest published View (writer only).
+	ver uint64
+
 	// Dictionary extensions for entities the base has never interned.
-	// Overlay ids continue the base's dense ranges (vertex id baseNV+i ↔
-	// vertIRI[i], and likewise for edge types and attributes).
-	vertID  map[string]dict.VertexID
+	// Overlay ids continue the base's dense ranges in intern order, so a
+	// View admits exactly the ids below its captured bounds — the maps
+	// are monotone and never need version chains.
+	vertID   swmap[string, dict.VertexID]
+	etID     swmap[string, dict.EdgeType]
+	attrID   swmap[dict.Attribute, dict.AttrID]
+	vertIRI  []string // writer-owned append-only; Views capture prefixes
+	etIRI    []string
+	attrVal  []dict.Attribute
+	attrPred swmap[string, []dict.AttrID] // immutable buckets, ascending
+
+	// Exact-visibility overlay state: version-chained COW buckets.
+	pairs    verMap[edgeKey, pairDelta]
+	addAttrs verMap[dict.VertexID, []dict.AttrID]
+	delAttrs verMap[dict.VertexID, []dict.AttrID]
+	attrAdd  verMap[dict.AttrID, []dict.VertexID]
+	attrDel  verMap[dict.AttrID, []dict.VertexID]
+
+	// Touch lists are monotone supersets (entries are never removed even
+	// when a pair delta cancels out): Neighbors re-verifies every touched
+	// candidate against the version-exact pair delta, so stale entries
+	// cost a probe, never a wrong answer. Values are sorted; published
+	// headers are never shrunk or reordered (see addTouchEntry).
+	outTouch swmap[dict.VertexID, []dict.VertexID]
+	inTouch  swmap[dict.VertexID, []dict.VertexID]
+
+	// touched lists vertices whose signature may exceed their base
+	// signature, in first-touch order; Views capture a prefix and sort it
+	// lazily. touchedSet dedupes appends (writer only).
+	touched    []dict.VertexID
+	touchedSet map[dict.VertexID]bool
+
+	// Copy-on-write effort counters, cumulative for this generation: the
+	// observability behind "overlay bytes copied per Apply".
+	copiedEntries atomic.Uint64
+	copiedBytes   atomic.Uint64
+	// versions counts bucket versions retained since the generation
+	// started. Unlike Size it never shrinks when adds and deletes cancel,
+	// so owners use it as a churn-memory compaction trigger.
+	versions atomic.Uint64
+}
+
+// nodeBytes is the rough bookkeeping overhead charged per retained
+// bucket version when estimating copy-on-write bytes.
+const nodeBytes = 48
+
+// View is one immutable overlay snapshot over a frozen base generation.
+// The zero value is not usable; start from NewView and evolve with Apply.
+// A View is safe for concurrent readers, including readers concurrent
+// with a later Apply on the same overlay.
+type View struct {
+	sh  *shared
+	ver uint64
+
+	// Prefix captures of the shared append-only structures: the slice
+	// headers fix this View's id bounds (the writer only ever appends
+	// beyond every published length).
 	vertIRI []string
-	etID    map[string]dict.EdgeType
 	etIRI   []string
-	attrID  map[dict.Attribute]dict.AttrID
 	attrVal []dict.Attribute
-	// attrPred indexes overlay attribute ids by predicate (sorted), the
-	// overlay's extension of AttrDict.PredicateAttrs.
-	attrPred map[string][]dict.AttrID
+	touched []dict.VertexID // first-touch order; sorted lazily below
 
-	// Edge overlay: per-pair type deltas plus per-vertex touch lists
-	// (sorted neighbour ids with any delta on the connecting pair).
-	pairs    map[edgeKey]pairDelta
-	outTouch map[dict.VertexID][]dict.VertexID // v → {w : pairs[v,w] exists}
-	inTouch  map[dict.VertexID][]dict.VertexID // v → {w : pairs[w,v] exists}
+	touchOnce     sync.Once
+	sortedTouched []dict.VertexID
 
-	// Attribute overlay: per-vertex sorted add/remove sets and the
-	// matching inverted lists (the overlay's mini A index).
-	addAttrs map[dict.VertexID][]dict.AttrID
-	delAttrs map[dict.VertexID][]dict.AttrID
-	attrAdd  map[dict.AttrID][]dict.VertexID
-	attrDel  map[dict.AttrID][]dict.VertexID
-
-	// touched lists the vertices whose signature may exceed their base
-	// signature: every overlay-new vertex plus every base endpoint of an
-	// added edge. SignatureCandidates unions it into the base R-tree
-	// probe (deletions only shrink signatures, so they need no entry).
-	touched []dict.VertexID
-
-	adds, dels int // overlay entries: added triples, tombstones
-	numTriples int // merged triple count (base ± overlay)
-	newPairs   int // pairs with adds where the base had no edge
+	// Overlay entry counts visible at this version, maintained
+	// incrementally by the writer (no O(overlay) recount at publish).
+	edgeAdds, edgeDels int
+	attrAdds, attrDels int
+	numTriples         int // merged triple count (base ± overlay)
+	newPairs           int // pairs with adds where the base had no edge
 
 	// card caches the blended planner statistics (base counts corrected
 	// by overlay adds/tombstones), computed lazily on first use because
@@ -99,107 +240,141 @@ type View struct {
 
 // NewView returns the empty overlay over a frozen generation.
 func NewView(g *multigraph.Graph, ix *index.Index) *View {
-	return &View{
+	sh := &shared{
 		g: g, ix: ix,
 		baseNV:     g.NumVertices(),
 		baseNT:     g.NumEdgeTypes(),
 		baseNA:     g.NumAttrs(),
-		numTriples: g.NumTriples(),
+		touchedSet: make(map[dict.VertexID]bool),
 	}
+	return &View{sh: sh, numTriples: g.NumTriples()}
 }
 
 // Base returns the frozen generation the view overlays.
-func (v *View) Base() (*multigraph.Graph, *index.Index) { return v.g, v.ix }
+func (v *View) Base() (*multigraph.Graph, *index.Index) { return v.sh.g, v.sh.ix }
 
 // Empty reports whether the view holds no changes.
-func (v *View) Empty() bool { return v.adds == 0 && v.dels == 0 }
+func (v *View) Empty() bool { return v.Adds() == 0 && v.Tombstones() == 0 }
 
 // Size is the overlay's entry count (added triples + tombstones): the
 // quantity compaction thresholds are measured against.
-func (v *View) Size() int { return v.adds + v.dels }
+func (v *View) Size() int { return v.Adds() + v.Tombstones() }
 
 // Adds reports the number of overlay-added triples.
-func (v *View) Adds() int { return v.adds }
+func (v *View) Adds() int { return v.edgeAdds + v.attrAdds }
 
 // Tombstones reports the number of tombstoned base triples.
-func (v *View) Tombstones() int { return v.dels }
+func (v *View) Tombstones() int { return v.edgeDels + v.attrDels }
 
 // NumTriples reports the merged triple count.
 func (v *View) NumTriples() int { return v.numTriples }
 
 // NumVertices reports |V| of the merged view.
-func (v *View) NumVertices() int { return v.baseNV + len(v.vertIRI) }
+func (v *View) NumVertices() int { return v.sh.baseNV + len(v.vertIRI) }
 
 // NumEdgeTypes reports |T| of the merged view.
-func (v *View) NumEdgeTypes() int { return v.baseNT + len(v.etIRI) }
+func (v *View) NumEdgeTypes() int { return v.sh.baseNT + len(v.etIRI) }
 
 // NumAttrs reports |A| of the merged view.
-func (v *View) NumAttrs() int { return v.baseNA + len(v.attrVal) }
+func (v *View) NumAttrs() int { return v.sh.baseNA + len(v.attrVal) }
 
 // NumEdges estimates the merged distinct-pair edge count: the base count
 // plus pairs the overlay created (tombstoned-empty pairs are not
 // subtracted — the estimate is an upper bound used for stats only).
-func (v *View) NumEdges() int { return v.g.NumEdges() + v.newPairs }
+func (v *View) NumEdges() int { return v.sh.g.NumEdges() + v.newPairs }
+
+// Versions reports the bucket versions the overlay has retained since
+// its generation started. It grows with every write and never shrinks —
+// even when adds and deletes cancel out of Size — so owners bound
+// overlay memory by compacting on Versions as well as Size.
+func (v *View) Versions() int { return int(v.sh.versions.Load()) }
+
+// CopyStats reports the cumulative copy-on-write effort of the overlay's
+// generation: buckets copied (entries) and an estimate of the bytes
+// those copies retained. The per-Apply delta is how the write path's
+// O(batch) claim is measured.
+func (v *View) CopyStats() (entries, bytes uint64) {
+	return v.sh.copiedEntries.Load(), v.sh.copiedBytes.Load()
+}
 
 // ---- dict.Resolver -----------------------------------------------------
 
 // LookupVertex resolves an IRI against base then overlay dictionaries.
 func (v *View) LookupVertex(iri string) (dict.VertexID, bool) {
-	if id, ok := v.g.Dicts.LookupVertex(iri); ok {
+	if id, ok := v.sh.g.Dicts.LookupVertex(iri); ok {
 		return id, true
 	}
-	id, ok := v.vertID[iri]
-	return id, ok
+	if x := v.sh.vertID.load(iri); x != nil {
+		if id := *x; int(id) < v.sh.baseNV+len(v.vertIRI) {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // LookupEdgeType resolves a predicate IRI.
 func (v *View) LookupEdgeType(predicate string) (dict.EdgeType, bool) {
-	if id, ok := v.g.Dicts.LookupEdgeType(predicate); ok {
+	if id, ok := v.sh.g.Dicts.LookupEdgeType(predicate); ok {
 		return id, true
 	}
-	id, ok := v.etID[predicate]
-	return id, ok
+	if x := v.sh.etID.load(predicate); x != nil {
+		if id := *x; int(id) < v.sh.baseNT+len(v.etIRI) {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // LookupAttr resolves a <predicate, literal-term> tuple.
 func (v *View) LookupAttr(predicate string, o rdf.Term) (dict.AttrID, bool) {
-	if id, ok := v.g.Dicts.LookupAttr(predicate, o); ok {
+	if id, ok := v.sh.g.Dicts.LookupAttr(predicate, o); ok {
 		return id, true
 	}
-	id, ok := v.attrID[dict.AttributeOf(predicate, o)]
-	return id, ok
+	if x := v.sh.attrID.load(dict.AttributeOf(predicate, o)); x != nil {
+		if id := *x; int(id) < v.sh.baseNA+len(v.attrVal) {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // VertexIRI applies Mv⁻¹ across base and overlay id ranges.
 func (v *View) VertexIRI(id dict.VertexID) string {
-	if int(id) < v.baseNV {
-		return v.g.Dicts.VertexIRI(id)
+	if int(id) < v.sh.baseNV {
+		return v.sh.g.Dicts.VertexIRI(id)
 	}
-	return v.vertIRI[int(id)-v.baseNV]
+	return v.vertIRI[int(id)-v.sh.baseNV]
 }
 
 // EdgeTypeIRI applies Me⁻¹ across base and overlay id ranges.
 func (v *View) EdgeTypeIRI(t dict.EdgeType) string {
-	if int(t) < v.baseNT {
-		return v.g.Dicts.EdgeTypeIRI(t)
+	if int(t) < v.sh.baseNT {
+		return v.sh.g.Dicts.EdgeTypeIRI(t)
 	}
-	return v.etIRI[int(t)-v.baseNT]
+	return v.etIRI[int(t)-v.sh.baseNT]
 }
 
 // Attr applies Ma⁻¹ across base and overlay id ranges.
 func (v *View) Attr(a dict.AttrID) dict.Attribute {
-	if int(a) < v.baseNA {
-		return v.g.Dicts.Attr(a)
+	if int(a) < v.sh.baseNA {
+		return v.sh.g.Dicts.Attr(a)
 	}
-	return v.attrVal[int(a)-v.baseNA]
+	return v.attrVal[int(a)-v.sh.baseNA]
 }
 
 // PredicateAttrs returns the sorted attribute ids carrying the predicate
 // across base and overlay dictionaries (base ids precede overlay ids, so
-// concatenation preserves order).
+// concatenation preserves order). Overlay ids are ascending in intern
+// order, so the View's id bound cuts a prefix of the shared list.
 func (v *View) PredicateAttrs(predicate string) []dict.AttrID {
-	base := v.g.Dicts.PredicateAttrs(predicate)
-	over := v.attrPred[predicate]
+	base := v.sh.g.Dicts.PredicateAttrs(predicate)
+	var over []dict.AttrID
+	if x := v.sh.attrPred.load(predicate); x != nil {
+		over = *x
+		bound := dict.AttrID(v.sh.baseNA + len(v.attrVal))
+		cut := sort.Search(len(over), func(i int) bool { return over[i] >= bound })
+		over = over[:cut]
+	}
 	if len(over) == 0 {
 		return base
 	}
@@ -216,10 +391,10 @@ func (v *View) PredicateAttrs(predicate string) []dict.AttrID {
 // no delta and must not be modified.
 func (v *View) EdgeTypes(from, to dict.VertexID) []dict.EdgeType {
 	var base []dict.EdgeType
-	if int(from) < v.baseNV && int(to) < v.baseNV {
-		base = v.g.EdgeTypes(from, to)
+	if int(from) < v.sh.baseNV && int(to) < v.sh.baseNV {
+		base = v.sh.g.EdgeTypes(from, to)
 	}
-	pd, ok := v.pairs[edgeKey{from, to}]
+	pd, ok := v.sh.pairs.get(edgeKey{from, to}, v.ver)
 	if !ok {
 		return base
 	}
@@ -229,11 +404,11 @@ func (v *View) EdgeTypes(from, to dict.VertexID) []dict.EdgeType {
 // HasEdgeTypes reports whether from→to carries every type in want under
 // the merged view.
 func (v *View) HasEdgeTypes(from, to dict.VertexID, want []dict.EdgeType) bool {
-	if _, ok := v.pairs[edgeKey{from, to}]; !ok {
+	if _, ok := v.sh.pairs.get(edgeKey{from, to}, v.ver); !ok {
 		// No delta on the pair: the base answer stands (overlay-new
 		// endpoints have no base edge and fall through to false).
-		if int(from) < v.baseNV && int(to) < v.baseNV {
-			return v.g.HasEdgeTypes(from, to, want)
+		if int(from) < v.sh.baseNV && int(to) < v.sh.baseNV {
+			return v.sh.g.HasEdgeTypes(from, to, want)
 		}
 		return false
 	}
@@ -249,18 +424,35 @@ func (v *View) dirTypes(vid, w dict.VertexID, dir index.Direction) []dict.EdgeTy
 	return v.EdgeTypes(w, vid)
 }
 
+// touchList returns the shared touch list of vid oriented by dir,
+// trimmed to the View's vertex bound. Entries touched after this View
+// published resolve to base-only pair deltas and would be filtered by
+// the containment probe anyway; the bound cut just skips ids the View
+// cannot name.
+func (v *View) touchList(vid dict.VertexID, dir index.Direction) []dict.VertexID {
+	m := &v.sh.outTouch
+	if dir == index.Incoming {
+		m = &v.sh.inTouch
+	}
+	x := m.load(vid)
+	if x == nil {
+		return nil
+	}
+	touch := *x
+	bound := dict.VertexID(v.NumVertices())
+	cut := sort.Search(len(touch), func(i int) bool { return touch[i] >= bound })
+	return touch[:cut]
+}
+
 // Neighbors implements the N probe over the merged view: the base trie
 // answer, re-verified for pairs the overlay touched, merged with
 // overlay-reachable neighbours that pass the same containment test.
 func (v *View) Neighbors(vid dict.VertexID, dir index.Direction, types []dict.EdgeType) []dict.VertexID {
 	var base []dict.VertexID
-	if int(vid) < v.baseNV {
-		base = v.ix.N.Neighbors(vid, dir, types)
+	if int(vid) < v.sh.baseNV {
+		base = v.sh.ix.N.Neighbors(vid, dir, types)
 	}
-	touch := v.outTouch[vid]
-	if dir == index.Incoming {
-		touch = v.inTouch[vid]
-	}
+	touch := v.touchList(vid, dir)
 	if len(touch) == 0 {
 		return base
 	}
@@ -289,25 +481,30 @@ func (v *View) Neighbors(vid dict.VertexID, dir index.Direction, types []dict.Ed
 // SignatureCandidates probes the base R-tree and unions in the touched
 // vertices — whose merged signatures may dominate query synopses their
 // base signatures did not. Per Lemma 1 the result is a superset of all
-// true matches; the engine's exact probes prune the rest.
+// true matches; the engine's exact probes prune the rest. The View's
+// touched prefix is sorted once, on first use.
 func (v *View) SignatureCandidates(q multigraph.Synopsis) []dict.VertexID {
-	base := v.ix.S.Candidates(q)
+	base := v.sh.ix.S.Candidates(q)
 	if len(v.touched) == 0 {
 		return base
 	}
-	return unionSorted(base, v.touched)
+	v.touchOnce.Do(func() {
+		st := make([]dict.VertexID, len(v.touched))
+		copy(st, v.touched)
+		sort.Slice(st, func(i, j int) bool { return st[i] < st[j] })
+		v.sortedTouched = st
+	})
+	return unionSorted(base, v.sortedTouched)
 }
 
 // attrVertices returns the merged inverted list of attribute a.
 func (v *View) attrVertices(a dict.AttrID) []dict.VertexID {
 	var base []dict.VertexID
-	if int(a) < v.baseNA {
-		base = v.ix.A.Vertices(a)
+	if int(a) < v.sh.baseNA {
+		base = v.sh.ix.A.Vertices(a)
 	}
-	del, add := v.attrDel[a], v.attrAdd[a]
-	if del == nil && add == nil {
-		return base
-	}
+	del, _ := v.sh.attrDel.get(a, v.ver)
+	add, _ := v.sh.attrAdd.get(a, v.ver)
 	return unionSorted(subtractSorted(base, del), add)
 }
 
@@ -315,13 +512,11 @@ func (v *View) attrVertices(a dict.AttrID) []dict.VertexID {
 // merged view (base attributes minus tombstones plus overlay additions).
 func (v *View) VertexAttrs(vid dict.VertexID) []dict.AttrID {
 	var base []dict.AttrID
-	if int(vid) < v.baseNV {
-		base = v.g.Attrs(vid)
+	if int(vid) < v.sh.baseNV {
+		base = v.sh.g.Attrs(vid)
 	}
-	del, add := v.delAttrs[vid], v.addAttrs[vid]
-	if del == nil && add == nil {
-		return base
-	}
+	del, _ := v.sh.delAttrs.get(vid, v.ver)
+	add, _ := v.sh.addAttrs.get(vid, v.ver)
 	return unionSorted(subtractSorted(base, del), add)
 }
 
@@ -332,8 +527,8 @@ func (v *View) AttrCandidates(attrs []dict.AttrID) []dict.VertexID {
 	if len(attrs) == 0 {
 		return nil
 	}
-	if len(v.attrAdd) == 0 && len(v.attrDel) == 0 {
-		return v.ix.A.Candidates(attrs)
+	if v.attrAdds == 0 && v.attrDels == 0 {
+		return v.sh.ix.A.Candidates(attrs)
 	}
 	lists := make([][]dict.VertexID, len(attrs))
 	for i, a := range attrs {
@@ -359,12 +554,14 @@ func (v *View) AttrCandidates(attrs []dict.AttrID) []dict.VertexID {
 // HasAttrs reports whether vid carries every attribute in want (sorted)
 // under the merged view.
 func (v *View) HasAttrs(vid dict.VertexID, want []dict.AttrID) bool {
+	add, _ := v.sh.addAttrs.get(vid, v.ver)
+	del, _ := v.sh.delAttrs.get(vid, v.ver)
 	for _, a := range want {
-		if containsSorted(v.addAttrs[vid], a) {
+		if containsSorted(add, a) {
 			continue
 		}
-		if int(vid) < v.baseNV && int(a) < v.baseNA &&
-			v.g.HasAttrs(vid, []dict.AttrID{a}) && !containsSorted(v.delAttrs[vid], a) {
+		if int(vid) < v.sh.baseNV && int(a) < v.sh.baseNA &&
+			v.sh.g.HasAttrs(vid, []dict.AttrID{a}) && !containsSorted(del, a) {
 			continue
 		}
 		return false
@@ -384,7 +581,7 @@ func (v *View) HasAttrs(vid dict.VertexID, want []dict.AttrID) bool {
 // generation's answer. Compaction still refreshes the statistics
 // wholesale.
 func (v *View) Cardinalities() *index.Cardinalities {
-	base := v.ix.Card
+	base := v.sh.ix.Card
 	if base == nil || v.Empty() {
 		return base
 	}
@@ -412,7 +609,7 @@ func (v *View) blendCardinalities(base *index.Cardinalities) *index.Cardinalitie
 	}
 	outGain := make(map[vertType]bool)
 	inGain := make(map[vertType]bool)
-	for k, pd := range v.pairs {
+	v.sh.pairs.rangeVisible(v.ver, func(k edgeKey, pd pairDelta) {
 		for _, t := range pd.add {
 			c.Edges[t]++
 			outGain[vertType{k.from, t}] = true
@@ -426,7 +623,7 @@ func (v *View) blendCardinalities(base *index.Cardinalities) *index.Cardinalitie
 				c.Edges[t]--
 			}
 		}
-	}
+	})
 	// A vertex counts once per (type, side); overlay gains that the base
 	// generation already counted (the vertex had a base edge of that type
 	// on that side) must not count again. The probe is one trie lookup
@@ -434,8 +631,8 @@ func (v *View) blendCardinalities(base *index.Cardinalities) *index.Cardinalitie
 	// which compaction keeps small.
 	countGains := func(gain map[vertType]bool, dir index.Direction, counts []int) {
 		for key := range gain {
-			if int(key.v) < v.baseNV && int(key.t) < v.baseNT &&
-				len(v.ix.N.Neighbors(key.v, dir, []dict.EdgeType{key.t})) > 0 {
+			if int(key.v) < v.sh.baseNV && int(key.t) < v.sh.baseNT &&
+				len(v.sh.ix.N.Neighbors(key.v, dir, []dict.EdgeType{key.t})) > 0 {
 				continue
 			}
 			counts[key.t]++
@@ -451,62 +648,74 @@ func (v *View) blendCardinalities(base *index.Cardinalities) *index.Cardinalitie
 // Triples enumerates the merged triple set deterministically (base scan
 // in vertex order with tombstones skipped, then overlay additions in
 // sorted order), stopping early when yield returns false. Compaction and
-// snapshot Save rebuild a fresh generation from exactly this stream.
+// snapshot Save rebuild a fresh generation from exactly this stream. It
+// is safe to enumerate while later batches are applied to the same
+// overlay: the stream reflects exactly this View's version.
 func (v *View) Triples(yield func(rdf.Triple) bool) bool {
-	for i := 0; i < v.baseNV; i++ {
+	for i := 0; i < v.sh.baseNV; i++ {
 		vid := dict.VertexID(i)
-		s := rdf.NewResource(v.g.Dicts.VertexIRI(vid))
-		for _, nb := range v.g.Out(vid) {
-			pd, hasPD := v.pairs[edgeKey{vid, nb.V}]
-			o := rdf.NewResource(v.g.Dicts.VertexIRI(nb.V))
+		s := rdf.NewResource(v.sh.g.Dicts.VertexIRI(vid))
+		for _, nb := range v.sh.g.Out(vid) {
+			pd, hasPD := v.sh.pairs.get(edgeKey{vid, nb.V}, v.ver)
+			o := rdf.NewResource(v.sh.g.Dicts.VertexIRI(nb.V))
 			for _, t := range nb.Types {
 				if hasPD && containsType(pd.del, t) {
 					continue
 				}
-				if !yield(rdf.Triple{S: s, P: rdf.NewIRI(v.g.Dicts.EdgeTypeIRI(t)), O: o}) {
+				if !yield(rdf.Triple{S: s, P: rdf.NewIRI(v.sh.g.Dicts.EdgeTypeIRI(t)), O: o}) {
 					return false
 				}
 			}
 		}
-		da := v.delAttrs[vid]
-		for _, a := range v.g.Attrs(vid) {
+		da, _ := v.sh.delAttrs.get(vid, v.ver)
+		for _, a := range v.sh.g.Attrs(vid) {
 			if containsSorted(da, a) {
 				continue
 			}
-			at := v.g.Dicts.Attr(a)
+			at := v.sh.g.Dicts.Attr(a)
 			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(at.Predicate), O: at.Literal()}) {
 				return false
 			}
 		}
 	}
-	keys := make([]edgeKey, 0, len(v.pairs))
-	for k, pd := range v.pairs {
-		if len(pd.add) > 0 {
-			keys = append(keys, k)
-		}
+	type pairEnt struct {
+		k  edgeKey
+		pd pairDelta
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].from != keys[j].from {
-			return keys[i].from < keys[j].from
+	var pes []pairEnt
+	v.sh.pairs.rangeVisible(v.ver, func(k edgeKey, pd pairDelta) {
+		if len(pd.add) > 0 {
+			pes = append(pes, pairEnt{k, pd})
 		}
-		return keys[i].to < keys[j].to
 	})
-	for _, k := range keys {
-		s, o := rdf.NewResource(v.VertexIRI(k.from)), rdf.NewResource(v.VertexIRI(k.to))
-		for _, t := range v.pairs[k].add {
+	sort.Slice(pes, func(i, j int) bool {
+		if pes[i].k.from != pes[j].k.from {
+			return pes[i].k.from < pes[j].k.from
+		}
+		return pes[i].k.to < pes[j].k.to
+	})
+	for _, pe := range pes {
+		s, o := rdf.NewResource(v.VertexIRI(pe.k.from)), rdf.NewResource(v.VertexIRI(pe.k.to))
+		for _, t := range pe.pd.add {
 			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(v.EdgeTypeIRI(t)), O: o}) {
 				return false
 			}
 		}
 	}
-	verts := make([]dict.VertexID, 0, len(v.addAttrs))
-	for vid := range v.addAttrs {
-		verts = append(verts, vid)
+	type attrEnt struct {
+		vid dict.VertexID
+		as  []dict.AttrID
 	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
-	for _, vid := range verts {
-		s := rdf.NewResource(v.VertexIRI(vid))
-		for _, a := range v.addAttrs[vid] {
+	var aes []attrEnt
+	v.sh.addAttrs.rangeVisible(v.ver, func(vid dict.VertexID, as []dict.AttrID) {
+		if len(as) > 0 {
+			aes = append(aes, attrEnt{vid, as})
+		}
+	})
+	sort.Slice(aes, func(i, j int) bool { return aes[i].vid < aes[j].vid })
+	for _, ae := range aes {
+		s := rdf.NewResource(v.VertexIRI(ae.vid))
+		for _, a := range ae.as {
 			at := v.Attr(a)
 			if !yield(rdf.Triple{S: s, P: rdf.NewIRI(at.Predicate), O: at.Literal()}) {
 				return false
@@ -538,10 +747,21 @@ func Validate(t rdf.Triple) error {
 	return nil
 }
 
+// ErrStaleApply is returned when Apply is called on a View that is no
+// longer the newest of its overlay: the shared writer state has moved
+// on, so evolving an older View would corrupt published snapshots.
+var ErrStaleApply = errors.New("delta: Apply on a stale view (a newer view was already published)")
+
 // Apply returns a new View with dels removed and adds inserted (dels
 // first, so a triple in both sets ends up present). The receiver is
-// unchanged. Deleting an absent triple and inserting a present one are
-// no-ops, mirroring SPARQL 1.1 Update semantics.
+// unchanged and remains fully readable. Deleting an absent triple and
+// inserting a present one are no-ops, mirroring SPARQL 1.1 Update
+// semantics.
+//
+// Apply mutates the shared overlay in place — O(batch), not O(overlay) —
+// so it must be called on the newest View only (ErrStaleApply
+// otherwise), and calls must be serialized by the owner. Readers of any
+// published View may run concurrently.
 func (v *View) Apply(adds, dels []rdf.Triple) (*View, error) {
 	for _, t := range dels {
 		if err := Validate(t); err != nil {
@@ -553,371 +773,416 @@ func (v *View) Apply(adds, dels []rdf.Triple) (*View, error) {
 			return nil, err
 		}
 	}
-	m := v.thaw()
+	if v.ver != v.sh.ver {
+		return nil, ErrStaleApply
+	}
+	w := &writer{
+		sh:  v.sh,
+		ver: v.ver + 1,
+		nv: View{
+			sh: v.sh, ver: v.ver + 1,
+			edgeAdds: v.edgeAdds, edgeDels: v.edgeDels,
+			attrAdds: v.attrAdds, attrDels: v.attrDels,
+			numTriples: v.numTriples, newPairs: v.newPairs,
+		},
+	}
 	for _, t := range dels {
-		m.delete(t)
+		w.delete(t)
 	}
 	for _, t := range adds {
-		m.insert(t)
+		w.insert(t)
 	}
-	return m.freeze(), nil
+	return w.freeze(), nil
 }
 
-// mutable is the thawed, single-writer working form of a View.
-type mutable struct {
-	v *View // parent (base access only; overlay state is copied below)
+// writer is the transient single-Apply mutator: it stamps every bucket
+// it rewrites with the next version and accumulates the new View's
+// counters. Copy-effort counters batch locally and flush to the shared
+// atomics once at freeze — the insert path is hot enough that a handful
+// of atomic adds per triple shows up in profiles.
+type writer struct {
+	sh  *shared
+	ver uint64
+	nv  View // counters evolve here; prefixes are captured at freeze
 
-	vertID  map[string]dict.VertexID
-	vertIRI []string
-	etID    map[string]dict.EdgeType
-	etIRI   []string
-	attrID  map[dict.Attribute]dict.AttrID
-	attrVal []dict.Attribute
+	copiedEntries uint64
+	copiedBytes   uint64
+	versions      uint64
 
-	pairs    map[edgeKey]*pairSets
-	addAttrs map[dict.VertexID]map[dict.AttrID]bool
-	delAttrs map[dict.VertexID]map[dict.AttrID]bool
-
-	numTriples int
+	// memo holds the two vertex bindings the previous triple resolved,
+	// plus the last edge-type binding. Streamed batches (chains, stars,
+	// sorted dumps) repeat an endpoint or predicate from one triple to
+	// the next, and a byte-compare beats the two map probes a full
+	// dictionary resolve pays. Bindings never change within a writer's
+	// lifetime, so a hit is always exact; the empty string never matches
+	// because Validate rejects empty IRIs.
+	memoIRI [2]string
+	memoID  [2]dict.VertexID
+	memoP   string
+	memoET  dict.EdgeType
 }
 
-type pairSets struct {
-	add map[dict.EdgeType]bool
-	del map[dict.EdgeType]bool
+// memoVertex records iri→id as the most recent vertex resolve.
+func (w *writer) memoVertex(iri string, id dict.VertexID) {
+	w.memoIRI[1], w.memoID[1] = w.memoIRI[0], w.memoID[0]
+	w.memoIRI[0], w.memoID[0] = iri, id
 }
 
-// thaw deep-copies the overlay into mutable form. Cost is linear in the
-// overlay, which compaction keeps bounded.
-func (v *View) thaw() *mutable {
-	m := &mutable{
-		v:          v,
-		vertID:     make(map[string]dict.VertexID, len(v.vertID)),
-		vertIRI:    append([]string(nil), v.vertIRI...),
-		etID:       make(map[string]dict.EdgeType, len(v.etID)),
-		etIRI:      append([]string(nil), v.etIRI...),
-		attrID:     make(map[dict.Attribute]dict.AttrID, len(v.attrID)),
-		attrVal:    append([]dict.Attribute(nil), v.attrVal...),
-		pairs:      make(map[edgeKey]*pairSets, len(v.pairs)),
-		addAttrs:   make(map[dict.VertexID]map[dict.AttrID]bool, len(v.addAttrs)),
-		delAttrs:   make(map[dict.VertexID]map[dict.AttrID]bool, len(v.delAttrs)),
-		numTriples: v.numTriples,
+func (w *writer) noteCopy(entries int) {
+	w.copiedEntries += uint64(entries)
+	w.copiedBytes += uint64(nodeBytes + 4*entries)
+	w.versions++
+}
+
+// freeze publishes the batch: the new version becomes current and the
+// View captures its prefixes of the shared append-only structures.
+func (w *writer) freeze() *View {
+	sh := w.sh
+	sh.ver = w.ver
+	if w.versions > 0 {
+		sh.copiedEntries.Add(w.copiedEntries)
+		sh.copiedBytes.Add(w.copiedBytes)
+		sh.versions.Add(w.versions)
 	}
-	for k, id := range v.vertID {
-		m.vertID[k] = id
+	nv := &View{
+		sh: sh, ver: w.ver,
+		vertIRI: sh.vertIRI, etIRI: sh.etIRI, attrVal: sh.attrVal,
+		touched:  sh.touched,
+		edgeAdds: w.nv.edgeAdds, edgeDels: w.nv.edgeDels,
+		attrAdds: w.nv.attrAdds, attrDels: w.nv.attrDels,
+		numTriples: w.nv.numTriples, newPairs: w.nv.newPairs,
 	}
-	for k, id := range v.etID {
-		m.etID[k] = id
-	}
-	for k, id := range v.attrID {
-		m.attrID[k] = id
-	}
-	for k, pd := range v.pairs {
-		ps := &pairSets{add: make(map[dict.EdgeType]bool, len(pd.add)), del: make(map[dict.EdgeType]bool, len(pd.del))}
-		for _, t := range pd.add {
-			ps.add[t] = true
-		}
-		for _, t := range pd.del {
-			ps.del[t] = true
-		}
-		m.pairs[k] = ps
-	}
-	copyAttrSets := func(src map[dict.VertexID][]dict.AttrID, dst map[dict.VertexID]map[dict.AttrID]bool) {
-		for vid, as := range src {
-			set := make(map[dict.AttrID]bool, len(as))
-			for _, a := range as {
-				set[a] = true
-			}
-			dst[vid] = set
-		}
-	}
-	copyAttrSets(v.addAttrs, m.addAttrs)
-	copyAttrSets(v.delAttrs, m.delAttrs)
-	return m
+	return nv
 }
 
 // internVertex resolves or assigns a vertex id across base + overlay.
-func (m *mutable) internVertex(iri string) dict.VertexID {
-	if id, ok := m.v.g.Dicts.LookupVertex(iri); ok {
+// The writer is the swmap's single mutator, so it resolves against the
+// same structure readers load from — no mirror to keep in step.
+func (w *writer) internVertex(iri string) dict.VertexID {
+	if id, ok := w.lookupVertex(iri); ok {
 		return id
 	}
-	if id, ok := m.vertID[iri]; ok {
-		return id
-	}
-	id := dict.VertexID(m.v.baseNV + len(m.vertIRI))
-	m.vertID[iri] = id
-	m.vertIRI = append(m.vertIRI, iri)
+	id := dict.VertexID(w.sh.baseNV + len(w.sh.vertIRI))
+	w.sh.vertIRI = append(w.sh.vertIRI, iri)
+	w.sh.vertID.insert(iri, &id)
+	w.touch(id)
+	w.memoVertex(iri, id)
 	return id
 }
 
-func (m *mutable) internEdgeType(p string) dict.EdgeType {
-	if id, ok := m.v.g.Dicts.LookupEdgeType(p); ok {
+func (w *writer) internEdgeType(p string) dict.EdgeType {
+	if id, ok := w.lookupEdgeType(p); ok {
 		return id
 	}
-	if id, ok := m.etID[p]; ok {
-		return id
-	}
-	id := dict.EdgeType(m.v.baseNT + len(m.etIRI))
-	m.etID[p] = id
-	m.etIRI = append(m.etIRI, p)
+	id := dict.EdgeType(w.sh.baseNT + len(w.sh.etIRI))
+	w.sh.etIRI = append(w.sh.etIRI, p)
+	w.sh.etID.insert(p, &id)
+	w.memoP, w.memoET = p, id
 	return id
 }
 
-func (m *mutable) internAttr(p string, o rdf.Term) dict.AttrID {
+func (w *writer) internAttr(p string, o rdf.Term) dict.AttrID {
 	a := dict.AttributeOf(p, o)
-	if id, ok := m.v.g.Dicts.LookupAttr(p, o); ok {
+	if id, ok := w.sh.g.Dicts.LookupAttr(p, o); ok {
 		return id
 	}
-	if id, ok := m.attrID[a]; ok {
-		return id
+	if x := w.sh.attrID.load(a); x != nil {
+		return *x
 	}
-	id := dict.AttrID(m.v.baseNA + len(m.attrVal))
-	m.attrID[a] = id
-	m.attrVal = append(m.attrVal, a)
+	id := dict.AttrID(w.sh.baseNA + len(w.sh.attrVal))
+	w.sh.attrVal = append(w.sh.attrVal, a)
+	w.sh.attrID.insert(a, &id)
+	var pred []dict.AttrID
+	if x := w.sh.attrPred.load(p); x != nil {
+		pred = *x
+	}
+	next := make([]dict.AttrID, 0, len(pred)+1)
+	next = append(append(next, pred...), id) // ids intern in ascending order
+	w.sh.attrPred.store(p, &next)
 	return id
 }
 
 // baseHasEdge reports whether the frozen base carries type et on s→o.
-func (m *mutable) baseHasEdge(s, o dict.VertexID, et dict.EdgeType) bool {
-	return int(s) < m.v.baseNV && int(o) < m.v.baseNV && int(et) < m.v.baseNT &&
-		containsType(m.v.g.EdgeTypes(s, o), et)
+func (w *writer) baseHasEdge(s, o dict.VertexID, et dict.EdgeType) bool {
+	return int(s) < w.sh.baseNV && int(o) < w.sh.baseNV && int(et) < w.sh.baseNT &&
+		containsType(w.sh.g.EdgeTypes(s, o), et)
+}
+
+// basePairExists reports whether the frozen base has any edge on the pair.
+func (w *writer) basePairExists(k edgeKey) bool {
+	return int(k.from) < w.sh.baseNV && int(k.to) < w.sh.baseNV &&
+		w.sh.g.EdgeTypes(k.from, k.to) != nil
 }
 
 // baseHasAttr reports whether the frozen base carries attribute a on s.
-func (m *mutable) baseHasAttr(s dict.VertexID, a dict.AttrID) bool {
-	return int(s) < m.v.baseNV && int(a) < m.v.baseNA &&
-		m.v.g.HasAttrs(s, []dict.AttrID{a})
+func (w *writer) baseHasAttr(s dict.VertexID, a dict.AttrID) bool {
+	return int(s) < w.sh.baseNV && int(a) < w.sh.baseNA &&
+		w.sh.g.HasAttrs(s, []dict.AttrID{a})
 }
 
-func (m *mutable) pair(k edgeKey) *pairSets {
-	ps := m.pairs[k]
-	if ps == nil {
-		ps = &pairSets{add: make(map[dict.EdgeType]bool), del: make(map[dict.EdgeType]bool)}
-		m.pairs[k] = ps
+func (w *writer) touch(vid dict.VertexID) {
+	if w.sh.touchedSet[vid] {
+		return
 	}
-	return ps
+	w.sh.touchedSet[vid] = true
+	w.sh.touched = append(w.sh.touched, vid)
+}
+
+// setPair installs a new pair-delta bucket (ref is the pair's current
+// bucket handle); a brand-new pair key also registers both endpoints in
+// the (monotone) touch lists.
+func (w *writer) setPair(k edgeKey, ref verRef[edgeKey, pairDelta], pd pairDelta) {
+	w.noteCopy(len(pd.add) + len(pd.del))
+	if w.sh.pairs.putRef(k, ref, w.ver, pd) {
+		w.addTouchEntry(&w.sh.outTouch, k.from, k.to)
+		w.addTouchEntry(&w.sh.inTouch, k.to, k.from)
+	}
+}
+
+// addTouchEntry appends nb to vid's touch list. New neighbours mostly
+// carry fresh, ascending vertex ids, so the common case extends the
+// list in place — amortized O(1), which keeps hub vertices (one object
+// shared by a whole stream of inserts) from turning every insert into
+// an O(degree) copy. Extending in place is safe for concurrent readers:
+// a published slice header bounds what its holder may read, and the
+// cell past it has never been visible. The rare out-of-order id falls
+// back to a sorted copy-insert.
+func (w *writer) addTouchEntry(m *swmap[dict.VertexID, []dict.VertexID], vid, nb dict.VertexID) {
+	e := m.entry(vid)
+	var cur []dict.VertexID
+	if e != nil {
+		cur = *e.val.Load()
+	}
+	var next []dict.VertexID
+	if n := len(cur); n == 0 || cur[n-1] < nb {
+		w.noteCopy(1)
+		next = append(cur, nb)
+	} else {
+		w.noteCopy(len(cur) + 1)
+		next = insertSorted(cur, nb)
+	}
+	if e != nil {
+		e.val.Store(&next)
+		return
+	}
+	m.insert(vid, &next)
+}
+
+// setAttrSet installs a per-vertex attribute bucket (fwdRef is its
+// current bucket handle) and mirrors it into the matching inverted list
+// (the overlay's mini A index).
+func (w *writer) setAttrSet(fwd *verMap[dict.VertexID, []dict.AttrID], inv *verMap[dict.AttrID, []dict.VertexID],
+	vid dict.VertexID, fwdRef verRef[dict.VertexID, []dict.AttrID], as []dict.AttrID, a dict.AttrID, addInv bool) {
+	w.noteCopy(len(as))
+	fwd.putRef(vid, fwdRef, w.ver, as)
+	invRef := inv.ref(a)
+	var vs []dict.VertexID
+	if invRef.head != nil {
+		vs = invRef.head.val
+	}
+	if addInv {
+		vs = insertSorted(vs, vid)
+	} else {
+		vs = removeSorted(vs, vid)
+	}
+	w.noteCopy(len(vs))
+	inv.putRef(a, invRef, w.ver, vs)
 }
 
 // insert applies one triple addition (validated by the caller).
-func (m *mutable) insert(t rdf.Triple) {
-	s := m.internVertex(t.S.Value)
+func (w *writer) insert(t rdf.Triple) {
+	s := w.internVertex(t.S.Value)
 	if t.O.IsLiteral() {
-		a := m.internAttr(t.P.Value, t.O)
-		if m.delAttrs[s][a] {
-			delete(m.delAttrs[s], a)
-			m.numTriples++
+		a := w.internAttr(t.P.Value, t.O)
+		if daR := w.sh.delAttrs.ref(s); daR.head != nil && containsSorted(daR.head.val, a) {
+			w.setAttrSet(&w.sh.delAttrs, &w.sh.attrDel, s, daR, removeSorted(daR.head.val, a), a, false)
+			w.nv.attrDels--
+			w.nv.numTriples++
 			return
 		}
-		if m.baseHasAttr(s, a) || m.addAttrs[s][a] {
+		if w.baseHasAttr(s, a) {
 			return
 		}
-		if m.addAttrs[s] == nil {
-			m.addAttrs[s] = make(map[dict.AttrID]bool)
+		aaR := w.sh.addAttrs.ref(s)
+		var aa []dict.AttrID
+		if aaR.head != nil {
+			aa = aaR.head.val
 		}
-		m.addAttrs[s][a] = true
-		m.numTriples++
+		if containsSorted(aa, a) {
+			return
+		}
+		w.setAttrSet(&w.sh.addAttrs, &w.sh.attrAdd, s, aaR, insertSorted(aa, a), a, true)
+		w.nv.attrAdds++
+		w.nv.numTriples++
 		return
 	}
-	o := m.internVertex(t.O.Value)
-	et := m.internEdgeType(t.P.Value)
+	o := w.internVertex(t.O.Value)
+	et := w.internEdgeType(t.P.Value)
 	k := edgeKey{s, o}
-	if ps := m.pairs[k]; ps != nil && ps.del[et] {
-		delete(ps.del, et)
-		m.numTriples++
+	ref := w.sh.pairs.ref(k)
+	var pd pairDelta
+	if ref.head != nil {
+		pd = ref.head.val
+	}
+	if ref.head != nil && containsType(pd.del, et) {
+		w.setPair(k, ref, pairDelta{add: pd.add, del: removeSorted(pd.del, et)})
+		w.nv.edgeDels--
+		w.nv.numTriples++
 		return
 	}
-	if m.baseHasEdge(s, o, et) {
+	if w.baseHasEdge(s, o, et) {
 		return
 	}
-	ps := m.pair(k)
-	if ps.add[et] {
+	if ref.head != nil && containsType(pd.add, et) {
 		return
 	}
-	ps.add[et] = true
-	m.numTriples++
+	if len(pd.add) == 0 && !w.basePairExists(k) {
+		w.nv.newPairs++
+	}
+	w.setPair(k, ref, pairDelta{add: insertSorted(pd.add, et), del: pd.del})
+	w.touch(s)
+	w.touch(o)
+	w.nv.edgeAdds++
+	w.nv.numTriples++
 }
 
 // delete applies one triple removal (validated by the caller). Removing
 // a triple the merged view does not contain is a no-op.
-func (m *mutable) delete(t rdf.Triple) {
-	s, ok := m.lookupVertex(t.S.Value)
+func (w *writer) delete(t rdf.Triple) {
+	s, ok := w.lookupVertex(t.S.Value)
 	if !ok {
 		return
 	}
 	if t.O.IsLiteral() {
-		a, ok := m.lookupAttr(t.P.Value, t.O)
+		a, ok := w.lookupAttr(t.P.Value, t.O)
 		if !ok {
 			return
 		}
-		if m.addAttrs[s][a] {
-			delete(m.addAttrs[s], a)
-			m.numTriples--
+		if aaR := w.sh.addAttrs.ref(s); aaR.head != nil && containsSorted(aaR.head.val, a) {
+			w.setAttrSet(&w.sh.addAttrs, &w.sh.attrAdd, s, aaR, removeSorted(aaR.head.val, a), a, false)
+			w.nv.attrAdds--
+			w.nv.numTriples--
 			return
 		}
-		if m.baseHasAttr(s, a) && !m.delAttrs[s][a] {
-			if m.delAttrs[s] == nil {
-				m.delAttrs[s] = make(map[dict.AttrID]bool)
-			}
-			m.delAttrs[s][a] = true
-			m.numTriples--
+		daR := w.sh.delAttrs.ref(s)
+		var da []dict.AttrID
+		if daR.head != nil {
+			da = daR.head.val
+		}
+		if w.baseHasAttr(s, a) && !containsSorted(da, a) {
+			w.setAttrSet(&w.sh.delAttrs, &w.sh.attrDel, s, daR, insertSorted(da, a), a, true)
+			w.nv.attrDels++
+			w.nv.numTriples--
 		}
 		return
 	}
-	o, ok := m.lookupVertex(t.O.Value)
+	o, ok := w.lookupVertex(t.O.Value)
 	if !ok {
 		return
 	}
-	et, ok := m.lookupEdgeType(t.P.Value)
+	et, ok := w.lookupEdgeType(t.P.Value)
 	if !ok {
 		return
 	}
 	k := edgeKey{s, o}
-	if ps := m.pairs[k]; ps != nil && ps.add[et] {
-		delete(ps.add, et)
-		m.numTriples--
+	ref := w.sh.pairs.ref(k)
+	var pd pairDelta
+	if ref.head != nil {
+		pd = ref.head.val
+	}
+	if ref.head != nil && containsType(pd.add, et) {
+		add := removeSorted(pd.add, et)
+		if len(add) == 0 && !w.basePairExists(k) {
+			w.nv.newPairs--
+		}
+		w.setPair(k, ref, pairDelta{add: add, del: pd.del})
+		w.nv.edgeAdds--
+		w.nv.numTriples--
 		return
 	}
-	if m.baseHasEdge(s, o, et) {
-		ps := m.pair(k)
-		if !ps.del[et] {
-			ps.del[et] = true
-			m.numTriples--
-		}
+	if w.baseHasEdge(s, o, et) && !(ref.head != nil && containsType(pd.del, et)) {
+		w.setPair(k, ref, pairDelta{add: pd.add, del: insertSorted(pd.del, et)})
+		w.nv.edgeDels++
+		w.nv.numTriples--
 	}
 }
 
-func (m *mutable) lookupVertex(iri string) (dict.VertexID, bool) {
-	if id, ok := m.v.g.Dicts.LookupVertex(iri); ok {
+func (w *writer) lookupVertex(iri string) (dict.VertexID, bool) {
+	if iri == w.memoIRI[0] {
+		return w.memoID[0], true
+	}
+	if iri == w.memoIRI[1] {
+		return w.memoID[1], true
+	}
+	if id, ok := w.sh.g.Dicts.LookupVertex(iri); ok {
+		w.memoVertex(iri, id)
 		return id, true
 	}
-	id, ok := m.vertID[iri]
-	return id, ok
+	if x := w.sh.vertID.load(iri); x != nil {
+		w.memoVertex(iri, *x)
+		return *x, true
+	}
+	return 0, false
 }
 
-func (m *mutable) lookupEdgeType(p string) (dict.EdgeType, bool) {
-	if id, ok := m.v.g.Dicts.LookupEdgeType(p); ok {
+func (w *writer) lookupEdgeType(p string) (dict.EdgeType, bool) {
+	if p == w.memoP {
+		return w.memoET, true
+	}
+	if id, ok := w.sh.g.Dicts.LookupEdgeType(p); ok {
+		w.memoP, w.memoET = p, id
 		return id, true
 	}
-	id, ok := m.etID[p]
-	return id, ok
+	if x := w.sh.etID.load(p); x != nil {
+		w.memoP, w.memoET = p, *x
+		return *x, true
+	}
+	return 0, false
 }
 
-func (m *mutable) lookupAttr(p string, o rdf.Term) (dict.AttrID, bool) {
-	if id, ok := m.v.g.Dicts.LookupAttr(p, o); ok {
+func (w *writer) lookupAttr(p string, o rdf.Term) (dict.AttrID, bool) {
+	if id, ok := w.sh.g.Dicts.LookupAttr(p, o); ok {
 		return id, true
 	}
-	id, ok := m.attrID[dict.AttributeOf(p, o)]
-	return id, ok
-}
-
-// freeze materializes the mutable state into an immutable View, building
-// the sorted side indexes (touch lists, attribute inverted lists, the
-// touched-vertex list) the read path depends on.
-func (m *mutable) freeze() *View {
-	v := m.v
-	nv := &View{
-		g: v.g, ix: v.ix,
-		baseNV: v.baseNV, baseNT: v.baseNT, baseNA: v.baseNA,
-		vertID: m.vertID, vertIRI: m.vertIRI,
-		etID: m.etID, etIRI: m.etIRI,
-		attrID: m.attrID, attrVal: m.attrVal,
-		pairs:      make(map[edgeKey]pairDelta, len(m.pairs)),
-		outTouch:   make(map[dict.VertexID][]dict.VertexID),
-		inTouch:    make(map[dict.VertexID][]dict.VertexID),
-		addAttrs:   make(map[dict.VertexID][]dict.AttrID, len(m.addAttrs)),
-		delAttrs:   make(map[dict.VertexID][]dict.AttrID, len(m.delAttrs)),
-		attrAdd:    make(map[dict.AttrID][]dict.VertexID),
-		attrDel:    make(map[dict.AttrID][]dict.VertexID),
-		numTriples: m.numTriples,
+	if x := w.sh.attrID.load(dict.AttributeOf(p, o)); x != nil {
+		return *x, true
 	}
-	touchedSet := make(map[dict.VertexID]bool)
-	for i := range m.vertIRI {
-		touchedSet[dict.VertexID(v.baseNV+i)] = true
-	}
-	for k, ps := range m.pairs {
-		if len(ps.add) == 0 && len(ps.del) == 0 {
-			continue
-		}
-		pd := pairDelta{add: sortedTypes(ps.add), del: sortedTypes(ps.del)}
-		nv.pairs[k] = pd
-		nv.outTouch[k.from] = append(nv.outTouch[k.from], k.to)
-		nv.inTouch[k.to] = append(nv.inTouch[k.to], k.from)
-		if len(pd.add) > 0 {
-			nv.adds += len(pd.add)
-			touchedSet[k.from] = true
-			touchedSet[k.to] = true
-			if !(int(k.from) < v.baseNV && int(k.to) < v.baseNV && v.g.EdgeTypes(k.from, k.to) != nil) {
-				nv.newPairs++
-			}
-		}
-		nv.dels += len(pd.del)
-	}
-	for _, lst := range [2]map[dict.VertexID][]dict.VertexID{nv.outTouch, nv.inTouch} {
-		for _, ws := range lst {
-			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
-		}
-	}
-	for vid, set := range m.addAttrs {
-		if len(set) == 0 {
-			continue
-		}
-		as := sortedAttrs(set)
-		nv.addAttrs[vid] = as
-		nv.adds += len(as)
-		for _, a := range as {
-			nv.attrAdd[a] = append(nv.attrAdd[a], vid)
-		}
-	}
-	for vid, set := range m.delAttrs {
-		if len(set) == 0 {
-			continue
-		}
-		as := sortedAttrs(set)
-		nv.delAttrs[vid] = as
-		nv.dels += len(as)
-		for _, a := range as {
-			nv.attrDel[a] = append(nv.attrDel[a], vid)
-		}
-	}
-	for _, inv := range [2]map[dict.AttrID][]dict.VertexID{nv.attrAdd, nv.attrDel} {
-		for _, vs := range inv {
-			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-		}
-	}
-	if len(m.attrVal) > 0 {
-		nv.attrPred = make(map[string][]dict.AttrID)
-		for i, a := range m.attrVal {
-			nv.attrPred[a.Predicate] = append(nv.attrPred[a.Predicate], dict.AttrID(v.baseNA+i))
-		}
-	}
-	nv.touched = make([]dict.VertexID, 0, len(touchedSet))
-	for vid := range touchedSet {
-		nv.touched = append(nv.touched, vid)
-	}
-	sort.Slice(nv.touched, func(i, j int) bool { return nv.touched[i] < nv.touched[j] })
-	return nv
+	return 0, false
 }
 
 // ---- sorted-slice helpers ----------------------------------------------
 
-func sortedTypes(set map[dict.EdgeType]bool) []dict.EdgeType {
-	if len(set) == 0 {
-		return nil
+// insertSorted returns a new sorted slice with x inserted (the input is
+// never modified — buckets are immutable once published). Inserting a
+// present element copies but does not duplicate.
+func insertSorted[T ~uint32](a []T, x T) []T {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i < len(a) && a[i] == x {
+		out := make([]T, len(a))
+		copy(out, a)
+		return out
 	}
-	out := make([]dict.EdgeType, 0, len(set))
-	for t := range set {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	out := make([]T, 0, len(a)+1)
+	out = append(out, a[:i]...)
+	out = append(out, x)
+	return append(out, a[i:]...)
 }
 
-func sortedAttrs(set map[dict.AttrID]bool) []dict.AttrID {
-	out := make([]dict.AttrID, 0, len(set))
-	for a := range set {
-		out = append(out, a)
+// removeSorted returns a new sorted slice without x; nil when the result
+// is empty (so emptied buckets compare like absent ones).
+func removeSorted[T ~uint32](a []T, x T) []T {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+	if i >= len(a) || a[i] != x {
+		out := make([]T, len(a))
+		copy(out, a)
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if len(a) == 1 {
+		return nil
+	}
+	out := make([]T, 0, len(a)-1)
+	out = append(out, a[:i]...)
+	return append(out, a[i+1:]...)
 }
 
 // unionSorted merges two sorted, duplicate-free slices into a new sorted,

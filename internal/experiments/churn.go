@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -46,6 +47,18 @@ type ChurnResult struct {
 	Fsyncs        uint64
 	WALBytes      int64
 	DurabilityErr string
+	// Writers is the concurrent writer count (1 = the interleaved
+	// single-threaded loop). With Writers > 1, WritesPerSec is committed
+	// batches per second over the writers' flat-out span — the durable
+	// write throughput number.
+	Writers      int
+	WritesPerSec float64
+	// Groups, MeanGroupSize and MaxGroupSize summarize commit grouping
+	// over the measured workload: fewer groups than writes means batches
+	// shared WAL append spans (and fsyncs under fsync=always).
+	Groups        uint64
+	MeanGroupSize float64
+	MaxGroupSize  uint64
 }
 
 // RunChurn interleaves workload queries with INSERT/DELETE batches at
@@ -79,7 +92,16 @@ func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
 	genBefore := d.Amber.GenerationInfo()
 	// Scale the compaction threshold to the run's write volume so the
 	// benchmark actually exercises compaction, then restore the default.
-	d.Amber.SetCompactThreshold(4 * batch)
+	// The single-writer loop writes a handful of batches, so a few batches'
+	// worth of entries suffices; the concurrent mode pushes writers*128
+	// batches flat-out, and a threshold at half that volume keeps base
+	// rebuilds from dominating the span the throughput number is measured
+	// over (insert/delete annihilation may keep the overlay under it).
+	threshold := 4 * batch
+	if cfg.Writers > 1 {
+		threshold = cfg.Writers * max(128, cfg.QueriesPerPoint) * batch / 2
+	}
+	d.Amber.SetCompactThreshold(threshold)
 	defer d.Amber.SetCompactThreshold(core.DefaultCompactThreshold)
 
 	res := ChurnResult{WriteRatio: cfg.WriteRatio}
@@ -103,45 +125,117 @@ func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
 			defer d.Amber.DetachWAL() //nolint:errcheck
 		}
 	}
+	wiBefore := d.Amber.WriteInfo()
 	var (
 		readLats  []time.Duration
 		writeLats []time.Duration
 		pending   [][]rdf.Triple // inserted batches not yet deleted
-		nextID    int
 	)
-	newBatch := func() []rdf.Triple {
+	// newBatch builds one insert batch from a private ID range so
+	// concurrent writers never collide and the restore below can delete
+	// exactly what was inserted.
+	newBatch := func(nextID *int) []rdf.Triple {
 		ts := make([]rdf.Triple, 0, batch)
 		for i := 0; i < batch; i++ {
-			s := rdf.NewIRI(fmt.Sprintf("%sv%d", churnNS, nextID))
-			o := rdf.NewIRI(fmt.Sprintf("%sv%d", churnNS, nextID+1))
+			s := rdf.NewIRI(fmt.Sprintf("%sv%d", churnNS, *nextID))
+			o := rdf.NewIRI(fmt.Sprintf("%sv%d", churnNS, *nextID+1))
 			ts = append(ts, rdf.Triple{S: s, P: rdf.NewIRI(churnNS + "linked"), O: o})
-			nextID += 2
+			*nextID += 2
 		}
 		return ts
 	}
 	answered := 0
-	for qi := 0; qi < len(queries); {
-		if rng.Float64() < cfg.WriteRatio {
-			start := time.Now()
-			if len(pending) > 4 && rng.Intn(2) == 0 {
-				// Delete the oldest inserted batch: exercises tombstones.
-				d.Amber.Mutate(nil, pending[0]) //nolint:errcheck
-				pending = pending[1:]
-			} else {
-				ts := newBatch()
-				d.Amber.Mutate(ts, nil) //nolint:errcheck
-				pending = append(pending, ts)
-			}
-			writeLats = append(writeLats, time.Since(start))
-			res.Writes++
-			continue
+	if cfg.Writers > 1 {
+		// Concurrent mode: W writer goroutines commit batches flat-out
+		// (exercising group commit) while reads run on this goroutine.
+		// Throughput is batches committed over the writers' span. The op
+		// sequence depends only on the rng, so every batch is built before
+		// the clock starts: the measured span is Mutate calls, not triple
+		// generation.
+		res.Writers = cfg.Writers
+		batchesPerWriter := max(128, cfg.QueriesPerPoint)
+		type churnOp struct {
+			ins, del []rdf.Triple
 		}
-		ok, dur, _ := d.RunQuery(AMbER, queries[qi], cfg.Timeout)
-		qi++
-		res.Reads++
-		if ok {
-			answered++
-			readLats = append(readLats, dur)
+		plans := make([][]churnOp, cfg.Writers)
+		for w := range plans {
+			wrng := rand.New(rand.NewSource(cfg.Seed + 99 + int64(w)))
+			nextID := w << 26 // disjoint per-writer ID range
+			var mine [][]rdf.Triple
+			ops := make([]churnOp, 0, batchesPerWriter)
+			for i := 0; i < batchesPerWriter; i++ {
+				if len(mine) > 4 && wrng.Intn(2) == 0 {
+					ops = append(ops, churnOp{del: mine[0]})
+					mine = mine[1:]
+				} else {
+					ts := newBatch(&nextID)
+					ops = append(ops, churnOp{ins: ts})
+					mine = append(mine, ts)
+				}
+			}
+			plans[w] = ops
+			pending = append(pending, mine...)
+		}
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex // guards writeLats merges
+			started = time.Now()
+		)
+		for w := 0; w < cfg.Writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lats := make([]time.Duration, 0, batchesPerWriter)
+				for _, op := range plans[w] {
+					start := time.Now()
+					d.Amber.Mutate(op.ins, op.del) //nolint:errcheck
+					lats = append(lats, time.Since(start))
+				}
+				mu.Lock()
+				writeLats = append(writeLats, lats...)
+				mu.Unlock()
+			}(w)
+		}
+		for qi := 0; qi < len(queries); qi++ {
+			ok, dur, _ := d.RunQuery(AMbER, queries[qi], cfg.Timeout)
+			res.Reads++
+			if ok {
+				answered++
+				readLats = append(readLats, dur)
+			}
+		}
+		wg.Wait()
+		span := time.Since(started)
+		res.Writes = cfg.Writers * batchesPerWriter
+		if span > 0 {
+			res.WritesPerSec = float64(res.Writes) / span.Seconds()
+		}
+	} else {
+		res.Writers = 1
+		nextID := 0
+		for qi := 0; qi < len(queries); {
+			if rng.Float64() < cfg.WriteRatio {
+				start := time.Now()
+				if len(pending) > 4 && rng.Intn(2) == 0 {
+					// Delete the oldest inserted batch: exercises tombstones.
+					d.Amber.Mutate(nil, pending[0]) //nolint:errcheck
+					pending = pending[1:]
+				} else {
+					ts := newBatch(&nextID)
+					d.Amber.Mutate(ts, nil) //nolint:errcheck
+					pending = append(pending, ts)
+				}
+				writeLats = append(writeLats, time.Since(start))
+				res.Writes++
+				continue
+			}
+			ok, dur, _ := d.RunQuery(AMbER, queries[qi], cfg.Timeout)
+			qi++
+			res.Reads++
+			if ok {
+				answered++
+				readLats = append(readLats, dur)
+			}
 		}
 	}
 	// Quiesce and capture the run's compaction and durability counters
@@ -155,6 +249,12 @@ func RunChurn(d *Dataset, kind workload.Kind, cfg Config) ChurnResult {
 		di := d.Amber.DurabilityInfo()
 		res.Fsyncs = di.Fsyncs
 		res.WALBytes = di.WALBytes
+	}
+	wiAfter := d.Amber.WriteInfo()
+	res.Groups = wiAfter.Groups - wiBefore.Groups
+	res.MaxGroupSize = wiAfter.MaxGroupSize
+	if res.Groups > 0 {
+		res.MeanGroupSize = float64(wiAfter.Batches-wiBefore.Batches) / float64(res.Groups)
 	}
 
 	// Restore: remove everything still inserted, fold into a fresh base.
@@ -192,13 +292,24 @@ func latencySummary(lats []time.Duration) (avg, p50, p99 time.Duration) {
 // FormatChurn renders a churn result as a small report block.
 func FormatChurn(r ChurnResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "## Mixed read/write (writeratio=%.2f)\n\n", r.WriteRatio)
+	if r.Writers > 1 {
+		fmt.Fprintf(&b, "## Mixed read/write (%d concurrent writers)\n\n", r.Writers)
+	} else {
+		fmt.Fprintf(&b, "## Mixed read/write (writeratio=%.2f)\n\n", r.WriteRatio)
+	}
 	fmt.Fprintf(&b, "reads:  %d (unanswered %.1f%%)  avg=%s p50=%s p99=%s\n",
 		r.Reads, r.Unanswered, r.ReadAvg.Round(time.Microsecond),
 		r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond))
 	fmt.Fprintf(&b, "writes: %d  avg=%s p50=%s p99=%s\n",
 		r.Writes, r.WriteAvg.Round(time.Microsecond),
 		r.WriteP50.Round(time.Microsecond), r.WriteP99.Round(time.Microsecond))
+	if r.WritesPerSec > 0 {
+		fmt.Fprintf(&b, "write throughput: %.0f batches/s\n", r.WritesPerSec)
+	}
+	if r.Groups > 0 {
+		fmt.Fprintf(&b, "commit groups: %d (mean size %.2f, max %d)\n",
+			r.Groups, r.MeanGroupSize, r.MaxGroupSize)
+	}
 	fmt.Fprintf(&b, "compactions during run: %d (last took %s)\n",
 		r.Compactions, r.LastCompaction.Round(time.Microsecond))
 	switch {

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// regressionFactor is the benchstat-style gate: a shared metric that got
+// more than this factor worse between two committed reports fails CI.
+const regressionFactor = 2.0
+
+// latencyFloorMS ignores regressions below this absolute delta: at
+// sub-millisecond latencies a 2x swing is scheduler noise, not a
+// regression.
+const latencyFloorMS = 0.5
+
+// CompareReports validates two amber-bench JSON reports (schema drift in
+// either fails) and compares every metric they share: query latency
+// percentiles matched by (dataset, shape, size), load throughput matched
+// by dataset, and churn write/read latency and write throughput matched
+// by fsync policy. It returns a human-readable line per regression — a
+// metric more than 2x worse in new than old (latencies also need to move
+// by an absolute floor) — and an error only when a report is malformed.
+// Metrics present in only one report are skipped, so schema additions
+// don't block the trajectory.
+func CompareReports(oldData, newData []byte) ([]string, error) {
+	var oldRep, newRep BenchReport
+	if err := decodeStrict(oldData, &oldRep); err != nil {
+		return nil, fmt.Errorf("old report: %w", err)
+	}
+	if err := decodeStrict(newData, &newRep); err != nil {
+		return nil, fmt.Errorf("new report: %w", err)
+	}
+
+	var regs []string
+	worse := func(oldV, newV float64) bool {
+		return oldV > 0 && newV > oldV*regressionFactor
+	}
+	worseLat := func(oldV, newV float64) bool {
+		return worse(oldV, newV) && newV-oldV > latencyFloorMS
+	}
+
+	// Load throughput: halving the triples/s build rate is a regression.
+	for _, ol := range oldRep.Load {
+		for _, nl := range newRep.Load {
+			if nl.Dataset != ol.Dataset {
+				continue
+			}
+			if ol.TriplesPerSec > 0 && nl.TriplesPerSec < ol.TriplesPerSec/regressionFactor {
+				regs = append(regs, fmt.Sprintf(
+					"load %s: triples_per_sec %.0f -> %.0f (>%.0fx slower)",
+					ol.Dataset, ol.TriplesPerSec, nl.TriplesPerSec, regressionFactor))
+			}
+		}
+	}
+
+	// Query latency percentiles, matched by (dataset, shape, size).
+	for _, oq := range oldRep.Queries {
+		for _, nq := range newRep.Queries {
+			if nq.Dataset != oq.Dataset || nq.Shape != oq.Shape || nq.Size != oq.Size {
+				continue
+			}
+			point := fmt.Sprintf("%s/%s/%d", oq.Dataset, oq.Shape, oq.Size)
+			if worseLat(oq.P50MS, nq.P50MS) {
+				regs = append(regs, fmt.Sprintf("query %s: p50 %.3fms -> %.3fms", point, oq.P50MS, nq.P50MS))
+			}
+			if worseLat(oq.P99MS, nq.P99MS) {
+				regs = append(regs, fmt.Sprintf("query %s: p99 %.3fms -> %.3fms", point, oq.P99MS, nq.P99MS))
+			}
+		}
+	}
+
+	// Churn, matched by fsync policy. Older reports have no
+	// writes_per_sec; derive a single-writer throughput from write p50 so
+	// the trajectory still has a throughput guard across the transition.
+	for _, oc := range oldRep.Churn {
+		for _, nc := range newRep.Churn {
+			if nc.Fsync != oc.Fsync {
+				continue
+			}
+			point := "churn fsync=" + displayFsync(oc.Fsync)
+			if worseLat(oc.WriteP50MS, nc.WriteP50MS) && sameWriters(oc, nc) {
+				regs = append(regs, fmt.Sprintf("%s: write p50 %.3fms -> %.3fms", point, oc.WriteP50MS, nc.WriteP50MS))
+			}
+			if worseLat(oc.WriteP99MS, nc.WriteP99MS) && sameWriters(oc, nc) {
+				regs = append(regs, fmt.Sprintf("%s: write p99 %.3fms -> %.3fms", point, oc.WriteP99MS, nc.WriteP99MS))
+			}
+			if worseLat(oc.ReadP50MS, nc.ReadP50MS) && sameWriters(oc, nc) {
+				regs = append(regs, fmt.Sprintf("%s: read p50 %.3fms -> %.3fms", point, oc.ReadP50MS, nc.ReadP50MS))
+			}
+			if worseLat(oc.ReadP99MS, nc.ReadP99MS) && sameWriters(oc, nc) {
+				regs = append(regs, fmt.Sprintf("%s: read p99 %.3fms -> %.3fms", point, oc.ReadP99MS, nc.ReadP99MS))
+			}
+			oldTP, newTP := churnThroughput(oc), churnThroughput(nc)
+			if oldTP > 0 && newTP > 0 && newTP < oldTP/regressionFactor {
+				regs = append(regs, fmt.Sprintf(
+					"%s: write throughput %.0f/s -> %.0f/s (>%.0fx slower)",
+					point, oldTP, newTP, regressionFactor))
+			}
+		}
+	}
+	return regs, nil
+}
+
+func decodeStrict(data []byte, rep *BenchReport) error {
+	if err := ValidateReport(data); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(rep)
+}
+
+// sameWriters gates latency comparisons: a single interleaved writer's
+// uncontended batch (and read) latency and the latencies measured while
+// concurrent writers saturate the machine are different experiments.
+func sameWriters(a, b ChurnReport) bool {
+	wa, wb := a.Writers, b.Writers
+	if wa == 0 {
+		wa = 1
+	}
+	if wb == 0 {
+		wb = 1
+	}
+	return wa == wb
+}
+
+// churnThroughput is the run's durable write throughput in batches/s:
+// the measured flat-out rate when present, else the single-writer rate
+// implied by the per-batch p50.
+func churnThroughput(c ChurnReport) float64 {
+	if c.WritesPerSec > 0 {
+		return c.WritesPerSec
+	}
+	if c.WriteP50MS > 0 {
+		return 1000 / c.WriteP50MS
+	}
+	return 0
+}
+
+func displayFsync(fs string) string {
+	if fs == "" {
+		return "(none)"
+	}
+	return fs
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// minimalReport returns a valid BenchReport the tests mutate per case.
+func minimalReport() BenchReport {
+	return BenchReport{
+		Schema:      ReportSchema,
+		GeneratedAt: "2026-01-02T03:04:05Z",
+		GoVersion:   "go1.24",
+		Planner:     "cost",
+		Load: []LoadResult{
+			{Dataset: "LUBM", Triples: 1000, BuildMS: 10, TriplesPerSec: 100000},
+		},
+		Queries: []QueryResult{
+			{Dataset: "LUBM", Shape: "star", Size: 10, Queries: 8, Answered: 8,
+				P50MS: 1, P99MS: 2},
+		},
+		Churn: []ChurnReport{
+			{Fsync: "always", Reads: 8, Writes: 3,
+				ReadP50MS: 0.4, ReadP99MS: 0.5, WriteP50MS: 0.8, WriteP99MS: 1.2,
+				Fsyncs: 3},
+		},
+	}
+}
+
+func mustJSON(t *testing.T, rep BenchReport) []byte {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func compare(t *testing.T, oldRep, newRep BenchReport) []string {
+	t.Helper()
+	regs, err := CompareReports(mustJSON(t, oldRep), mustJSON(t, newRep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return regs
+}
+
+func TestCompareNoRegressions(t *testing.T) {
+	if regs := compare(t, minimalReport(), minimalReport()); len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsQueryLatencyRegression(t *testing.T) {
+	newRep := minimalReport()
+	newRep.Queries[0].P50MS = 3 // >2x of 1ms and above the absolute floor
+	newRep.Queries[0].P99MS = 3
+	regs := compare(t, minimalReport(), newRep)
+	if len(regs) != 1 || !strings.Contains(regs[0], "query LUBM/star/10: p50") {
+		t.Fatalf("regs = %v, want one query p50 regression", regs)
+	}
+}
+
+func TestCompareIgnoresSubFloorSwings(t *testing.T) {
+	oldRep := minimalReport()
+	oldRep.Queries[0].P50MS = 0.1
+	oldRep.Queries[0].P99MS = 0.2
+	newRep := minimalReport()
+	newRep.Queries[0].P50MS = 0.3 // 3x worse but under the 0.5ms floor
+	newRep.Queries[0].P99MS = 0.4
+	if regs := compare(t, oldRep, newRep); len(regs) != 0 {
+		t.Fatalf("sub-floor swing flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsLoadThroughputRegression(t *testing.T) {
+	newRep := minimalReport()
+	newRep.Load[0].TriplesPerSec = 40000 // > 2x slower than 100k
+	regs := compare(t, minimalReport(), newRep)
+	if len(regs) != 1 || !strings.Contains(regs[0], "load LUBM") {
+		t.Fatalf("regs = %v, want one load regression", regs)
+	}
+}
+
+// A writer-count change means the churn latencies were measured under a
+// different experiment: per-batch and read latencies must not be
+// compared, but throughput still is (via the implied single-writer rate
+// on the old side).
+func TestCompareChurnWriterChangeGatesLatencyNotThroughput(t *testing.T) {
+	newRep := minimalReport()
+	newRep.Churn[0] = ChurnReport{
+		Fsync: "always", Reads: 8, Writes: 512, Writers: 8,
+		ReadP50MS: 2, ReadP99MS: 9, // far worse than 0.4/0.5: contended reads
+		WriteP50MS: 2.4, WriteP99MS: 10, // queued-commit latency
+		WritesPerSec: 5000, Fsyncs: 300, Groups: 300,
+		MeanGroupSize: 3, MaxGroupSize: 7,
+	}
+	if regs := compare(t, minimalReport(), newRep); len(regs) != 0 {
+		t.Fatalf("cross-writer-count latencies flagged: %v", regs)
+	}
+
+	// Throughput guard stays armed across the transition: the old report
+	// implies 1000/0.8 = 1250 batches/s, so 500/s is a >2x regression.
+	slow := newRep
+	slow.Churn = []ChurnReport{newRep.Churn[0]}
+	slow.Churn[0].WritesPerSec = 500
+	regs := compare(t, minimalReport(), slow)
+	if len(regs) != 1 || !strings.Contains(regs[0], "write throughput") {
+		t.Fatalf("regs = %v, want one throughput regression", regs)
+	}
+}
+
+func TestCompareChurnSameWritersStillCompared(t *testing.T) {
+	newRep := minimalReport()
+	newRep.Churn[0].WriteP50MS = 2.5 // same (implicit single) writer count
+	newRep.Churn[0].WriteP99MS = 3
+	regs := compare(t, minimalReport(), newRep)
+	// The slower batches also drag p99 and the implied throughput down,
+	// so expect the p50 line among the flags rather than alone.
+	if len(regs) == 0 || !strings.Contains(strings.Join(regs, "\n"), "write p50") {
+		t.Fatalf("regs = %v, want a write p50 regression", regs)
+	}
+}
+
+func TestCompareRejectsSchemaDrift(t *testing.T) {
+	good := mustJSON(t, minimalReport())
+	bad := []byte(strings.Replace(string(good), `"schema"`, `"schemaX"`, 1))
+	if _, err := CompareReports(good, bad); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := CompareReports(bad, good); err == nil {
+		t.Fatal("unknown field accepted in old report")
+	}
+}

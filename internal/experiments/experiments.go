@@ -58,6 +58,16 @@ type Config struct {
 	// cost of each durability policy is measurable. Only RunChurn
 	// consumes it.
 	Fsync string
+	// Writers is the churn experiment's concurrent writer count: 0 or 1
+	// keeps the single-threaded interleaved loop; W > 1 runs W writer
+	// goroutines flat-out against concurrent readers, measuring durable
+	// write throughput and commit grouping. Only RunChurn consumes it.
+	Writers int
+	// ChurnOnly shrinks RunBenchReport to a churn-focused report: LUBM
+	// only, a single query point for context, and churn under the
+	// configured fsync policy (default "always") — the CI write-path
+	// smoke-test shape.
+	ChurnOnly bool
 }
 
 // DefaultConfig returns the laptop-scale defaults.

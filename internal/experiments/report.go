@@ -72,6 +72,8 @@ type QueryResult struct {
 }
 
 // ChurnReport is one mixed read/write run under one durability policy.
+// The writer-concurrency and commit-grouping fields were added with the
+// group-commit write path; older committed reports simply lack them.
 type ChurnReport struct {
 	Fsync       string  `json:"fsync"` // "" = no WAL
 	Reads       int     `json:"reads"`
@@ -82,6 +84,15 @@ type ChurnReport struct {
 	WriteP99MS  float64 `json:"write_p99_ms"`
 	Compactions uint64  `json:"compactions"`
 	Fsyncs      uint64  `json:"fsyncs"`
+	// Writers is the concurrent writer count; WritesPerSec the durable
+	// write throughput over the writers' flat-out span (Writers > 1 only).
+	Writers      int     `json:"writers,omitempty"`
+	WritesPerSec float64 `json:"writes_per_sec,omitempty"`
+	// Commit grouping over the run: Writes/Groups batches shared each WAL
+	// append span (one fsync under fsync=always).
+	Groups        uint64  `json:"groups,omitempty"`
+	MeanGroupSize float64 `json:"mean_group_size,omitempty"`
+	MaxGroupSize  uint64  `json:"max_group_size,omitempty"`
 }
 
 // PlannerComparison pits the cost-based planner against the paper's
@@ -120,6 +131,20 @@ func RunBenchReport(cfg Config, quick bool) (*BenchReport, error) {
 		cfg = QuickConfig(cfg)
 		datasetNames = []string{"LUBM"}
 		fsyncs = []string{"", "always"}
+	}
+	if cfg.ChurnOnly {
+		// Churn-focused report (the CI write-path smoke test): one small
+		// corpus, one query point for read context, churn under the
+		// requested fsync policy only.
+		datasetNames = []string{"LUBM"}
+		if cfg.Fsync != "" {
+			fsyncs = []string{cfg.Fsync}
+		} else {
+			fsyncs = []string{"always"}
+		}
+		if len(cfg.Sizes) > 1 {
+			cfg.Sizes = cfg.Sizes[:1]
+		}
 	}
 
 	rep := &BenchReport{
@@ -166,6 +191,9 @@ func RunBenchReport(cfg Config, quick bool) (*BenchReport, error) {
 		name string
 		kind workload.Kind
 	}{{"star", workload.Star}, {"complex", workload.Complex}}
+	if cfg.ChurnOnly {
+		shapes = shapes[:1]
+	}
 	for _, d := range datasets {
 		for _, sh := range shapes {
 			for _, size := range cfg.Sizes {
@@ -200,19 +228,26 @@ func RunBenchReport(cfg Config, quick bool) (*BenchReport, error) {
 		ccfg.Fsync = fs
 		r := RunChurn(churnDS, workload.Star, ccfg)
 		rep.Churn = append(rep.Churn, ChurnReport{
-			Fsync:       fs,
-			Reads:       r.Reads,
-			Writes:      r.Writes,
-			ReadP50MS:   ms(r.ReadP50),
-			ReadP99MS:   ms(r.ReadP99),
-			WriteP50MS:  ms(r.WriteP50),
-			WriteP99MS:  ms(r.WriteP99),
-			Compactions: r.Compactions,
-			Fsyncs:      r.Fsyncs,
+			Fsync:         fs,
+			Reads:         r.Reads,
+			Writes:        r.Writes,
+			ReadP50MS:     ms(r.ReadP50),
+			ReadP99MS:     ms(r.ReadP99),
+			WriteP50MS:    ms(r.WriteP50),
+			WriteP99MS:    ms(r.WriteP99),
+			Compactions:   r.Compactions,
+			Fsyncs:        r.Fsyncs,
+			Writers:       r.Writers,
+			WritesPerSec:  r.WritesPerSec,
+			Groups:        r.Groups,
+			MeanGroupSize: r.MeanGroupSize,
+			MaxGroupSize:  r.MaxGroupSize,
 		})
 	}
 
-	rep.PlannerComparison = runPlannerComparison(churnDS, workload.Star, cfg)
+	if !cfg.ChurnOnly {
+		rep.PlannerComparison = runPlannerComparison(churnDS, workload.Star, cfg)
+	}
 	return rep, nil
 }
 

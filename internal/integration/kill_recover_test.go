@@ -8,11 +8,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	amber "repro"
+	"repro/internal/rdf"
 )
 
 // The kill-and-recover test re-executes this test binary as a child
@@ -140,5 +142,153 @@ func TestKillRecover(t *testing.T) {
 	}
 	if c, _ := db.Count(fmt.Sprintf("SELECT ?o WHERE { <%s> <http://kill/p> ?o . }", killSubject(int(n))), nil); c != 0 {
 		t.Fatalf("recovered state is not a prefix: subject %d present beyond count %d", n, n)
+	}
+}
+
+// Concurrent-writer variant: with group commit, concurrently
+// acknowledged batches may share one WAL append span and fsync — a
+// SIGKILL right after the acks must still recover every one of them.
+
+const (
+	killGroupEnvDir   = "AMBER_KILL_GROUP_HELPER_DIR"
+	killGroupWriters  = 4
+	killGroupTotal    = 30 // batches per writer
+	killGroupAckAfter = 40 // parent kills once it has read this many acks
+)
+
+func killGroupSubject(w, i int) string { return fmt.Sprintf("http://killg/w%d/s%d", w, i) }
+
+// TestKillRecoverGroupCommitHelper is the child body: four writer
+// goroutines Mutate concurrently against a fsync=always database, each
+// printing "ACK <writer> <batch>" after its batch is acknowledged.
+func TestKillRecoverGroupCommitHelper(t *testing.T) {
+	dir := os.Getenv(killGroupEnvDir)
+	if dir == "" {
+		t.Skip("helper process body; run via TestKillRecoverGroupCommit")
+	}
+	db, err := amber.OpenDurable(dir, &amber.DurabilityOptions{Fsync: "always"})
+	if err != nil {
+		fmt.Printf("ERR %v\n", err)
+		return
+	}
+	var mu sync.Mutex // serializes the ACK lines
+	var wg sync.WaitGroup
+	for w := 0; w < killGroupWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < killGroupTotal; i++ {
+				add := []rdf.Triple{{
+					S: rdf.NewIRI(killGroupSubject(w, i)),
+					P: rdf.NewIRI("http://killg/p"),
+					O: rdf.NewIRI(fmt.Sprintf("http://killg/o%d", i)),
+				}}
+				if err := db.Mutate(add, nil); err != nil {
+					mu.Lock()
+					fmt.Printf("ERR %v\n", err)
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				fmt.Printf("ACK %d %d\n", w, i)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Stay alive so the parent always kills a running process.
+	time.Sleep(time.Minute)
+}
+
+func TestKillRecoverGroupCommit(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics are POSIX-only")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(exe, "-test.run", "^TestKillRecoverGroupCommitHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), killGroupEnvDir+"="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+	}()
+
+	// Collect acknowledged (writer, batch) pairs until enough are durable,
+	// then SIGKILL the child mid-flight.
+	type ack struct{ w, i int }
+	acked := map[ack]bool{}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "ERR ") {
+			t.Fatalf("helper failed: %s", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "ACK" {
+			w, err1 := strconv.Atoi(fields[1])
+			i, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				t.Fatalf("bad ack line %q", line)
+			}
+			acked[ack{w, i}] = true
+			if len(acked) >= killGroupAckAfter {
+				break
+			}
+		}
+	}
+	if len(acked) < killGroupAckAfter {
+		t.Fatalf("child exited after only %d acks", len(acked))
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck // the kill is the expected exit
+
+	db, err := amber.OpenDurable(dir, &amber.DurabilityOptions{Fsync: "always"})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer db.Close()
+	// Every acknowledged batch must have survived, whatever commit group
+	// it rode in.
+	for a := range acked {
+		q := fmt.Sprintf("SELECT ?o WHERE { <%s> <http://killg/p> ?o . }", killGroupSubject(a.w, a.i))
+		c, err := db.Count(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != 1 {
+			t.Fatalf("acknowledged batch (writer %d, batch %d) missing after recovery", a.w, a.i)
+		}
+	}
+	// Per-writer prefix property: a writer's batches commit in its issue
+	// order, so each writer's recovered subjects are a prefix of its
+	// sequence — no holes, whatever the interleaving across writers.
+	for w := 0; w < killGroupWriters; w++ {
+		present := -1
+		for i := 0; i < killGroupTotal; i++ {
+			q := fmt.Sprintf("SELECT ?o WHERE { <%s> <http://killg/p> ?o . }", killGroupSubject(w, i))
+			c, err := db.Count(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c == 1 {
+				if i != present+1 {
+					t.Fatalf("writer %d: hole in recovered sequence at batch %d", w, i)
+				}
+				present = i
+			}
+		}
 	}
 }

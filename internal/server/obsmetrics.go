@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,6 +101,67 @@ func (s *Server) initMetrics() {
 		durF(func(d amber.DurabilityStats) float64 { return float64(d.Fsyncs) }))
 	r.CounterFunc("amber_wal_checkpoints_total", "Checkpoints completed since open.",
 		durF(func(d amber.DurabilityStats) float64 { return float64(d.Checkpoints) }))
+
+	wsF := func(f func(amber.WriteStats) float64) func() float64 {
+		return func() float64 { return f(s.state.Load().db.WriteStats()) }
+	}
+	r.CounterFunc("amber_commit_batches_total", "Mutation batches committed through the write path.",
+		wsF(func(ws amber.WriteStats) float64 { return float64(ws.Batches) }))
+	r.CounterFunc("amber_commit_groups_total",
+		"Commit groups: one WAL append span (one fsync under fsync=always) per group.",
+		wsF(func(ws amber.WriteStats) float64 { return float64(ws.Groups) }))
+	r.GaugeFunc("amber_commit_group_max_size", "Largest commit group since the database opened.",
+		wsF(func(ws amber.WriteStats) float64 { return float64(ws.MaxGroupSize) }))
+	r.CounterFunc("amber_overlay_copied_entries_total",
+		"Entries copied into fresh overlay bucket versions (copy-on-write effort; O(batch) per commit).",
+		wsF(func(ws amber.WriteStats) float64 { return float64(ws.OverlayEntriesCopied) }))
+	r.CounterFunc("amber_overlay_copied_bytes_total",
+		"Estimated bytes retained by overlay copy-on-write bucket versions.",
+		wsF(func(ws amber.WriteStats) float64 { return float64(ws.OverlayBytesCopied) }))
+	r.GaugeFunc("amber_overlay_versions", "Retained bucket versions in the live overlay.",
+		wsF(func(ws amber.WriteStats) float64 { return float64(ws.OverlayVersions) }))
+
+	// Commit-group-size histogram, refreshed at scrape time from the
+	// store's cumulative buckets. The collector adds per-scrape deltas so
+	// the exposed counters stay monotone; a database hot swap resets the
+	// source counters, detected by a shrinking total, and restarts the
+	// deltas from zero (the pre-swap groups remain counted).
+	groupSizes := r.CounterVec("amber_commit_group_size_total",
+		"Commit groups by size bucket; le is the bucket's upper bound in batches.", "le")
+	var gsMu sync.Mutex
+	var gsPrev []uint64
+	r.AddCollector(func() {
+		ws := s.state.Load().db.WriteStats()
+		labels := make([]string, len(ws.GroupSizeBuckets))
+		for i := range labels {
+			if i < len(ws.GroupSizeBounds) {
+				labels[i] = strconv.FormatUint(ws.GroupSizeBounds[i], 10)
+			} else {
+				labels[i] = "+Inf"
+			}
+		}
+		gsMu.Lock()
+		defer gsMu.Unlock()
+		if len(gsPrev) != len(ws.GroupSizeBuckets) {
+			gsPrev = make([]uint64, len(ws.GroupSizeBuckets))
+		}
+		var newTotal, prevTotal uint64
+		for i, v := range ws.GroupSizeBuckets {
+			newTotal += v
+			prevTotal += gsPrev[i]
+		}
+		if newTotal < prevTotal { // hot swap reset the source
+			for i := range gsPrev {
+				gsPrev[i] = 0
+			}
+		}
+		for i, v := range ws.GroupSizeBuckets {
+			if v > gsPrev[i] {
+				groupSizes.With(labels[i]).Add(v - gsPrev[i])
+			}
+			gsPrev[i] = v
+		}
+	})
 
 	dbF := func(f func(amber.Stats) float64) func() float64 {
 		return func() float64 { return f(s.state.Load().db.Stats()) }

@@ -825,6 +825,10 @@ type StatsResponse struct {
 	// zeroes when the server runs without -wal-dir).
 	Durability DurabilitySection `json:"durability"`
 
+	// WritePath describes the group-commit and overlay copy-on-write
+	// behaviour of the served database's write path.
+	WritePath WritePathSection `json:"write_path"`
+
 	// Runtime describes the Go runtime hosting the server.
 	Runtime RuntimeSection `json:"runtime"`
 
@@ -882,6 +886,32 @@ type DurabilitySection struct {
 	// LastCheckpointError is the most recent automatic checkpoint
 	// failure, empty when none (or once one succeeds again).
 	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+}
+
+// WritePathSection is the /stats "write_path" document: group-commit and
+// overlay copy-on-write statistics for the served database.
+type WritePathSection struct {
+	// Batches counts committed mutation batches; Groups counts commit
+	// groups (one WAL append span + one fsync per group under
+	// fsync=always). MeanGroupSize is Batches/Groups.
+	Batches       uint64  `json:"batches"`
+	Groups        uint64  `json:"groups"`
+	MeanGroupSize float64 `json:"mean_group_size"`
+	MaxGroupSize  uint64  `json:"max_group_size"`
+	// GroupSizeBounds and GroupSizeBuckets form the commit-group-size
+	// histogram: bucket i counts groups of ≤ bounds[i] batches, the final
+	// bucket is the overflow.
+	GroupSizeBounds  []uint64 `json:"group_size_bounds"`
+	GroupSizeBuckets []uint64 `json:"group_size_buckets"`
+	// FsyncsPerBatch is durability.fsyncs / batches — below 1.0 means
+	// group commit is amortizing fsyncs (0 when not durable or no writes).
+	FsyncsPerBatch float64 `json:"fsyncs_per_batch"`
+	// OverlayEntriesCopied / OverlayBytesCopied are the overlay's
+	// cumulative copy-on-write effort (O(batch) per commit);
+	// OverlayVersions counts the live overlay's retained bucket versions.
+	OverlayEntriesCopied uint64 `json:"overlay_entries_copied"`
+	OverlayBytesCopied   uint64 `json:"overlay_bytes_copied"`
+	OverlayVersions      uint64 `json:"overlay_versions"`
 }
 
 // GenerationSection is the /stats "generation" document: the live-update
@@ -949,6 +979,7 @@ func (s *Server) Stats() StatsResponse {
 		P50Millis:          float64(p50) / float64(time.Millisecond),
 		P99Millis:          float64(p99) / float64(time.Millisecond),
 		Durability:         durabilitySection(st.db),
+		WritePath:          writePathSection(st.db),
 		Live: GenerationSection{
 			Epoch:                gen.Epoch,
 			Generation:           gen.Generation,
@@ -983,6 +1014,29 @@ func (s *Server) runtimeSection(uptime time.Duration) RuntimeSection {
 func (s *Server) planQualitySection() PlanQualitySection {
 	gen, n, mean := s.planQual.Summary()
 	return PlanQualitySection{Generation: gen, Samples: n, MeanEstActualRatio: mean}
+}
+
+// writePathSection renders the served database's group-commit and
+// overlay copy-on-write statistics.
+func writePathSection(db *amber.DB) WritePathSection {
+	ws := db.WriteStats()
+	sec := WritePathSection{
+		Batches:              ws.Batches,
+		Groups:               ws.Groups,
+		MaxGroupSize:         ws.MaxGroupSize,
+		GroupSizeBounds:      ws.GroupSizeBounds,
+		GroupSizeBuckets:     ws.GroupSizeBuckets,
+		OverlayEntriesCopied: ws.OverlayEntriesCopied,
+		OverlayBytesCopied:   ws.OverlayBytesCopied,
+		OverlayVersions:      ws.OverlayVersions,
+	}
+	if ws.Groups > 0 {
+		sec.MeanGroupSize = float64(ws.Batches) / float64(ws.Groups)
+	}
+	if d := db.Durability(); d.Enabled && ws.Batches > 0 {
+		sec.FsyncsPerBatch = float64(d.Fsyncs) / float64(ws.Batches)
+	}
+	return sec
 }
 
 // durabilitySection renders the served database's WAL state.

@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// TestAppendBatchSeqsAndReplay: a batch gets consecutive sequence
+// numbers, returns the last, and replays in order — interleaved with
+// single appends, which are one-record batches.
+func TestAppendBatchSeqsAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	batch := []Record{mut(0), mut(1), mut(2)}
+	last, err := l.AppendBatch(batch)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if last != 3 {
+		t.Fatalf("AppendBatch returned seq %d, want 3", last)
+	}
+	for i, r := range batch {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("batch record %d assigned seq %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	if seq, err := l.Append(mut(3)); err != nil || seq != 4 {
+		t.Fatalf("Append after batch: seq=%d err=%v", seq, err)
+	}
+	if last, err = l.AppendBatch([]Record{mut(4), mut(5)}); err != nil || last != 6 {
+		t.Fatalf("second AppendBatch: seq=%d err=%v", last, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("replayed record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+// TestAppendBatchSingleFsync: under fsync=always a whole batch costs one
+// fsync, not one per record — the amortization group commit buys.
+func TestAppendBatchSingleFsync(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{Policy: SyncAlways})
+	defer l.Close()
+	batch := make([]Record, 8)
+	for i := range batch {
+		batch[i] = mut(i)
+	}
+	if _, err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != 8 {
+		t.Errorf("Appends = %d, want 8", st.Appends)
+	}
+	if st.Fsyncs != 1 {
+		t.Errorf("Fsyncs = %d, want 1 for one batch", st.Fsyncs)
+	}
+}
+
+// TestAppendBatchEmpty: an empty batch is a no-op that reports the
+// current last sequence.
+func TestAppendBatchEmpty(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	defer l.Close()
+	if seq, err := l.AppendBatch(nil); err != nil || seq != 0 {
+		t.Fatalf("empty batch on fresh log: seq=%d err=%v", seq, err)
+	}
+	if _, err := l.Append(mut(0)); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := l.AppendBatch(nil); err != nil || seq != 1 {
+		t.Fatalf("empty batch after append: seq=%d err=%v", seq, err)
+	}
+}
+
+// TestAppendBatchOversizedRejectsWholeGroup: if any record in a batch
+// exceeds the payload limit, the whole group is refused before a byte
+// reaches the file, and the log stays usable.
+func TestAppendBatchOversizedRejectsWholeGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates >1GiB")
+	}
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{Policy: SyncNever})
+	huge := Record{Kind: KindMutation, Adds: []rdf.Triple{{
+		S: rdf.NewIRI("http://x/s"),
+		P: rdf.NewIRI("http://x/p"),
+		O: rdf.NewLiteral(string(make([]byte, maxPayload))),
+	}}}
+	if _, err := l.AppendBatch([]Record{mut(0), huge, mut(1)}); err == nil {
+		t.Fatal("batch with oversized record acknowledged")
+	}
+	// Nothing from the rejected group may survive: the next append gets
+	// seq 1 and is the only record on replay.
+	if seq, err := l.Append(mut(2)); err != nil || seq != 1 {
+		t.Fatalf("append after reject: seq=%d err=%v", seq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("replay after rejected batch: %d records", len(got))
+	}
+}
+
+// TestAppendBatchRotatesBeforeGroup: a group that would overflow the
+// active segment rotates first, so the group stays contiguous in one
+// segment and every record survives replay.
+func TestAppendBatchRotatesBeforeGroup(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 256, Policy: SyncNever})
+	total := 0
+	for i := 0; i < 10; i++ {
+		if _, err := l.AppendBatch([]Record{mut(total), mut(total + 1), mut(total + 2)}); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		total += 3
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, dir, Options{SegmentBytes: 256})
+	defer l2.Close()
+	if len(got) != total {
+		t.Fatalf("replayed %d records, want %d", len(got), total)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("replay out of order at %d: seq %d", i, r.Seq)
+		}
+	}
+}

@@ -396,47 +396,89 @@ func (l *Log) newSegment(first uint64) error {
 // — under SyncAlways — fsyncs before returning. The record is part of the
 // durable history from the moment Append returns.
 func (l *Log) Append(rec Record) (uint64, error) {
+	return l.AppendBatch([]Record{rec})
+}
+
+// AppendBatch is the group-commit append: it assigns consecutive
+// sequence numbers to recs (in place), encodes every frame into one
+// contiguous span, writes the span with a single write, and — under
+// SyncAlways — issues one fsync for the whole group before returning,
+// amortizing the durability cost across the group. It returns the last
+// assigned sequence number.
+//
+// Failure atomicity: an oversized record is detected before any byte
+// reaches the file, so the whole group is rejected and the log stays
+// usable. A write or sync failure may leave a torn tail — exactly what
+// replay tolerates — and closes the log so nothing is written past it;
+// none of the group's records count as acknowledged.
+func (l *Log) AppendBatch(recs []Record) (uint64, error) {
+	return l.appendBatch(recs, true)
+}
+
+// AppendBatchNoSync appends like AppendBatch but skips the SyncAlways
+// fsync: the caller takes over the durability barrier — group commit
+// overlaps the fsync with applying the group — and must call Sync
+// before acknowledging any record of the batch. Under other policies it
+// is identical to AppendBatch.
+func (l *Log) AppendBatchNoSync(recs []Record) (uint64, error) {
+	return l.appendBatch(recs, false)
+}
+
+func (l *Log) appendBatch(recs []Record, sync bool) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
 	}
-	rec.Seq = l.lastSeq + 1
-	l.buf = encodeFrame(l.buf[:0], &rec)
-	if cap(l.buf) > maxRetainedBuf {
-		// Give the oversized scratch buffer back after this append; one
-		// giant batch must not pin its allocation for the log's lifetime.
-		defer func() { l.buf = nil }()
+	if len(recs) == 0 {
+		return l.lastSeq, nil
 	}
-	if len(l.buf)-frameHeaderSize > maxPayload {
-		// Replay treats frames past maxPayload as corruption; writing one
-		// would acknowledge a batch that destroys itself (and everything
-		// after it) on recovery.
-		return 0, fmt.Errorf("wal: record payload %d bytes exceeds the %d limit", len(l.buf)-frameHeaderSize, maxPayload)
+	// Give an oversized scratch buffer back after this group, whatever
+	// the exit path; one giant batch must not pin its allocation for the
+	// log's lifetime.
+	defer func() {
+		if cap(l.buf) > maxRetainedBuf {
+			l.buf = nil
+		}
+	}()
+	l.buf = l.buf[:0]
+	for i := range recs {
+		recs[i].Seq = l.lastSeq + 1 + uint64(i)
+		mark := len(l.buf)
+		l.buf = encodeFrame(l.buf, &recs[i])
+		if len(l.buf)-mark-frameHeaderSize > maxPayload {
+			// Replay treats frames past maxPayload as corruption; writing
+			// one would acknowledge a batch that destroys itself (and
+			// everything after it) on recovery.
+			return 0, fmt.Errorf("wal: record payload %d bytes exceeds the %d limit", len(l.buf)-mark-frameHeaderSize, maxPayload)
+		}
 	}
 	if l.active.bytes > 0 && l.active.bytes+int64(len(l.buf)) > l.opts.SegmentBytes {
-		if err := l.rotateLocked(rec.Seq); err != nil {
+		// Rotate before the group so it stays contiguous in one segment; a
+		// group larger than SegmentBytes overshoots, exactly as a single
+		// oversized record always has.
+		if err := l.rotateLocked(recs[0].Seq); err != nil {
 			return 0, err
 		}
 	}
 	if _, err := l.f.Write(l.buf); err != nil {
-		// The frame may be partially on disk; a torn frame is exactly what
+		// The span may be partially on disk; a torn frame is exactly what
 		// replay tolerates, but this process must not ack or write past it.
 		l.closeLocked()
 		return 0, err
 	}
 	l.active.bytes += int64(len(l.buf))
-	l.active.last = rec.Seq
-	l.lastSeq = rec.Seq
-	l.appends++
+	l.active.last = recs[len(recs)-1].Seq
+	l.lastSeq = l.active.last
+	l.appends += uint64(len(recs))
 	l.dirty = true
-	if l.opts.Policy == SyncAlways {
+	if sync && l.opts.Policy == SyncAlways {
 		if err := l.syncLocked(); err != nil {
 			l.closeLocked()
 			return 0, err
 		}
 	}
-	return rec.Seq, nil
+	return l.lastSeq, nil
 }
 
 // rotateLocked seals the active segment (fsyncing it, so sealed segments
@@ -465,14 +507,21 @@ func (l *Log) syncLocked() error {
 	return nil
 }
 
-// Sync forces an fsync of the active segment, whatever the policy.
+// Sync forces an fsync of the active segment, whatever the policy. A
+// failed fsync closes the log: records written before it were never
+// acknowledged as durable, and nothing may be written past a failed
+// durability barrier.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	return l.syncLocked()
+	if err := l.syncLocked(); err != nil {
+		l.closeLocked()
+		return err
+	}
+	return nil
 }
 
 // syncLoop is the SyncEvery background syncer.

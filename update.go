@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
@@ -114,4 +115,46 @@ func (db *DB) Generation() GenerationStats {
 		Compactions:     gi.Compactions,
 		LastCompaction:  gi.LastCompaction,
 	}
+}
+
+// WriteStats describes the write path's group-commit and overlay
+// copy-on-write behaviour.
+type WriteStats struct {
+	// Batches counts mutation batches committed through the write path;
+	// Groups counts commit groups (one WAL append span, one fsync under
+	// fsync=always, one published snapshot per group). Batches/Groups is
+	// the mean group size; DurabilityStats.Fsyncs / Batches is the
+	// per-batch fsync cost the grouping amortized.
+	Batches uint64
+	Groups  uint64
+	// MaxGroupSize is the largest commit group since the database opened.
+	MaxGroupSize uint64
+	// GroupSizeBounds and GroupSizeBuckets form a histogram of commit
+	// group sizes: bucket i counts groups of ≤ GroupSizeBounds[i] batches,
+	// with one final overflow bucket.
+	GroupSizeBounds  []uint64
+	GroupSizeBuckets []uint64
+	// OverlayEntriesCopied and OverlayBytesCopied measure the overlay's
+	// cumulative copy-on-write effort; the per-batch increment is
+	// O(batch), independent of overlay size. OverlayVersions counts the
+	// live overlay's retained bucket versions.
+	OverlayEntriesCopied uint64
+	OverlayBytesCopied   uint64
+	OverlayVersions      uint64
+}
+
+// WriteStats snapshots the write-path counters.
+func (db *DB) WriteStats() WriteStats {
+	wi := db.store.WriteInfo()
+	ws := WriteStats{
+		Batches:              wi.Batches,
+		Groups:               wi.Groups,
+		MaxGroupSize:         wi.MaxGroupSize,
+		GroupSizeBounds:      append([]uint64(nil), core.GroupSizeBounds[:]...),
+		GroupSizeBuckets:     append([]uint64(nil), wi.GroupSizeBuckets[:]...),
+		OverlayEntriesCopied: wi.OverlayEntriesCopied,
+		OverlayBytesCopied:   wi.OverlayBytesCopied,
+		OverlayVersions:      wi.OverlayVersions,
+	}
+	return ws
 }
