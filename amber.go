@@ -237,6 +237,11 @@ func (p *Prepared) Projection() []string {
 	return append([]string(nil), p.cp.Projection()...)
 }
 
+// Shape returns the query-shape class of the first branch's current plan
+// ("star", "chain", "cyclic", ...), for observability labels. Live
+// updates may re-plan, so successive calls can differ.
+func (p *Prepared) Shape() string { return p.cp.Shape() }
+
 // Query executes the prepared query and materializes the result rows.
 func (p *Prepared) Query(opts *QueryOptions) ([]Row, error) {
 	var rows []Row

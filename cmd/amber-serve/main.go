@@ -32,9 +32,18 @@
 // top; without it they are discarded with a warning).
 //
 // Observability: /metrics serves Prometheus text exposition, /stats a
-// JSON summary, /debug/traces the most recent request traces. -slow-query
-// logs slow requests as JSON lines, and -debug-addr starts a separate
+// JSON summary, /debug/traces the most recent request traces, and
+// /debug/queries the in-flight query table with live resource counters.
+// -slow-query logs slow requests as JSON lines (rotated at
+// -slow-query-log-max-bytes), and -debug-addr starts a separate
 // pprof-only listener (keep it off the public address).
+//
+// Governance: POST /admin/queries/{id}/cancel kills an in-flight query.
+// On the public listener it requires -admin-token; -admin-addr starts a
+// private listener where it is ungated. -max-query-visits caps any
+// single query's engine work. /readyz reports 503 while a SIGHUP reload
+// is swapping databases, for load-balancer draining; /healthz stays
+// pure liveness.
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"time"
 
 	amber "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -90,8 +100,13 @@ func main() {
 
 		slowQuery    = flag.Duration("slow-query", 0, "log queries at least this slow as JSON lines (0 disables)")
 		slowQueryLog = flag.String("slow-query-log", "", "slow-query log file (default stderr; appended)")
+		slowQueryMax = flag.Int64("slow-query-log-max-bytes", 0, "rotate the slow-query log file to .1 past this size (0 = never)")
 		traceBuffer  = flag.Int("trace-buffer", 128, "recent request traces kept for /debug/traces (-1 disables)")
 		debugAddr    = flag.String("debug-addr", "", "separate listen address for net/http/pprof (keep it private; empty disables)")
+
+		adminAddr  = flag.String("admin-addr", "", "separate private listen address for the governance surface: /debug/queries plus ungated query cancellation (empty disables)")
+		adminToken = flag.String("admin-token", "", "token enabling POST /admin/queries/{id}/cancel on the public listener (X-Admin-Token or bearer auth)")
+		maxVisits  = flag.Uint64("max-query-visits", 0, "cancel any query whose match loop visits more than this many vertices (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -106,9 +121,11 @@ func main() {
 		AllowLoad:      *allowLoad,
 		SlowQuery:      *slowQuery,
 		TraceBuffer:    *traceBuffer,
+		AdminToken:     *adminToken,
+		MaxQueryVisits: *maxVisits,
 	}
 	if *slowQuery > 0 && *slowQueryLog != "" {
-		f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := obs.OpenRotatingFile(*slowQueryLog, *slowQueryMax)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "amber-serve: opening slow-query log:", err)
 			os.Exit(1)
@@ -118,7 +135,7 @@ func main() {
 	}
 
 	src := source{data: *dataPath, snapshot: *snapshot, walDir: *walDir, fsync: *fsync}
-	if err := run(*addr, *debugAddr, src, *compactAt, cfg, *shutdownGrace); err != nil {
+	if err := run(*addr, *debugAddr, *adminAddr, src, *compactAt, cfg, *shutdownGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "amber-serve:", err)
 		os.Exit(1)
 	}
@@ -166,7 +183,7 @@ func (s source) open() (*amber.DB, error) {
 	return db, nil
 }
 
-func run(addr, debugAddr string, src source, compactAt int, cfg server.Config, grace time.Duration) error {
+func run(addr, debugAddr, adminAddr string, src source, compactAt int, cfg server.Config, grace time.Duration) error {
 	start := time.Now()
 	db, err := src.open()
 	if err != nil {
@@ -188,11 +205,28 @@ func run(addr, debugAddr string, src source, compactAt int, cfg server.Config, g
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving SPARQL on %s (endpoints: /sparql /stats /metrics /debug/traces /healthz)", addr)
+		log.Printf("serving SPARQL on %s (endpoints: /sparql /stats /metrics /debug/traces /debug/queries /healthz /readyz)", addr)
 		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
 			errc <- err
 		}
 	}()
+
+	if adminAddr != "" {
+		// The governance surface on its own listener skips the token gate;
+		// bind it to localhost or a private network.
+		adm := &http.Server{
+			Addr:              adminAddr,
+			Handler:           srv.AdminHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("serving governance on %s (endpoints: /debug/queries /admin/queries/{id}/cancel /healthz /readyz)", adminAddr)
+			if err := adm.ListenAndServe(); err != http.ErrServerClosed {
+				errc <- fmt.Errorf("admin listener: %w", err)
+			}
+		}()
+		defer adm.Close() //nolint:errcheck // best-effort teardown on exit
+	}
 
 	if debugAddr != "" {
 		// pprof stays on its own listener so profiling never rides the
@@ -242,6 +276,10 @@ func run(addr, debugAddr string, src source, compactAt int, cfg server.Config, g
 // reload warns when that happens (Save the merged view first to keep
 // them).
 func reload(srv *server.Server, src source, compactAt int) {
+	// Drop readiness for the duration: /readyz answers 503 so a load
+	// balancer drains this instance while the replacement loads.
+	srv.SetReady(false)
+	defer srv.SetReady(true)
 	start := time.Now()
 	old := srv.DB()
 	if src.walDir != "" {

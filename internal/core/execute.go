@@ -178,6 +178,9 @@ func (p *PreparedQuery) CountPlan(opts engine.Options) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if opts.Meter == nil {
+		opts.Meter = obs.TraceFromContext(opts.Ctx).Meter()
+	}
 	return engine.Count(sn.Reader(), st.branches[0].pl, opts)
 }
 
@@ -213,6 +216,9 @@ func (p *PreparedQuery) CountPlanParallel(opts engine.Options, workers int) (uin
 	if err != nil {
 		return 0, err
 	}
+	if opts.Meter == nil {
+		opts.Meter = obs.TraceFromContext(opts.Ctx).Meter()
+	}
 	return engine.CountParallel(sn.Reader(), st.branches[0].pl, opts, workers)
 }
 
@@ -244,6 +250,9 @@ func (p *PreparedQuery) Execute(opts engine.Options, yield func(Solution) bool) 
 	tr := obs.TraceFromContext(opts.Ctx)
 	if tr != nil && len(st.branches) > 0 {
 		tr.SetPlan(st.branches[0].pl.Planner, p.Shape(), planSummary(st.branches), sn.Epoch)
+	}
+	if opts.Meter == nil {
+		opts.Meter = tr.Meter()
 	}
 	pq := p.pq
 	limit := pq.Limit

@@ -61,8 +61,9 @@ type liveState struct {
 	leading bool
 
 	// compactDone is closed when the in-flight compaction (background or
-	// forced) finishes; nil when idle. Guarded by mu. A fresh channel per
-	// cycle avoids sync.WaitGroup's Add-concurrent-with-Wait reuse hazard.
+	// forced) finishes, including any post-compaction auto checkpoint;
+	// nil when idle. Guarded by mu. A fresh channel per cycle avoids
+	// sync.WaitGroup's Add-concurrent-with-Wait reuse hazard.
 	compactDone chan struct{}
 
 	compactThreshold atomic.Int64
@@ -377,7 +378,16 @@ func (s *Store) commitGroup(group []*commitReq) {
 	}
 	if done != nil {
 		go func() {
-			defer close(done)
+			// compactDone stays set (and done open) until the checkpoint
+			// has run, so WaitCompaction observers see the whole cycle.
+			defer func() {
+				close(done)
+				l.mu.Lock()
+				if l.compactDone == done {
+					l.compactDone = nil
+				}
+				l.mu.Unlock()
+			}()
 			if s.runCompaction() == nil { // error unreachable for validated batches
 				s.maybeAutoCheckpoint()
 			}
@@ -439,7 +449,14 @@ func (s *Store) Compact() error {
 	done := make(chan struct{})
 	l.compactDone = done
 	l.mu.Unlock()
-	defer close(done)
+	defer func() {
+		close(done)
+		l.mu.Lock()
+		if l.compactDone == done {
+			l.compactDone = nil
+		}
+		l.mu.Unlock()
+	}()
 	err := s.runCompaction()
 	if err == nil {
 		s.maybeAutoCheckpoint()
@@ -483,7 +500,6 @@ func (s *Store) runCompaction() error {
 		// Cannot happen for validated mutations; keep the old generation.
 		l.mu.Lock()
 		l.compacting = false
-		l.compactDone = nil
 		l.log = nil
 		l.mu.Unlock()
 		return err
@@ -501,7 +517,9 @@ func (s *Store) runCompaction() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.compacting = false
-	l.compactDone = nil
+	// compactDone is cleared by the caller once the post-compaction
+	// checkpoint (if any) has also finished; clearing it here would let
+	// WaitCompaction return between the swap and the checkpoint.
 	tail := l.log
 	l.log = nil
 	cur2 := l.snap.Load()

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/otil"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -44,6 +45,13 @@ type Options struct {
 	Ctx context.Context
 	// Stats, when non-nil, is filled with search counters.
 	Stats *Stats
+	// Meter, when non-nil, receives live resource accounting: the match
+	// loop accumulates into matcher-local plain counters and flushes
+	// them into the meter's atomics at the deadline-poll cadence (and on
+	// join), so concurrent /debug/queries scrapes see fresh numbers
+	// without an atomic op per step. Unlike Stats, the meter IS shared
+	// with parallel workers — each worker flushes its own deltas.
+	Meter *obs.ResourceMeter
 }
 
 // Stats reports search effort counters.
@@ -95,13 +103,42 @@ type matcher struct {
 	done     <-chan struct{} // Ctx.Done(), nil without a context
 	ctx      context.Context
 	stats    *Stats
-	levelIdx []int // per-component offset into stats.Levels; nil without stats
+	levelIdx []int // per-component offsets; nil without stats and meter
+
+	// Meter plumbing: overlay marks a reader serving through a non-empty
+	// mutation overlay; the m* fields are this matcher's unflushed
+	// resource deltas (flushed by flushMeter, reset to zero after).
+	meter       *obs.ResourceMeter
+	overlay     bool
+	totalLevels int
+	mCand       uint64 // candidate-set entries generated
+	mVisits     uint64 // candidate vertices tried
+	mInters     uint64 // sorted-list intersections
+	mProbes     uint64 // overlay index probes
 
 	steps    int
 	yielded  uint64
 	stopped  bool  // yield refused or limit reached
 	expired  bool  // deadline passed or context done
 	abortErr error // why the search aborted (expired only)
+}
+
+// flushMeter pushes the accumulated resource deltas into the shared
+// atomic meter and resets them. Called from the throttled deadline-poll
+// path and at search end, so the hot loop stays free of atomic traffic.
+func (m *matcher) flushMeter() {
+	if m.meter == nil {
+		return
+	}
+	m.meter.FlushEngine(m.mCand, m.mVisits, m.mInters, m.mProbes)
+	m.mCand, m.mVisits, m.mInters, m.mProbes = 0, 0, 0, 0
+}
+
+// countProbe tallies one index probe for the overlay-probe meter.
+func (m *matcher) countProbe() {
+	if m.overlay {
+		m.mProbes++
+	}
 }
 
 // checkDeadline reports whether the search must abort: the deadline
@@ -112,9 +149,11 @@ func (m *matcher) checkDeadline() bool {
 		return true
 	}
 	m.steps++
-	if m.steps&deadlineCheckMask != 0 || (m.deadline.IsZero() && m.done == nil) {
+	m.mVisits++
+	if m.steps&deadlineCheckMask != 0 || (m.deadline.IsZero() && m.done == nil && m.meter == nil) {
 		return false
 	}
+	m.flushMeter()
 	if m.done != nil {
 		select {
 		case <-m.done:
@@ -138,6 +177,7 @@ func (m *matcher) checkDeadline() bool {
 func Stream(r index.Reader, p *plan.Plan, opts Options, yield func([]dict.VertexID) bool) error {
 	m, ok := prepare(r, p, opts)
 	m.yield = yield
+	defer m.flushMeter()
 	if m.expired {
 		return m.abortErr
 	}
@@ -161,6 +201,7 @@ func Stream(r index.Reader, p *plan.Plan, opts Options, yield func([]dict.Vertex
 // count is capped at the limit.
 func Count(r index.Reader, p *plan.Plan, opts Options) (uint64, error) {
 	m, ok := prepare(r, p, opts)
+	defer m.flushMeter()
 	if m.expired {
 		return 0, m.abortErr
 	}
@@ -203,6 +244,14 @@ func prepare(r index.Reader, p *plan.Plan, opts Options) (*matcher, bool) {
 		limit:    opts.Limit,
 		deadline: opts.Deadline,
 		stats:    opts.Stats,
+		meter:    opts.Meter,
+	}
+	if m.meter != nil {
+		// Overlay detection: the delta view's Reader exposes Empty; a
+		// frozen GraphReader does not (every probe is a base probe).
+		if ov, ok := r.(interface{ Empty() bool }); ok && !ov.Empty() {
+			m.overlay = true
+		}
 	}
 	if opts.Ctx != nil {
 		m.ctx, m.done = opts.Ctx, opts.Ctx.Done()
@@ -220,20 +269,24 @@ func prepare(r index.Reader, p *plan.Plan, opts Options) (*matcher, bool) {
 	if p.Empty {
 		return m, false
 	}
-	if m.stats != nil {
+	if m.stats != nil || m.meter != nil {
 		total := 0
 		m.levelIdx = make([]int, len(p.Components))
 		for ci := range p.Components {
 			m.levelIdx[ci] = total
 			total += len(p.Components[ci].Core)
 		}
-		levels := make([]LevelStats, total)
-		for ci := range p.Components {
-			for pos, u := range p.Components[ci].Core {
-				levels[m.levelIdx[ci]+pos] = LevelStats{Component: ci, Pos: pos, Vertex: u}
+		m.totalLevels = total
+		if m.stats != nil {
+			levels := make([]LevelStats, total)
+			for ci := range p.Components {
+				for pos, u := range p.Components[ci].Core {
+					levels[m.levelIdx[ci]+pos] = LevelStats{Component: ci, Pos: pos, Vertex: u}
+				}
 			}
+			m.stats.Levels = levels
 		}
-		m.stats.Levels = levels
+		m.meter.SetProgress(0, total)
 	}
 	n := len(m.q.Vars)
 	m.asg = make([]dict.VertexID, n)
@@ -242,9 +295,16 @@ func prepare(r index.Reader, p *plan.Plan, opts Options) (*matcher, bool) {
 }
 
 // recordLevel accumulates one computation of a core level's candidate
-// set into stats.Levels.
+// set into stats.Levels and the resource meter.
 func (m *matcher) recordLevel(ci, pos, n int) {
 	if m.levelIdx == nil {
+		return
+	}
+	if m.meter != nil {
+		m.mCand += uint64(n)
+		m.meter.SetProgress(m.levelIdx[ci]+pos+1, m.totalLevels)
+	}
+	if m.stats == nil {
 		return
 	}
 	l := &m.stats.Levels[m.levelIdx[ci]+pos]
@@ -259,6 +319,7 @@ func (m *matcher) admissible(u query.VertexID, v dict.VertexID) bool {
 	if len(st) == 0 {
 		return true
 	}
+	m.countProbe()
 	return m.r.HasEdgeTypes(v, v, st)
 }
 
@@ -267,6 +328,7 @@ func (m *matcher) admissible(u query.VertexID, v dict.VertexID) bool {
 func (m *matcher) restrict(u query.VertexID, cand []dict.VertexID) []dict.VertexID {
 	if m.p.IsFixed[int(u)] {
 		cand = otil.IntersectSorted(cand, m.p.Fixed[int(u)])
+		m.mInters++
 	}
 	if len(m.q.Vars[u].SelfTypes) == 0 {
 		return cand
@@ -294,6 +356,7 @@ func (m *matcher) initialCandidates(u query.VertexID) []dict.VertexID {
 		}
 		return cand
 	}
+	m.countProbe()
 	cand := m.r.SignatureCandidates(m.q.Synopsis(u))
 	cand = m.restrict(u, cand)
 	if m.stats != nil {
@@ -318,13 +381,16 @@ func (m *matcher) satCandidates(uc, us query.VertexID, vc dict.VertexID) []dict.
 	var cand []dict.VertexID
 	have := false
 	if len(toSat) > 0 { // edge uc → us: probe vc's outgoing side
+		m.countProbe()
 		cand = m.r.Neighbors(vc, index.Outgoing, toSat)
 		have = true
 	}
 	if len(fromSat) > 0 { // edge us → uc: probe vc's incoming side
+		m.countProbe()
 		nb := m.r.Neighbors(vc, index.Incoming, fromSat)
 		if have {
 			cand = otil.IntersectSorted(cand, nb)
+			m.mInters++
 		} else {
 			cand = nb
 		}
@@ -340,9 +406,12 @@ func (m *matcher) satCandidates(uc, us query.VertexID, vc dict.VertexID) []dict.
 func (m *matcher) litCandidates(lit *query.LitSat, vc dict.VertexID) []dict.VertexID {
 	var verts []dict.VertexID
 	if len(lit.Types) > 0 {
+		m.countProbe()
 		verts = m.r.Neighbors(vc, index.Outgoing, lit.Types)
 	}
+	m.countProbe()
 	attrs := otil.IntersectSorted(m.r.VertexAttrs(vc), lit.Attrs)
+	m.mInters++
 	if len(attrs) == 0 {
 		return verts
 	}
@@ -363,6 +432,7 @@ func (m *matcher) matchSatellites(uc query.VertexID, vc dict.VertexID, sats []qu
 		if len(cand) == 0 {
 			return false
 		}
+		m.mCand += uint64(len(cand))
 		m.satSets[us] = cand
 	}
 	return true
@@ -377,6 +447,7 @@ func (m *matcher) coreCandidates(unxt query.VertexID, matched []bool) []dict.Ver
 	add := func(nb []dict.VertexID) bool {
 		if have {
 			cand = otil.IntersectSorted(cand, nb)
+			m.mInters++
 		} else {
 			cand, have = nb, true
 		}
@@ -388,6 +459,7 @@ func (m *matcher) coreCandidates(unxt query.VertexID, matched []bool) []dict.Ver
 			continue
 		}
 		vn := m.asg[e.To]
+		m.countProbe()
 		if !add(m.r.Neighbors(vn, index.Incoming, e.Types)) {
 			return nil
 		}
@@ -397,6 +469,7 @@ func (m *matcher) coreCandidates(unxt query.VertexID, matched []bool) []dict.Ver
 			continue
 		}
 		vn := m.asg[e.To]
+		m.countProbe()
 		if !add(m.r.Neighbors(vn, index.Outgoing, e.Types)) {
 			return nil
 		}

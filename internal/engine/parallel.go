@@ -33,6 +33,7 @@ func CountParallel(r index.Reader, p *plan.Plan, opts Options, workers int) (uin
 	if master.expired {
 		return 0, master.abortErr
 	}
+	defer master.flushMeter()
 	if !ok {
 		return 0, nil
 	}
@@ -88,7 +89,9 @@ func countComponentParallel(r index.Reader, p *plan.Plan, opts Options, ci int, 
 			defer wg.Done()
 			// Stats are not threaded into workers: per-worker counters
 			// would race; the aggregate embedding count is set by the
-			// caller.
+			// caller. The meter, unlike Stats, is shared — its counters
+			// are atomics and each worker flushes only its own local
+			// deltas into it.
 			workerOpts := opts
 			workerOpts.Stats = nil
 			m, ok := prepare(r, p, workerOpts)
@@ -102,6 +105,7 @@ func countComponentParallel(r index.Reader, p *plan.Plan, opts Options, ci int, 
 				}
 				return
 			}
+			defer m.flushMeter()
 			var sub uint64
 			for i := w; i < len(cands); i += workers {
 				n, err := m.countFromInitial(ci, cands[i])

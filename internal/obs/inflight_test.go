@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestResourceMeterAccumulatesAndViews(t *testing.T) {
+	m := NewResourceMeter()
+	m.FlushEngine(10, 20, 5, 3)
+	m.FlushEngine(1, 2, 0, 0)
+	m.AddRows(4)
+	m.AddBytes(512)
+	m.SetProgress(2, 7)
+	v := m.View()
+	if v.Candidates != 11 || v.VerticesVisited != 22 || v.Intersections != 5 || v.OverlayProbes != 3 {
+		t.Errorf("engine counters = %+v", v)
+	}
+	if v.RowsEmitted != 4 || v.BytesSerialized != 512 {
+		t.Errorf("server counters = %+v", v)
+	}
+	if v.Level != 2 || v.TotalLevels != 7 {
+		t.Errorf("progress = %d/%d, want 2/7", v.Level, v.TotalLevels)
+	}
+	if v.ResourceLimited {
+		t.Error("limited without a cap")
+	}
+}
+
+func TestResourceMeterNilSafe(t *testing.T) {
+	var m *ResourceMeter
+	m.FlushEngine(1, 1, 1, 1)
+	m.AddRows(1)
+	m.AddBytes(1)
+	m.SetProgress(1, 1)
+	m.SetVisitLimit(1, nil)
+	if m.Limited() || m.Visits() != 0 {
+		t.Error("nil meter not inert")
+	}
+	if v := m.View(); v != (MeterView{}) {
+		t.Errorf("nil view = %+v", v)
+	}
+}
+
+func TestVisitLimitCancelsOnce(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m := NewResourceMeter()
+	m.SetVisitLimit(100, cancel)
+
+	m.FlushEngine(0, 99, 0, 0)
+	if m.Limited() {
+		t.Fatal("guard tripped below the cap")
+	}
+	m.FlushEngine(0, 2, 0, 0) // 101 > 100
+	if !m.Limited() {
+		t.Fatal("guard did not trip past the cap")
+	}
+	if !errors.Is(context.Cause(ctx), ErrResourceLimit) {
+		t.Errorf("cause = %v, want ErrResourceLimit", context.Cause(ctx))
+	}
+	// Further flushes keep counting but must not re-fire the cancel.
+	m.FlushEngine(0, 1000, 0, 0)
+	if got := m.Visits(); got != 1101 {
+		t.Errorf("visits = %d, want 1101", got)
+	}
+}
+
+func TestInflightRegisterSnapshotRemove(t *testing.T) {
+	f := NewInflight()
+	_, c1 := context.WithCancelCause(context.Background())
+	_, c2 := context.WithCancelCause(context.Background())
+	m1 := NewResourceMeter()
+	m1.AddRows(3)
+	f.Register("q1", "SELECT 1", "query", "1.2.3.4:5", 7, m1, func() string { return "star" }, c1)
+	time.Sleep(time.Millisecond) // distinct start times for deterministic order
+	f.Register("q2", "SELECT 2", "update", "", 7, nil, nil, c2)
+
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	views := f.Snapshot()
+	if len(views) != 2 || views[0].ID != "q1" || views[1].ID != "q2" {
+		t.Fatalf("snapshot order = %+v", views)
+	}
+	if views[0].Shape != "star" || views[0].Epoch != 7 || views[0].Client != "1.2.3.4:5" {
+		t.Errorf("q1 view = %+v", views[0])
+	}
+	if views[0].Resources.RowsEmitted != 3 {
+		t.Errorf("q1 resources = %+v", views[0].Resources)
+	}
+	if views[0].AgeMillis < 0 {
+		t.Errorf("negative age %f", views[0].AgeMillis)
+	}
+	if views[1].Shape != "" || views[1].Kind != "update" {
+		t.Errorf("q2 view = %+v", views[1])
+	}
+
+	f.Remove("q1")
+	f.Remove("unknown") // no-op
+	if f.Len() != 1 {
+		t.Fatalf("Len after remove = %d", f.Len())
+	}
+}
+
+func TestInflightCancelDeliversCause(t *testing.T) {
+	f := NewInflight()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	f.Register("q1", "SELECT 1", "query", "", 0, nil, nil, cancel)
+
+	if f.Cancel("missing") {
+		t.Error("cancelled an unknown id")
+	}
+	if !f.Cancel("q1") {
+		t.Fatal("known id not cancelled")
+	}
+	if !errors.Is(context.Cause(ctx), ErrAdminCancelled) {
+		t.Errorf("cause = %v, want ErrAdminCancelled", context.Cause(ctx))
+	}
+	if v := f.Snapshot(); len(v) != 1 || !v[0].Cancelled {
+		t.Errorf("snapshot after cancel = %+v", v)
+	}
+}
+
+func TestInflightTruncatesQuery(t *testing.T) {
+	f := NewInflight()
+	long := strings.Repeat("x", MaxTraceQuery+100)
+	f.Register("q", long, "query", "", 0, nil, nil, nil)
+	if got := len(f.Snapshot()[0].Query); got != MaxTraceQuery {
+		t.Errorf("stored query length = %d, want %d", got, MaxTraceQuery)
+	}
+}
+
+func TestInflightNilSafe(t *testing.T) {
+	var f *Inflight
+	if f.Register("q", "", "query", "", 0, nil, nil, nil) != nil {
+		t.Error("nil registry returned an entry")
+	}
+	f.Remove("q")
+	if f.Cancel("q") || f.Len() != 0 || f.Snapshot() != nil {
+		t.Error("nil registry not inert")
+	}
+}
+
+func TestInflightConcurrent(t *testing.T) {
+	f := NewInflight()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := string(rune('a'+g)) + "-" + string(rune('0'+i%10))
+				_, cancel := context.WithCancelCause(context.Background())
+				f.Register(id, "SELECT", "query", "", 0, NewResourceMeter(), nil, cancel)
+				f.Cancel(id)
+				f.Snapshot()
+				f.Len()
+				f.Remove(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Len() != 0 {
+		t.Errorf("leaked %d entries", f.Len())
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"os"
+	"sync"
+)
+
+// RotatingFile is an append-only log file with a size cap and a single
+// ".1" rollover: when a write would push the file past the cap, the
+// live file is renamed to path+".1" (replacing any previous rollover)
+// and a fresh file is started, bounding total disk use at roughly twice
+// the cap. Built for the slow-query log, whose JSON lines would
+// otherwise grow without limit on a long-lived server. Safe for
+// concurrent use; satisfies io.WriteCloser.
+type RotatingFile struct {
+	path string
+	max  int64
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// OpenRotatingFile opens path for appending, rolling over at maxBytes.
+// maxBytes <= 0 disables rotation — the file just grows.
+func OpenRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close() //nolint:errcheck
+		return nil, err
+	}
+	return &RotatingFile{path: path, max: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Write appends p, rotating first when the write would exceed the cap.
+// A single record larger than the cap is still written whole (to a
+// fresh file): the cap bounds growth, it does not truncate records.
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.max > 0 && r.size > 0 && r.size+int64(len(p)) > r.max {
+		if err := r.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	return n, err
+}
+
+// rotateLocked renames the live file to ".1" and reopens a fresh one.
+// If the rename fails the old file is reopened and appending continues
+// uncapped — degrading to an unrotated log beats dropping records.
+func (r *RotatingFile) rotateLocked() error {
+	r.f.Close() //nolint:errcheck // already flushed; nothing to do on error
+	renameErr := os.Rename(r.path, r.path+".1")
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	r.f = f
+	r.size = 0
+	if renameErr != nil {
+		if st, serr := f.Stat(); serr == nil {
+			r.size = st.Size()
+		}
+	}
+	return nil
+}
+
+// Close closes the live file.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRotatingFileRollsOverOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow.log")
+	rf, err := OpenRotatingFile(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+
+	line := bytes.Repeat([]byte("a"), 39)
+	line = append(line, '\n') // 40 bytes per record
+	for i := 0; i < 2; i++ {
+		if _, err := rf.Write(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third write would reach 120 > 100: rotates first.
+	if _, err := rf.Write(line); err != nil {
+		t.Fatal(err)
+	}
+
+	rolled, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("no rollover file: %v", err)
+	}
+	if len(rolled) != 80 {
+		t.Errorf("rolled size = %d, want 80", len(rolled))
+	}
+	live, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 40 {
+		t.Errorf("live size = %d, want 40", len(live))
+	}
+
+	// A second rotation replaces the previous .1 (single rollover: disk
+	// use stays bounded).
+	for i := 0; i < 2; i++ {
+		if _, err := rf.Write(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rolled, _ = os.ReadFile(path + ".1")
+	if len(rolled) != 80 {
+		t.Errorf("second rollover size = %d, want 80", len(rolled))
+	}
+}
+
+func TestRotatingFileOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow.log")
+	rf, err := OpenRotatingFile(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	big := bytes.Repeat([]byte("b"), 50)
+	if _, err := rf.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := os.ReadFile(path)
+	if len(live) != 50 {
+		t.Errorf("oversized record truncated: %d bytes", len(live))
+	}
+}
+
+func TestRotatingFileResumesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow.log")
+	if err := os.WriteFile(path, bytes.Repeat([]byte("c"), 90), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := OpenRotatingFile(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	// 90 existing + 20 > 100: the pre-existing size must count.
+	if _, err := rf.Write(bytes.Repeat([]byte("d"), 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Errorf("pre-existing bytes did not trigger rotation: %v", err)
+	}
+}
+
+func TestRotatingFileUncapped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow.log")
+	rf, err := OpenRotatingFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := rf.Write(bytes.Repeat([]byte("e"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path + ".1"); err == nil {
+		t.Error("uncapped file rotated")
+	}
+}

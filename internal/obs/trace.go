@@ -91,6 +91,7 @@ type Trace struct {
 	spans       []Span
 	engine      EngineCounters
 	levels      []Level
+	meter       *ResourceMeter
 	status      string
 	rows        uint64
 	duration    time.Duration
@@ -185,6 +186,29 @@ func (t *Trace) Finish(status string, rows uint64) {
 	t.mu.Unlock()
 }
 
+// SetMeter attaches the request's resource meter, so the trace's sealed
+// view — and thus /debug/traces and the slow-query log — carries the
+// query's final resource bill.
+func (t *Trace) SetMeter(m *ResourceMeter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.meter = m
+	t.mu.Unlock()
+}
+
+// Meter returns the attached resource meter (nil when none). The
+// execution layer hands it to the engine alongside the trace.
+func (t *Trace) Meter() *ResourceMeter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.meter
+}
+
 // Shape returns the recorded query-shape class ("" until SetPlan).
 func (t *Trace) Shape() string {
 	if t == nil {
@@ -265,6 +289,7 @@ type TraceView struct {
 	Spans       []Span         `json:"spans,omitempty"`
 	Engine      EngineCounters `json:"engine"`
 	Levels      []Level        `json:"levels,omitempty"`
+	Resources   *MeterView     `json:"resources,omitempty"`
 }
 
 // View snapshots the trace for serialization.
@@ -274,7 +299,7 @@ func (t *Trace) View() TraceView {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return TraceView{
+	v := TraceView{
 		ID:          t.ID,
 		Time:        t.Time.UTC().Format(time.RFC3339Nano),
 		Query:       t.Query,
@@ -289,6 +314,11 @@ func (t *Trace) View() TraceView {
 		Engine:      t.engine,
 		Levels:      append([]Level(nil), t.levels...),
 	}
+	if t.meter != nil {
+		mv := t.meter.View()
+		v.Resources = &mv
+	}
+	return v
 }
 
 // SlogAttrs renders the trace as structured-log attributes, the shared

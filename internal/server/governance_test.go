@@ -1,0 +1,394 @@
+package server
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// slowQueryText is a triple chain whose FILTER rejects every embedding
+// after enumeration, so the engine works for a long time producing no
+// output (see slowSearchData).
+const slowQueryText = `SELECT ?d WHERE {
+	?a <http://p/t> ?b . ?b <http://p/t> ?c . ?c <http://p/t> ?d .
+	FILTER (?d = <http://v/nomatch>)
+}`
+
+// debugQueries fetches and decodes GET /debug/queries.
+func debugQueries(t testing.TB, base string) []obs.InflightView {
+	t.Helper()
+	resp, body := get(t, base+"/debug/queries", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/queries status %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Queries []obs.InflightView `json:"queries"`
+		Count   int                `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("decoding /debug/queries: %v", err)
+	}
+	if doc.Count != len(doc.Queries) {
+		t.Fatalf("count %d != %d queries", doc.Count, len(doc.Queries))
+	}
+	return doc.Queries
+}
+
+func postCancel(t testing.TB, base, id, token string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/admin/queries/"+id+"/cancel", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("X-Admin-Token", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+// TestAdminCancelTerminatesQuery is the tentpole's acceptance test:
+// a long-running query is visible in GET /debug/queries with live
+// resource counters and progress, POST /admin/queries/{id}/cancel
+// terminates it, the client receives an error response, the admission
+// slot frees, and the kill is visible in /metrics, /stats, and the
+// trace ring.
+func TestAdminCancelTerminatesQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow search fixture")
+	}
+	s, ts := newTestServer(t, slowSearchData(400, 40),
+		Config{MaxConcurrent: 2, AdminToken: "sesame"})
+
+	done := make(chan struct{})
+	var status int
+	var body string
+	go func() {
+		defer close(done)
+		resp, err := http.Get(queryURL(ts.URL, slowQueryText, "timeout", "30s"))
+		if err != nil {
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		status, body = resp.StatusCode, string(b)
+	}()
+
+	// Wait until the query is registered and its meter shows live engine
+	// progress.
+	var entry obs.InflightView
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if qs := debugQueries(t, ts.URL); len(qs) == 1 && qs[0].Resources.VerticesVisited > 0 {
+			entry = qs[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query never appeared in /debug/queries with live counters")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if entry.Kind != "query" || entry.Shape == "" || entry.Client == "" {
+		t.Errorf("inflight entry = %+v", entry)
+	}
+	if entry.Resources.TotalLevels == 0 {
+		t.Errorf("no plan progress: %+v", entry.Resources)
+	}
+	if !strings.Contains(entry.Query, "FILTER") {
+		t.Errorf("entry query text = %q", entry.Query)
+	}
+
+	resp, cbody := postCancel(t, ts.URL, entry.ID, "sesame")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(cbody, entry.ID) {
+		t.Fatalf("cancel status %d: %s", resp.StatusCode, cbody)
+	}
+
+	<-done
+	if status != http.StatusInternalServerError || !strings.Contains(body, "administrator") {
+		t.Errorf("client got %d %q, want 500 mentioning administrator", status, body)
+	}
+
+	// Slot freed, registry empty.
+	deadline = time.Now().Add(3 * time.Second)
+	for s.Stats().InFlight != 0 || s.inflight.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slot/registry still held: inFlight=%d registry=%d",
+				s.Stats().InFlight, s.inflight.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := s.Stats(); st.CancelledAdmin != 1 || st.Cancelled != 0 {
+		t.Errorf("cancelled_admin=%d cancelled=%d, want 1/0", st.CancelledAdmin, st.Cancelled)
+	}
+
+	// Visible in /metrics…
+	if _, metrics := get(t, ts.URL+"/metrics", nil); !strings.Contains(metrics, "amber_query_cancelled_admin_total 1") {
+		t.Error("admin cancel not visible in /metrics")
+	}
+	// …and in the trace ring, with the finished meter attached.
+	_, traces := get(t, ts.URL+"/debug/traces", nil)
+	if !strings.Contains(traces, `"killed"`) {
+		t.Errorf("no killed trace in ring: %s", traces)
+	}
+	if !strings.Contains(traces, `"vertices_visited"`) {
+		t.Error("trace record carries no resource meter")
+	}
+
+	// Cancelling the now-finished id is a 404.
+	if resp, _ := postCancel(t, ts.URL, entry.ID, "sesame"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("stale cancel status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestAdminCancelAuth(t *testing.T) {
+	// Without a token the public surface is disabled entirely.
+	_, ts := newTestServer(t, townData, Config{})
+	if resp, _ := postCancel(t, ts.URL, "x", ""); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("ungated cancel status = %d, want 403", resp.StatusCode)
+	}
+
+	s2, ts2 := newTestServer(t, townData, Config{AdminToken: "sesame"})
+	if resp, _ := postCancel(t, ts2.URL, "x", "wrong"); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("bad-token cancel status = %d, want 401", resp.StatusCode)
+	}
+	if resp, _ := postCancel(t, ts2.URL, "x", "sesame"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("good-token unknown-id status = %d, want 404", resp.StatusCode)
+	}
+
+	// Bearer authorization works too.
+	req, _ := http.NewRequest(http.MethodPost, ts2.URL+"/admin/queries/x/cancel", nil)
+	req.Header.Set("Authorization", "Bearer sesame")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bearer status = %d, want 404", resp.StatusCode)
+	}
+
+	// The private AdminHandler listener is ungated.
+	adm := httptest.NewServer(s2.AdminHandler())
+	defer adm.Close()
+	if resp, _ := postCancel(t, adm.URL, "x", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("admin-listener status = %d, want 404", resp.StatusCode)
+	}
+	if qs := debugQueries(t, adm.URL); len(qs) != 0 {
+		t.Errorf("admin-listener /debug/queries = %+v", qs)
+	}
+}
+
+// TestMaxQueryVisitsGuard verifies the resource guard: a query whose
+// live meter crosses the visit cap is cancelled by its own accounting
+// and answered with 422.
+func TestMaxQueryVisitsGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow search fixture")
+	}
+	s, ts := newTestServer(t, slowSearchData(200, 30),
+		Config{MaxQueryVisits: 10_000})
+	resp, body := get(t, queryURL(ts.URL, slowQueryText, "timeout", "30s"), nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(body, "resource limit") {
+		t.Fatalf("status %d body %q, want 422 resource limit", resp.StatusCode, body)
+	}
+	if st := s.Stats(); st.ResourceLimited != 1 {
+		t.Errorf("resource_limited = %d, want 1", st.ResourceLimited)
+	}
+	if _, metrics := get(t, ts.URL+"/metrics", nil); !strings.Contains(metrics, "amber_query_resource_limited_total 1") {
+		t.Error("guard trip not visible in /metrics")
+	}
+}
+
+// TestInflightTorture hammers the registry from every side at once:
+// concurrent queries, admin cancels, database hot-swaps, and
+// /debug/queries + /metrics scrapes. Run under -race in CI. The
+// registry must end empty — no leaked entries.
+func TestInflightTorture(t *testing.T) {
+	s, ts := newTestServer(t, townData,
+		Config{CacheSize: -1, AdminToken: "sesame", MaxConcurrent: 8})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Query workers: distinct texts defeat nothing (result cache is off),
+	// so every request registers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := fmt.Sprintf("SELECT ?a ?b WHERE { ?a <http://town/knows> ?b . } LIMIT %d", 1+(w+i)%5)
+				resp, err := http.Get(queryURL(ts.URL, q))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	// Update worker: updates register too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u := fmt.Sprintf("INSERT DATA { <http://town/n%d> <http://town/knows> <http://town/alice> . }", i)
+			resp, err := http.PostForm(ts.URL+"/sparql", map[string][]string{"update": {u}})
+			if err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}
+	}()
+	// Canceller: scrape ids and kill whatever is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, v := range s.inflight.Snapshot() {
+				resp, err := http.DefaultClient.Do(func() *http.Request {
+					req, _ := http.NewRequest(http.MethodPost, ts.URL+"/admin/queries/"+v.ID+"/cancel", nil)
+					req.Header.Set("X-Admin-Token", "sesame")
+					return req
+				}())
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	// Swapper: hot-swap the database underneath everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Swap(openDB(t, townData))
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	// Scraper: observability surfaces under load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, p := range []string{"/debug/queries", "/metrics", "/stats", "/readyz"} {
+				resp, err := http.Get(ts.URL + p)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for s.inflight.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry leaked %d entries", s.inflight.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Stats().InFlight != 0 {
+		t.Errorf("in_flight = %d after drain", s.Stats().InFlight)
+	}
+}
+
+func TestReadyzTracksReadiness(t *testing.T) {
+	s, ts := newTestServer(t, townData, Config{})
+	if resp, body := get(t, ts.URL+"/readyz", nil); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("ready /readyz = %d %q", resp.StatusCode, body)
+	}
+	s.SetReady(false)
+	if resp, body := get(t, ts.URL+"/readyz", nil); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "loading") {
+		t.Errorf("draining /readyz = %d %q", resp.StatusCode, body)
+	}
+	// Liveness is unaffected by draining.
+	if resp, _ := get(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("draining /healthz = %d, want 200", resp.StatusCode)
+	}
+	if _, metrics := get(t, ts.URL+"/metrics", nil); !strings.Contains(metrics, "amber_ready 0") {
+		t.Error("amber_ready gauge did not drop")
+	}
+	s.SetReady(true)
+	if resp, _ := get(t, ts.URL+"/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("restored /readyz = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestGzipScrapeEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, townData, Config{})
+	for _, path := range []string{"/metrics", "/stats"} {
+		// Explicit Accept-Encoding disables the transport's transparent
+		// decompression, so the raw gzip stream is observable.
+		resp, body := get(t, ts.URL+path, http.Header{"Accept-Encoding": {"gzip"}})
+		if resp.Header.Get("Content-Encoding") != "gzip" {
+			t.Errorf("%s: Content-Encoding = %q, want gzip", path, resp.Header.Get("Content-Encoding"))
+			continue
+		}
+		zr, err := gzip.NewReader(strings.NewReader(body))
+		if err != nil {
+			t.Errorf("%s: not gzip: %v", path, err)
+			continue
+		}
+		plain, err := io.ReadAll(zr)
+		if err != nil {
+			t.Errorf("%s: decompressing: %v", path, err)
+		}
+		want := "amber_queries_total"
+		if path == "/stats" {
+			want = `"uptime"`
+		}
+		if !strings.Contains(string(plain), want) {
+			t.Errorf("%s: decompressed body missing %q", path, want)
+		}
+
+		// Clients that do not accept gzip get identity.
+		resp, body = get(t, ts.URL+path, http.Header{"Accept-Encoding": {"identity"}})
+		if resp.Header.Get("Content-Encoding") == "gzip" || !strings.Contains(body, want) {
+			t.Errorf("%s: identity request got encoded response", path)
+		}
+	}
+}

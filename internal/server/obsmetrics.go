@@ -29,11 +29,22 @@ func (s *Server) initMetrics() {
 	cf("amber_rejected_total", "Requests shed by admission control (503).", &s.met.rejected)
 	cf("amber_timeouts_total", "Queries aborted by the per-query timeout.", &s.met.timeouts)
 	cf("amber_cancelled_total", "Queries aborted by client disconnect.", &s.met.cancelled)
+	cf("amber_query_cancelled_admin_total", "Queries killed through the admin cancel surface.", &s.met.cancelledAdmin)
+	cf("amber_query_resource_limited_total", "Queries cancelled by the max-query-visits guard.", &s.met.resourceLimited)
 	cf("amber_parse_errors_total", "Requests rejected as malformed SPARQL.", &s.met.parseErrors)
 	cf("amber_updates_total", "Update requests accepted for processing.", &s.met.updates)
 	cf("amber_update_errors_total", "Updates that failed to parse or apply.", &s.met.updateErrors)
 	r.GaugeFunc("amber_in_flight", "Engine executions currently running.",
 		func() float64 { return float64(s.met.inFlight.Load()) })
+	r.GaugeFunc("amber_inflight_queries", "Requests currently registered in the in-flight governance table.",
+		func() float64 { return float64(s.inflight.Len()) })
+	r.GaugeFunc("amber_ready", "1 when /readyz reports ready, 0 while draining for a reload.",
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
 	r.GaugeFunc("amber_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 

@@ -27,8 +27,11 @@
 //     they started on, and both caches roll over with the swap.
 //
 // Endpoints: the SPARQL endpoint at "/" and "/sparql", liveness at
-// "/healthz", and live serving counters plus database statistics at
-// "/stats".
+// "/healthz", readiness at "/readyz", live serving counters plus
+// database statistics at "/stats", the in-flight query table at
+// "/debug/queries", and token-gated admin cancellation at
+// "/admin/queries/{id}/cancel" (see also AdminHandler for the ungated
+// private-listener variant).
 package server
 
 import (
@@ -41,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -97,6 +101,16 @@ type Config struct {
 	// percentiles then fall back to the 1024-entry sliding-window ring,
 	// and /metrics omits the *_duration_seconds families.
 	DisableHistograms bool
+	// AdminToken, when set, enables POST /admin/queries/{id}/cancel on
+	// the public listener for requests carrying the token (X-Admin-Token
+	// or bearer Authorization header). Without it the public cancel
+	// surface is disabled; AdminHandler on a private -admin-addr listener
+	// is the ungated alternative.
+	AdminToken string
+	// MaxQueryVisits caps the vertices a single query's match loop may
+	// visit. A query whose resource meter crosses the cap is cancelled
+	// and answered with 422. Zero means unlimited.
+	MaxQueryVisits uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +204,12 @@ type Server struct {
 	met   metrics
 	start time.Time
 	mux   *http.ServeMux
+	ready atomic.Bool
+
+	// inflight is the live query-governance table: every admitted
+	// query/update registers with its resource meter, GET /debug/queries
+	// lists it, and POST /admin/queries/{id}/cancel reaches its context.
+	inflight *obs.Inflight
 
 	// Observability (see internal/obs): the Prometheus registry behind
 	// /metrics, the recent-trace ring behind /debug/traces, the slow-query
@@ -219,13 +239,18 @@ func New(db *amber.DB, cfg Config) *Server {
 	s.state.Store(newDBState(db, s.cfg, 0))
 	s.traces = obs.NewTraceRing(s.cfg.TraceBuffer)
 	s.slowLog = obs.NewSlowLog(s.cfg.SlowQueryOut, s.cfg.SlowQuery)
+	s.inflight = obs.NewInflight()
+	s.ready.Store(true)
 	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/sparql", s.handleQuery)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/stats", withGzip(s.handleStats))
+	s.mux.HandleFunc("/metrics", withGzip(s.handleMetrics))
 	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("POST /admin/queries/{id}/cancel", s.handleAdminCancel)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -438,15 +463,18 @@ func (s *Server) acquire(ctx context.Context) bool {
 
 // countingWriter tracks whether any response bytes reached the client,
 // which decides whether an execution error can still become a clean
-// HTTP error response.
+// HTTP error response. It also feeds the query's resource meter, so
+// /debug/queries shows bytes serialized while the response streams.
 type countingWriter struct {
-	dst io.Writer
-	n   int64
+	dst   io.Writer
+	meter *obs.ResourceMeter
+	n     int64
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.dst.Write(p)
 	c.n += int64(n)
+	c.meter.AddBytes(uint64(n))
 	return n, err
 }
 
@@ -501,8 +529,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer s.met.inFlight.Add(-1)
 		var out string
 		var eerr error
+		ectx := r.Context()
 		if params.analyze {
-			out, eerr = st.db.ExplainAnalyzeContext(r.Context(), query, params.planner, &params.opts)
+			// explain=analyze executes the query, so it is governed like
+			// one: registered in the in-flight table, admin-cancellable,
+			// and subject to the visit guard.
+			var cancelCause context.CancelCauseFunc
+			ectx, cancelCause = context.WithCancelCause(ectx)
+			defer cancelCause(nil)
+			meter := obs.NewResourceMeter()
+			if s.cfg.MaxQueryVisits > 0 {
+				meter.SetVisitLimit(s.cfg.MaxQueryVisits, cancelCause)
+			}
+			s.inflight.Register(reqID, query, "explain", r.RemoteAddr, st.db.Epoch(), meter, nil, cancelCause)
+			defer s.inflight.Remove(reqID)
+			out, eerr = st.db.ExplainAnalyzeContext(ectx, query, params.planner, &params.opts)
 		} else {
 			out, eerr = st.db.ExplainPlanner(query, params.planner)
 		}
@@ -513,8 +554,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("query timed out after %s", params.opts.Timeout), reqID)
 			return
 		case errors.Is(eerr, context.Canceled):
-			s.met.cancelled.Add(1)
-			return // client went away
+			if _, code, msg := s.cancelOutcome(ectx); code != 0 {
+				writeError(w, code, msg, reqID)
+			}
+			return
 		case eerr != nil:
 			s.met.parseErrors.Add(1)
 			writeError(w, http.StatusBadRequest, "invalid query: "+eerr.Error(), reqID)
@@ -576,16 +619,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Execution runs under a cancellable-with-cause context derived from
+	// the request's: a client disconnect, an admin cancel
+	// (POST /admin/queries/{id}/cancel), and the -max-query-visits guard
+	// all reach the engine through the same ctx.Done() poll, and the
+	// cause distinguishes them afterwards. The meter rides the trace into
+	// the engine and is readable live through GET /debug/queries.
+	ctx, cancelCause := context.WithCancelCause(r.Context())
+	defer cancelCause(nil)
+	meter := obs.NewResourceMeter()
+	if s.cfg.MaxQueryVisits > 0 {
+		meter.SetVisitLimit(s.cfg.MaxQueryVisits, cancelCause)
+	}
+	tr.SetMeter(meter)
+	s.inflight.Register(reqID, query, "query", r.RemoteAddr, st.db.Epoch(), meter, prep.Shape, cancelCause)
+	defer s.inflight.Remove(reqID)
+
+	// pprof goroutine labels: CPU samples of this query's handler — and
+	// of any parallel workers it spawns, which inherit the labels — carry
+	// its request id and shape, so a -debug-addr profile attributes time
+	// to specific queries.
+	defer pprof.SetGoroutineLabels(r.Context())
+	ctx = pprof.WithLabels(obs.ContextWithTrace(ctx, tr),
+		pprof.Labels("request_id", reqID, "shape", prep.Shape()))
+	pprof.SetGoroutineLabels(ctx)
+
 	if testHookExecute != nil {
 		testHookExecute(query)
 	}
-
-	// Execution runs under the request's context: when the client
-	// disconnects, the engine aborts at its next poll, the admission slot
-	// frees, and no result-cache entry is written for the abandoned run.
-	// The trace rides the context into core.PreparedQuery.Execute, which
-	// fills in the engine counters and per-level frontiers.
-	ctx := obs.ContextWithTrace(r.Context(), tr)
 
 	if prep.IsAsk() {
 		endExec := tr.Span("execute")
@@ -599,9 +660,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("query timed out after %s", params.opts.Timeout), reqID)
 			return
 		case errors.Is(aerr, context.Canceled):
-			s.met.cancelled.Add(1)
-			s.finishTrace(st, tr, "cancelled", 0)
-			return // client went away
+			status, code, msg := s.cancelOutcome(ctx)
+			s.finishTrace(st, tr, status, 0)
+			if code != 0 {
+				writeError(w, code, msg, reqID)
+			}
+			return
 		case aerr != nil:
 			s.finishTrace(st, tr, "error", 0)
 			writeError(w, http.StatusInternalServerError, aerr.Error(), reqID)
@@ -617,14 +681,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cw := &countingWriter{dst: w}
+	cw := &countingWriter{dst: w, meter: meter}
 	sw := params.format.New(cw)
 	w.Header().Set("Content-Type", params.format.ContentType)
 	w.Header().Set("X-Cache", "miss")
 
+	// The result header is written lazily — at the first row, or at
+	// successful end for empty results — so a query that fails before
+	// producing output (timeout, admin cancel, visit guard) can still be
+	// answered with a clean HTTP error instead of a truncated 200.
 	vars := prep.Projection()
-	if err := sw.Begin(vars); err != nil {
-		return
+	began := false
+	begin := func() error {
+		if began {
+			return nil
+		}
+		began = true
+		return sw.Begin(vars)
 	}
 	collected := make([]map[string]amber.Term, 0, 64)
 	collecting := s.cfg.MaxCacheRows > 0
@@ -642,12 +715,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		rowStart := time.Now()
+		if werr := begin(); werr != nil {
+			writeErr = werr
+			return false
+		}
 		if werr := sw.Row(m); werr != nil {
 			writeErr = werr
 			return false
 		}
 		serialize += time.Since(rowStart)
 		rows++
+		meter.AddRows(1)
 		return true
 	})
 	// The loop interleaves engine work and row writes; attribute the
@@ -665,10 +743,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	case errors.Is(qerr, context.Canceled):
-		s.met.cancelled.Add(1)
+		status, code, msg := s.cancelOutcome(ctx)
 		tr.AddSpan("serialize", serialize)
-		s.finishTrace(st, tr, "cancelled", rows)
-		return // client went away; the engine already aborted
+		s.finishTrace(st, tr, status, rows)
+		if code != 0 && cw.n == 0 {
+			writeError(w, code, msg, reqID)
+		}
+		return
 	case qerr != nil:
 		tr.AddSpan("serialize", serialize)
 		s.finishTrace(st, tr, "error", rows)
@@ -682,7 +763,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return // client went away mid-stream; nothing useful to do
 	}
 	endStart := time.Now()
-	swErr := sw.End()
+	swErr := begin()
+	if swErr == nil {
+		swErr = sw.End()
+	}
 	serialize += time.Since(endStart)
 	tr.AddSpan("serialize", serialize)
 	if swErr != nil {
@@ -712,6 +796,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, st *dbStat
 	s.met.updates.Add(1)
 	s.met.inFlight.Add(1)
 	defer s.met.inFlight.Add(-1)
+	// Updates register for visibility — GET /debug/queries lists them
+	// with their age — though the apply path runs to completion: an admin
+	// cancel marks the entry but cannot abort a mutation batch
+	// mid-commit.
+	_, cancelCause := context.WithCancelCause(r.Context())
+	defer cancelCause(nil)
+	s.inflight.Register(reqID, update, "update", r.RemoteAddr, st.db.Epoch(),
+		obs.NewResourceMeter(), nil, cancelCause)
+	defer s.inflight.Remove(reqID)
 	start := time.Now()
 	if err := st.db.UpdateOpts(update, &amber.UpdateOptions{AllowLoad: s.cfg.AllowLoad}); err != nil {
 		s.met.updateErrors.Add(1)
@@ -809,8 +902,12 @@ type StatsResponse struct {
 	Rejected     uint64 `json:"rejected"`
 	Timeouts     uint64 `json:"timeouts"`
 	Cancelled    uint64 `json:"cancelled"`
-	ParseErrors  uint64 `json:"parse_errors"`
-	InFlight     int64  `json:"in_flight"`
+	// CancelledAdmin counts queries killed through the admin cancel
+	// surface; ResourceLimited those cancelled by the visit guard.
+	CancelledAdmin  uint64 `json:"cancelled_admin"`
+	ResourceLimited uint64 `json:"resource_limited"`
+	ParseErrors     uint64 `json:"parse_errors"`
+	InFlight        int64  `json:"in_flight"`
 
 	ResultCacheEntries int `json:"result_cache_entries"`
 	PlanCacheEntries   int `json:"plan_cache_entries"`
@@ -972,6 +1069,8 @@ func (s *Server) Stats() StatsResponse {
 		Rejected:           s.met.rejected.Load(),
 		Timeouts:           s.met.timeouts.Load(),
 		Cancelled:          s.met.cancelled.Load(),
+		CancelledAdmin:     s.met.cancelledAdmin.Load(),
+		ResourceLimited:    s.met.resourceLimited.Load(),
 		ParseErrors:        s.met.parseErrors.Load(),
 		InFlight:           s.met.inFlight.Load(),
 		ResultCacheEntries: st.results.Len(),
