@@ -44,6 +44,16 @@
 // single query's engine work. /readyz reports 503 while a SIGHUP reload
 // is swapping databases, for load-balancer draining; /healthz stays
 // pure liveness.
+//
+// Replication: with -wal-dir, the server is automatically a replication
+// primary — followers pull its WAL from /repl/stream and their acks gate
+// checkpoint truncation (bounded by -repl-retain-seqs). Start a follower
+// with -follow=<primary-url> plus its own -wal-dir: it bootstraps
+// (snapshot resync if needed), tails the primary's WAL, and serves reads
+// at an observable staleness (X-Epoch on every read; X-Min-Epoch waits
+// up to -min-epoch-wait for read-your-writes). Followers answer updates
+// with 421 pointing at the primary and ignore SIGHUP (their state is
+// defined by the stream, not a source file).
 package main
 
 import (
@@ -55,11 +65,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	amber "repro"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -95,8 +107,14 @@ func main() {
 		compactAt = flag.Int("compact-threshold", 0, "delta entries (adds+tombstones) that trigger background compaction (0 = default 8192, negative disables)")
 		allowLoad = flag.Bool("allow-load", false, "permit LOAD <file> in update requests (reads server-local files)")
 
-		walDir = flag.String("wal-dir", "", "write-ahead log directory: log updates before acknowledging and replay them on start/reload (empty = in-memory updates)")
-		fsync  = flag.String("fsync", "always", "WAL fsync policy: always, never, or interval=<duration> (with -wal-dir)")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory: log updates before acknowledging and replay them on start/reload (empty = in-memory updates)")
+		fsync       = flag.String("fsync", "always", "WAL fsync policy: always, never, or interval=<duration> (with -wal-dir)")
+		walCompress = flag.Bool("wal-compress", false, "gzip sealed WAL segments in the background (with -wal-dir)")
+
+		follow       = flag.String("follow", "", "run as a read-only replication follower of this primary base URL (requires -wal-dir for the local replica state)")
+		followerID   = flag.String("follower-id", "", "follower identity in the primary's ack registry (default hostname:waldir)")
+		replRetain   = flag.Uint64("repl-retain-seqs", 1<<20, "max WAL records a lagging follower may pin against checkpoint truncation (primary side)")
+		minEpochWait = flag.Duration("min-epoch-wait", 2*time.Second, "max wait for an X-Min-Epoch read to reach the requested freshness")
 
 		slowQuery    = flag.Duration("slow-query", 0, "log queries at least this slow as JSON lines (0 disables)")
 		slowQueryLog = flag.String("slow-query-log", "", "slow-query log file (default stderr; appended)")
@@ -123,6 +141,7 @@ func main() {
 		TraceBuffer:    *traceBuffer,
 		AdminToken:     *adminToken,
 		MaxQueryVisits: *maxVisits,
+		MinEpochWait:   *minEpochWait,
 	}
 	if *slowQuery > 0 && *slowQueryLog != "" {
 		f, err := obs.OpenRotatingFile(*slowQueryLog, *slowQueryMax)
@@ -134,8 +153,9 @@ func main() {
 		cfg.SlowQueryOut = f
 	}
 
-	src := source{data: *dataPath, snapshot: *snapshot, walDir: *walDir, fsync: *fsync}
-	if err := run(*addr, *debugAddr, *adminAddr, src, *compactAt, cfg, *shutdownGrace); err != nil {
+	src := source{data: *dataPath, snapshot: *snapshot, walDir: *walDir, fsync: *fsync, compress: *walCompress}
+	rep := replConfig{follow: *follow, followerID: *followerID, retainSeqs: *replRetain}
+	if err := run(*addr, *debugAddr, *adminAddr, src, *compactAt, cfg, *shutdownGrace, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "amber-serve:", err)
 		os.Exit(1)
 	}
@@ -148,6 +168,15 @@ type source struct {
 	snapshot string
 	walDir   string
 	fsync    string
+	compress bool
+}
+
+// replConfig is the replication role selection: follow set = follower;
+// otherwise a -wal-dir server is a primary.
+type replConfig struct {
+	follow     string
+	followerID string
+	retainSeqs uint64
 }
 
 // loadBase opens the database from whichever base was configured, without
@@ -172,6 +201,7 @@ func (s source) open() (*amber.DB, error) {
 	db, err := amber.OpenDurable(s.walDir, &amber.DurabilityOptions{
 		Fsync:               s.fsync,
 		CheckpointOnCompact: true,
+		CompressSegments:    s.compress,
 		Bootstrap:           s.loadBase,
 	})
 	if err != nil {
@@ -183,11 +213,53 @@ func (s source) open() (*amber.DB, error) {
 	return db, nil
 }
 
-func run(addr, debugAddr, adminAddr string, src source, compactAt int, cfg server.Config, grace time.Duration) error {
+func run(addr, debugAddr, adminAddr string, src source, compactAt int, cfg server.Config, grace time.Duration, rep replConfig) error {
 	start := time.Now()
-	db, err := src.open()
-	if err != nil {
-		return err
+	var (
+		db       *amber.DB
+		err      error
+		follower *repl.Follower
+		// srvRef late-binds the follower's swap hook: the follower exists
+		// before the server that must hot-swap on its resyncs.
+		srvRef atomic.Pointer[server.Server]
+	)
+	if rep.follow != "" {
+		if src.walDir == "" {
+			return fmt.Errorf("-follow requires -wal-dir for the local replica state")
+		}
+		follower, err = repl.NewFollower(repl.FollowerOptions{
+			Dir:                 src.walDir,
+			Primary:             rep.follow,
+			ID:                  rep.followerID,
+			Fsync:               src.fsync,
+			CheckpointOnCompact: true,
+			CompressSegments:    src.compress,
+			OnSwap: func(db *amber.DB) {
+				if s := srvRef.Load(); s != nil {
+					s.Swap(db)
+				}
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		db = follower.DB()
+		cfg.Follower = follower
+		log.Printf("following %s as %q from cursor %d", rep.follow, follower.ID(), follower.Cursor())
+	} else {
+		db, err = src.open()
+		if err != nil {
+			return err
+		}
+		if src.walDir != "" {
+			primary, perr := repl.NewPrimary(db, repl.PrimaryOptions{RetainSeqs: rep.retainSeqs})
+			if perr != nil {
+				return perr
+			}
+			cfg.Replication = primary
+			log.Printf("replication primary enabled (stream at /repl/stream, retain %d seqs past min ack)", rep.retainSeqs)
+		}
 	}
 	if compactAt != 0 {
 		db.SetCompactThreshold(compactAt)
@@ -197,6 +269,17 @@ func run(addr, debugAddr, adminAddr string, src source, compactAt int, cfg serve
 		st.Triples, st.Vertices, st.Edges, time.Since(start).Round(time.Millisecond))
 
 	srv := server.New(db, cfg)
+	srvRef.Store(srv)
+
+	if follower != nil {
+		fctx, fcancel := context.WithCancel(context.Background())
+		defer fcancel()
+		go func() {
+			if rerr := follower.Run(fctx); rerr != nil && fctx.Err() == nil {
+				log.Printf("replication follower stopped: %v", rerr)
+			}
+		}()
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           srv,
@@ -253,7 +336,18 @@ func run(addr, debugAddr, adminAddr string, src source, compactAt int, cfg serve
 			return err
 		case sig := <-sigc:
 			if sig == syscall.SIGHUP {
-				reload(srv, src, compactAt)
+				switch {
+				case follower != nil:
+					// A follower's state is defined by the primary's WAL, not
+					// a local source; nothing sensible to reload.
+					log.Printf("SIGHUP ignored in follower mode")
+				case cfg.Replication != nil:
+					// A reload would swap in a database whose log the primary
+					// wrapper no longer tracks, silently breaking the stream.
+					log.Printf("SIGHUP ignored while serving as a replication primary")
+				default:
+					reload(srv, src, compactAt)
+				}
 				continue
 			}
 			log.Printf("%s received, draining for up to %s", sig, grace)

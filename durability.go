@@ -39,6 +39,12 @@ type DurabilityOptions struct {
 	// checkpointed snapshot (e.g. from a binary snapshot elsewhere). WAL
 	// records always replay on top of whichever base is loaded.
 	Bootstrap func() (*DB, error)
+	// CompressSegments gzips sealed WAL segments in the background;
+	// replay and replication reads handle the archives transparently.
+	CompressSegments bool
+	// WrapWALFile is a fault-injection hook wrapping each active WAL
+	// segment file (see wal.Options.WrapFile); nil in production.
+	WrapWALFile func(*os.File) wal.SegmentFile
 }
 
 // OpenDurable opens a crash-safe database rooted at dir: the directory
@@ -82,11 +88,19 @@ func OpenDurable(dir string, opts *DurabilityOptions) (*DB, error) {
 		return nil, err
 	}
 
+	// Before replay, the store holds exactly the base. A non-empty base is
+	// state the WAL cannot reconstruct — recorded so the replication
+	// primary makes fresh followers bootstrap from a snapshot.
+	baseLoaded := db.Stats().Triples > 0
+
 	if _, err := db.store.AttachWAL(dir, core.WALOptions{
 		Policy:              policy,
 		Interval:            interval,
 		SegmentBytes:        o.SegmentBytes,
 		CheckpointOnCompact: o.CheckpointOnCompact,
+		Compress:            o.CompressSegments,
+		WrapFile:            o.WrapWALFile,
+		BaseLoaded:          baseLoaded,
 	}); err != nil {
 		return nil, err
 	}
@@ -145,6 +159,11 @@ type DurabilityStats struct {
 	// LastCheckpointError reports the most recent automatic checkpoint
 	// failure ("" when none, or once one succeeds again).
 	LastCheckpointError string
+	// BaseLoaded reports that opening loaded a non-empty base (checkpoint
+	// snapshot or bootstrap source) — state the WAL alone cannot
+	// reconstruct, so replication followers must bootstrap from a
+	// snapshot rather than stream from sequence zero.
+	BaseLoaded bool
 }
 
 // Durability snapshots the durability counters.
@@ -164,5 +183,6 @@ func (db *DB) Durability() DurabilityStats {
 		Checkpoints:         di.Checkpoints,
 		LastCheckpoint:      di.LastCheckpoint,
 		LastCheckpointError: di.LastCheckpointError,
+		BaseLoaded:          di.BaseLoaded,
 	}
 }

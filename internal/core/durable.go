@@ -2,7 +2,7 @@ package core
 
 import (
 	"errors"
-	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -39,6 +39,21 @@ type WALOptions struct {
 	// automatically after every completed compaction, bounding the log to
 	// roughly one compaction threshold of records.
 	CheckpointOnCompact bool
+	// Compress gzips sealed WAL segments in the background (see
+	// wal.Options.Compress).
+	Compress bool
+	// WrapFile is the fault-injection hook passed through to the log (see
+	// wal.Options.WrapFile); nil in production.
+	WrapFile func(*os.File) wal.SegmentFile
+	// BaseLoaded records that the store held state from a base (checkpoint
+	// snapshot or bootstrap source) before the WAL replayed — state the
+	// log alone cannot reconstruct. The replication primary refuses
+	// stream-from-zero requests when it is set, forcing fresh followers
+	// to bootstrap from a snapshot instead of silently missing the base.
+	// A fresh log under a loaded base is also stamped at sequence 1 (see
+	// wal.Options.InitialSeq), so replication snapshots of the untouched
+	// store never report sequence zero.
+	BaseLoaded bool
 }
 
 // ErrDurability marks mutation failures caused by the write-ahead log
@@ -53,6 +68,7 @@ type durable struct {
 	dir            string
 	autoCheckpoint bool
 	syncAlways     bool // fsync=always: commitGroup owns the sync barrier
+	baseLoaded     bool // pre-WAL base state exists (see WALOptions.BaseLoaded)
 
 	cpMu   sync.Mutex   // serializes Checkpoint with Close/Detach
 	closed atomic.Bool  // set under cpMu before the log closes
@@ -71,20 +87,25 @@ func (s *Store) AttachWAL(dir string, o WALOptions) (int, error) {
 	if s.dur.Load() != nil {
 		return 0, errors.New("core: store already has a write-ahead log attached")
 	}
-	log, err := wal.Open(dir, wal.Options{
+	// Replay goes through storeConsumer — the same consumer a replication
+	// follower feeds with records arriving over the network — so the one
+	// apply path is covered by both the crash-point sweep and the
+	// replication tests.
+	walOpts := wal.Options{
 		Policy:       o.Policy,
 		Interval:     o.Interval,
 		SegmentBytes: o.SegmentBytes,
-	}, func(r wal.Record) error {
-		switch r.Kind {
-		case wal.KindMutation:
-			return s.Mutate(r.Adds, r.Dels)
-		case wal.KindClear:
-			return s.Clear()
-		default:
-			return fmt.Errorf("core: unknown WAL record kind %v", r.Kind)
-		}
-	})
+		Compress:     o.Compress,
+		WrapFile:     o.WrapFile,
+	}
+	if o.BaseLoaded {
+		// Give the base a sequence of its own: a fresh log opens at 1
+		// instead of 0, so a replication snapshot taken before any write
+		// already carries a non-zero sequence and followers resync past
+		// the refused from=0 window instead of looping on it.
+		walOpts.InitialSeq = 1
+	}
+	log, err := wal.Open(dir, walOpts, storeConsumer{s})
 	if err != nil {
 		return 0, err
 	}
@@ -92,6 +113,7 @@ func (s *Store) AttachWAL(dir string, o WALOptions) (int, error) {
 		log: log, dir: dir,
 		autoCheckpoint: o.CheckpointOnCompact,
 		syncAlways:     o.Policy == wal.SyncAlways,
+		baseLoaded:     o.BaseLoaded,
 	})
 	return log.Stats().Replayed, nil
 }
@@ -196,7 +218,7 @@ func (s *Store) Checkpoint() error {
 }
 
 // writeSnapshot encodes the snapshot's merged multigraph.
-func writeSnapshot(f *os.File, sn *Snapshot) error {
+func writeSnapshot(f io.Writer, sn *Snapshot) error {
 	if sn.Delta.Empty() {
 		return sn.Graph.Encode(f)
 	}
@@ -252,6 +274,9 @@ type DurabilityInfo struct {
 	// LastCheckpointError is the most recent auto-checkpoint failure, or
 	// empty ("") when none has failed since the last success.
 	LastCheckpointError string
+	// BaseLoaded reports that the store's open loaded a base (checkpoint
+	// snapshot or bootstrap source) the WAL alone cannot reconstruct.
+	BaseLoaded bool
 }
 
 // DurabilityInfo snapshots the durability counters.
@@ -274,6 +299,7 @@ func (s *Store) DurabilityInfo() DurabilityInfo {
 		Replayed:       st.Replayed,
 		Checkpoints:    st.Checkpoints,
 		LastCheckpoint: st.LastCheckpoint,
+		BaseLoaded:     d.baseLoaded,
 	}
 	if v, ok := d.cpErr.Load().(string); ok {
 		info.LastCheckpointError = v

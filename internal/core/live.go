@@ -401,15 +401,25 @@ func (s *Store) commitGroup(group []*commitReq) {
 // On a durable store the clear is logged first; a log failure leaves
 // the contents untouched.
 func (s *Store) Clear() error {
-	g := (&multigraph.Builder{}).Build()
-	ix := index.Build(g)
 	l := &s.live
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return s.clearLocked(true)
+}
+
+// clearLocked is Clear's body; logIt=false is the replication/replay
+// path, where the clear is already in the log (local or the primary's).
+// Caller holds l.mu.
+func (s *Store) clearLocked(logIt bool) error {
+	g := (&multigraph.Builder{}).Build()
+	ix := index.Build(g)
+	l := &s.live
 	cur := l.snap.Load()
-	if d := s.dur.Load(); d != nil {
-		if _, err := d.log.Append(wal.Record{Kind: wal.KindClear, Epoch: cur.Epoch + 1}); err != nil {
-			return fmt.Errorf("%w: %w", ErrDurability, err)
+	if logIt {
+		if d := s.dur.Load(); d != nil {
+			if _, err := d.log.Append(wal.Record{Kind: wal.KindClear, Epoch: cur.Epoch + 1}); err != nil {
+				return fmt.Errorf("%w: %w", ErrDurability, err)
+			}
 		}
 	}
 	l.retireDelta(cur.Delta)

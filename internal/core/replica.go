@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/delta"
+	"repro/internal/rdf"
+	"repro/internal/wal"
+)
+
+// The replica apply path. Startup replay (AttachWAL) and replication
+// catch-up (a follower pulling the primary's WAL over the network) are
+// the same problem — apply an ordered sequence of already-logged records
+// to the store without re-logging them — so they share storeConsumer and
+// applyRecordLocked. Whatever the crash-point sweep proves about replay
+// therefore holds for network catch-up too.
+
+// storeConsumer feeds WAL records into a Store through the unlogged
+// apply path. It is the wal.Consumer both for replay on open and for a
+// follower's stream applier.
+type storeConsumer struct{ s *Store }
+
+// Consume validates and applies one record.
+func (c storeConsumer) Consume(r wal.Record) error {
+	if err := validateRecord(r); err != nil {
+		return err
+	}
+	l := &c.s.live
+	l.mu.Lock()
+	err := c.s.applyRecordLocked(r)
+	done := l.claimCompactionLocked()
+	l.mu.Unlock()
+	if done != nil {
+		go c.s.runClaimedCompaction(done)
+	}
+	return err
+}
+
+// validateRecord mirrors Mutate's up-front validation: applyRecordLocked
+// relies on Apply being infallible for validated input.
+func validateRecord(r wal.Record) error {
+	switch r.Kind {
+	case wal.KindMutation:
+		for _, t := range r.Dels {
+			if err := delta.Validate(t); err != nil {
+				return err
+			}
+		}
+		for _, t := range r.Adds {
+			if err := delta.Validate(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case wal.KindClear:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown WAL record kind %v", r.Kind)
+	}
+}
+
+// applyRecordLocked applies one validated, already-logged record to the
+// live snapshot chain: the overlay advances, the epoch ticks once, and
+// nothing is written to the local log. Caller holds l.mu.
+func (s *Store) applyRecordLocked(r wal.Record) error {
+	l := &s.live
+	switch r.Kind {
+	case wal.KindMutation:
+		cur := l.snap.Load()
+		nv, err := cur.Delta.Apply(r.Adds, r.Dels)
+		if err != nil {
+			return err // unreachable for validated records
+		}
+		if l.compacting {
+			// Same catch-up discipline as commitGroup: an in-flight rebuild
+			// must see writes that land while it runs.
+			l.log = append(l.log, mutation{
+				adds: append([]rdf.Triple(nil), r.Adds...),
+				dels: append([]rdf.Triple(nil), r.Dels...),
+			})
+		}
+		l.snap.Store(&Snapshot{
+			Graph: cur.Graph, Index: cur.Index, Delta: nv,
+			Epoch: cur.Epoch + 1, Gen: cur.Gen, Build: cur.Build,
+		})
+		l.updates.Add(1)
+		return nil
+	case wal.KindClear:
+		return s.clearLocked(false)
+	default:
+		return fmt.Errorf("core: unknown WAL record kind %v", r.Kind)
+	}
+}
+
+// claimCompactionLocked applies commitGroup's compaction trigger: if the
+// overlay has outgrown the threshold and no compaction is running, it
+// claims the compaction slot and returns the cycle's done channel (nil
+// otherwise). The caller must release l.mu and then run
+// runClaimedCompaction(done) in a goroutine. Caller holds l.mu.
+func (l *liveState) claimCompactionLocked() chan struct{} {
+	th := l.compactThreshold.Load()
+	if th <= 0 || l.compacting {
+		return nil
+	}
+	nv := l.snap.Load().Delta
+	if int64(nv.Size()) < th && int64(nv.Versions()) < versionsPerEntry*th {
+		return nil
+	}
+	l.compacting = true
+	done := make(chan struct{})
+	l.compactDone = done
+	return done
+}
+
+// runClaimedCompaction runs a compaction cycle claimed with
+// claimCompactionLocked, including the post-compaction auto checkpoint.
+func (s *Store) runClaimedCompaction(done chan struct{}) {
+	l := &s.live
+	defer func() {
+		close(done)
+		l.mu.Lock()
+		if l.compactDone == done {
+			l.compactDone = nil
+		}
+		l.mu.Unlock()
+	}()
+	if s.runCompaction() == nil { // error unreachable for validated batches
+		s.maybeAutoCheckpoint()
+	}
+}
+
+// ApplyReplicated appends records that already carry the primary's
+// sequence numbers to the local log and applies them to the store, as
+// one atomic step with respect to Checkpoint's (snapshot, lastSeq)
+// capture. This is the follower's write path: after it returns, the
+// local WAL and the live snapshot agree through the batch's last record,
+// so a crash recovers to exactly this point and the stream resumes at
+// LastSeq+1.
+//
+// The store's own epoch still advances once per record — local caches
+// key on it — while the primary-comparable epoch travels inside each
+// record (Record.Epoch) for the replication layer to track.
+func (s *Store) ApplyReplicated(recs []wal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	for _, r := range recs {
+		if err := validateRecord(r); err != nil {
+			return err
+		}
+	}
+	l := &s.live
+	l.mu.Lock()
+	if d := s.dur.Load(); d != nil {
+		if _, err := d.log.AppendExternal(recs); err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("%w: %w", ErrDurability, err)
+		}
+	}
+	var err error
+	for i := range recs {
+		if err = s.applyRecordLocked(recs[i]); err != nil {
+			break // unreachable for validated records
+		}
+	}
+	done := l.claimCompactionLocked()
+	l.mu.Unlock()
+	if done != nil {
+		go s.runClaimedCompaction(done)
+	}
+	return err
+}
+
+// SaveReplica streams the store's merged state to w and returns the WAL
+// sequence number and store epoch the snapshot covers, captured
+// atomically with the state exactly as Checkpoint does. The replication
+// primary serves follower bootstraps and resyncs with it; a follower
+// that loads the snapshot and resumes the stream at seq+1 reproduces the
+// primary exactly.
+func (s *Store) SaveReplica(w io.Writer) (seq, epoch uint64, err error) {
+	d := s.dur.Load()
+	if d == nil {
+		return 0, 0, ErrNotDurable
+	}
+	l := &s.live
+	l.mu.Lock()
+	sn := l.snap.Load()
+	seq = d.log.LastSeq()
+	l.mu.Unlock()
+	if err := writeSnapshot(w, sn); err != nil {
+		return 0, 0, err
+	}
+	return seq, sn.Epoch, nil
+}
+
+// WAL exposes the attached log (nil without one). The replication
+// primary reads segments, subscribes to appends, and installs its
+// retention hook through it.
+func (s *Store) WAL() *wal.Log {
+	if d := s.dur.Load(); d != nil {
+		return d.log
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package errorfs_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	amber "repro"
+	"repro/internal/errorfs"
+	"repro/internal/rdf"
+	"repro/internal/wal"
+)
+
+func rec(i int) wal.Record {
+	return wal.Record{
+		Kind:  wal.KindMutation,
+		Epoch: uint64(i + 1),
+		Adds: []rdf.Triple{{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", i)),
+			P: rdf.NewIRI("http://x/p"),
+			O: rdf.NewIRI(fmt.Sprintf("http://x/o%d", i)),
+		}},
+	}
+}
+
+func replayCount(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	l, err := wal.Open(dir, wal.Options{}, wal.ConsumerFunc(func(wal.Record) error {
+		n++
+		return nil
+	}))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close after replay: %v", err)
+	}
+	return n
+}
+
+// TestTornWriteRecovery models a crash mid-write: the injected partial
+// write leaves a torn frame at the tail, the append reports failure (the
+// record was never acknowledged), and recovery truncates the tail back
+// to the acknowledged prefix.
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	inj := errorfs.New()
+	l, err := wal.Open(dir, wal.Options{WrapFile: inj.Wrap}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// Tear the next frame a few bytes in.
+	inj.Arm(3, errorfs.PartialWrite)
+	if _, err := l.Append(rec(5)); !errors.Is(err, errorfs.ErrInjected) {
+		t.Fatalf("torn append error = %v, want ErrInjected", err)
+	}
+	if inj.Faults() != 1 {
+		t.Fatalf("faults = %d, want 1", inj.Faults())
+	}
+	// The log closed itself — nothing may be written past a failed write.
+	if _, err := l.Append(rec(6)); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("append after fault error = %v, want ErrClosed", err)
+	}
+	l.Close()
+
+	if n := replayCount(t, dir); n != 5 {
+		t.Fatalf("recovered %d records, want the 5 acknowledged ones", n)
+	}
+}
+
+// TestBitFlipDetectedByCRC models silent media corruption: the injected
+// write succeeds but flips one bit, so only the frame CRC can catch it.
+// Recovery must stop at the corrupt frame instead of applying garbage.
+func TestBitFlipDetectedByCRC(t *testing.T) {
+	dir := t.TempDir()
+	inj := errorfs.New()
+	l, err := wal.Open(dir, wal.Options{WrapFile: inj.Wrap}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// Flip a bit in the middle of the sixth record's frame. The write
+	// reports success — the corruption is silent until replay.
+	inj.Arm(20, errorfs.BitFlip)
+	if _, err := l.Append(rec(5)); err != nil {
+		t.Fatalf("bit-flipped append unexpectedly failed: %v", err)
+	}
+	for i := 6; i < 10; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Replay keeps the 5 intact records; the flipped frame and everything
+	// after it (same segment, post-corruption) are discarded.
+	if n := replayCount(t, dir); n != 5 {
+		t.Fatalf("recovered %d records, want 5 (corruption must stop replay)", n)
+	}
+}
+
+// TestTornWriteDurableDatabase runs the same crash model through the
+// full database stack: an update that fails its WAL write must not be
+// visible after reopening the directory.
+func TestTornWriteDurableDatabase(t *testing.T) {
+	dir := t.TempDir()
+	inj := errorfs.New()
+	db, err := amber.OpenDurable(dir, &amber.DurabilityOptions{WrapWALFile: inj.Wrap})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		stmt := fmt.Sprintf("INSERT DATA { <http://x/s%d> <http://x/p> <http://x/o> . }", i)
+		if err := db.Update(stmt); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	inj.Arm(2, errorfs.PartialWrite)
+	err = db.Update("INSERT DATA { <http://x/torn> <http://x/p> <http://x/o> . }")
+	if !errors.Is(err, amber.ErrDurability) {
+		t.Fatalf("torn update error = %v, want ErrDurability", err)
+	}
+	db.Close()
+
+	re, err := amber.OpenDurable(dir, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if n := re.Stats().Triples; n != 3 {
+		t.Fatalf("recovered %d triples, want the 3 acknowledged ones", n)
+	}
+}

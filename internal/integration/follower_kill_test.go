@@ -1,0 +1,210 @@
+package integration
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	amber "repro"
+	"repro/internal/repl"
+)
+
+// Follower crash-consistency: the parent hosts a replication primary and
+// keeps writing while a child process runs a follower against it,
+// printing "ACK <seq>" as its durable cursor advances. The parent
+// SIGKILLs the child mid-replication, reopens the follower's directory
+// in-process to verify the acknowledged prefix survived, then restarts a
+// follower on that same directory and checks it converges on the full
+// primary state.
+
+const (
+	fkillEnvDir     = "AMBER_FOLLOWER_KILL_DIR"
+	fkillEnvPrimary = "AMBER_FOLLOWER_KILL_PRIMARY"
+	fkillTotal      = 200
+	fkillAckAfter   = 40
+)
+
+func fkillStmt(i int) string {
+	return fmt.Sprintf("INSERT DATA { <http://fkill/s%d> <http://fkill/p> <http://fkill/o> . }", i)
+}
+
+// TestFollowerKillRecoverHelper is the child body; it only runs when the
+// parent execs this binary with the env vars set.
+func TestFollowerKillRecoverHelper(t *testing.T) {
+	dir := os.Getenv(fkillEnvDir)
+	primary := os.Getenv(fkillEnvPrimary)
+	if dir == "" || primary == "" {
+		t.Skip("helper: run by TestFollowerKillRecover")
+	}
+	f, err := repl.NewFollower(repl.FollowerOptions{
+		Dir:         dir,
+		Primary:     primary,
+		ID:          "victim",
+		Fsync:       "always",
+		AckInterval: 10 * time.Millisecond,
+		BackoffMin:  10 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Printf("ERR %v\n", err)
+		return
+	}
+	go func() {
+		for range time.Tick(5 * time.Millisecond) {
+			fmt.Printf("ACK %d\n", f.Cursor())
+		}
+	}()
+	// The parent SIGKILLs us; the deadline is a leak guard if it dies first.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	f.Run(ctx) //nolint:errcheck
+}
+
+func TestFollowerKillRecover(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics are POSIX-only")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary: in-process durable database behind a real TCP listener so
+	// the child can reach it.
+	pdir := t.TempDir()
+	db, err := amber.OpenDurable(pdir, &amber.DurabilityOptions{Fsync: "never"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	p, err := repl.NewPrimary(db, repl.PrimaryOptions{Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	// Keep writing while the child replicates, so the kill lands mid-stream.
+	writeErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < fkillTotal; i++ {
+			if err := db.Update(fkillStmt(i)); err != nil {
+				writeErr <- fmt.Errorf("update %d: %w", i, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		writeErr <- nil
+	}()
+
+	fdir := t.TempDir()
+	cmd := exec.Command(exe, "-test.run", "^TestFollowerKillRecoverHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), fkillEnvDir+"="+fdir, fkillEnvPrimary+"="+ts.URL)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+	}()
+
+	acked := 0
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "ERR ") {
+			t.Fatalf("helper failed: %s", line)
+		}
+		if n, ok := strings.CutPrefix(line, "ACK "); ok {
+			v, err := strconv.Atoi(n)
+			if err != nil {
+				t.Fatalf("bad ack line %q", line)
+			}
+			acked = v
+			if acked >= fkillAckAfter {
+				break
+			}
+		}
+	}
+	if acked < fkillAckAfter {
+		t.Fatalf("child exited after replicating only %d records", acked)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck // the kill is the expected exit
+	if err := <-writeErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower's directory must recover standalone to a valid prefix:
+	// at least everything it acknowledged, never beyond what the primary
+	// wrote, and internally consistent (triples == replayed records).
+	re, err := amber.OpenDurable(fdir, &amber.DurabilityOptions{Fsync: "always"})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	n, err := re.Count("SELECT ?s WHERE { ?s <http://fkill/p> ?o . }", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) < acked || int(n) > fkillTotal {
+		t.Fatalf("recovered %d triples, want a prefix in [%d, %d]", n, acked, fkillTotal)
+	}
+	if last := re.Durability().LastSeq; last != uint64(n) {
+		t.Fatalf("recovered cursor %d but %d triples — not a dense prefix", last, n)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted follower on the same directory resumes from the
+	// recovered cursor and converges on the full primary state.
+	f, err := repl.NewFollower(repl.FollowerOptions{
+		Dir:         fdir,
+		Primary:     ts.URL,
+		ID:          "victim",
+		Fsync:       "never",
+		AckInterval: 10 * time.Millisecond,
+		BackoffMin:  10 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("follower restart: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }() //nolint:errcheck
+	defer func() {
+		cancel()
+		<-done
+		f.Close() //nolint:errcheck
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		n, err := f.DB().Count("SELECT ?s WHERE { ?s <http://fkill/p> ?o . }", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(n) == fkillTotal {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted follower stuck at %d of %d triples", n, fkillTotal)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,159 @@
+// Package repl implements WAL-shipped replication: a primary serves its
+// write-ahead log as an HTTP byte stream, and followers pull it, append
+// the records into their own local WAL, and apply them through the same
+// consumer path startup replay uses. Reads then scale out to followers
+// at an observable staleness (the applied epoch), while the primary
+// stays the only writer.
+//
+// The wire protocol is deliberately thin. A stream is one long chunked
+// GET /repl/stream?from=<seq>&id=<follower> response carrying a sequence
+// of messages:
+//
+//	'r' <WAL frame>           one record, the on-disk frame verbatim
+//	'h' <24-byte heartbeat>   lastSeq, epoch, unix-nanos (little-endian)
+//
+// Record frames are shipped byte-for-byte as they sit in the segments,
+// so the CRC32-C computed when the primary logged the record guards the
+// whole pipeline: disk, network, and the follower's re-append. A frame
+// damaged in flight fails its checksum at the follower, which drops the
+// connection and re-requests from its cursor — the primary re-reads the
+// frame from disk, so a torn transfer never becomes torn history.
+//
+// Catch-up and live tailing are the same loop: the primary ships
+// whatever segments cover seqs above the cursor, then parks on the log's
+// append notification. A follower whose cursor has been truncated away
+// (checkpoint passed it) gets 410 Gone and bootstraps a fresh base via
+// GET /repl/snapshot, which carries the covered WAL sequence and epoch
+// in headers; it then resumes the stream at that sequence.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/wal"
+)
+
+const (
+	msgRecord    = 'r'
+	msgHeartbeat = 'h'
+
+	heartbeatLen = 24
+)
+
+// heartbeat is the primary's periodic position report: the newest logged
+// sequence, the store epoch, and the primary's clock, so an idle
+// follower can tell "caught up" from "stalled" and report its lag in
+// seconds as well as sequences.
+type heartbeat struct {
+	lastSeq  uint64
+	epoch    uint64
+	unixNano int64
+}
+
+func appendHeartbeat(buf []byte, hb heartbeat) []byte {
+	buf = append(buf, msgHeartbeat)
+	var b [heartbeatLen]byte
+	binary.LittleEndian.PutUint64(b[0:], hb.lastSeq)
+	binary.LittleEndian.PutUint64(b[8:], hb.epoch)
+	binary.LittleEndian.PutUint64(b[16:], uint64(hb.unixNano))
+	return append(buf, b[:]...)
+}
+
+// message is one decoded stream message: either a record (with the raw
+// frame length, for byte accounting) or a heartbeat.
+type message struct {
+	kind     byte
+	rec      wal.Record
+	frameLen int
+	hb       heartbeat
+}
+
+// readMessage reads exactly one message from the stream, blocking until
+// it is complete. A record frame is length-prefixed, so the reader
+// first pulls the 8-byte frame header, then the payload, then validates
+// the CRC via wal.DecodeFrame.
+func readMessage(br *bufio.Reader) (message, error) {
+	t, err := br.ReadByte()
+	if err != nil {
+		return message{}, err
+	}
+	switch t {
+	case msgHeartbeat:
+		var b [heartbeatLen]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return message{}, err
+		}
+		return message{kind: msgHeartbeat, hb: heartbeat{
+			lastSeq:  binary.LittleEndian.Uint64(b[0:]),
+			epoch:    binary.LittleEndian.Uint64(b[8:]),
+			unixNano: int64(binary.LittleEndian.Uint64(b[16:])),
+		}}, nil
+	case msgRecord:
+		var hdr [wal.FrameHeaderSize]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return message{}, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		if n > 1<<30 {
+			return message{}, fmt.Errorf("repl: frame length %d exceeds limit", n)
+		}
+		frame := make([]byte, wal.FrameHeaderSize+int(n))
+		copy(frame, hdr[:])
+		if _, err := io.ReadFull(br, frame[wal.FrameHeaderSize:]); err != nil {
+			return message{}, err
+		}
+		rec, _, err := wal.DecodeFrame(frame)
+		if err != nil {
+			// Torn or bit-flipped in transit: the caller reconnects and the
+			// primary re-reads the frame from disk.
+			return message{}, fmt.Errorf("repl: damaged record frame: %w", err)
+		}
+		return message{kind: msgRecord, rec: rec, frameLen: len(frame)}, nil
+	default:
+		return message{}, fmt.Errorf("repl: unknown stream message type %q", t)
+	}
+}
+
+// bufferedMessage consumes one message only if it is already complete in
+// br's buffer, never blocking. ok=false means the caller should stop
+// draining and apply what it has.
+func bufferedMessage(br *bufio.Reader) (message, bool, error) {
+	if br.Buffered() < 1 {
+		return message{}, false, nil
+	}
+	t, err := br.Peek(1)
+	if err != nil {
+		return message{}, false, nil
+	}
+	switch t[0] {
+	case msgHeartbeat:
+		if br.Buffered() < 1+heartbeatLen {
+			return message{}, false, nil
+		}
+	case msgRecord:
+		if br.Buffered() < 1+wal.FrameHeaderSize {
+			return message{}, false, nil
+		}
+		hdr, err := br.Peek(1 + wal.FrameHeaderSize)
+		if err != nil {
+			return message{}, false, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[1:5])
+		if n > 1<<30 {
+			return message{}, false, fmt.Errorf("repl: frame length %d exceeds limit", n)
+		}
+		if br.Buffered() < 1+wal.FrameHeaderSize+int(n) {
+			return message{}, false, nil
+		}
+	default:
+		return message{}, false, fmt.Errorf("repl: unknown stream message type %q", t[0])
+	}
+	msg, err := readMessage(br)
+	if err != nil {
+		return message{}, false, err
+	}
+	return msg, true, nil
+}

@@ -191,6 +191,13 @@ func (s *Server) initMetrics() {
 		"Traced queries contributing to amber_plan_quality_ratio.",
 		func() float64 { _, n, _ := s.planQual.Summary(); return float64(n) })
 
+	if s.cfg.Replication != nil {
+		s.cfg.Replication.RegisterMetrics(r)
+	}
+	if s.cfg.Follower != nil {
+		s.cfg.Follower.RegisterMetrics(r)
+	}
+
 	obs.RegisterRuntimeMetrics(r)
 }
 

@@ -111,6 +111,39 @@ type Config struct {
 	// visit. A query whose resource meter crosses the cap is cancelled
 	// and answered with 422. Zero means unlimited.
 	MaxQueryVisits uint64
+	// Replication, when set, makes this server a replication primary: its
+	// /repl/ endpoints are mounted, its follower registry joins /stats,
+	// and its amber_repl_* series join /metrics.
+	Replication ReplPrimary
+	// Follower, when set, puts the server in read-only follower mode:
+	// updates answer 421 Misdirected Request with the primary's endpoint
+	// in Location, reads stamp X-Epoch with the follower's applied epoch,
+	// and X-Min-Epoch requests wait (bounded by MinEpochWait) for the
+	// follower to catch up before answering.
+	Follower ReplFollower
+	// MinEpochWait bounds how long an X-Min-Epoch read may wait for the
+	// follower to reach the requested epoch before answering 503.
+	// Default 2s.
+	MinEpochWait time.Duration
+}
+
+// ReplPrimary is the replication-primary surface the server mounts; see
+// internal/repl.Primary. Defined as an interface so the server package
+// does not depend on the replication implementation.
+type ReplPrimary interface {
+	Handler() http.Handler
+	StatsSection() map[string]any
+	RegisterMetrics(*obs.Registry)
+}
+
+// ReplFollower is the follower surface a read-only serving layer needs;
+// see internal/repl.Follower.
+type ReplFollower interface {
+	PrimaryURL() string
+	AppliedEpoch() uint64
+	WaitEpoch(ctx context.Context, epoch uint64, timeout time.Duration) bool
+	StatsSection() map[string]any
+	RegisterMetrics(*obs.Registry)
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +175,9 @@ func (c Config) withDefaults() Config {
 	def(&c.TraceBuffer, 128)
 	if c.SlowQuery > 0 && c.SlowQueryOut == nil {
 		c.SlowQueryOut = os.Stderr
+	}
+	if c.MinEpochWait == 0 {
+		c.MinEpochWait = 2 * time.Second
 	}
 	return c
 }
@@ -251,6 +287,9 @@ func New(db *amber.DB, cfg Config) *Server {
 	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("POST /admin/queries/{id}/cancel", s.handleAdminCancel)
+	if s.cfg.Replication != nil {
+		s.mux.Handle("/repl/", s.cfg.Replication.Handler())
+	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -510,6 +549,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, he.status, he.msg, reqID)
 		return
 	}
+
+	// Every read advertises the data version it serves, so a client can
+	// observe follower staleness; X-Min-Epoch lets a client that just
+	// wrote (and captured the update's X-Epoch) demand at-least-that-fresh
+	// reads — read-your-writes across the replication fleet, with a
+	// bounded wait on a lagging follower.
+	st, err = s.gateMinEpoch(r, st)
+	if err != nil {
+		he := err.(*httpError)
+		writeError(w, he.status, he.msg, reqID)
+		return
+	}
+	w.Header().Set("X-Epoch", strconv.FormatUint(s.servedEpoch(st), 10))
 
 	// Explain renders the matching plan; explain=analyze additionally
 	// executes the query and reports actual per-level frontiers. Both run
@@ -780,12 +832,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.recordLatency(time.Since(start))
 }
 
+// servedEpoch is the data version a read response advertises: the
+// follower's applied (primary-comparable) epoch in follower mode, the
+// served database's epoch otherwise.
+func (s *Server) servedEpoch(st *dbState) uint64 {
+	if f := s.cfg.Follower; f != nil {
+		return f.AppliedEpoch()
+	}
+	return st.db.Epoch()
+}
+
+// gateMinEpoch enforces the X-Min-Epoch request header: on a follower it
+// waits (bounded by MinEpochWait) for replication to reach the epoch and
+// reloads the served state afterwards — a resync may have swapped the
+// database object under us — answering 503 (with Retry-After) when the
+// wait expires. A primary is never stale, so it only sanity-checks.
+func (s *Server) gateMinEpoch(r *http.Request, st *dbState) (*dbState, error) {
+	h := r.Header.Get("X-Min-Epoch")
+	if h == "" {
+		return st, nil
+	}
+	min, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return st, errorf(http.StatusBadRequest, "malformed X-Min-Epoch %q", h)
+	}
+	if f := s.cfg.Follower; f != nil {
+		if !f.WaitEpoch(r.Context(), min, s.cfg.MinEpochWait) {
+			return st, errorf(http.StatusServiceUnavailable,
+				"follower at epoch %d has not reached %d within %s",
+				f.AppliedEpoch(), min, s.cfg.MinEpochWait)
+		}
+		return s.state.Load(), nil
+	}
+	if cur := st.db.Epoch(); cur < min {
+		return st, errorf(http.StatusServiceUnavailable,
+			"server at epoch %d, below requested %d", cur, min)
+	}
+	return st, nil
+}
+
 // handleUpdate executes a SPARQL 1.1 Update request. Updates claim an
 // execution slot like queries — applying a batch and the compaction it
 // may trigger are real work — and respond 204 No Content on success.
 // The database epoch moves with the update, so every result-cache entry
 // of the previous state becomes unreachable at once.
+//
+// A follower never applies client updates: its state is defined entirely
+// by the primary's WAL, so it answers 421 Misdirected Request pointing
+// at the primary's endpoint instead.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, st *dbState, update, reqID string) {
+	if f := s.cfg.Follower; f != nil {
+		w.Header().Set("Location", f.PrimaryURL()+"/sparql")
+		writeError(w, http.StatusMisdirectedRequest,
+			"read-only replication follower; send updates to the primary at "+f.PrimaryURL(), reqID)
+		return
+	}
 	if !s.acquire(r.Context()) {
 		s.met.rejected.Add(1)
 		writeError(w, http.StatusServiceUnavailable,
@@ -932,6 +1033,10 @@ type StatsResponse struct {
 	// PlanQuality summarizes planner estimate accuracy on live traffic
 	// since the last compaction (see PlanQualitySection).
 	PlanQuality PlanQualitySection `json:"plan_quality"`
+
+	// Replication is the primary's follower/ack registry or the
+	// follower's lag state (absent when replication is not configured).
+	Replication map[string]any `json:"replication,omitempty"`
 
 	DB amber.Stats `json:"db"`
 }
@@ -1092,7 +1197,21 @@ func (s *Server) Stats() StatsResponse {
 		},
 		Runtime:     s.runtimeSection(uptime),
 		PlanQuality: s.planQualitySection(),
+		Replication: s.replicationSection(),
 		DB:          st.db.Stats(),
+	}
+}
+
+// replicationSection renders the /stats "replication" document from
+// whichever replication role is configured (nil when neither is).
+func (s *Server) replicationSection() map[string]any {
+	switch {
+	case s.cfg.Replication != nil:
+		return s.cfg.Replication.StatsSection()
+	case s.cfg.Follower != nil:
+		return s.cfg.Follower.StatsSection()
+	default:
+		return nil
 	}
 }
 

@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Sealed-segment compression. Segments are immutable once sealed, which
+// makes them safe to gzip in the background: the compressor writes
+// wal-<first>.seg.gz.tmp, fsyncs, renames to wal-<first>.seg.gz (atomic),
+// and only then removes the plain file. A crash at any point leaves either
+// the plain file, the complete archive, or both — listSegments prefers the
+// archive and removes the leftover. RDF logs are IRI-heavy and repetitive,
+// so the archives typically shrink severalfold, which is exactly the
+// bandwidth the replication streamer would otherwise re-read from disk.
+
+// removeCompressTemps clears temp files from a crashed compressor or
+// prefix rewrite; whatever they were being built from is still present.
+func removeCompressTemps(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), segPrefix) && strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readSegmentData reads a segment's record bytes, decompressing if
+// needed. complete reports whether the whole file was readable: a
+// truncated or corrupt gzip stream yields the prefix that did decompress
+// with complete=false, mirroring how a torn plain tail yields a readable
+// prefix. Only hard I/O errors are returned as err.
+func readSegmentData(path string) (data []byte, complete bool, err error) {
+	if !strings.HasSuffix(path, gzSuffix) {
+		data, err = os.ReadFile(path)
+		return data, err == nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, false, nil // corrupt header: nothing salvageable
+	}
+	data, err = io.ReadAll(zr)
+	if err != nil {
+		return data, false, nil // keep the prefix that did decompress
+	}
+	if err := zr.Close(); err != nil {
+		return data, false, nil
+	}
+	return data, true, nil
+}
+
+// ReadSegmentFile returns a segment file's full record bytes,
+// transparently decompressing .seg.gz archives. The replication streamer
+// uses it to serve sealed history. An incomplete archive is an error —
+// stream reads must not silently serve a shortened segment.
+func ReadSegmentFile(path string) ([]byte, error) {
+	data, complete, err := readSegmentData(path)
+	if err != nil {
+		return nil, err
+	}
+	if !complete {
+		return nil, fmt.Errorf("wal: segment %s is incomplete or corrupt", path)
+	}
+	return data, nil
+}
+
+// writeFileDurable writes data to path via a temp file, fsync, and
+// atomic rename.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// compressInBackground hands the sealed segment whose first sequence is
+// first to the background compressor. Caller holds mu.
+func (l *Log) compressInBackground(first uint64) {
+	l.compressWG.Add(1)
+	go func() {
+		defer l.compressWG.Done()
+		l.compressSegment(first)
+	}()
+}
+
+// compressSegment gzips one sealed segment and swaps the log's metadata
+// to the archive. Losing a race with Checkpoint (segment already removed)
+// or Close is fine: each step leaves the directory in a state open
+// recovers from.
+func (l *Log) compressSegment(first uint64) {
+	l.mu.Lock()
+	var plain string
+	for _, seg := range l.sealed {
+		if seg.first == first && !seg.compressed {
+			plain = seg.path
+			break
+		}
+	}
+	closed := l.closed
+	l.mu.Unlock()
+	if plain == "" || closed {
+		return
+	}
+
+	gzPath := plain + ".gz"
+	size, err := gzipFile(plain, gzPath)
+	if err != nil {
+		os.Remove(gzPath + ".tmp")
+		return // best-effort: the plain segment stays authoritative
+	}
+
+	l.mu.Lock()
+	swapped := false
+	for i := range l.sealed {
+		if l.sealed[i].first == first && !l.sealed[i].compressed {
+			l.sealed[i].path = gzPath
+			l.sealed[i].compressed = true
+			l.sealed[i].bytes = size
+			swapped = true
+			break
+		}
+	}
+	closed = l.closed
+	l.mu.Unlock()
+
+	if !swapped && !closed {
+		// Checkpoint removed the segment while we compressed it; the
+		// archive is now orphaned history.
+		os.Remove(gzPath)
+		return
+	}
+	// The archive is complete and durable; retire the plain original.
+	// (After close the metadata no longer matters, but the disk must not
+	// keep both copies: the next open would just dedupe them anyway.)
+	os.Remove(plain)
+	SyncDir(l.dir) //nolint:errcheck // advisory; open dedupes leftovers
+}
+
+// gzipFile compresses src into dst via dst+".tmp" with an fsynced atomic
+// rename, returning the archive's size.
+func gzipFile(src, dst string) (int64, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	tmp := dst + ".tmp"
+	out, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	zw := gzip.NewWriter(out)
+	if _, err := io.Copy(zw, in); err != nil {
+		out.Close()
+		return 0, err
+	}
+	if err := zw.Close(); err != nil {
+		out.Close()
+		return 0, err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return 0, err
+	}
+	if err := out.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return 0, err
+	}
+	if err := SyncDir(filepath.Dir(dst)); err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(dst)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

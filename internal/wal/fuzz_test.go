@@ -35,13 +35,13 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatal(err)
 		}
 		var last uint64
-		l, err := Open(dir, Options{Policy: SyncNever}, func(r Record) error {
+		l, err := Open(dir, Options{Policy: SyncNever}, ConsumerFunc(func(r Record) error {
 			if r.Seq <= last {
 				t.Fatalf("replay not strictly increasing: %d after %d", r.Seq, last)
 			}
 			last = r.Seq
 			return nil
-		})
+		}))
 		if err != nil {
 			// Only environmental failures (I/O) may error; framing damage
 			// must degrade to a shorter prefix instead.

@@ -121,6 +121,42 @@ func encodePayload(buf []byte, r *Record) []byte {
 	return buf
 }
 
+// FrameHeaderSize is the exported framing overhead, for readers that
+// walk raw frame bytes (the replication stream ships frames verbatim).
+const FrameHeaderSize = frameHeaderSize
+
+// DecodeFrame parses the frame at the start of b, validating its length
+// bound and CRC32-C, and returns the decoded record plus the frame's
+// total byte length. Any torn, truncated, or corrupt frame is an error —
+// callers treat it as the end of the valid prefix (replay) or as a
+// damaged transfer to retry (replication).
+func DecodeFrame(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderSize {
+		return Record{}, 0, fmt.Errorf("wal: truncated frame header (%d bytes)", len(b))
+	}
+	n := int64(binary.LittleEndian.Uint32(b))
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n > maxPayload || frameHeaderSize+n > int64(len(b)) {
+		return Record{}, 0, fmt.Errorf("wal: frame length %d exceeds available %d bytes", n, len(b))
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return Record{}, 0, fmt.Errorf("wal: frame checksum mismatch")
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, frameHeaderSize + int(n), nil
+}
+
+// EncodeFrame appends rec's full frame (length, CRC32-C, payload) to buf
+// and returns the extended slice — the wire encoding the replication
+// stream and the on-disk segments share.
+func EncodeFrame(buf []byte, rec *Record) []byte {
+	return encodeFrame(buf, rec)
+}
+
 // encodeFrame renders the full frame: length, CRC32-C, payload.
 func encodeFrame(buf []byte, r *Record) []byte {
 	start := len(buf)

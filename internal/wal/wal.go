@@ -29,7 +29,6 @@
 package wal
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -45,6 +44,29 @@ import (
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log is closed")
+
+// Consumer receives replayed or replicated records in sequence order.
+// The log's replay on Open and a replication follower's network catch-up
+// share this one interface, so the store-side apply path is exercised by
+// the same crash-point tests whichever way records arrive.
+type Consumer interface {
+	Consume(Record) error
+}
+
+// ConsumerFunc adapts a plain function to the Consumer interface.
+type ConsumerFunc func(Record) error
+
+// Consume calls f(rec).
+func (f ConsumerFunc) Consume(rec Record) error { return f(rec) }
+
+// SegmentFile is the write-side surface the log needs from a segment
+// file. Production code uses *os.File; fault-injection tests wrap it to
+// model torn writes and bit flips (see internal/errorfs).
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
 
 // SyncPolicy selects when appended records are fsynced to stable storage.
 type SyncPolicy uint8
@@ -101,6 +123,23 @@ type Options struct {
 	// SegmentBytes rotates to a fresh segment once the active one exceeds
 	// this size; default 16 MiB.
 	SegmentBytes int64
+	// Compress gzips segments in the background once they are sealed.
+	// Replay and streaming reads handle compressed segments transparently;
+	// the active segment is always plain so appends stay raw writes.
+	Compress bool
+	// WrapFile, when set, wraps each newly opened active segment file
+	// before the log writes to it. Fault-injection tests use it to model
+	// torn writes and silent bit flips under the log.
+	WrapFile func(*os.File) SegmentFile
+	// InitialSeq, when non-zero, is adopted as the sequence cursor if the
+	// log opens with no history at all (no checkpoint marker, no surviving
+	// records): lastSeq starts there and the first append lands at
+	// InitialSeq+1. Durable opens that loaded a non-WAL base set this to 1
+	// so the base "occupies" a sequence — a replication snapshot of the
+	// untouched store then reports a non-zero sequence and followers never
+	// sit at cursor 0, which the primary must refuse. The stamp persists
+	// as a checkpoint marker, so every later open agrees.
+	InitialSeq uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -143,15 +182,28 @@ type Stats struct {
 
 // segment is one on-disk log file.
 type segment struct {
-	path  string
-	first uint64 // sequence of its first record
-	last  uint64 // sequence of its last record (0 while empty)
-	bytes int64
+	path       string
+	first      uint64 // sequence of its first record
+	last       uint64 // sequence of its last record (0 while empty)
+	bytes      int64  // on-disk size (compressed size once gzipped)
+	compressed bool
+}
+
+// SegmentInfo describes one on-disk segment for readers outside the
+// package — the replication streamer walks this view to serve history.
+type SegmentInfo struct {
+	Path       string
+	First      uint64 // sequence of the segment's first record
+	Last       uint64 // sequence of its last record (0 while empty)
+	Bytes      int64  // on-disk size
+	Compressed bool
+	Active     bool // the segment still taking appends
 }
 
 const (
 	segPrefix      = "wal-"
 	segSuffix      = ".seg"
+	gzSuffix       = ".seg.gz"
 	checkpointName = "checkpoint"
 	lockName       = "LOCK"
 )
@@ -164,19 +216,28 @@ func segName(first uint64) string {
 	return fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix)
 }
 
-func parseSegName(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
-		return 0, false
+func parseSegName(name string) (first uint64, compressed bool, ok bool) {
+	if !strings.HasPrefix(name, segPrefix) {
+		return 0, false, false
 	}
-	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	hex := strings.TrimPrefix(name, segPrefix)
+	switch {
+	case strings.HasSuffix(hex, gzSuffix):
+		hex = strings.TrimSuffix(hex, gzSuffix)
+		compressed = true
+	case strings.HasSuffix(hex, segSuffix):
+		hex = strings.TrimSuffix(hex, segSuffix)
+	default:
+		return 0, false, false
+	}
 	if len(hex) != 16 {
-		return 0, false
+		return 0, false, false
 	}
 	v, err := strconv.ParseUint(hex, 16, 64)
 	if err != nil {
-		return 0, false
+		return 0, false, false
 	}
-	return v, true
+	return v, compressed, true
 }
 
 // Log is an open write-ahead log. All methods are safe for concurrent
@@ -187,10 +248,10 @@ type Log struct {
 	opts Options
 
 	mu       sync.Mutex
-	lockf    *os.File  // flock'd LOCK file guarding the directory
-	f        *os.File  // active segment
-	active   segment   // active segment metadata
-	sealed   []segment // earlier segments, in sequence order
+	lockf    *os.File    // flock'd LOCK file guarding the directory
+	f        SegmentFile // active segment
+	active   segment     // active segment metadata
+	sealed   []segment   // earlier segments, in sequence order
 	lastSeq  uint64
 	cpSeq    uint64
 	dirty    bool // bytes written since the last fsync
@@ -202,16 +263,24 @@ type Log struct {
 	replayed int
 	buf      []byte // scratch frame-encoding buffer
 
+	// subs are append-notification channels (capacity 1, coalescing);
+	// retain, when set, returns the lowest sequence a reader still needs,
+	// pinning segments against checkpoint truncation.
+	subs   map[chan struct{}]struct{}
+	retain func(lastSeq uint64) uint64
+
+	compressWG sync.WaitGroup // in-flight background segment compressions
+
 	stop chan struct{} // interval syncer shutdown; nil unless SyncEvery
 	done chan struct{}
 }
 
 // Open opens (creating if necessary) the log in dir, replays every record
-// above the checkpoint through apply in sequence order, truncates any torn
-// tail, and leaves the log ready for appending. A nil apply skips replay
-// delivery but still scans (the scan is what finds the last sequence and
-// the torn tail). An apply error aborts the open.
-func Open(dir string, opts Options, apply func(Record) error) (*Log, error) {
+// above the checkpoint through c in sequence order, truncates any torn
+// tail, and leaves the log ready for appending. A nil consumer skips
+// replay delivery but still scans (the scan is what finds the last
+// sequence and the torn tail). A Consume error aborts the open.
+func Open(dir string, opts Options, c Consumer) (*Log, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -229,7 +298,7 @@ func Open(dir string, opts Options, apply func(Record) error) (*Log, error) {
 		lockf.Close()
 		return nil, fmt.Errorf("wal: directory %s is already in use by another log: %w", dir, err)
 	}
-	l, err := openLocked(dir, opts, apply)
+	l, err := openLocked(dir, opts, c)
 	if err != nil {
 		lockf.Close()
 		return nil, err
@@ -240,12 +309,23 @@ func Open(dir string, opts Options, apply func(Record) error) (*Log, error) {
 		l.done = make(chan struct{})
 		go l.syncLoop()
 	}
+	if opts.Compress {
+		// Sealed plain segments left by earlier (uncompressed) runs catch
+		// up in the background.
+		l.mu.Lock()
+		for _, seg := range l.sealed {
+			if !seg.compressed {
+				l.compressInBackground(seg.first)
+			}
+		}
+		l.mu.Unlock()
+	}
 	return l, nil
 }
 
 // openLocked is the body of Open, run while holding the directory lock.
-func openLocked(dir string, opts Options, apply func(Record) error) (*Log, error) {
-	l := &Log{dir: dir, opts: opts}
+func openLocked(dir string, opts Options, c Consumer) (*Log, error) {
+	l := &Log{dir: dir, opts: opts, subs: make(map[chan struct{}]struct{})}
 	cpSeq, err := readCheckpoint(filepath.Join(dir, checkpointName))
 	if err != nil {
 		return nil, err
@@ -253,6 +333,9 @@ func openLocked(dir string, opts Options, apply func(Record) error) (*Log, error
 	l.cpSeq = cpSeq
 	l.lastSeq = cpSeq
 
+	if err := removeCompressTemps(dir); err != nil {
+		return nil, err
+	}
 	names, err := listSegments(dir)
 	if err != nil {
 		return nil, err
@@ -273,36 +356,80 @@ func openLocked(dir string, opts Options, apply func(Record) error) (*Log, error
 			}
 			continue
 		}
-		first, _ := parseSegName(name)
-		seg := segment{path: path, first: first}
-		validEnd, last, n, scanErr := l.scanSegment(path, &prev, apply)
+		first, compressed, _ := parseSegName(name)
+		seg := segment{path: path, first: first, compressed: compressed}
+		data, complete, readErr := readSegmentData(path)
+		if readErr != nil {
+			return nil, readErr
+		}
+		validEnd, last, n, scanErr := l.scanRecords(data, &prev, c)
 		if scanErr != nil {
 			return nil, scanErr
 		}
-		seg.bytes = validEnd
 		seg.last = last
-		info, statErr := os.Stat(path)
-		if statErr != nil {
-			return nil, statErr
-		}
-		if info.Size() > validEnd {
-			// Torn or corrupt tail: cut it so appends resume cleanly.
-			if err := os.Truncate(path, validEnd); err != nil {
+		switch {
+		case compressed && complete && validEnd == int64(len(data)):
+			info, statErr := os.Stat(path)
+			if statErr != nil {
+				return nil, statErr
+			}
+			seg.bytes = info.Size()
+		case compressed:
+			// A gzip segment with a bad tail cannot be truncated in place:
+			// rewrite the validated prefix as a plain segment, durably, and
+			// drop the archive. Later segments can only hold
+			// post-corruption data, same as after a torn plain tail.
+			plain := strings.TrimSuffix(path, gzSuffix) + segSuffix
+			if err := writeFileDurable(plain, data[:validEnd]); err != nil {
 				return nil, err
 			}
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+			if err := SyncDir(dir); err != nil {
+				return nil, err
+			}
+			seg.path = plain
+			seg.compressed = false
+			seg.bytes = validEnd
 			corrupted = true
+		default:
+			seg.bytes = validEnd
+			if int64(len(data)) > validEnd {
+				// Torn or corrupt tail: cut it so appends resume cleanly.
+				if err := os.Truncate(path, validEnd); err != nil {
+					return nil, err
+				}
+				corrupted = true
+			}
 		}
 		l.replayed += n
 		l.sealed = append(l.sealed, seg)
 	}
 
-	// The newest scanned segment becomes the active one; with none (fresh
-	// log, or everything checkpointed away) a new segment starts at
-	// lastSeq+1.
-	if n := len(l.sealed); n > 0 {
+	// A log with no history at all adopts the caller's synthetic base
+	// sequence (see Options.InitialSeq), written durably as a checkpoint
+	// marker so the stamp survives restarts. lastSeq == 0 here implies
+	// both no checkpoint and no replayed records.
+	if opts.InitialSeq > 0 && l.lastSeq == 0 {
+		if err := writeCheckpoint(filepath.Join(dir, checkpointName), opts.InitialSeq); err != nil {
+			return nil, err
+		}
+		l.cpSeq = opts.InitialSeq
+		l.lastSeq = opts.InitialSeq
+	}
+
+	// The newest scanned plain segment becomes the active one; with none
+	// (fresh log, everything checkpointed away, or a compressed — hence
+	// sealed — newest segment) a new segment starts at lastSeq+1.
+	if n := len(l.sealed); n > 0 && !l.sealed[n-1].compressed {
 		l.active = l.sealed[n-1]
 		l.sealed = l.sealed[:n-1]
-		l.f, err = os.OpenFile(l.active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		var f *os.File
+		f, err = os.OpenFile(l.active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			l.f = l.wrapFile(f)
+		}
 	} else {
 		err = l.newSegment(l.lastSeq + 1)
 	}
@@ -312,43 +439,39 @@ func openLocked(dir string, opts Options, apply func(Record) error) (*Log, error
 	return l, nil
 }
 
-// scanSegment replays path's valid records, returning the byte offset of
-// the end of the last valid frame, the sequence of the last valid record
-// (0 if none), and how many records were delivered to apply. prev is the
-// cross-segment sequence cursor: records must continue strictly above it.
-func (l *Log) scanSegment(path string, prev *uint64, apply func(Record) error) (int64, uint64, int, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return 0, 0, 0, err
+// wrapFile applies the fault-injection hook, if any.
+func (l *Log) wrapFile(f *os.File) SegmentFile {
+	if l.opts.WrapFile != nil {
+		return l.opts.WrapFile(f)
 	}
+	return f
+}
+
+
+// scanRecords replays data's valid records, returning the byte offset of
+// the end of the last valid frame, the sequence of the last valid record
+// (0 if none), and how many records were delivered to c. prev is the
+// cross-segment sequence cursor: records must continue strictly above it.
+func (l *Log) scanRecords(data []byte, prev *uint64, c Consumer) (int64, uint64, int, error) {
 	var off int64
 	var last uint64
 	applied := 0
-	for int64(len(data))-off >= frameHeaderSize {
-		n := int64(binary.LittleEndian.Uint32(data[off:]))
-		crc := binary.LittleEndian.Uint32(data[off+4:])
-		if n > maxPayload || off+frameHeaderSize+n > int64(len(data)) {
-			break
-		}
-		payload := data[off+frameHeaderSize : off+frameHeaderSize+n]
-		if crc32.Checksum(payload, crcTable) != crc {
-			break
-		}
-		rec, derr := decodePayload(payload)
+	for {
+		rec, n, derr := DecodeFrame(data[off:])
 		if derr != nil {
 			break
 		}
 		if rec.Seq <= *prev {
 			break // sequences must strictly increase across the whole log
 		}
-		off += frameHeaderSize + n
+		off += int64(n)
 		last = rec.Seq
 		*prev = rec.Seq
 		if rec.Seq > l.lastSeq {
 			l.lastSeq = rec.Seq
 		}
-		if rec.Seq > l.cpSeq && apply != nil {
-			if aerr := apply(rec); aerr != nil {
+		if rec.Seq > l.cpSeq && c != nil {
+			if aerr := c.Consume(rec); aerr != nil {
 				return 0, 0, 0, fmt.Errorf("wal: replaying record %d: %w", rec.Seq, aerr)
 			}
 			applied++
@@ -357,22 +480,46 @@ func (l *Log) scanSegment(path string, prev *uint64, apply func(Record) error) (
 	return off, last, applied, nil
 }
 
-// listSegments returns segment file names in sequence order.
+// listSegments returns segment file names in sequence order. When both a
+// plain and a compressed file exist for the same first sequence (a crash
+// between the compressor's rename and its removal of the original), the
+// compressed one wins — its rename was atomic, so it is complete — and
+// the leftover plain file is removed.
 func listSegments(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
+	byFirst := make(map[uint64]string)
+	var firsts []uint64
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
-		if _, ok := parseSegName(e.Name()); ok {
-			names = append(names, e.Name())
+		first, compressed, ok := parseSegName(e.Name())
+		if !ok {
+			continue
+		}
+		prev, dup := byFirst[first]
+		if !dup {
+			byFirst[first] = e.Name()
+			firsts = append(firsts, first)
+			continue
+		}
+		stale := e.Name()
+		if compressed {
+			stale = prev
+			byFirst[first] = e.Name()
+		}
+		if err := os.Remove(filepath.Join(dir, stale)); err != nil && !os.IsNotExist(err) {
+			return nil, err
 		}
 	}
-	sort.Strings(names) // fixed-width hex: lexical order == numeric order
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	names := make([]string, len(firsts))
+	for i, f := range firsts {
+		names[i] = byFirst[f]
+	}
 	return names, nil
 }
 
@@ -387,7 +534,7 @@ func (l *Log) newSegment(first uint64) error {
 	if l.f != nil {
 		l.sealed = append(l.sealed, l.active)
 	}
-	l.f = f
+	l.f = l.wrapFile(f)
 	l.active = segment{path: path, first: first}
 	return nil
 }
@@ -430,6 +577,46 @@ func (l *Log) appendBatch(recs []Record, sync bool) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	for i := range recs {
+		recs[i].Seq = l.lastSeq + 1 + uint64(i)
+	}
+	return l.appendAssigned(recs, sync)
+}
+
+// AppendExternal appends records that already carry sequence numbers —
+// the replication path, where a follower preserves the primary's
+// sequences so stream cursors are cluster-wide and a follower's local
+// replay resumes at the primary's offsets. Sequences must be strictly
+// increasing and above everything already in the log (gaps are fine;
+// replay tolerates them). Sync policy applies as in AppendBatch.
+func (l *Log) AppendExternal(recs []Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	prev := l.lastSeq
+	for i := range recs {
+		if recs[i].Seq <= prev {
+			return 0, fmt.Errorf("wal: external record seq %d not above %d", recs[i].Seq, prev)
+		}
+		prev = recs[i].Seq
+	}
+	return l.appendAssigned(recs, true)
+}
+
+// appendAssigned is the shared append body: it encodes every frame of the
+// group (sequences already assigned) into one contiguous span, writes the
+// span with a single write, and — under SyncAlways, when sync — issues
+// one fsync for the whole group before returning. It returns the last
+// appended sequence number. Caller holds mu.
+//
+// Failure atomicity: an oversized record is detected before any byte
+// reaches the file, so the whole group is rejected and the log stays
+// usable. A write or sync failure may leave a torn tail — exactly what
+// replay tolerates — and closes the log so nothing is written past it;
+// none of the group's records count as acknowledged.
+func (l *Log) appendAssigned(recs []Record, sync bool) (uint64, error) {
 	if len(recs) == 0 {
 		return l.lastSeq, nil
 	}
@@ -443,7 +630,6 @@ func (l *Log) appendBatch(recs []Record, sync bool) (uint64, error) {
 	}()
 	l.buf = l.buf[:0]
 	for i := range recs {
-		recs[i].Seq = l.lastSeq + 1 + uint64(i)
 		mark := len(l.buf)
 		l.buf = encodeFrame(l.buf, &recs[i])
 		if len(l.buf)-mark-frameHeaderSize > maxPayload {
@@ -478,20 +664,36 @@ func (l *Log) appendBatch(recs []Record, sync bool) (uint64, error) {
 			return 0, err
 		}
 	}
+	// Wake stream subscribers; capacity-1 channels coalesce bursts.
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 	return l.lastSeq, nil
 }
 
 // rotateLocked seals the active segment (fsyncing it, so sealed segments
-// are always fully durable) and starts a new one at first.
+// are always fully durable) and starts a new one at first. Under
+// Options.Compress the sealed segment is handed to the background
+// compressor.
 func (l *Log) rotateLocked(first uint64) error {
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
 	old := l.f
+	sealedFirst := l.active.first
 	if err := l.newSegment(first); err != nil {
 		return err
 	}
-	return old.Close()
+	if err := old.Close(); err != nil {
+		return err
+	}
+	if l.opts.Compress {
+		l.compressInBackground(sealedFirst)
+	}
+	return nil
 }
 
 // syncLocked fsyncs the active segment if it has unsynced bytes.
@@ -548,6 +750,12 @@ func (l *Log) syncLoop() {
 // records at or below seq. The active segment is rotated first so it can
 // be removed too once it qualifies. Replay after a checkpoint applies only
 // records above seq.
+//
+// When a retain hook is installed (SetRetain — replication pins history
+// for followers still catching up), the checkpoint marker still advances
+// to seq, but segment removal is additionally capped below the hook's
+// lowest-needed sequence: retained segments replay harmlessly (records at
+// or below the marker are skipped) and keep serving stream resumes.
 func (l *Log) Checkpoint(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -569,16 +777,22 @@ func (l *Log) Checkpoint(seq uint64) error {
 		return err
 	}
 	l.cpSeq = seq
+	truncSeq := seq
+	if l.retain != nil {
+		if need := l.retain(l.lastSeq); need > 0 && need-1 < truncSeq {
+			truncSeq = need - 1
+		}
+	}
 	// Rotate a non-empty active segment so fully-covered records don't pin
 	// the file open forever.
-	if l.active.bytes > 0 && l.active.last <= seq {
+	if l.active.bytes > 0 && l.active.last <= truncSeq {
 		if err := l.rotateLocked(l.lastSeq + 1); err != nil {
 			return err
 		}
 	}
 	kept := l.sealed[:0]
 	for _, seg := range l.sealed {
-		if seg.last <= seq {
+		if seg.last <= truncSeq {
 			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 				return err
 			}
@@ -590,6 +804,67 @@ func (l *Log) Checkpoint(seq uint64) error {
 	l.cpCount++
 	l.cpTime = time.Now()
 	return nil
+}
+
+// SetRetain installs (or, with nil, removes) the segment-retention hook:
+// a function that, given the log's last appended sequence, returns the
+// lowest sequence number some reader still needs (0 = no constraint).
+// Checkpoint never removes a segment containing that sequence or
+// anything above it. The hook is called with the log's lock held — it
+// must not call back into the log (lastSeq is passed in for exactly that
+// reason).
+func (l *Log) SetRetain(fn func(lastSeq uint64) uint64) {
+	l.mu.Lock()
+	l.retain = fn
+	l.mu.Unlock()
+}
+
+// Subscribe registers an append-notification channel: after each
+// successful append a token is sent non-blockingly, so a slow receiver
+// sees bursts coalesced into one wakeup. The channel is closed when the
+// log closes. Callers must Unsubscribe when done.
+func (l *Log) Subscribe() <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	if l.closed {
+		close(ch)
+	} else {
+		l.subs[ch] = struct{}{}
+	}
+	l.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a channel registered with Subscribe.
+func (l *Log) Unsubscribe(ch <-chan struct{}) {
+	l.mu.Lock()
+	for c := range l.subs {
+		if c == ch {
+			delete(l.subs, c)
+			break
+		}
+	}
+	l.mu.Unlock()
+}
+
+// SegmentView snapshots the on-disk segment layout in sequence order
+// (the active segment last), plus the last appended and checkpointed
+// sequence numbers. The reported Bytes of the active segment is its
+// fully-written frame span — concurrent appends only grow it past the
+// snapshot, never invalidate it — so readers may safely consume exactly
+// Bytes bytes of that file.
+func (l *Log) SegmentView() (segs []SegmentInfo, lastSeq, cpSeq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs = make([]SegmentInfo, 0, len(l.sealed)+1)
+	for _, s := range l.sealed {
+		segs = append(segs, SegmentInfo{Path: s.path, First: s.first, Last: s.last, Bytes: s.bytes, Compressed: s.compressed})
+	}
+	segs = append(segs, SegmentInfo{
+		Path: l.active.path, First: l.active.first, Last: l.active.last,
+		Bytes: l.active.bytes, Active: true,
+	})
+	return segs, l.lastSeq, l.cpSeq
 }
 
 // LastSeq returns the sequence number of the most recent record.
@@ -647,6 +922,10 @@ func (l *Log) closeLocked() {
 	if l.stop != nil {
 		close(l.stop)
 	}
+	for ch := range l.subs {
+		close(ch)
+		delete(l.subs, ch)
+	}
 }
 
 // Close fsyncs and closes the log, waiting for the background syncer (if
@@ -664,6 +943,7 @@ func (l *Log) Close() error {
 	if done != nil {
 		<-done
 	}
+	l.compressWG.Wait()
 	return err
 }
 
@@ -674,6 +954,20 @@ func (l *Log) Close() error {
 // the old or the new checkpoint. A corrupt file is an error — replaying
 // below a real checkpoint could resurrect pre-CLEAR state, so guessing is
 // worse than refusing.
+
+// WriteCheckpointFile writes dir's checkpoint marker directly, for
+// callers bootstrapping a log directory from a replicated snapshot: a
+// subsequent Open starts with lastSeq = seq and replays nothing below it.
+// The directory must not have an open log.
+func WriteCheckpointFile(dir string, seq uint64) error {
+	return writeCheckpoint(filepath.Join(dir, checkpointName), seq)
+}
+
+// CheckpointSeq returns the sequence recorded in dir's checkpoint file
+// (0 if none), without opening the log.
+func CheckpointSeq(dir string) (uint64, error) {
+	return readCheckpoint(filepath.Join(dir, checkpointName))
+}
 
 func writeCheckpoint(path string, seq uint64) error {
 	body := strconv.FormatUint(seq, 10)

@@ -31,10 +31,10 @@ func mut(i int) Record {
 func openCollect(t *testing.T, dir string, opts Options) (*Log, []Record) {
 	t.Helper()
 	var got []Record
-	l, err := Open(dir, opts, func(r Record) error {
+	l, err := Open(dir, opts, ConsumerFunc(func(r Record) error {
 		got = append(got, r)
 		return nil
-	})
+	}))
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
@@ -518,10 +518,10 @@ func TestTypedObjectRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var replayed []Record
-	log2, err := Open(dir, Options{}, func(r Record) error {
+	log2, err := Open(dir, Options{}, ConsumerFunc(func(r Record) error {
 		replayed = append(replayed, r)
 		return nil
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,39 @@
+package amber
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// Replication accessors: the thin pass-through surface internal/repl
+// builds on. A primary serves its WAL as the replication stream; a
+// follower applies received records through the same consumer path
+// startup replay uses (see core.ApplyReplicated).
+
+// WAL exposes the database's write-ahead log, or nil when the database
+// was not opened durably. The replication primary reads segment views,
+// subscribes to appends, and installs its retention hook through it.
+func (db *DB) WAL() *wal.Log {
+	return db.store.WAL()
+}
+
+// ApplyReplicated appends records carrying the primary's sequence
+// numbers to the local WAL and applies them to the store atomically with
+// respect to checkpointing — the follower's write path. See
+// core.Store.ApplyReplicated.
+func (db *DB) ApplyReplicated(recs []wal.Record) error {
+	return db.store.ApplyReplicated(recs)
+}
+
+// SaveReplica streams the merged state to w and returns the WAL sequence
+// number and epoch the snapshot covers, captured atomically. The
+// replication primary serves follower bootstraps with it.
+func (db *DB) SaveReplica(w io.Writer) (seq, epoch uint64, err error) {
+	return db.store.SaveReplica(w)
+}
+
+// ErrNotDurable is returned by replication operations on a database that
+// has no write-ahead log attached.
+var ErrNotDurable = core.ErrNotDurable
