@@ -154,6 +154,8 @@ func main() {
 
 // runCompare gates the benchmark trajectory: schema drift in either
 // report or a >2x regression in any shared metric fails the run.
+// Comparisons the gate declines (disk-bound metrics across mismatched
+// storage fingerprints) are printed as notes, never skipped silently.
 func runCompare(oldPath, newPath string) error {
 	oldData, err := os.ReadFile(oldPath)
 	if err != nil {
@@ -163,9 +165,12 @@ func runCompare(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	regs, err := experiments.CompareReports(oldData, newData)
+	regs, notes, err := experiments.CompareReports(oldData, newData)
 	if err != nil {
 		return err
+	}
+	for _, n := range notes {
+		fmt.Printf("note: %s\n", n)
 	}
 	if len(regs) > 0 {
 		for _, r := range regs {

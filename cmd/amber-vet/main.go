@@ -1,0 +1,253 @@
+// Command amber-vet is the project's static-analysis multichecker: it
+// runs the internal/analysis suite — the engine's concurrency and
+// durability invariants as compile-time checks — over Go packages.
+//
+// Two modes share the analyzers:
+//
+// Standalone (the default, what `make vet` and the meta-tests use):
+//
+//	amber-vet [packages]
+//
+// loads the named packages (default ./...) with `go list -export`,
+// runs every analyzer including the cross-package Global hooks, prints
+// diagnostics to stderr and exits 1 when there are findings.
+//
+// Vettool (what CI uses, so findings interleave with cmd/vet's own):
+//
+//	go vet -vettool=$(pwd)/bin/amber-vet ./...
+//
+// implements the cmd/go unit-checker protocol: -V=full prints a
+// content-hashed version for the build cache, -flags advertises no
+// extra flags, and each per-package invocation receives a vet.cfg whose
+// export-data map replaces the `go list` load. Per-unit runs skip the
+// Global hooks (a unit sees one package); the standalone mode in the
+// meta-test covers those.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// suiteAnalyzers is the full analyzer set, shared with the meta-tests.
+var suiteAnalyzers = suite.Analyzers
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go protocol probes come first and exit.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		case a == "-h" || a == "-help" || a == "--help":
+			usage()
+			return
+		}
+	}
+
+	// A single .cfg argument means cmd/go is driving us per package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+
+	os.Exit(runStandalone(args))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: amber-vet [packages]   (default ./...)\n")
+	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=/path/to/amber-vet ./...\n\nanalyzers:\n")
+	for _, a := range suiteAnalyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "  %-17s %s\n", a.Name, doc)
+	}
+}
+
+// printVersion implements -V=full: cmd/go hashes the output into the
+// build cache key, so it must change whenever the binary does. Hashing
+// our own executable gives exactly that.
+func printVersion() {
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", os.Args[0], h.Sum(nil))
+}
+
+// ---- standalone mode ---------------------------------------------------
+
+func runStandalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags, err := analysis.Run(pkgs, suiteAnalyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// ---- vettool mode ------------------------------------------------------
+
+// vetConfig is the subset of cmd/go's per-unit vet.cfg this checker
+// consumes (field names fixed by the protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amber-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "amber-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The protocol requires the vetx ("facts") output to exist even
+	// though this suite exchanges none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "amber-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test files are out of scope for the whole suite (they violate the
+	// invariants on purpose to exercise runtime panics); the [test]
+	// variant units re-list the production files, which we re-check.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0 // external-test unit: nothing in scope
+	}
+
+	fset := token.NewFileSet()
+	var astFiles []*ast.File
+	for _, fp := range files {
+		if !filepath.IsAbs(fp) {
+			fp = filepath.Join(cfg.Dir, fp)
+		}
+		f, err := parser.ParseFile(fset, fp, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailure(&cfg, err)
+		}
+		astFiles = append(astFiles, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, astFiles, info)
+	if err != nil {
+		return typecheckFailure(&cfg, err)
+	}
+
+	pkg := &analysis.Package{
+		Path:      cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Fset:      fset,
+		Files:     astFiles,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	// Per-unit runs see one package, so the cross-package Global hooks
+	// cannot fire here; analysis.Run still applies every per-package
+	// rule and the directive check.
+	diags, err := analysis.Run([]*analysis.Package{pkg}, suiteAnalyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "amber-vet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckFailure honours SucceedOnTypecheckFailure, which cmd/go sets
+// so that vet does not re-report what the compiler already will.
+func typecheckFailure(cfg *vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "amber-vet: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}

@@ -1,0 +1,244 @@
+// Package analysis is AMbER's project-specific static-analysis
+// framework: a deliberately small, stdlib-only re-statement of the
+// golang.org/x/tools/go/analysis surface, carrying a suite of analyzers
+// that turn the engine's concurrency and durability invariants — rules
+// that previously lived only in comments and -race tests — into
+// build-time errors.
+//
+// The shape mirrors x/tools so each analyzer reads like (and could be
+// ported to) a standard go/analysis pass: an Analyzer owns a Run
+// function over a Pass; diagnostics carry positions; golden tests use
+// the // want "regexp" convention. What differs is the driver: packages
+// are loaded with `go list -export` plus go/types and the gc export
+// data importer, so the whole suite builds and runs with nothing
+// outside the standard toolchain (this repository has no third-party
+// dependencies, and its CI must work without them).
+//
+// See cmd/amber-vet for the multichecker binary and the README's
+// "Static analysis" section for the invariant catalogue.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags; lowercase,
+	// no spaces.
+	Name string
+
+	// Doc is the analyzer's documentation: first line a one-sentence
+	// summary, then the full invariant it enforces and why it exists.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through the pass. The returned value is collected per package and
+	// handed to Global (nil is fine when the analyzer has no
+	// cross-package component).
+	Run func(*Pass) (any, error)
+
+	// Global, when non-nil, runs once after every package in the unit of
+	// work has been analyzed, with each package's Run result. It is how
+	// whole-program rules (a metric name registered in two different
+	// packages) report, and it only fires in whole-tree drivers —
+	// per-package vet units skip it.
+	Global func(results []Result, report func(token.Pos, string))
+}
+
+// Result pairs a package with its analyzer Run value, for Global.
+type Result struct {
+	Pkg   *Package
+	Value any
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path; Name the package name.
+	Path string
+	Name string
+	// Fset is the file set shared by every package in the load (so
+	// token.Pos values are comparable across packages).
+	Fset *token.FileSet
+	// Files holds the parsed non-test source files. Test files are
+	// excluded throughout the suite: the invariants govern production
+	// code, and tests deliberately violate several of them (duplicate
+	// metric registration, plain access to torn fields) to prove the
+	// runtime panics they exercise.
+	Files []*ast.File
+	// Types and TypesInfo are the go/types results for Files.
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Pkg       *Package
+	Fset      *token.FileSet
+	Files     []*ast.File
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col: message [analyzer]
+// form used by the amber-vet CLI and the golden-test harness.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// ---- directives --------------------------------------------------------
+
+// Directive is one //amber:name[ args] comment: the mechanism hot-path
+// code uses to opt into stricter rules (hotloop, fieldalign's hot
+// structs). Unknown directives are reserved — the runner rejects them so
+// a typo cannot silently disable a check.
+type Directive struct {
+	Name string // e.g. "hotloop", "hot"
+	Args string // remainder after the name, space-trimmed
+	Pos  token.Pos
+}
+
+// directivePrefix is the comment marker; like //go: directives there is
+// no space after //.
+const directivePrefix = "//amber:"
+
+// KnownDirectives lists every directive the suite understands;
+// CheckDirectives rejects the rest.
+var KnownDirectives = map[string]bool{
+	"hotloop": true, // hotloop analyzer: function is part of the hot search step
+	"hot":     true, // fieldalign analyzer: struct layout must be minimal
+}
+
+// ParseDirectives extracts the //amber: directives from a doc comment
+// group (nil-safe).
+func ParseDirectives(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		name, args, _ := strings.Cut(text, " ")
+		out = append(out, Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()})
+	}
+	return out
+}
+
+// CheckDirectives reports unknown //amber: directives anywhere in the
+// package — every driver runs it so a misspelled directive fails the
+// build instead of silently checking nothing.
+func CheckDirectives(p *Pass) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, d := range ParseDirectives(cg) {
+				if !KnownDirectives[d.Name] {
+					p.Reportf(d.Pos, "unknown directive %q (known: amber:hot, amber:hotloop)", directivePrefix+d.Name)
+				}
+			}
+		}
+	}
+}
+
+// FuncDirective reports whether fn's doc comment carries the named
+// directive, returning its args.
+func FuncDirective(fn *ast.FuncDecl, name string) (string, bool) {
+	for _, d := range ParseDirectives(fn.Doc) {
+		if d.Name == name {
+			return d.Args, true
+		}
+	}
+	return "", false
+}
+
+// ---- shared type helpers ----------------------------------------------
+
+// Callee resolves the *types.Func a call expression invokes (methods
+// and package-level functions), or nil for builtins, type conversions
+// and calls through function-typed variables.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // qualified identifier pkg.F
+		}
+	case *ast.IndexExpr: // generic instantiation F[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// CalleeVar resolves the *types.Var a call through a function-typed
+// variable invokes (the wrapper-closure pattern), or nil.
+func CalleeVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// IsPkg reports whether pkg (possibly nil) is the named package: an
+// exact path match, a path-suffix match ("/"+suffix), or — so golden
+// testdata can model internal packages with short import paths — an
+// exact package-name match.
+func IsPkg(pkg *types.Package, name string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == name || strings.HasSuffix(path, "/"+name) || pkg.Name() == name
+}
+
+// NamedType unwraps aliases and pointers to the *types.Named beneath t,
+// or nil.
+func NamedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t is (a pointer to) the named type pkg.name.
+func IsNamed(t types.Type, pkg, name string) bool {
+	n := NamedType(t)
+	if n == nil || n.Obj().Name() != name {
+		return false
+	}
+	return IsPkg(n.Obj().Pkg(), pkg)
+}

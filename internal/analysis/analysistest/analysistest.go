@@ -1,0 +1,106 @@
+// Package analysistest is the golden-test harness for the amber-vet
+// analyzers, following the x/tools convention: each analyzer has a
+// testdata/src directory holding a tiny module of positive and negative
+// cases, and every line expecting a diagnostic carries a
+//
+//	// want "regexp"
+//
+// comment (several regexps on one line mean several diagnostics).
+// The harness runs the analyzers over the module, then requires an
+// exact bidirectional match: every want satisfied by a diagnostic on
+// its line, every diagnostic claimed by a want.
+//
+// The testdata modules model the production packages structurally —
+// a package literally named wal with a Log type, a core with an
+// atomic.Pointer[Snapshot], an obs with a Registry — because the
+// analyzers bind to those shapes (by package name and receiver type),
+// which is also what lets the goldens stay self-contained instead of
+// importing the real engine.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE extracts the expectation list from a comment; quotedRE then
+// pulls out each quoted regexp.
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// expectation is one // want entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the module rooted at dir (conventionally "testdata/src"),
+// applies the analyzers, and matches diagnostics against the // want
+// comments in the loaded files.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", dir)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

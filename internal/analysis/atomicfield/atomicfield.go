@@ -1,0 +1,154 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields: a field whose address is ever passed to a sync/atomic
+// function must be accessed through sync/atomic everywhere.
+//
+// The invariant comes from the engine's hand-rolled concurrency
+// machinery — delta's single-writer/many-reader maps, the obs counters,
+// the replication ack registry — where a single plain load of an
+// atomically published field is a data race that -race only catches if
+// the schedule cooperates. Most of the tree uses the typed atomic.T
+// wrappers, which make mixed access inexpressible; this analyzer guards
+// the old-style pattern (a plain int64 field plus atomic.AddInt64)
+// that a refactor or a "just this once" read could reintroduce.
+//
+// Composite-literal initialization (S{n: 1}) is allowed: a value still
+// under construction is not shared, and requiring atomics there would
+// push code toward pointless ceremony. Everything after publication
+// must go through sync/atomic — including reads that "only" feed logs.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "fields accessed via sync/atomic must be accessed atomically everywhere\n\n" +
+		"A struct field whose address is passed to any sync/atomic function in the\n" +
+		"package must have every other access go through sync/atomic too. Plain\n" +
+		"reads and writes of such a field are data races. Composite-literal\n" +
+		"initialization is exempt (the value is not yet shared); prefer the typed\n" +
+		"atomic.T wrappers, which make this mistake impossible to write.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: find every &x.f argument of a sync/atomic call. The field
+	// object identifies the field across all instances of the struct.
+	atomicFields := map[*types.Var][]*ast.SelectorExpr{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods on the typed atomic.T wrappers are always safe.
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(pass.TypesInfo, sel); fv != nil {
+					atomicFields[fv] = append(atomicFields[fv], sel)
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return []*types.Var(nil), nil
+	}
+
+	// Pass 2: every other selector touching those fields is a violation,
+	// except keyed composite-literal initialization.
+	for _, f := range pass.Files {
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// Keys are field names, not accesses; values still checked.
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						ast.Inspect(kv.Value, visit)
+					} else {
+						ast.Inspect(el, visit)
+					}
+				}
+				return false
+			case *ast.SelectorExpr:
+				if sanctioned[n] {
+					return true
+				}
+				fv := fieldOf(pass.TypesInfo, n)
+				if fv == nil {
+					return true
+				}
+				if _, hot := atomicFields[fv]; hot {
+					pass.Reportf(n.Sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere in this package; this plain access races (use sync/atomic here too, or a typed atomic.%s)",
+						fv.Name(), suggestTyped(fv.Type()))
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+
+	fields := make([]*types.Var, 0, len(atomicFields))
+	for fv := range atomicFields {
+		fields = append(fields, fv)
+	}
+	return fields, nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// suggestTyped names the typed atomic wrapper for the field's type, for
+// the diagnostic's fix hint.
+func suggestTyped(t types.Type) string {
+	if b, ok := types.Unalias(t).Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	if _, ok := types.Unalias(t).Underlying().(*types.Pointer); ok {
+		return "Pointer[T]"
+	}
+	return "Value"
+}

@@ -1,0 +1,55 @@
+// Package a exercises the all-or-nothing field atomicity rule.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	done uint32
+	name string
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) plainRead() int64 {
+	return c.n // want "field n is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) plainWrite() {
+	c.n = 0 // want "field n is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) plainThroughValue(other counter) int64 {
+	return other.n // want "field n is accessed with sync/atomic elsewhere"
+}
+
+// Composite-literal initialization is exempt: the value is unshared.
+func newCounter() *counter {
+	return &counter{n: 1, name: "fresh"}
+}
+
+// done is only ever touched atomically: no diagnostics.
+func (c *counter) finish() {
+	atomic.StoreUint32(&c.done, 1)
+}
+
+func (c *counter) finished() bool {
+	return atomic.LoadUint32(&c.done) == 1
+}
+
+// name is never touched atomically: plain access is fine.
+func (c *counter) label() string {
+	return c.name
+}
+
+// typed wrappers make mixed access inexpressible: never flagged.
+type typed struct {
+	v atomic.Int64
+}
+
+func (t *typed) bump() int64 {
+	t.v.Add(1)
+	return t.v.Load()
+}

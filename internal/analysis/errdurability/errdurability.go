@@ -1,0 +1,205 @@
+// Package errdurability enforces the durability error contract at the
+// core/wal boundary: inside package core, an error produced by a call
+// into the wal package must be wrapped in core.ErrDurability before it
+// can be returned.
+//
+// The server maps ErrDurability to 503 + Retry-After so clients retry
+// writes the log could not take, instead of treating a full disk as a
+// malformed request and dropping the write. A raw wal error escaping
+// core's surface silently breaks that mapping — it still reads like an
+// error, tests that only check err != nil still pass, and the first
+// symptom is a client discarding an acknowledged-retryable write in
+// production. Hence a compile-time tripwire rather than a convention.
+package errdurability
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errdurability pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdurability",
+	Doc: "wal errors must be wrapped in ErrDurability before leaving package core\n\n" +
+		"Within package core, an error obtained from a repro/internal/wal call may\n" +
+		"not appear in a return statement bare, nor inside a wrapping call that\n" +
+		"does not also carry ErrDurability (fmt.Errorf(\"%w: %w\", ErrDurability, err)).\n" +
+		"The server relies on errors.Is(err, ErrDurability) to map log failures to\n" +
+		"retryable 503s instead of client-fault 400s.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name != "core" {
+		return nil, nil
+	}
+	errDur := pass.Pkg.Types.Scope().Lookup("ErrDurability")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn.Body, errDur)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc applies the contract to one function body (including any
+// function literals it contains — their returns cross the same package
+// boundary once the closure escapes).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, errDur types.Object) {
+	// Pass A: collect every identifier bound to a wal call's error
+	// result, plus channels that carry one (the group-commit overlap
+	// pattern sends d.log.Sync()'s result through a channel).
+	tainted := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && isWalCall(pass.TypesInfo, call) {
+					for _, lhs := range n.Lhs {
+						taintIfError(pass.TypesInfo, tainted, lhs, call.Pos())
+					}
+				}
+				// Receive from a tainted channel: werr := <-syncErr.
+				if u, ok := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					if chObj := identObj(pass.TypesInfo, u.X); chObj != nil {
+						if pos, ok := tainted[chObj]; ok {
+							for _, lhs := range n.Lhs {
+								taintIfError(pass.TypesInfo, tainted, lhs, pos)
+							}
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			// ch <- walCall(): the channel now carries a wal error.
+			if call, ok := ast.Unparen(n.Value).(*ast.CallExpr); ok && isWalCall(pass.TypesInfo, call) {
+				if chObj := identObj(pass.TypesInfo, n.Chan); chObj != nil {
+					tainted[chObj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass B: inspect returns.
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			res := ast.Unparen(res)
+			// return d.log.Sync() — a bare wal call in return position.
+			if call, ok := res.(*ast.CallExpr); ok && isWalCall(pass.TypesInfo, call) {
+				if returnsError(pass.TypesInfo, call) {
+					pass.Reportf(res.Pos(),
+						"wal call's error returned without ErrDurability wrapping (wrap with fmt.Errorf(\"%%w: %%w\", ErrDurability, err))")
+				}
+				continue
+			}
+			// return err — a bare tainted identifier.
+			if obj := identObj(pass.TypesInfo, res); obj != nil {
+				if _, bad := tainted[obj]; bad && isErrorType(pass.TypesInfo, res) {
+					pass.Reportf(res.Pos(),
+						"wal error %q returned without ErrDurability wrapping (wrap with fmt.Errorf(\"%%w: %%w\", ErrDurability, %s))",
+						obj.Name(), obj.Name())
+				}
+				continue
+			}
+			// return wrap(err) — a call consuming a tainted identifier
+			// must also carry ErrDurability among its arguments.
+			if call, ok := res.(*ast.CallExpr); ok && isErrorType(pass.TypesInfo, res) {
+				var usesTainted bool
+				hasErrDur := false
+				for _, arg := range call.Args {
+					if obj := identObj(pass.TypesInfo, arg); obj != nil {
+						if _, bad := tainted[obj]; bad {
+							usesTainted = true
+						}
+						if errDur != nil && obj == errDur {
+							hasErrDur = true
+						}
+					}
+				}
+				if usesTainted && !hasErrDur {
+					pass.Reportf(res.Pos(),
+						"wal error wrapped without ErrDurability (include ErrDurability: fmt.Errorf(\"%%w: %%w\", ErrDurability, err))")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintIfError marks lhs as carrying a wal error when it is a non-blank
+// identifier of type error.
+func taintIfError(info *types.Info, tainted map[types.Object]token.Pos, lhs ast.Expr, pos token.Pos) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	t := obj.Type()
+	if t != nil && (isError(t) || isErrorChan(t)) {
+		tainted[obj] = pos
+	}
+}
+
+// isWalCall reports whether call invokes a function or method of the
+// repro/internal/wal package (matched by path suffix or package name,
+// so golden testdata can model it).
+func isWalCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	return fn != nil && analysis.IsPkg(fn.Pkg(), "wal")
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func isError(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isErrorChan(t types.Type) bool {
+	ch, ok := types.Unalias(t).Underlying().(*types.Chan)
+	return ok && isError(ch.Elem())
+}
+
+// isErrorType reports whether expression e has type error.
+func isErrorType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isError(tv.Type)
+}
+
+// returnsError reports whether the call's (single or last) result is an
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		return tup.Len() > 0 && isError(tup.At(tup.Len()-1).Type())
+	}
+	return isError(tv.Type)
+}

@@ -1,0 +1,12 @@
+package errdurability_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errdurability"
+)
+
+func TestErrDurability(t *testing.T) {
+	analysistest.Run(t, "testdata/src", errdurability.Analyzer)
+}

@@ -1,0 +1,83 @@
+// Package core exercises the errdurability contract: wal errors must be
+// wrapped in ErrDurability before being returned.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vettest/wal"
+)
+
+// ErrDurability mirrors the production sentinel.
+var ErrDurability = errors.New("durability error")
+
+type store struct {
+	log *wal.Log
+}
+
+// ---- violations --------------------------------------------------------
+
+func (s *store) syncBare() error {
+	return s.log.Sync() // want "wal call's error returned without ErrDurability"
+}
+
+func (s *store) closeViaIdent() error {
+	err := s.log.Close()
+	return err // want "wal error \"err\" returned without ErrDurability"
+}
+
+func (s *store) openMultiResult(dir string) (uint64, error) {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return 0, err // want "wal error \"err\" returned without ErrDurability"
+	}
+	return l.LastSeq(), nil
+}
+
+func (s *store) wrappedWithoutSentinel(dir string) error {
+	if err := wal.SyncDir(dir); err != nil {
+		return fmt.Errorf("sync dir: %w", err) // want "wal error wrapped without ErrDurability"
+	}
+	return nil
+}
+
+func (s *store) channelBare() error {
+	ch := make(chan error, 1)
+	go func() { ch <- s.log.Sync() }()
+	werr := <-ch
+	return werr // want "wal error \"werr\" returned without ErrDurability"
+}
+
+// ---- compliant code ----------------------------------------------------
+
+func (s *store) syncWrapped() error {
+	if err := s.log.Sync(); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	return nil
+}
+
+func (s *store) overlappedSync(rec []byte) error {
+	ch := make(chan error, 1)
+	go func() { ch <- s.log.Sync() }()
+	if _, err := s.log.Append(rec); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	if werr := <-ch; werr != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, werr)
+	}
+	return nil
+}
+
+// nonErrorResult must not taint: LastSeq returns uint64.
+func (s *store) nonErrorResult() uint64 {
+	seq := s.log.LastSeq()
+	return seq
+}
+
+// localError is untainted: not from wal.
+func (s *store) localError() error {
+	err := errors.New("local")
+	return err
+}

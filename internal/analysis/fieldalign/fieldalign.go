@@ -1,0 +1,129 @@
+// Package fieldalign checks that structs marked //amber:hot have no
+// padding waste: their field order must reach the minimal size the
+// greedy alignment-descending layout achieves.
+//
+// Unlike the stock fieldalignment analyzer this one is opt-in, on
+// purpose: most structs in the tree are configuration or one-per-server
+// state where field order should follow meaning, not alignment. The hot
+// set — the engine matcher, delta's single-writer map tables, the
+// per-query resource meter — is allocated per query or per probe and
+// sits on cache-critical paths, where pad bytes are resident-set and
+// cache-line waste multiplied by fan-out. The directive records the
+// decision "this layout is performance-relevant" in the source, and the
+// analyzer keeps it true as fields come and go.
+//
+// The suggested order is advisory (any order reaching the minimal size
+// passes); the diagnostic includes one such order.
+package fieldalign
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the fieldalign pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fieldalign",
+	Doc: "structs marked //amber:hot must have a padding-minimal field order\n\n" +
+		"For every struct type whose declaration carries //amber:hot, the struct's\n" +
+		"size under the gc sizes for the current GOARCH must equal the size of the\n" +
+		"greedy minimal layout (fields sorted by alignment then size, descending).\n" +
+		"Hot structs are per-query/per-probe allocations; padding there is cache\n" +
+		"and RSS waste multiplied by fan-out.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		return nil, fmt.Errorf("no sizes for gc/%s", runtime.GOARCH)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasHot(gd.Doc) && !hasHot(ts.Doc) {
+					continue
+				}
+				if ts.TypeParams != nil {
+					// Generic structs have no fixed layout to check — field
+					// sizes depend on the instantiation.
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name]
+				if !ok || obj == nil {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//amber:hot applies to struct types; %s is not a struct", ts.Name.Name)
+					continue
+				}
+				checkStruct(pass, ts, st, sizes)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func hasHot(doc *ast.CommentGroup) bool {
+	for _, d := range analysis.ParseDirectives(doc) {
+		if d.Name == "hot" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *types.Struct, sizes types.Sizes) {
+	n := st.NumFields()
+	if n < 2 {
+		return
+	}
+	cur := sizes.Sizeof(st)
+
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		fields[i] = st.Field(i)
+	}
+	best := make([]*types.Var, n)
+	copy(best, fields)
+	// Greedy minimal layout: alignment descending, then size descending;
+	// zero-sized fields last so none ends the struct (a trailing
+	// zero-size field forces a pad byte to keep &s.f inside the object).
+	sort.SliceStable(best, func(i, j int) bool {
+		si, sj := sizes.Sizeof(best[i].Type()), sizes.Sizeof(best[j].Type())
+		if (si == 0) != (sj == 0) {
+			return sj == 0
+		}
+		ai, aj := sizes.Alignof(best[i].Type()), sizes.Alignof(best[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		return si > sj
+	})
+	min := sizes.Sizeof(types.NewStruct(best, nil))
+	if cur <= min {
+		return
+	}
+	names := make([]string, n)
+	for i, f := range best {
+		names[i] = f.Name()
+	}
+	pass.Reportf(ts.Pos(),
+		"hot struct %s is %d bytes, reorderable to %d: padding on a per-query allocation is cache and RSS waste (e.g. order %s)",
+		ts.Name.Name, cur, min, strings.Join(names, ", "))
+}

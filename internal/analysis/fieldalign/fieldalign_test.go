@@ -1,0 +1,12 @@
+package fieldalign_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fieldalign"
+)
+
+func TestFieldAlign(t *testing.T) {
+	analysistest.Run(t, "testdata/src", fieldalign.Analyzer)
+}

@@ -1,0 +1,53 @@
+// Package align exercises the hot-struct padding check. Field sizes
+// here are arch-independent on all 64-bit targets (int64/int32/bool),
+// so the expected diagnostics hold wherever the tests run.
+package align
+
+// A bool between two int64s costs 7 pad bytes.
+//
+//amber:hot
+type padded struct { // want "hot struct padded is 24 bytes, reorderable to 16"
+	a bool
+	b int64
+	c bool
+}
+
+// Same fields, minimal order: no diagnostic.
+//
+//amber:hot
+type packed struct {
+	b int64
+	a bool
+	c bool
+}
+
+// Mixed alignments in descending order: already minimal.
+//
+//amber:hot
+type descending struct {
+	q int64
+	r int32
+	s int32
+	t bool
+}
+
+// Unmarked structs are out of scope however wasteful.
+type unmarkedPadded struct {
+	a bool
+	b int64
+	c bool
+}
+
+// Generic structs have no fixed layout: skipped.
+//
+//amber:hot
+type generic[T any] struct {
+	a bool
+	v T
+	b bool
+}
+
+// The directive only makes sense on structs.
+//
+//amber:hot
+type notAStruct int // want "//amber:hot applies to struct types"

@@ -1,0 +1,205 @@
+// Package hotloop enforces the engine's hot-path discipline on
+// functions that opt in with a //amber:hotloop directive: the inner
+// search step must stay free of per-visit overhead (atomics, fmt, map
+// writes, clock reads), and every recursive cycle through the marked
+// set must poll the throttled deadline check so a runaway query stays
+// cancellable.
+//
+// The matcher's contract since the group-commit and governance PRs is
+// that per-visit bookkeeping accumulates in plain matcher fields and is
+// flushed into shared atomics only at the deadline-poll cadence
+// (deadlineCheckMask). That keeps the visit step allocation-free and
+// fence-free, and it makes the poll the single point where
+// cancellation, deadline and meter flushing happen. Both halves rot
+// easily: an innocent fmt.Sprintf in a diagnostic, a "just count it"
+// atomic.AddUint64, or a new recursion path that forgets checkDeadline
+// each reintroduce exactly the regressions those PRs removed —
+// invisible in unit tests, obvious at a million visits per query.
+//
+// Two directive forms:
+//
+//	//amber:hotloop       — the function is a hot search step; content
+//	                        rules V1–V4 apply, and if it is recursive
+//	                        (directly or mutually through other marked
+//	                        functions) it must directly call a poll
+//	                        function (rule P1).
+//	//amber:hotloop poll  — the function IS the sanctioned amortized
+//	                        slow path (checkDeadline): exempt from the
+//	                        content rules, target of rule P1.
+package hotloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotloop",
+	Doc: "//amber:hotloop functions must stay lean and poll the deadline\n\n" +
+		"Functions marked //amber:hotloop may not call sync/atomic, fmt or the\n" +
+		"time package, nor write to maps (per-visit cost belongs in plain fields,\n" +
+		"flushed at the poll cadence). Marked functions that recurse — directly or\n" +
+		"mutually through other marked functions — must directly call a function\n" +
+		"marked //amber:hotloop poll, so every search cycle stays cancellable.",
+	Run: run,
+}
+
+// fnInfo is the per-marked-function record.
+type fnInfo struct {
+	decl  *ast.FuncDecl
+	poll  bool
+	calls map[*types.Func]bool // marked callees (cycle edges)
+	polls bool                 // directly calls a poll function
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Collect the marked set first: cycle detection needs it complete.
+	marked := map[*types.Func]*fnInfo{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			args, ok := analysis.FuncDirective(fn, "hotloop")
+			if !ok {
+				continue
+			}
+			if args != "" && args != "poll" {
+				pass.Reportf(fn.Pos(), "unknown //amber:hotloop argument %q (want nothing or \"poll\")", args)
+				continue
+			}
+			obj, ok := info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			marked[obj] = &fnInfo{decl: fn, poll: args == "poll"}
+		}
+	}
+	if len(marked) == 0 {
+		return 0, nil
+	}
+
+	for obj, fi := range marked {
+		fi.calls = map[*types.Func]bool{}
+		checkBody(pass, obj, fi, marked)
+	}
+
+	// Rule P1: every non-poll marked function on a cycle within the
+	// marked set must itself call a poll function. Per-member, not
+	// per-cycle: a cycle with alternate edges can skip the one member
+	// that polls, and a direct call is one line.
+	for obj, fi := range marked {
+		if fi.poll || fi.polls {
+			continue
+		}
+		if reaches(marked, fi, obj, map[*types.Func]bool{}) {
+			pass.Reportf(fi.decl.Pos(),
+				"hot function %s recurses but never polls the deadline: call the //amber:hotloop poll function (checkDeadline) so the search stays cancellable",
+				obj.Name())
+		}
+	}
+	return len(marked), nil
+}
+
+// reaches reports whether start is reachable from fi through marked-set
+// call edges (i.e. fi's owner is on a cycle when fi is start's record).
+func reaches(marked map[*types.Func]*fnInfo, fi *fnInfo, start *types.Func, seen map[*types.Func]bool) bool {
+	for callee := range fi.calls {
+		if callee == start {
+			return true
+		}
+		if seen[callee] {
+			continue
+		}
+		seen[callee] = true
+		if next := marked[callee]; next != nil && reaches(marked, next, start, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody applies content rules V1–V4 to one marked function and
+// records its call edges for P1.
+func checkBody(pass *analysis.Pass, obj *types.Func, fi *fnInfo, marked map[*types.Func]*fnInfo) {
+	info := pass.TypesInfo
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// delete(m, k) is a map write (V3's builtin case).
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && info.Uses[id] == types.Universe.Lookup("delete") {
+				if !fi.poll {
+					pass.Reportf(n.Pos(), "map delete in hot function %s: map mutation in the search step defeats the flush-at-poll design (use a slice or move it out of the loop)", obj.Name())
+				}
+				return true
+			}
+			callee := analysis.Callee(info, n)
+			if callee == nil {
+				return true
+			}
+			if other := marked[callee]; other != nil {
+				fi.calls[callee] = true
+				if other.poll {
+					fi.polls = true
+				}
+			}
+			if fi.poll {
+				return true // the poll function is the sanctioned slow path
+			}
+			switch {
+			case analysis.IsPkg(callee.Pkg(), "sync/atomic"):
+				pass.Reportf(n.Pos(),
+					"atomic operation in hot function %s: per-visit counters belong in plain matcher fields, flushed by the poll path (flushMeter)", obj.Name())
+			case isStdPkg(callee.Pkg(), "fmt"):
+				pass.Reportf(n.Pos(),
+					"fmt call in hot function %s allocates per visit: format outside the search step", obj.Name())
+			case isStdPkg(callee.Pkg(), "time"):
+				pass.Reportf(n.Pos(),
+					"clock read in hot function %s: the deadline is polled every deadlineCheckMask+1 steps by the poll function, not per visit", obj.Name())
+			}
+		case *ast.AssignStmt:
+			if fi.poll {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				reportMapWrite(pass, info, obj, lhs)
+			}
+		case *ast.IncDecStmt:
+			if fi.poll {
+				return true
+			}
+			reportMapWrite(pass, info, obj, n.X)
+		}
+		return true
+	})
+}
+
+// reportMapWrite flags m[k] appearing as an assignment target.
+func reportMapWrite(pass *analysis.Pass, info *types.Info, obj *types.Func, lhs ast.Expr) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	tv, ok := info.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); isMap {
+		pass.Reportf(lhs.Pos(),
+			"map write in hot function %s: map mutation in the search step costs a hash+possible grow per visit (use a slice indexed by vertex, as asg/satSets do)", obj.Name())
+	}
+}
+
+// isStdPkg matches exactly the standard-library package path (unlike
+// analysis.IsPkg it does not match by suffix or name, so a local
+// package named "fmt" in testdata would still be its own package — but
+// stdlib paths have no slash, so exact match is the right test).
+func isStdPkg(pkg *types.Package, path string) bool {
+	return pkg != nil && pkg.Path() == path
+}

@@ -1,0 +1,12 @@
+package hotloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotloop"
+)
+
+func TestHotLoop(t *testing.T) {
+	analysistest.Run(t, "testdata/src", hotloop.Analyzer)
+}

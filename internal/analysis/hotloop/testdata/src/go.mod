@@ -1,0 +1,3 @@
+module vettest
+
+go 1.24

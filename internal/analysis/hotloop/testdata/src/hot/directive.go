@@ -1,0 +1,6 @@
+// Package hot: a misspelled directive must fail the run, not silently
+// check nothing (caught by the suite-wide directive check).
+package hot
+
+//amber:hotlop want-a-diagnostic // want "unknown directive"
+func typoDirective() {}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// The loader: `go list -export -deps -json` enumerates the packages
+// matching the patterns and compiles export data for everything they
+// import; the target packages are then parsed from source and
+// type-checked with the gc export-data importer. This is exactly the
+// information a go/packages NeedSyntax|NeedTypes load would provide,
+// obtained with nothing but the standard toolchain.
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (relative to dir; empty dir means the current directory). Test files
+// are excluded — see Package.Files. Packages pulled in only as
+// dependencies are type-checked through their compiled export data, not
+// returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, unsupported", p.ImportPath)
+		}
+		var paths []string
+		for _, gf := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, gf))
+		}
+		pkg, err := typeCheck(fset, p.ImportPath, paths, imp)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // test-only package: nothing in scope
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses the given files and type-checks them as one package.
+func typeCheck(fset *token.FileSet, path string, files []string, imp types.Importer) (*Package, error) {
+	var astFiles []*ast.File
+	for _, fp := range files {
+		if strings.HasSuffix(fp, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, fp, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	if len(astFiles) == 0 {
+		return nil, nil // test-only package
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Name:      tpkg.Name(),
+		Fset:      fset,
+		Files:     astFiles,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

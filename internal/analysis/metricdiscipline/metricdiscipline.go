@@ -1,0 +1,266 @@
+// Package metricdiscipline enforces the observability naming contract:
+// every metric registered on an obs.Registry has a compile-time
+// constant name matching ^amber_[a-z0-9_]+$, and no name is registered
+// twice.
+//
+// The registry panics on duplicate registration — at runtime, on the
+// first request that builds a server with the colliding component
+// enabled, which with optional subsystems (replication, governance) can
+// be long after the PR that introduced the clash. Dashboards and the
+// bench-trajectory tooling key on the amber_ prefix; a metric that
+// drifts out of the namespace silently vanishes from both. This
+// analyzer moves both failures to vet time.
+//
+// Names must be constants so the full metric surface is greppable and
+// auditable — a name assembled at runtime can collide with or shadow
+// anything. The one sanctioned indirection is the local wrapper
+// closure (cf := func(name, help string, ...) { r.CounterFunc(name,
+// ...) }): the analyzer follows the parameter and checks each call
+// site's literal instead. The go_* runtime namespace (go_goroutines,
+// go_memstats_*) is allowed only inside package obs, which mirrors the
+// Prometheus Go-runtime conventions on purpose.
+package metricdiscipline
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metricdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricdiscipline",
+	Doc: "metric names are constant, amber_-prefixed and registered once\n\n" +
+		"Every obs.Registry registration (Counter, CounterFunc, Gauge, GaugeFunc,\n" +
+		"Histogram, CounterVec, HistogramVec) must pass a constant name matching\n" +
+		"^amber_[a-z0-9_]+$ (package obs may also use the go_ runtime namespace).\n" +
+		"Registering the same name twice panics at runtime; the analyzer reports\n" +
+		"duplicates within a package, and across packages when run whole-tree.",
+	Run:    run,
+	Global: global,
+}
+
+// registerMethods maps obs.Registry registration methods to the index
+// of their name parameter (all lead with name).
+var registerMethods = map[string]bool{
+	"Counter":      true,
+	"CounterFunc":  true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"HistogramVec": true,
+}
+
+var (
+	nameRE    = regexp.MustCompile(`^amber_[a-z0-9_]+$`)
+	runtimeRE = regexp.MustCompile(`^go_[a-z0-9_]+$`)
+)
+
+// metric is one registration, collected for duplicate detection.
+type metric struct {
+	Name string
+	Pos  token.Pos
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Wrapper registrars: a function literal assigned to a local
+	// variable whose body forwards one of its own string parameters as
+	// the name of a registration call. Calls through that variable are
+	// then themselves registrations, with the name at the parameter's
+	// index.
+	registrars := map[*types.Var]int{} // wrapper var -> name arg index
+	forwarded := map[*types.Var]bool{} // wrapper's name parameter objects
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				return true
+			}
+			lit, ok := ast.Unparen(asg.Rhs[0]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			id, ok := asg.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				v, _ = info.Uses[id].(*types.Var)
+			}
+			if v == nil {
+				return true
+			}
+			if param := forwardedNameParam(info, lit); param != nil {
+				if idx := paramIndex(lit, info, param); idx >= 0 {
+					registrars[v] = idx
+					forwarded[param] = true
+				}
+			}
+			return true
+		})
+	}
+
+	var metrics []metric
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var nameArg ast.Expr
+			if isRegisterCall(info, call) && len(call.Args) > 0 {
+				nameArg = call.Args[0]
+			} else if v := analysis.CalleeVar(info, call); v != nil {
+				idx, ok := registrars[v]
+				if !ok || idx >= len(call.Args) {
+					return true
+				}
+				nameArg = call.Args[idx]
+			} else {
+				return true
+			}
+
+			tv, ok := info.Types[nameArg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				// The wrapper's own forwarding of its parameter is the
+				// sanctioned non-constant case; its call sites carry the
+				// literals.
+				if obj := identObj(info, nameArg); obj != nil {
+					if v, ok := obj.(*types.Var); ok && forwarded[v] {
+						return true
+					}
+				}
+				pass.Reportf(nameArg.Pos(),
+					"metric name is not a compile-time constant: names must be grep-able literals (or flow through a local wrapper closure whose call sites use literals)")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !nameRE.MatchString(name) {
+				if runtimeRE.MatchString(name) && pass.Pkg.Name == "obs" {
+					metrics = append(metrics, metric{Name: name, Pos: nameArg.Pos()})
+					return true
+				}
+				pass.Reportf(nameArg.Pos(),
+					"metric name %q outside the amber_ namespace: dashboards and the bench tooling key on ^amber_[a-z0-9_]+$ (go_* is reserved for the runtime metrics in package obs)", name)
+				return true
+			}
+			metrics = append(metrics, metric{Name: name, Pos: nameArg.Pos()})
+			return true
+		})
+	}
+
+	// Per-package duplicates report here; cross-package ones in Global.
+	seen := map[string]token.Pos{}
+	for _, m := range metrics {
+		if first, dup := seen[m.Name]; dup {
+			pass.Reportf(m.Pos,
+				"metric %q registered twice in this package (first at %s): Registry.add panics on the second registration at runtime",
+				m.Name, pass.Fset.Position(first))
+			continue
+		}
+		seen[m.Name] = m.Pos
+	}
+	return metrics, nil
+}
+
+// global reports the same metric name registered from two different
+// packages — each registration panics only when both land on one
+// registry, which optional subsystems can defer past CI.
+func global(results []analysis.Result, report func(token.Pos, string)) {
+	type site struct {
+		pkg string
+		pos token.Pos
+	}
+	first := map[string]site{}
+	for _, res := range results {
+		ms, _ := res.Value.([]metric)
+		for _, m := range ms {
+			prev, ok := first[m.Name]
+			if !ok {
+				first[m.Name] = site{pkg: res.Pkg.Path, pos: m.Pos}
+				continue
+			}
+			if prev.pkg != res.Pkg.Path {
+				report(m.Pos, "metric \""+m.Name+"\" is also registered by "+prev.pkg+
+					": both registrations panic if one server wires both subsystems")
+			}
+		}
+	}
+}
+
+// isRegisterCall reports whether call is a registration method on
+// obs.Registry.
+func isRegisterCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || !registerMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return analysis.IsNamed(sig.Recv().Type(), "obs", "Registry")
+}
+
+// forwardedNameParam returns the *types.Var of a string parameter of
+// lit that the body forwards as the name argument of a registration
+// call, or nil.
+func forwardedNameParam(info *types.Info, lit *ast.FuncLit) *types.Var {
+	var param *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || param != nil {
+			return true
+		}
+		if !isRegisterCall(info, call) || len(call.Args) == 0 {
+			return true
+		}
+		obj := identObj(info, call.Args[0])
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		// Is v one of lit's parameters?
+		if paramIndex(lit, info, v) >= 0 {
+			param = v
+		}
+		return true
+	})
+	return param
+}
+
+// paramIndex returns v's position in lit's parameter list, or -1.
+func paramIndex(lit *ast.FuncLit, info *types.Info, v *types.Var) int {
+	idx := 0
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == v {
+				return idx
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	return -1
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,12 @@
+package metricdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricdiscipline"
+)
+
+func TestMetricDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/src", metricdiscipline.Analyzer)
+}

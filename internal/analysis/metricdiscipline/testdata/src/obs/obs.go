@@ -1,0 +1,32 @@
+// Package obs models the production registry surface; the analyzer
+// matches registration methods on a Registry type in a package named
+// obs, and sanctions the go_ runtime namespace only here.
+package obs
+
+// Registry stands in for obs.Registry.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// CounterFunc registers a callback-backed counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {}
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Counter { return &Counter{} }
+
+// GaugeFunc registers a callback-backed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Counter { return &Counter{} }
+
+// Counter is a stub metric.
+type Counter struct{}
+
+// RegisterRuntime mirrors obs/runtime.go: the go_ namespace is
+// sanctioned inside package obs only.
+func RegisterRuntime(r *Registry) {
+	r.CounterFunc("go_goroutines", "Current goroutine count.", nil)
+	r.GaugeFunc("go_memstats_heap_inuse_bytes", "Heap bytes in use.", nil)
+}

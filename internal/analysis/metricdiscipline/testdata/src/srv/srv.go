@@ -1,0 +1,41 @@
+// Package srv exercises the naming and duplicate rules at a
+// registration site outside package obs.
+package srv
+
+import "vettest/obs"
+
+const constName = "amber_from_const_total"
+
+// Register exercises every rule.
+func Register(r *obs.Registry) {
+	// Compliant literal and named-constant registrations.
+	r.Counter("amber_requests_total", "Requests served.")
+	r.Gauge("amber_inflight", "In-flight requests.")
+	r.Counter(constName, "Constant-named counter.")
+
+	// Duplicate within the package: the registry panics at runtime.
+	r.Counter("amber_requests_total", "Requests served.") // want "metric \"amber_requests_total\" registered twice in this package"
+
+	// Namespace violations.
+	r.Counter("http_requests_total", "Wrong prefix.") // want "metric name \"http_requests_total\" outside the amber_ namespace"
+	r.Counter("go_goroutines", "Runtime name outside obs.") // want "metric name \"go_goroutines\" outside the amber_ namespace"
+	r.Counter("amber_Bad_Case", "Uppercase.") // want "metric name \"amber_Bad_Case\" outside the amber_ namespace"
+
+	// Non-constant name.
+	name := pick()
+	r.Counter(name, "Dynamic name.") // want "metric name is not a compile-time constant"
+
+	// The sanctioned wrapper-closure pattern: the literal moves to the
+	// call sites, which are checked instead.
+	cf := func(n, h string, f func() float64) {
+		r.CounterFunc(n, h, f)
+	}
+	cf("amber_wrapped_total", "Registered through the wrapper.", nil)
+	cf("wrapped_bad_total", "Wrapper does not launder bad names.", nil) // want "metric name \"wrapped_bad_total\" outside the amber_ namespace"
+
+	// Cross-package duplicate: also registered by srv2 (reported there,
+	// whole-tree runs only).
+	r.Counter("amber_shared_total", "Registered here first.")
+}
+
+func pick() string { return "amber_dynamic_total" }

@@ -1,0 +1,10 @@
+// Package srv2 registers a name srv already owns: caught only by the
+// whole-tree Global pass (per-unit vet runs cannot see across packages).
+package srv2
+
+import "vettest/obs"
+
+// Register collides with srv on amber_shared_total.
+func Register(r *obs.Registry) {
+	r.Counter("amber_shared_total", "Registered here second.") // want "metric \"amber_shared_total\" is also registered by vettest/srv"
+}

@@ -1,0 +1,306 @@
+// Package publishbarrier enforces write-ahead discipline on MVCC
+// generation publishes in package core: no snapshot may be published on
+// a path where a WAL durability barrier (Append, AppendBatch,
+// AppendBatchNoSync, AppendExternal, Sync) failed or had its result
+// discarded.
+//
+// Publishing a generation makes a batch visible to every reader; the
+// write-ahead contract says the log must have accepted (and, under
+// fsync=always, synced) the batch first, and that a barrier failure
+// must keep the old snapshot — readers must never observe state the log
+// cannot reproduce after a crash. The group-commit leader encodes this
+// as "check every barrier error, early-return before the publish"; this
+// analyzer makes that shape mandatory.
+//
+// The check is lexical, not path-sensitive, which is exactly as strong
+// as the code style it enforces: within one function (closures
+// included, since the fsync overlap runs the barrier inside a
+// goroutine), every barrier call's error must be nil-checked by an
+// if-statement with a terminating body before any later snapshot
+// publish, where "publish" is a Store call on an atomic.Pointer whose
+// element type is named Snapshot. Barrier errors forwarded through a
+// channel (the overlapped-fsync pattern) are tracked through the
+// channel: the receive must be checked instead. Discarding a barrier
+// result — assigning it to _, or calling the barrier as a bare
+// statement — is an unconditional violation: a skipped barrier is a
+// skipped durability guarantee even if no publish follows.
+package publishbarrier
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the publishbarrier pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "publishbarrier",
+	Doc: "MVCC generation publishes must be unreachable after a failed or skipped WAL barrier\n\n" +
+		"In package core, every wal barrier call (Append/AppendBatch/AppendBatchNoSync/\n" +
+		"AppendExternal/Sync on *wal.Log) must have its error nil-checked with a\n" +
+		"terminating branch before any later atomic.Pointer[Snapshot].Store in the\n" +
+		"same function; discarding a barrier result is always a violation.",
+	Run: run,
+}
+
+// barrierMethods are the *wal.Log methods that constitute durability
+// barriers.
+var barrierMethods = map[string]bool{
+	"Append":            true,
+	"AppendBatch":       true,
+	"AppendBatchNoSync": true,
+	"AppendExternal":    true,
+	"Sync":              true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name != "core" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// event is one ordered occurrence inside a function: a barrier binding,
+// a check that clears it, or a publish.
+type event struct {
+	pos token.Pos
+	// kind: "bind" (obj carries an unchecked barrier error), "clear"
+	// (obj's error was nil-checked with a terminating body), "transfer"
+	// (from → to, the channel-receive pattern), "publish", "discard".
+	kind     string
+	obj      types.Object
+	from, to types.Object
+	what     string // barrier method name, for messages
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var events []event
+	info := pass.TypesInfo
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if name, ok := barrierCall(info, n.Rhs[0]); ok {
+					obj := errLHS(info, n.Lhs)
+					if obj == nil {
+						events = append(events, event{pos: n.Pos(), kind: "discard", what: name})
+					} else {
+						events = append(events, event{pos: n.Pos(), kind: "bind", obj: obj, what: name})
+					}
+				}
+				// werr := <-ch transfers a pending barrier from the
+				// channel to the received variable.
+				if u, ok := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					if chObj := identObj(info, u.X); chObj != nil {
+						if to := errLHS(info, n.Lhs); to != nil {
+							events = append(events, event{pos: n.Pos(), kind: "transfer", from: chObj, to: to})
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if name, ok := barrierCall(info, n.Value); ok {
+				if chObj := identObj(info, n.Chan); chObj != nil {
+					events = append(events, event{pos: n.Pos(), kind: "bind", obj: chObj, what: name})
+				} else {
+					events = append(events, event{pos: n.Pos(), kind: "discard", what: name})
+				}
+			}
+		case *ast.ExprStmt:
+			if name, ok := barrierCall(info, n.X); ok {
+				events = append(events, event{pos: n.Pos(), kind: "discard", what: name})
+			}
+		case *ast.IfStmt:
+			// if [init;] X != nil { ...return/panic... } clears X. The
+			// init may itself bind (if _, err := barrier(); err != nil)
+			// or receive (if werr := <-ch; werr != nil) — the Inspect
+			// visit of the init statement emits those events first, and
+			// position ordering keeps bind < clear.
+			if checked := nilCheckedObj(info, n); checked != nil && terminates(n.Body) {
+				events = append(events, event{pos: n.Body.Pos(), kind: "clear", obj: checked})
+			}
+		case *ast.CallExpr:
+			if isPublish(info, n) {
+				events = append(events, event{pos: n.Pos(), kind: "publish"})
+			}
+		}
+		return true
+	})
+
+	// Replay in source order.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	pending := map[types.Object]string{} // obj -> barrier name
+	for _, e := range events {
+		switch e.kind {
+		case "bind":
+			pending[e.obj] = e.what
+		case "clear":
+			delete(pending, e.obj)
+		case "transfer":
+			if what, ok := pending[e.from]; ok {
+				delete(pending, e.from)
+				pending[e.to] = what
+			}
+		case "discard":
+			pass.Reportf(e.pos,
+				"result of WAL barrier %s discarded: a snapshot published after it could outlive the log (check the error and fail the commit)", e.what)
+		case "publish":
+			if len(pending) == 0 {
+				continue
+			}
+			names := make([]string, 0, len(pending))
+			for _, what := range pending {
+				names = append(names, what)
+			}
+			sort.Strings(names)
+			for _, what := range names {
+				pass.Reportf(e.pos,
+					"snapshot published while the error of WAL barrier %s is unchecked: a failed barrier must keep the old generation (nil-check it with an early return first)", what)
+			}
+			pending = map[types.Object]string{}
+		}
+	}
+}
+
+// barrierCall reports whether e is a call to a wal.Log durability
+// barrier, returning the method name.
+func barrierCall(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil || !barrierMethods[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if !analysis.IsNamed(sig.Recv().Type(), "wal", "Log") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// errLHS returns the object of the error-typed (or error-channel)
+// left-hand side of an assignment, or nil when the error lands in _.
+func errLHS(info *types.Info, lhs []ast.Expr) types.Object {
+	// The error is the last result; for `n, err := ...` that is the last
+	// LHS. For a send statement the caller passes the channel expression.
+	for i := len(lhs) - 1; i >= 0; i-- {
+		id, ok := ast.Unparen(lhs[i]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || obj.Type() == nil {
+			continue
+		}
+		if isError(obj.Type()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// nilCheckedObj returns the object X when the if condition is `X != nil`.
+func nilCheckedObj(info *types.Info, ifs *ast.IfStmt) types.Object {
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return nil
+	}
+	var operand ast.Expr
+	switch {
+	case isNil(info, bin.Y):
+		operand = bin.X
+	case isNil(info, bin.X):
+		operand = bin.Y
+	default:
+		return nil
+	}
+	obj := identObj(info, operand)
+	if obj == nil || obj.Type() == nil || !isError(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// terminates reports whether the block's statement list contains a
+// top-level return or panic — the shape that makes the error branch
+// abort the commit path.
+func terminates(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isPublish reports whether call is atomic.Pointer[...Snapshot].Store.
+func isPublish(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := analysis.NamedType(s.Recv())
+	if recv == nil || recv.Obj().Name() != "Pointer" || !analysis.IsPkg(recv.Obj().Pkg(), "sync/atomic") {
+		return false
+	}
+	args := recv.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return false
+	}
+	elem := analysis.NamedType(args.At(0))
+	return elem != nil && elem.Obj().Name() == "Snapshot"
+}
+
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func isError(t types.Type) bool {
+	if types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return true
+	}
+	ch, ok := types.Unalias(t).Underlying().(*types.Chan)
+	return ok && types.Identical(ch.Elem(), types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package publishbarrier_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/publishbarrier"
+)
+
+func TestPublishBarrier(t *testing.T) {
+	analysistest.Run(t, "testdata/src", publishbarrier.Analyzer)
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run applies every analyzer to every package, then fires the global
+// hooks over the full result set. Diagnostics come back sorted by
+// position. An analyzer Run error aborts the whole run: a checker that
+// cannot complete must fail loudly, not pass silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	results := make(map[*Analyzer][]Result, len(analyzers))
+	for _, pkg := range pkgs {
+		dirPass := &Pass{
+			Analyzer:  &Analyzer{Name: "directives"},
+			Pkg:       pkg,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			TypesInfo: pkg.TypesInfo,
+			report:    collect,
+		}
+		CheckDirectives(dirPass)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Pkg:       pkg,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				TypesInfo: pkg.TypesInfo,
+				report:    collect,
+			}
+			v, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+			results[a] = append(results[a], Result{Pkg: pkg, Value: v})
+		}
+	}
+
+	fset := (*token.FileSet)(nil)
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	for _, a := range analyzers {
+		if a.Global == nil {
+			continue
+		}
+		name := a.Name
+		a.Global(results[a], func(pos token.Pos, msg string) {
+			diags = append(diags, Diagnostic{
+				Analyzer: name,
+				Pos:      fset.Position(pos),
+				Message:  msg,
+			})
+		})
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,24 @@
+// Package suite assembles the full amber-vet analyzer set in one
+// place, so the cmd/amber-vet binary, the clean-tree meta-test and the
+// seeded-regression tests all run exactly the same checks.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/errdurability"
+	"repro/internal/analysis/fieldalign"
+	"repro/internal/analysis/hotloop"
+	"repro/internal/analysis/metricdiscipline"
+	"repro/internal/analysis/publishbarrier"
+)
+
+// Analyzers is the complete suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	errdurability.Analyzer,
+	fieldalign.Analyzer,
+	hotloop.Analyzer,
+	metricdiscipline.Analyzer,
+	publishbarrier.Analyzer,
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -107,7 +108,7 @@ func (s *Store) AttachWAL(dir string, o WALOptions) (int, error) {
 	}
 	log, err := wal.Open(dir, walOpts, storeConsumer{s})
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: %w", ErrDurability, err)
 	}
 	s.dur.Store(&durable{
 		log: log, dir: dir,
@@ -132,7 +133,10 @@ func (s *Store) CloseWAL() error {
 	d.cpMu.Lock()
 	defer d.cpMu.Unlock()
 	d.closed.Store(true)
-	return d.log.Close()
+	if err := d.log.Close(); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	return nil
 }
 
 // DetachWAL syncs, closes and detaches the log: the store reverts to a
@@ -146,7 +150,10 @@ func (s *Store) DetachWAL() error {
 	d.cpMu.Lock()
 	defer d.cpMu.Unlock()
 	d.closed.Store(true)
-	return d.log.Close()
+	if err := d.log.Close(); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	return nil
 }
 
 // SyncWAL forces an fsync of the log, whatever the policy — the explicit
@@ -157,7 +164,10 @@ func (s *Store) SyncWAL() error {
 	if d == nil {
 		return nil
 	}
-	return d.log.Sync()
+	if err := d.log.Sync(); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	return nil
 }
 
 // Checkpoint makes the current merged state durable as a base snapshot
@@ -212,9 +222,12 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 	if err := wal.SyncDir(d.dir); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrDurability, err)
 	}
-	return d.log.Checkpoint(seq)
+	if err := d.log.Checkpoint(seq); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	return nil
 }
 
 // writeSnapshot encodes the snapshot's merged multigraph.

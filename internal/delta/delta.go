@@ -54,6 +54,8 @@ import (
 )
 
 // edgeKey identifies a directed vertex pair carrying an edge-type delta.
+//
+//amber:hot
 type edgeKey struct {
 	from, to dict.VertexID
 }
@@ -61,6 +63,8 @@ type edgeKey struct {
 // pairDelta is the multi-edge change on one directed pair: types added
 // beyond the base label set and base types tombstoned. Both are sorted
 // and disjoint; a type deleted and re-added cancels out.
+//
+//amber:hot
 type pairDelta struct {
 	add []dict.EdgeType
 	del []dict.EdgeType

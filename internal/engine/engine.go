@@ -89,6 +89,7 @@ type LevelStats struct {
 // deadlineCheckMask throttles clock reads to one per this many steps.
 const deadlineCheckMask = 255
 
+//amber:hot
 type matcher struct {
 	r index.Reader
 	p *plan.Plan
@@ -105,11 +106,9 @@ type matcher struct {
 	stats    *Stats
 	levelIdx []int // per-component offsets; nil without stats and meter
 
-	// Meter plumbing: overlay marks a reader serving through a non-empty
-	// mutation overlay; the m* fields are this matcher's unflushed
+	// Meter plumbing: the m* fields are this matcher's unflushed
 	// resource deltas (flushed by flushMeter, reset to zero after).
 	meter       *obs.ResourceMeter
-	overlay     bool
 	totalLevels int
 	mCand       uint64 // candidate-set entries generated
 	mVisits     uint64 // candidate vertices tried
@@ -118,6 +117,7 @@ type matcher struct {
 
 	steps    int
 	yielded  uint64
+	overlay  bool  // reader serves through a non-empty mutation overlay
 	stopped  bool  // yield refused or limit reached
 	expired  bool  // deadline passed or context done
 	abortErr error // why the search aborted (expired only)
@@ -135,6 +135,8 @@ func (m *matcher) flushMeter() {
 }
 
 // countProbe tallies one index probe for the overlay-probe meter.
+//
+//amber:hotloop
 func (m *matcher) countProbe() {
 	if m.overlay {
 		m.mProbes++
@@ -144,6 +146,8 @@ func (m *matcher) countProbe() {
 // checkDeadline reports whether the search must abort: the deadline
 // passed, or the run's context was cancelled. Clock reads and channel
 // polls are throttled to one per deadlineCheckMask+1 steps.
+//
+//amber:hotloop poll
 func (m *matcher) checkDeadline() bool {
 	if m.expired {
 		return true
@@ -296,6 +300,8 @@ func prepare(r index.Reader, p *plan.Plan, opts Options) (*matcher, bool) {
 
 // recordLevel accumulates one computation of a core level's candidate
 // set into stats.Levels and the resource meter.
+//
+//amber:hotloop
 func (m *matcher) recordLevel(ci, pos, n int) {
 	if m.levelIdx == nil {
 		return
@@ -314,6 +320,8 @@ func (m *matcher) recordLevel(ci, pos, n int) {
 
 // admissible applies the per-candidate constraints that are cheaper to
 // check than to pre-intersect: self-loop edge types.
+//
+//amber:hotloop
 func (m *matcher) admissible(u query.VertexID, v dict.VertexID) bool {
 	st := m.q.Vars[u].SelfTypes
 	if len(st) == 0 {
@@ -325,6 +333,8 @@ func (m *matcher) admissible(u query.VertexID, v dict.VertexID) bool {
 
 // restrict intersects cand with u's fixed candidates (if any) and filters
 // self-loops. cand must be sorted; the result is sorted.
+//
+//amber:hotloop
 func (m *matcher) restrict(u query.VertexID, cand []dict.VertexID) []dict.VertexID {
 	if m.p.IsFixed[int(u)] {
 		cand = otil.IntersectSorted(cand, m.p.Fixed[int(u)])
@@ -348,6 +358,8 @@ func (m *matcher) restrict(u query.VertexID, cand []dict.VertexID) []dict.Vertex
 // subject) has its exact mixed vertex/literal candidate list precomputed
 // at plan time; the signature index knows nothing about literals, so the
 // probe is skipped.
+//
+//amber:hotloop
 func (m *matcher) initialCandidates(u query.VertexID) []dict.VertexID {
 	if m.q.Vars[u].Lit != nil {
 		cand := m.p.Fixed[int(u)]
@@ -370,6 +382,8 @@ func (m *matcher) initialCandidates(u query.VertexID) []dict.VertexID {
 // multi-edge, refined by the fixed candidates. A literal satellite instead
 // unions the vertex-side neighbourhood probe with vc's matching attributes
 // (encoded literal bindings, which sort after every vertex id).
+//
+//amber:hotloop
 func (m *matcher) satCandidates(uc, us query.VertexID, vc dict.VertexID) []dict.VertexID {
 	if m.stats != nil {
 		m.stats.SatProbes++
@@ -403,6 +417,8 @@ func (m *matcher) satCandidates(uc, us query.VertexID, vc dict.VertexID) []dict.
 // vc's <p, ·> attributes as encoded literal bindings. Both halves are
 // sorted and every encoded binding exceeds every vertex id, so the
 // concatenation is sorted.
+//
+//amber:hotloop
 func (m *matcher) litCandidates(lit *query.LitSat, vc dict.VertexID) []dict.VertexID {
 	var verts []dict.VertexID
 	if len(lit.Types) > 0 {
@@ -426,6 +442,8 @@ func (m *matcher) litCandidates(lit *query.LitSat, vc dict.VertexID) []dict.Vert
 // matchSatellites is Algorithm 2: computes candidate sets for all
 // satellites of core vertex uc under match vc, storing them in satSets.
 // It reports false when some satellite has no candidates (vc invalid).
+//
+//amber:hotloop
 func (m *matcher) matchSatellites(uc query.VertexID, vc dict.VertexID, sats []query.VertexID) bool {
 	for _, us := range sats {
 		cand := m.satCandidates(uc, us, vc)
@@ -441,6 +459,8 @@ func (m *matcher) matchSatellites(uc query.VertexID, vc dict.VertexID, sats []qu
 // coreCandidates computes Cand_unxt for a non-initial core vertex
 // (Algorithm 4, lines 5–8): the intersection of neighbourhood probes from
 // every already-matched neighbour, refined by ProcessVertex.
+//
+//amber:hotloop
 func (m *matcher) coreCandidates(unxt query.VertexID, matched []bool) []dict.VertexID {
 	var cand []dict.VertexID
 	have := false
@@ -486,6 +506,8 @@ func (m *matcher) coreCandidates(unxt query.VertexID, matched []bool) []dict.Ver
 
 // matchComponent runs AMbER-Algo (Algorithm 3) for component ci and, on
 // completion of all components, emits embeddings.
+//
+//amber:hotloop
 func (m *matcher) matchComponent(ci int) {
 	if m.stopped || m.expired {
 		return
@@ -515,6 +537,8 @@ func (m *matcher) matchComponent(ci int) {
 
 // homomorphicMatch is Algorithm 4 in stream mode: extend the match to core
 // vertex comp.Core[pos].
+//
+//amber:hotloop
 func (m *matcher) homomorphicMatch(ci int, comp *plan.ComponentPlan, pos int, matched []bool) {
 	if m.stopped || m.checkDeadline() {
 		return
@@ -547,6 +571,8 @@ func (m *matcher) homomorphicMatch(ci int, comp *plan.ComponentPlan, pos int, ma
 
 // enumerateSatellites is GenEmb: lazy Cartesian product over the satellite
 // candidate sets of component ci, then descent into the next component.
+//
+//amber:hotloop
 func (m *matcher) enumerateSatellites(ci int, sats []query.VertexID, k int) {
 	if m.stopped || m.expired {
 		return
@@ -566,6 +592,8 @@ func (m *matcher) enumerateSatellites(ci int, sats []query.VertexID, k int) {
 }
 
 // emit yields the current assignment.
+//
+//amber:hotloop
 func (m *matcher) emit() {
 	m.yielded++
 	if m.stats != nil {
@@ -584,6 +612,8 @@ func (m *matcher) emit() {
 
 // countComponent counts the embeddings contributed by one component as the
 // sum over core solutions of the product of satellite set sizes.
+//
+//amber:hotloop
 func (m *matcher) countComponent(ci int) (uint64, error) {
 	comp := &m.p.Components[ci]
 	uinit := comp.Core[0]
@@ -611,6 +641,8 @@ func (m *matcher) countComponent(ci int) (uint64, error) {
 }
 
 // countMatch mirrors homomorphicMatch in count mode.
+//
+//amber:hotloop
 func (m *matcher) countMatch(ci int, comp *plan.ComponentPlan, pos int, matched []bool) (uint64, error) {
 	if m.checkDeadline() {
 		return 0, m.abortErr

@@ -133,6 +133,8 @@ func countComponentParallel(r index.Reader, p *plan.Plan, opts Options, ci int, 
 
 // countFromInitial counts the embeddings of component ci rooted at one
 // initial candidate vinit.
+//
+//amber:hotloop
 func (m *matcher) countFromInitial(ci int, vinit dict.VertexID) (uint64, error) {
 	comp := &m.p.Components[ci]
 	uinit := comp.Core[0]
@@ -153,6 +155,8 @@ func (m *matcher) countFromInitial(ci int, vinit dict.VertexID) (uint64, error) 
 
 // inFixed reports whether v is within u's fixed candidate set (when one
 // exists). Used when candidates were computed by a different matcher.
+//
+//amber:hotloop
 func (m *matcher) inFixed(u query.VertexID, v dict.VertexID) bool {
 	return !m.p.IsFixed[int(u)] || otil.ContainsSorted(m.p.Fixed[int(u)], v)
 }

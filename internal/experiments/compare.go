@@ -21,19 +21,24 @@ const latencyFloorMS = 0.5
 // by dataset, and churn write/read latency and write throughput matched
 // by fsync policy. It returns a human-readable line per regression — a
 // metric more than 2x worse in new than old (latencies also need to move
-// by an absolute floor) — and an error only when a report is malformed.
-// Metrics present in only one report are skipped, so schema additions
-// don't block the trajectory.
-func CompareReports(oldData, newData []byte) ([]string, error) {
+// by an absolute floor) — plus a note per comparison it declined, and an
+// error only when a report is malformed. Metrics present in only one
+// report are skipped, so schema additions don't block the trajectory.
+//
+// Churn metrics are disk-bound, and absolute disk numbers do not
+// transfer between machines: the same tree can show a 3-10x fsync-bound
+// latency swing purely from slower storage. They are therefore compared
+// only when both reports carry an environment fingerprint (EnvReport)
+// and the fsync probes agree to within the regression factor; otherwise
+// the churn comparison is skipped with an explicit note, never silently.
+func CompareReports(oldData, newData []byte) (regs, notes []string, err error) {
 	var oldRep, newRep BenchReport
 	if err := decodeStrict(oldData, &oldRep); err != nil {
-		return nil, fmt.Errorf("old report: %w", err)
+		return nil, nil, fmt.Errorf("old report: %w", err)
 	}
 	if err := decodeStrict(newData, &newRep); err != nil {
-		return nil, fmt.Errorf("new report: %w", err)
+		return nil, nil, fmt.Errorf("new report: %w", err)
 	}
-
-	var regs []string
 	worse := func(oldV, newV float64) bool {
 		return oldV > 0 && newV > oldV*regressionFactor
 	}
@@ -71,9 +76,14 @@ func CompareReports(oldData, newData []byte) ([]string, error) {
 		}
 	}
 
-	// Churn, matched by fsync policy. Older reports have no
-	// writes_per_sec; derive a single-writer throughput from write p50 so
-	// the trajectory still has a throughput guard across the transition.
+	// Churn, matched by fsync policy — only between matching storage.
+	if ok, why := sameStorage(oldRep, newRep); !ok {
+		notes = append(notes, "skipping churn comparisons ("+why+")")
+		return regs, notes, nil
+	}
+	// Older reports have no writes_per_sec; derive a single-writer
+	// throughput from write p50 so the trajectory still has a throughput
+	// guard across the transition.
 	for _, oc := range oldRep.Churn {
 		for _, nc := range newRep.Churn {
 			if nc.Fsync != oc.Fsync {
@@ -100,7 +110,28 @@ func CompareReports(oldData, newData []byte) ([]string, error) {
 			}
 		}
 	}
-	return regs, nil
+	return regs, notes, nil
+}
+
+// sameStorage reports whether two reports were generated on storage
+// similar enough for their disk-bound churn numbers to be comparable:
+// both carry an environment fingerprint with a successful fsync probe,
+// and the probes agree to within the regression factor.
+func sameStorage(a, b BenchReport) (bool, string) {
+	if a.Env == nil {
+		return false, "old report has no environment fingerprint"
+	}
+	if b.Env == nil {
+		return false, "new report has no environment fingerprint"
+	}
+	pa, pb := a.Env.FsyncProbeMS, b.Env.FsyncProbeMS
+	if pa <= 0 || pb <= 0 {
+		return false, "a report's fsync probe failed"
+	}
+	if pb > pa*regressionFactor || pa > pb*regressionFactor {
+		return false, fmt.Sprintf("fsync probe %.3fms vs %.3fms: different storage", pa, pb)
+	}
+	return true, ""
 }
 
 func decodeStrict(data []byte, rep *BenchReport) error {

@@ -13,6 +13,7 @@ func minimalReport() BenchReport {
 		GeneratedAt: "2026-01-02T03:04:05Z",
 		GoVersion:   "go1.24",
 		Planner:     "cost",
+		Env:         &EnvReport{GOOS: "linux", GOARCH: "amd64", CPUs: 8, FsyncProbeMS: 1.0},
 		Load: []LoadResult{
 			{Dataset: "LUBM", Triples: 1000, BuildMS: 10, TriplesPerSec: 100000},
 		},
@@ -39,11 +40,21 @@ func mustJSON(t *testing.T, rep BenchReport) []byte {
 
 func compare(t *testing.T, oldRep, newRep BenchReport) []string {
 	t.Helper()
-	regs, err := CompareReports(mustJSON(t, oldRep), mustJSON(t, newRep))
+	regs, _, err := CompareReports(mustJSON(t, oldRep), mustJSON(t, newRep))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return regs
+}
+
+// compareNotes returns only the skipped-comparison notes.
+func compareNotes(t *testing.T, oldRep, newRep BenchReport) []string {
+	t.Helper()
+	_, notes, err := CompareReports(mustJSON(t, oldRep), mustJSON(t, newRep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return notes
 }
 
 func TestCompareNoRegressions(t *testing.T) {
@@ -126,10 +137,70 @@ func TestCompareChurnSameWritersStillCompared(t *testing.T) {
 func TestCompareRejectsSchemaDrift(t *testing.T) {
 	good := mustJSON(t, minimalReport())
 	bad := []byte(strings.Replace(string(good), `"schema"`, `"schemaX"`, 1))
-	if _, err := CompareReports(good, bad); err == nil {
+	if _, _, err := CompareReports(good, bad); err == nil {
 		t.Fatal("unknown field accepted")
 	}
-	if _, err := CompareReports(bad, good); err == nil {
+	if _, _, err := CompareReports(bad, good); err == nil {
 		t.Fatal("unknown field accepted in old report")
+	}
+}
+
+// badChurn is a churn result far past the regression gate relative to
+// minimalReport's: it must be flagged when storage matches and skipped
+// (with a note) when it does not.
+func badChurn() ChurnReport {
+	return ChurnReport{
+		Fsync: "always", Reads: 8, Writes: 3,
+		ReadP50MS: 4, ReadP99MS: 5, WriteP50MS: 8, WriteP99MS: 12,
+		Fsyncs: 3,
+	}
+}
+
+// Disk-bound churn numbers measured on different storage (fsync probes
+// more than the regression factor apart) are not comparable: the gate
+// must skip them with a note instead of failing the trajectory.
+func TestCompareChurnSkippedAcrossStorageMismatch(t *testing.T) {
+	newRep := minimalReport()
+	newRep.Env.FsyncProbeMS = 4.0 // 4x slower disk than old's 1.0ms probe
+	newRep.Churn[0] = badChurn()
+	if regs := compare(t, minimalReport(), newRep); len(regs) != 0 {
+		t.Fatalf("cross-storage churn flagged: %v", regs)
+	}
+	notes := compareNotes(t, minimalReport(), newRep)
+	if len(notes) != 1 || !strings.Contains(notes[0], "different storage") {
+		t.Fatalf("notes = %v, want one storage-mismatch note", notes)
+	}
+}
+
+// Reports predating the env fingerprint (every BENCH file up to 0008)
+// carry no probe: churn comparisons against them are skipped with a
+// note, while CPU-bound metrics are still compared.
+func TestCompareChurnSkippedWhenOldReportHasNoEnv(t *testing.T) {
+	oldRep := minimalReport()
+	oldRep.Env = nil
+	newRep := minimalReport()
+	newRep.Churn[0] = badChurn()
+	newRep.Load[0].TriplesPerSec = 40000 // CPU-bound metrics stay guarded
+	regs := compare(t, oldRep, newRep)
+	if len(regs) != 1 || !strings.Contains(regs[0], "load LUBM") {
+		t.Fatalf("regs = %v, want only the load regression", regs)
+	}
+	notes := compareNotes(t, oldRep, newRep)
+	if len(notes) != 1 || !strings.Contains(notes[0], "no environment fingerprint") {
+		t.Fatalf("notes = %v, want one missing-fingerprint note", notes)
+	}
+}
+
+// Matching fingerprints arm the churn gate: the same regression that is
+// skipped across mismatched storage fails between matched reports.
+func TestCompareChurnFlaggedOnMatchedStorage(t *testing.T) {
+	newRep := minimalReport()
+	newRep.Churn[0] = badChurn()
+	regs := compare(t, minimalReport(), newRep)
+	if len(regs) == 0 || !strings.Contains(strings.Join(regs, "\n"), "churn fsync=always") {
+		t.Fatalf("regs = %v, want churn regressions on matched storage", regs)
+	}
+	if notes := compareNotes(t, minimalReport(), newRep); len(notes) != 0 {
+		t.Fatalf("unexpected notes on matched storage: %v", notes)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -27,12 +28,57 @@ type BenchReport struct {
 	GeneratedAt string        `json:"generated_at"` // RFC 3339, UTC
 	GoVersion   string        `json:"go_version"`
 	Planner     string        `json:"planner"`
+	Env         *EnvReport    `json:"env,omitempty"` // absent in pre-fingerprint reports
 	Config      ReportConfig  `json:"config"`
 	Load        []LoadResult  `json:"load"`
 	Queries     []QueryResult `json:"queries"`
 	Churn       []ChurnReport `json:"churn"`
 
 	PlannerComparison PlannerComparison `json:"planner_comparison"`
+}
+
+// EnvReport fingerprints the machine a report was generated on. The
+// trajectory guard (CompareReports) needs it because absolute I/O-bound
+// numbers do not transfer between machines: an identical tree can show a
+// 3-10x churn-latency swing purely from slower storage. Churn metrics
+// are therefore only compared between reports whose fsync probes match;
+// CPU-bound metrics (load, query latency) are compared regardless.
+type EnvReport struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	// FsyncProbeMS is the median latency of a 4KB write+fsync cycle
+	// measured immediately before the run — a storage-speed fingerprint
+	// for deciding whether two reports' churn numbers are comparable.
+	FsyncProbeMS float64 `json:"fsync_probe_ms"`
+}
+
+// measureEnv fingerprints the host. A probe failure (read-only temp dir,
+// exotic filesystem) degrades to a fingerprint without a probe value —
+// the comparison gate then treats the report as from unknown storage.
+func measureEnv() *EnvReport {
+	env := &EnvReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
+	f, err := os.CreateTemp("", "amber-fsync-probe-*")
+	if err != nil {
+		return env
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+	buf := make([]byte, 4096)
+	lats := make([]time.Duration, 0, 32)
+	for i := 0; i < cap(lats); i++ {
+		start := time.Now()
+		if _, err := f.Write(buf); err != nil {
+			return env
+		}
+		if err := f.Sync(); err != nil {
+			return env
+		}
+		lats = append(lats, time.Since(start))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	env.FsyncProbeMS = ms(lats[len(lats)/2])
+	return env
 }
 
 // ReportConfig records the knobs the run used, so two reports are only
@@ -152,6 +198,7 @@ func RunBenchReport(cfg Config, quick bool) (*BenchReport, error) {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		Planner:     cfg.Planner,
+		Env:         measureEnv(),
 		Config: ReportConfig{
 			Scale:           cfg.Scale,
 			Universities:    cfg.Universities,
@@ -330,6 +377,14 @@ func ValidateReport(data []byte) error {
 	}
 	if rep.Planner != "cost" && rep.Planner != "heuristic" {
 		return fmt.Errorf("bench report: unknown planner %q", rep.Planner)
+	}
+	if rep.Env != nil {
+		if rep.Env.GOOS == "" || rep.Env.GOARCH == "" || rep.Env.CPUs <= 0 {
+			return fmt.Errorf("bench report: incomplete env fingerprint %+v", *rep.Env)
+		}
+		if rep.Env.FsyncProbeMS < 0 {
+			return fmt.Errorf("bench report: negative fsync probe %.3fms", rep.Env.FsyncProbeMS)
+		}
 	}
 	if len(rep.Load) == 0 {
 		return fmt.Errorf("bench report: no load results")

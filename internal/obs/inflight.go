@@ -31,6 +31,8 @@ var (
 // The meter doubles as a resource guard: SetVisitLimit arms a cap on
 // vertices visited, and the flush that crosses it cancels the query's
 // context with ErrResourceLimit.
+//
+//amber:hot
 type ResourceMeter struct {
 	candidates    atomic.Uint64 // candidate-set entries generated
 	visits        atomic.Uint64 // candidate vertices tried by the match loops
